@@ -1,0 +1,148 @@
+// Ablation benches for the design choices DESIGN.md calls out:
+//
+//  A. the multi-term specificity bonus of the concept vector (Section
+//     II-B step 4) — quantifies its effect on the production baseline
+//     (in our world it over-rewards long concepts against entity names);
+//  B. the 500-character window overlap of Section V-A.1 — removing the
+//     overlap separates neighboring concepts at window borders;
+//  C. weighted (Eq. 5) vs plain (Eq. 4) error rate — the weighted metric
+//     separates techniques more sharply because big-CTR mistakes dominate;
+//  D. the 2-byte field quantization of Section VI — the paper calls the
+//     granularity loss "minor"; we quantify it on the deployed model.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "framework/runtime_ranker.h"
+
+namespace {
+
+using namespace ckr;
+
+EvalResult CombinedCv(const ExperimentRunner& runner) {
+  ModelSpec spec;
+  spec.include_relevance = true;
+  spec.tie_break_relevance = true;
+  auto result = runner.EvaluateModelCV(spec);
+  if (!result.ok()) {
+    std::fprintf(stderr, "model: %s\n", result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return *result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablations ===\n\n");
+
+  // ---- A: concept-vector multi-term bonus ----
+  {
+    PipelineConfig with_cfg;
+    PipelineConfig without_cfg;
+    without_cfg.conceptvec.multi_term_bonus = false;
+    auto with_p = Pipeline::Build(with_cfg);
+    auto without_p = Pipeline::Build(without_cfg);
+    if (!with_p.ok() || !without_p.ok()) return 1;
+    auto with_ds = DatasetBuilder(**with_p, {}).Build();
+    auto without_ds = DatasetBuilder(**without_p, {}).Build();
+    if (!with_ds.ok() || !without_ds.ok()) return 1;
+    EvalResult with_r = ExperimentRunner(*with_ds).EvaluateBaseline();
+    EvalResult without_r = ExperimentRunner(*without_ds).EvaluateBaseline();
+    std::printf("[A] concept-vector multi-term bonus (paper II-B step 4: "
+                "'more specific concepts eventually bubble up')\n");
+    std::printf("    baseline weighted error with bonus:    %.2f%%\n",
+                100 * with_r.weighted_error_rate);
+    std::printf("    baseline weighted error without bonus: %.2f%%\n\n",
+                100 * without_r.weighted_error_rate);
+
+    // ---- B: window overlap (reuses the default pipeline) ----
+    DatasetConfig no_overlap;
+    no_overlap.window_overlap = 0;
+    auto ds0 = DatasetBuilder(**with_p, no_overlap).Build();
+    if (!ds0.ok()) return 1;
+    ExperimentRunner runner_overlap(*with_ds);
+    ExperimentRunner runner_no_overlap(*ds0);
+    EvalResult overlap_r = CombinedCv(runner_overlap);
+    EvalResult no_overlap_r = CombinedCv(runner_no_overlap);
+    std::printf("[B] evaluation windows (paper V-A.1: 2500 chars, 500 "
+                "overlap 'so that the neighboring concepts are not "
+                "separated')\n");
+    std::printf("    overlap 500: %zu windows, combined error %.2f%%\n",
+                with_ds->num_windows, 100 * overlap_r.weighted_error_rate);
+    std::printf("    overlap 0:   %zu windows, combined error %.2f%%\n\n",
+                ds0->num_windows, 100 * no_overlap_r.weighted_error_rate);
+
+    // ---- C: weighted vs plain error ----
+    ExperimentRunner runner(*with_ds);
+    EvalResult random = runner.EvaluateRandom();
+    EvalResult baseline = runner.EvaluateBaseline();
+    EvalResult combined = overlap_r;
+    std::printf("[C] weighted (Eq. 5) vs plain (Eq. 4) error rate\n");
+    std::printf("    %-16s weighted %6.2f%%  plain %6.2f%%\n", "random",
+                100 * random.weighted_error_rate, 100 * random.error_rate);
+    std::printf("    %-16s weighted %6.2f%%  plain %6.2f%%\n", "baseline",
+                100 * baseline.weighted_error_rate, 100 * baseline.error_rate);
+    std::printf("    %-16s weighted %6.2f%%  plain %6.2f%%\n\n", "combined",
+                100 * combined.weighted_error_rate, 100 * combined.error_rate);
+
+    // ---- D: 2-byte quantization of the interestingness vectors ----
+    ModelSpec spec;
+    spec.include_relevance = true;
+    auto model_or = runner.TrainFullModel(spec);
+    if (!model_or.ok()) return 1;
+    const RankSvmModel& model = *model_or;
+
+    QuantizedInterestingnessStore store;
+    for (const WindowInstance& inst : with_ds->instances) {
+      store.Add(inst.key, inst.interestingness);
+    }
+    store.Finalize();
+
+    std::vector<double> exact_scores, quant_scores;
+    std::vector<double> dequantized;
+    for (const WindowInstance& inst : with_ds->instances) {
+      exact_scores.push_back(model.Score(
+          ExperimentRunner::Features(inst, spec)));
+      store.Lookup(inst.key, &dequantized);
+      dequantized.push_back(std::log1p(
+          inst.relevance[static_cast<size_t>(spec.relevance_resource)]));
+      quant_scores.push_back(model.Score(dequantized));
+    }
+    PairwiseErrorAccumulator exact_acc, quant_acc;
+    auto groups = with_ds->GroupByWindow();
+    for (const auto& group : groups) {
+      std::vector<double> pe, pq, ctr;
+      for (size_t idx : group) {
+        pe.push_back(exact_scores[idx]);
+        pq.push_back(quant_scores[idx]);
+        ctr.push_back(with_ds->instances[idx].ctr);
+      }
+      AccumulatePairwiseError(pe, ctr, true, &exact_acc);
+      AccumulatePairwiseError(pq, ctr, true, &quant_acc);
+    }
+    // Rank agreement between exact and quantized scoring.
+    size_t agree = 0, total = 0;
+    for (const auto& group : groups) {
+      for (size_t a = 0; a < group.size(); ++a) {
+        for (size_t b = a + 1; b < group.size(); ++b) {
+          double de = exact_scores[group[a]] - exact_scores[group[b]];
+          double dq = quant_scores[group[a]] - quant_scores[group[b]];
+          if (de == 0) continue;
+          ++total;
+          if ((de > 0) == (dq > 0)) ++agree;
+        }
+      }
+    }
+    std::printf("[D] 2-byte field quantization (paper VI: 'a minor decrease "
+                "in granularity')\n");
+    std::printf("    weighted error, exact features:     %.2f%%\n",
+                100 * exact_acc.Rate());
+    std::printf("    weighted error, quantized features: %.2f%%\n",
+                100 * quant_acc.Rate());
+    std::printf("    pairwise order agreement: %.2f%%\n",
+                100.0 * static_cast<double>(agree) /
+                    static_cast<double>(total));
+  }
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Reproduces Table II: "Concepts and their summation values, where
+// summation is the sum of scores for the concept's top hundred relevant
+// keywords."
+//
+// The paper sorts a large set of concepts by the summation of their mined
+// relevant-keyword scores: highly specific concepts (e.g. "methicillin
+// resistant staphylococcus aureus") land at the top with summations
+// ~9000-9500 while generic junk units ("my favorite", "the other", "what
+// is happening") land at the bottom with ~1500-2100 — a ratio of roughly
+// 4-6x. We reproduce the ranking over our concept universe and report the
+// top and bottom of the sorted list plus the aggregate separation.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "features/relevance.h"
+
+namespace {
+
+struct Row {
+  std::string key;
+  double summation;
+  bool generic;
+};
+
+}  // namespace
+
+int main() {
+  ckr::PipelineConfig config;  // Paper-scale world.
+  auto pipeline_or = ckr::Pipeline::Build(config);
+  if (!pipeline_or.ok()) {
+    std::fprintf(stderr, "pipeline: %s\n",
+                 pipeline_or.status().ToString().c_str());
+    return 1;
+  }
+  const ckr::Pipeline& p = **pipeline_or;
+
+  std::vector<Row> rows;
+  for (const ckr::Entity& e : p.world().entities()) {
+    if (e.TermCount() < 2) continue;  // Table II shows multi-term concepts.
+    auto terms = p.relevance_miner().Mine(
+        e.key, ckr::RelevanceResource::kSnippets, 100);
+    rows.push_back({e.key, ckr::RelevanceMiner::SummationOfScores(terms),
+                    e.is_generic});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.summation > b.summation; });
+
+  std::printf("=== Table II: concepts and their summation values ===\n");
+  std::printf("Paper (upper): methicillin resistant staphylococcus aureus "
+              "9544.3 | motorola razr v3m silver 9118.7 | egyptian foreign "
+              "minister ahmed aboul gheit 9024.9\n");
+  std::printf("Paper (lower): my favorite 2142.9 | the other 1718.0 | what "
+              "is happening 1503.0\n\n");
+
+  std::printf("%-40s %12s %s\n", "concept", "summation", "kind");
+  std::printf("---- top of the sorted list ----\n");
+  for (size_t i = 0; i < std::min<size_t>(5, rows.size()); ++i) {
+    std::printf("%-40s %12.1f %s\n", rows[i].key.c_str(), rows[i].summation,
+                rows[i].generic ? "GENERIC" : "specific");
+  }
+  std::printf("---- bottom of the sorted list ----\n");
+  for (size_t i = rows.size() >= 5 ? rows.size() - 5 : 0; i < rows.size();
+       ++i) {
+    std::printf("%-40s %12.1f %s\n", rows[i].key.c_str(), rows[i].summation,
+                rows[i].generic ? "GENERIC" : "specific");
+  }
+
+  // Aggregate separation: mean of the specific top decile vs generic mean.
+  double top_decile = 0;
+  size_t top_n = std::max<size_t>(1, rows.size() / 10);
+  size_t counted = 0;
+  for (const Row& r : rows) {
+    if (counted >= top_n) break;
+    if (!r.generic) {
+      top_decile += r.summation;
+      ++counted;
+    }
+  }
+  top_decile /= static_cast<double>(counted);
+  double generic_mean = 0;
+  size_t generic_n = 0;
+  double generic_in_top_half = 0;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (!rows[i].generic) continue;
+    generic_mean += rows[i].summation;
+    ++generic_n;
+    if (i < rows.size() / 2) ++generic_in_top_half;
+  }
+  generic_mean /= std::max<size_t>(1, generic_n);
+
+  std::printf("\nmeasured: specific top-decile mean = %.1f, generic mean = "
+              "%.1f (ratio %.2fx; paper's extremes ratio ~4.8x)\n",
+              top_decile, generic_mean, top_decile / generic_mean);
+  std::printf("generic concepts in the top half of the ranking: %.0f%% "
+              "(paper: generic concepts rank very low)\n",
+              100.0 * generic_in_top_half / std::max<size_t>(1, generic_n));
+  return 0;
+}

@@ -1,0 +1,120 @@
+#include "clicks/click_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/hash.h"
+
+namespace ckr {
+
+ClickSimulator::ClickSimulator(const World& world,
+                               const ClickModelConfig& config)
+    : world_(world), config_(config) {}
+
+std::pair<double, double> ClickSimulator::Latents(
+    const Document& story, const std::string& key) const {
+  EntityId id = world_.FindByKey(key);
+  if (id == kInvalidEntity) {
+    return {config_.unknown_interestingness, config_.unknown_relevance};
+  }
+  const Entity& e = world_.entity(id);
+  double r = story.TruthRelevance(id);
+  if (r == 0.0) {
+    // The surface occurred by chance (not planted): weak topical tie.
+    bool on_topic = e.primary_topic == story.topic ||
+                    e.secondary_topic == story.topic;
+    r = on_topic ? 0.25 : config_.unknown_relevance;
+  }
+  return {e.interestingness, r};
+}
+
+double ClickSimulator::ClickProbability(const Document& story,
+                                        const std::string& key,
+                                        size_t position, Rng& rng) const {
+  auto [g, r] = Latents(story, key);
+  double pos_frac = story.text.empty()
+                        ? 0.0
+                        : static_cast<double>(position) /
+                              static_cast<double>(story.text.size());
+  double bias = std::exp(-config_.position_decay * pos_frac);
+  double quality = config_.relevance_weight * r +
+                   config_.interest_weight * g +
+                   config_.interaction_weight * r * g;
+  quality = std::max(config_.quality_floor,
+                     quality - config_.quality_threshold);
+  quality = std::pow(quality, config_.quality_exponent);
+  double noise = std::exp(config_.noise_sigma * rng.NextGaussian());
+  double p = config_.base_ctr * bias * quality * noise;
+  return std::min(0.5, std::max(0.0, p));
+}
+
+StoryReport ClickSimulator::Simulate(const Document& story,
+                                     const std::vector<Detection>& detections,
+                                     double view_scale) const {
+  // Per-story stream keyed by story id: stable under re-simulation.
+  Rng rng(Mix64(HashCombine(config_.seed, story.id)));
+
+  StoryReport report;
+  report.story = story.id;
+  report.topic = story.topic;
+  double v = config_.mean_views *
+             std::exp(config_.views_sigma * rng.NextGaussian()) * view_scale;
+  report.views = static_cast<uint64_t>(std::max(1.0, v));
+
+  // Collapse repeated keys to the earliest occurrence.
+  std::unordered_map<std::string, size_t> first_index;
+  for (const Detection& d : detections) {
+    if (d.type == EntityType::kPattern) continue;  // Not ranked/tracked.
+    auto it = first_index.find(d.key);
+    if (it != first_index.end()) continue;
+    first_index[d.key] = report.annotations.size();
+    AnnotationRecord rec;
+    rec.key = d.key;
+    rec.type = d.type;
+    rec.subtype = d.subtype;
+    rec.from_dictionary = d.from_dictionary;
+    rec.unit_score = d.unit_score;
+    rec.position = d.begin;
+    rec.views = report.views;
+    report.annotations.push_back(std::move(rec));
+  }
+
+  for (AnnotationRecord& rec : report.annotations) {
+    double p = ClickProbability(story, rec.key, rec.position, rng);
+    // Binomial(views, p): direct Bernoulli loop for small view counts,
+    // normal approximation above that.
+    if (report.views <= 4096) {
+      uint64_t clicks = 0;
+      for (uint64_t i = 0; i < report.views; ++i) {
+        if (rng.NextBernoulli(p)) ++clicks;
+      }
+      rec.clicks = clicks;
+    } else {
+      double mean = static_cast<double>(report.views) * p;
+      double sd = std::sqrt(mean * (1.0 - p));
+      double c = mean + sd * rng.NextGaussian();
+      rec.clicks = static_cast<uint64_t>(
+          std::min(static_cast<double>(report.views), std::max(0.0, c)));
+    }
+  }
+  return report;
+}
+
+std::vector<StoryReport> FilterReports(const std::vector<StoryReport>& reports,
+                                       const ReportFilter& filter) {
+  std::vector<StoryReport> kept;
+  for (const StoryReport& r : reports) {
+    if (r.views < filter.min_views) continue;
+    if (r.annotations.size() < filter.min_concepts) continue;
+    uint64_t top = 0;
+    for (const AnnotationRecord& a : r.annotations) {
+      top = std::max(top, a.clicks);
+    }
+    if (top < filter.min_top_clicks) continue;
+    kept.push_back(r);
+  }
+  return kept;
+}
+
+}  // namespace ckr

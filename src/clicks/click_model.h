@@ -1,0 +1,124 @@
+// Click-through data simulation — the substitute for the Contextual
+// Shortcuts tracking pipeline (paper Section III).
+//
+// For each sampled news story the platform records: the story text, the
+// annotated entities with metadata (taxonomy type, position), the number
+// of story views, and per-entity click counts. This module generates that
+// data from the world's latent ground truth:
+//
+//   P(click | view, annotation) =
+//     base_ctr * position_bias(position) *
+//     (w_r * relevance + w_g * interestingness + w_rg * relevance *
+//      interestingness) * lognormal noise
+//
+// The learner never sees the latents — only the resulting counts, exactly
+// like the paper's pipeline sees CTRs.
+#ifndef CKR_CLICKS_CLICK_MODEL_H_
+#define CKR_CLICKS_CLICK_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "corpus/document.h"
+#include "corpus/world.h"
+#include "detect/entity_detector.h"
+
+namespace ckr {
+
+/// Behavioural knobs of the simulated audience.
+struct ClickModelConfig {
+  uint64_t seed = 99;
+  double base_ctr = 0.6;        ///< Scale of the click probability.
+  /// Convexity of quality -> clicks: users strongly prefer the few truly
+  /// compelling entities, so click propensity grows super-linearly in
+  /// quality (the paper's production data shows most annotations earn
+  /// almost no clicks).
+  double quality_exponent = 1.6;
+  /// Subtractive quality threshold: annotations below it are essentially
+  /// never clicked (the production tail of Section V-C earns ~no clicks).
+  double quality_threshold = 0.18;
+  double quality_floor = 0.01;  ///< Residual propensity below threshold.
+  double relevance_weight = 0.45;
+  double interest_weight = 0.30;
+  double interaction_weight = 0.25;  ///< Weight of the r*g product term.
+  double position_decay = 0.9;   ///< Exponential early-position bias.
+  double noise_sigma = 0.68;     ///< Lognormal multiplicative noise.
+  double mean_views = 90.0;      ///< Median sampled views per story.
+  double views_sigma = 0.8;      ///< Lognormal spread of views.
+  /// Latents assumed for annotations that match no world entity (noise
+  /// units assembled by chance).
+  double unknown_interestingness = 0.04;
+  double unknown_relevance = 0.06;
+};
+
+/// One annotated entity on one story, with its tracking counts.
+struct AnnotationRecord {
+  std::string key;            ///< Normalized concept key.
+  EntityType type = EntityType::kConcept;
+  int subtype = 0;
+  bool from_dictionary = false;
+  double unit_score = 0.0;
+  size_t position = 0;        ///< Byte offset of the first occurrence.
+  uint64_t views = 0;         ///< == story views for every annotation.
+  uint64_t clicks = 0;
+
+  double Ctr() const {
+    return views == 0 ? 0.0
+                      : static_cast<double>(clicks) / static_cast<double>(views);
+  }
+};
+
+/// The weekly tracking report for one story.
+struct StoryReport {
+  DocId story = 0;
+  int topic = 0;
+  uint64_t views = 0;
+  std::vector<AnnotationRecord> annotations;  ///< One per distinct key.
+};
+
+/// The data-cleaning rules of Section V-A.1.
+struct ReportFilter {
+  uint64_t min_views = 30;
+  size_t min_concepts = 2;         ///< "more than one concept".
+  uint64_t min_top_clicks = 4;     ///< ">= one concept with > 3 clicks".
+};
+
+/// Generates tracking reports. Deterministic in (config.seed, story id).
+class ClickSimulator {
+ public:
+  ClickSimulator(const World& world, const ClickModelConfig& config = {});
+
+  /// Simulates traffic on a story annotated with `detections` (pattern
+  /// detections are skipped: the paper excludes them from ranking).
+  /// Multiple occurrences of the same key collapse into one annotation at
+  /// the earliest position. `view_scale` multiplies the sampled views
+  /// (used by the production-replay experiment).
+  StoryReport Simulate(const Document& story,
+                       const std::vector<Detection>& detections,
+                       double view_scale = 1.0) const;
+
+  /// Click probability for a single annotation (exposed for tests and the
+  /// production replay).
+  double ClickProbability(const Document& story, const std::string& key,
+                          size_t position, Rng& rng) const;
+
+  const ClickModelConfig& config() const { return config_; }
+
+ private:
+  /// Latent (interestingness, relevance) for a key on a story.
+  std::pair<double, double> Latents(const Document& story,
+                                    const std::string& key) const;
+
+  const World& world_;
+  ClickModelConfig config_;
+};
+
+/// Applies the Section V-A.1 cleaning rules; returns the surviving subset.
+std::vector<StoryReport> FilterReports(const std::vector<StoryReport>& reports,
+                                       const ReportFilter& filter = {});
+
+}  // namespace ckr
+
+#endif  // CKR_CLICKS_CLICK_MODEL_H_

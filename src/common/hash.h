@@ -1,0 +1,25 @@
+// Hashing primitives shared across the library (term ids, feature hashing,
+// hash-table keys).
+#ifndef CKR_COMMON_HASH_H_
+#define CKR_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace ckr {
+
+/// 64-bit FNV-1a over a byte string. Stable across platforms/runs, so it is
+/// safe to persist values derived from it.
+uint64_t Fnv1a64(std::string_view data);
+
+/// Finalizing mixer (MurmurHash3 fmix64); good avalanche for integer keys.
+uint64_t Mix64(uint64_t x);
+
+/// Combines two hash values (boost-style, 64-bit).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
+}
+
+}  // namespace ckr
+
+#endif  // CKR_COMMON_HASH_H_

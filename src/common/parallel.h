@@ -1,0 +1,51 @@
+// Minimal deterministic data-parallel helper for the offline phase.
+//
+// ParallelFor partitions [0, n) across worker threads; the callable must
+// be safe to run concurrently for distinct indices and must write only to
+// per-index slots. Results are therefore independent of thread count and
+// scheduling — determinism is preserved by construction.
+#ifndef CKR_COMMON_PARALLEL_H_
+#define CKR_COMMON_PARALLEL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace ckr {
+
+/// Runs fn(i) for every i in [0, n) using up to `num_threads` workers
+/// (0 or 1 = run inline on the calling thread). Blocks until done.
+template <typename Fn>
+void ParallelFor(size_t n, unsigned num_threads, Fn&& fn) {
+  if (n == 0) return;
+  if (num_threads <= 1 || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  unsigned workers = num_threads;
+  if (workers > n) workers = static_cast<unsigned>(n);
+  std::atomic<size_t> next{0};
+  auto body = [&]() {
+    while (true) {
+      size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      fn(i);
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  for (unsigned t = 0; t + 1 < workers; ++t) threads.emplace_back(body);
+  body();
+  for (std::thread& t : threads) t.join();
+}
+
+/// A sensible default worker count for the offline phase.
+inline unsigned DefaultWorkerCount() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace ckr
+
+#endif  // CKR_COMMON_PARALLEL_H_

@@ -1,0 +1,158 @@
+#include "conceptvec/concept_vector.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/string_util.h"
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
+
+namespace ckr {
+namespace {
+
+// Normalize to [0,1] by the max, punish below `punish_thr`, drop below
+// `drop_thr` — the treatment the paper applies to both vectors.
+void NormalizePunishDrop(std::unordered_map<std::string, double>* weights,
+                         double punish_thr, double drop_thr,
+                         double punish_factor) {
+  double max_w = 0.0;
+  for (const auto& [k, w] : *weights) max_w = std::max(max_w, w);
+  if (max_w <= 0.0) {
+    weights->clear();
+    return;
+  }
+  for (auto it = weights->begin(); it != weights->end();) {
+    double w = it->second / max_w;
+    if (w < punish_thr) w *= punish_factor;
+    if (w < drop_thr) {
+      it = weights->erase(it);
+    } else {
+      it->second = w;
+      ++it;
+    }
+  }
+}
+
+}  // namespace
+
+ConceptVectorGenerator::ConceptVectorGenerator(const TermDictionary& term_dict,
+                                               const UnitDictionary& units,
+                                               const ConceptVectorConfig& config)
+    : term_dict_(term_dict), units_(units), config_(config) {
+  for (const UnitInfo& u : units_.units()) {
+    Status s = unit_matcher_.AddPhrase(
+        u.phrase, static_cast<uint32_t>(matcher_payloads_.size()));
+    assert(s.ok());
+    (void)s;
+    matcher_payloads_.push_back(&u);
+  }
+  unit_matcher_.Build();
+}
+
+std::unordered_map<std::string, double> ConceptVectorGenerator::BuildTermVector(
+    const std::vector<std::string>& tokens) const {
+  std::unordered_map<std::string, double> tf;
+  for (const std::string& t : tokens) {
+    if (IsStopWord(t)) continue;
+    tf[t] += 1.0;
+  }
+  for (auto& [term, f] : tf) f *= term_dict_.Idf(term);
+  NormalizePunishDrop(&tf, config_.term_punish_threshold,
+                      config_.term_drop_threshold, config_.punish_factor);
+  return tf;
+}
+
+std::unordered_map<std::string, double> ConceptVectorGenerator::BuildUnitVector(
+    const std::vector<std::string>& tokens) const {
+  std::unordered_map<std::string, double> uv;
+  for (const PhraseMatch& m : unit_matcher_.FindAll(tokens)) {
+    const UnitInfo* info = matcher_payloads_[m.payload];
+    // The unit vector holds the unit's (already normalized) score; repeat
+    // occurrences do not accumulate.
+    uv[info->phrase] = info->score;
+  }
+  NormalizePunishDrop(&uv, config_.unit_punish_threshold,
+                      config_.unit_drop_threshold, config_.punish_factor);
+  return uv;
+}
+
+std::vector<ConceptScore> ConceptVectorGenerator::Generate(
+    std::string_view text) const {
+  std::vector<std::string> tokens = TokenizeToStrings(text);
+  std::unordered_map<std::string, double> term_vec = BuildTermVector(tokens);
+  std::unordered_map<std::string, double> unit_vec = BuildUnitVector(tokens);
+
+  // Merge (Section II-B cases 1-3).
+  std::unordered_map<std::string, double> merged;
+  for (const auto& [term, w] : term_vec) {
+    auto it = unit_vec.find(term);
+    if (it == unit_vec.end()) {
+      merged[term] = w * config_.no_unit_punish_factor;  // Case 1.
+    } else {
+      merged[term] = w + it->second;  // Case 3.
+    }
+  }
+  for (const auto& [unit, w] : unit_vec) {
+    if (merged.count(unit) == 0) merged[unit] = w;  // Case 2.
+  }
+
+  // Step (4): multi-term specificity bonus.
+  if (config_.multi_term_bonus) {
+    for (auto& [phrase, w] : merged) {
+      if (phrase.find(' ') == std::string::npos) continue;
+      for (const std::string& part : SplitString(phrase, " ")) {
+        auto t = term_vec.find(part);
+        if (t != term_vec.end()) w += t->second;
+        auto u = unit_vec.find(part);
+        if (u != unit_vec.end()) w += u->second;
+      }
+    }
+  }
+
+  std::vector<ConceptScore> out;
+  out.reserve(merged.size());
+  for (auto& [phrase, w] : merged) out.push_back({phrase, w});
+  std::sort(out.begin(), out.end(),
+            [](const ConceptScore& a, const ConceptScore& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.phrase < b.phrase;
+            });
+  return out;
+}
+
+std::vector<double> ConceptVectorGenerator::ScoreCandidates(
+    std::string_view text, const std::vector<std::string>& candidates) const {
+  std::vector<std::string> tokens = TokenizeToStrings(text);
+  std::unordered_map<std::string, double> term_vec = BuildTermVector(tokens);
+  std::unordered_map<std::string, double> unit_vec = BuildUnitVector(tokens);
+  std::vector<ConceptScore> vec = Generate(text);
+  std::unordered_map<std::string, double> lookup;
+  for (const ConceptScore& c : vec) lookup[c.phrase] = c.score;
+  std::vector<double> scores;
+  scores.reserve(candidates.size());
+  for (const std::string& c : candidates) {
+    std::string key = NormalizePhrase(c);
+    auto it = lookup.find(key);
+    if (it != lookup.end()) {
+      scores.push_back(it->second);
+      continue;
+    }
+    // Multi-term candidate absent from both vectors (e.g. a dictionary
+    // entity that is not a query-log unit): its step-two weight is zero,
+    // but the multi-term bonus of step (4) still applies — the sum of the
+    // constituent terms' term- and unit-vector scores.
+    double bonus = 0.0;
+    if (config_.multi_term_bonus && key.find(' ') != std::string::npos) {
+      for (const std::string& part : SplitString(key, " ")) {
+        auto t = term_vec.find(part);
+        if (t != term_vec.end()) bonus += t->second;
+        auto u = unit_vec.find(part);
+        if (u != unit_vec.end()) bonus += u->second;
+      }
+    }
+    scores.push_back(bonus);
+  }
+  return scores;
+}
+
+}  // namespace ckr

@@ -1,0 +1,86 @@
+#include "core/contextual_ranker.h"
+
+#include <string>
+#include <vector>
+
+#include "common/parallel.h"
+
+namespace ckr {
+
+StatusOr<std::unique_ptr<ContextualRanker>> ContextualRanker::Train(
+    const ContextualRankerOptions& options) {
+  std::unique_ptr<ContextualRanker> ranker(new ContextualRanker());
+
+  auto pipeline_or = Pipeline::Build(options.pipeline);
+  if (!pipeline_or.ok()) return pipeline_or.status();
+  ranker->pipeline_ = std::move(*pipeline_or);
+  const Pipeline& p = *ranker->pipeline_;
+
+  DatasetBuilder builder(p, options.dataset);
+  auto dataset_or = builder.Build();
+  if (!dataset_or.ok()) return dataset_or.status();
+  ranker->dataset_ = std::move(*dataset_or);
+
+  // The deployed model: full interestingness layout + relevance feature,
+  // relevance tie-break (Section V-A.6).
+  ModelSpec spec;
+  spec.group_mask = kAllFeatureGroups;
+  spec.use_interestingness = true;
+  spec.include_relevance = true;
+  spec.relevance_resource = options.relevance_resource;
+  spec.tie_break_relevance = true;
+  spec.svm = options.svm;
+  ExperimentRunner runner(ranker->dataset_);
+  auto model_or = runner.TrainFullModel(spec);
+  if (!model_or.ok()) return model_or.status();
+  ranker->model_ = std::move(*model_or);
+
+  // Offline store population: every candidate the detector can emit (the
+  // editorial dictionaries plus all multi-term units).
+  std::vector<std::pair<std::string, EntityType>> candidates;
+  for (const Entity& e : p.world().entities()) {
+    if (e.in_dictionary) candidates.emplace_back(e.key, e.type);
+  }
+  for (const UnitInfo* u : p.units().MultiTermUnits()) {
+    EntityId id = p.world().FindByKey(u->phrase);
+    if (id != kInvalidEntity && p.world().entity(id).in_dictionary) continue;
+    candidates.emplace_back(u->phrase, EntityType::kConcept);
+  }
+
+  ranker->relevance_store_ =
+      std::make_unique<PackedRelevanceStore>(&ranker->tids_);
+  // Parallel extraction into per-candidate slots; the store insertions
+  // stay sequential (TID interning is order-sensitive).
+  std::vector<InterestingnessVector> ivecs(candidates.size());
+  std::vector<std::vector<RelevantTerm>> mined(candidates.size());
+  unsigned workers = options.dataset.num_threads == 0
+                         ? DefaultWorkerCount()
+                         : options.dataset.num_threads;
+  ParallelFor(candidates.size(), workers, [&](size_t i) {
+    const auto& [key, type] = candidates[i];
+    ivecs[i] = p.interestingness().Extract(key, type);
+    mined[i] = p.relevance_miner().Mine(key, options.relevance_resource,
+                                        options.dataset.relevance_terms);
+  });
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    ranker->interestingness_store_.Add(candidates[i].first, ivecs[i]);
+    ranker->relevance_store_->Add(candidates[i].first, std::move(mined[i]));
+  }
+  ranker->interestingness_store_.Finalize();
+  ranker->relevance_store_->Finalize();
+
+  ranker->runtime_ = std::make_unique<RuntimeRanker>(
+      p.detector(), ranker->interestingness_store_, *ranker->relevance_store_,
+      ranker->tids_, ranker->model_);
+  return ranker;
+}
+
+std::vector<RankedAnnotation> ContextualRanker::Rank(std::string_view text,
+                                                     size_t top_n) const {
+  std::vector<RankedAnnotation> ranked =
+      runtime_->ProcessDocument(text, &stats_);
+  if (top_n > 0 && ranked.size() > top_n) ranked.resize(top_n);
+  return ranked;
+}
+
+}  // namespace ckr

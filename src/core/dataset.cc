@@ -1,0 +1,190 @@
+#include "core/dataset.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/parallel.h"
+
+namespace ckr {
+
+std::vector<double> ClickDataset::AllCtrs() const {
+  std::vector<double> out;
+  out.reserve(instances.size());
+  for (const WindowInstance& inst : instances) out.push_back(inst.ctr);
+  return out;
+}
+
+std::vector<std::vector<size_t>> ClickDataset::GroupByWindow() const {
+  std::unordered_map<uint32_t, size_t> group_index;
+  std::vector<std::vector<size_t>> groups;
+  for (size_t i = 0; i < instances.size(); ++i) {
+    uint32_t g = instances[i].window_group;
+    auto it = group_index.find(g);
+    if (it == group_index.end()) {
+      group_index.emplace(g, groups.size());
+      groups.emplace_back();
+      groups.back().push_back(i);
+    } else {
+      groups[it->second].push_back(i);
+    }
+  }
+  return groups;
+}
+
+DatasetBuilder::DatasetBuilder(const Pipeline& pipeline,
+                               const DatasetConfig& config)
+    : pipeline_(pipeline), config_(config) {}
+
+StatusOr<ClickDataset> DatasetBuilder::Build() const {
+  const auto& stories = pipeline_.news_stories();
+  const unsigned workers =
+      config_.num_threads == 0 ? DefaultWorkerCount() : config_.num_threads;
+
+  // Stage 1 (parallel over stories): annotate, apply the production
+  // annotation cut, simulate traffic. Each story writes only its own slot,
+  // so the result is independent of thread scheduling.
+  std::vector<StoryReport> reports(stories.size());
+  ParallelFor(stories.size(), workers, [&](size_t s) {
+    const Document& story = stories[s];
+    std::vector<Detection> detections =
+        pipeline_.detector().Detect(story.text);
+    // The production baseline annotates only its top-ranked entities; the
+    // rest get no Shortcut and therefore produce no click data.
+    if (config_.max_annotations_per_story > 0) {
+      std::vector<std::string> keys;
+      std::unordered_set<std::string> seen;
+      for (const Detection& d : detections) {
+        if (d.type == EntityType::kPattern) continue;
+        if (seen.insert(d.key).second) keys.push_back(d.key);
+      }
+      if (keys.size() > config_.max_annotations_per_story) {
+        std::vector<double> scores =
+            pipeline_.concept_vectors().ScoreCandidates(story.text, keys);
+        std::vector<size_t> order(keys.size());
+        for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+        std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+          if (scores[a] != scores[b]) return scores[a] > scores[b];
+          return keys[a] < keys[b];
+        });
+        std::unordered_set<std::string> kept_keys;
+        for (size_t i = 0; i < config_.max_annotations_per_story; ++i) {
+          kept_keys.insert(keys[order[i]]);
+        }
+        std::vector<Detection> pruned;
+        for (Detection& d : detections) {
+          if (d.type == EntityType::kPattern || kept_keys.count(d.key) > 0) {
+            pruned.push_back(std::move(d));
+          }
+        }
+        detections = std::move(pruned);
+      }
+    }
+    reports[s] = pipeline_.clicks().Simulate(story, detections);
+  });
+
+  // Stage 2: the cleaning rules of Section V-A.1.
+  std::vector<StoryReport> kept = FilterReports(reports, config_.filter);
+  if (kept.empty()) {
+    return Status::FailedPrecondition(
+        "no stories survive the cleaning rules; scale up the world");
+  }
+
+  // Stage 3: distinct concepts across surviving reports (insertion order
+  // fixed by report order, so ids are deterministic).
+  std::vector<std::pair<std::string, EntityType>> concepts;
+  std::unordered_map<std::string, size_t> concept_index;
+  for (const StoryReport& report : kept) {
+    for (const AnnotationRecord& a : report.annotations) {
+      if (concept_index.emplace(a.key, concepts.size()).second) {
+        concepts.emplace_back(a.key, a.type);
+      }
+    }
+  }
+
+  // Stage 4 (parallel over concepts): static interestingness vectors and
+  // relevant-keyword mining from all three resources.
+  struct ConceptCache {
+    InterestingnessVector ivec;
+    std::array<std::vector<RelevantTerm>, 3> mined;
+  };
+  std::vector<ConceptCache> cache(concepts.size());
+  ParallelFor(concepts.size(), workers, [&](size_t c) {
+    const auto& [key, type] = concepts[c];
+    cache[c].ivec = pipeline_.interestingness().Extract(key, type);
+    for (int r = 0; r < 3; ++r) {
+      cache[c].mined[static_cast<size_t>(r)] = pipeline_.relevance_miner().Mine(
+          key, static_cast<RelevanceResource>(r), config_.relevance_terms);
+    }
+  });
+  RelevanceScorer scorers[3];
+  for (size_t c = 0; c < concepts.size(); ++c) {
+    for (int r = 0; r < 3; ++r) {
+      scorers[r].AddConcept(concepts[c].first,
+                            cache[c].mined[static_cast<size_t>(r)]);
+    }
+  }
+
+  // Stage 5 (sequential): windowing + instance assembly.
+  ClickDataset ds;
+  uint32_t next_window_group = 0;
+  for (uint32_t s = 0; s < kept.size(); ++s) {
+    const StoryReport& report = kept[s];
+    const Document& story = stories[report.story];
+    ds.surviving_stories.push_back(report.story);
+
+    std::vector<TextSpan> windows = PartitionIntoWindows(
+        story.text.size(), config_.window_size, config_.window_overlap);
+    for (const TextSpan& w : windows) {
+      // Annotations whose first occurrence falls inside the window.
+      std::vector<const AnnotationRecord*> in_window;
+      for (const AnnotationRecord& a : report.annotations) {
+        if (a.position >= w.begin && a.position < w.end) {
+          in_window.push_back(&a);
+        }
+      }
+      if (in_window.size() < 2) continue;  // No ranking signal.
+
+      std::string_view window_text(story.text.data() + w.begin, w.size());
+      auto stemmed = RelevanceScorer::StemContext(window_text);
+
+      // Baseline concept-vector scores for the window's candidates.
+      std::vector<std::string> keys;
+      keys.reserve(in_window.size());
+      for (const AnnotationRecord* a : in_window) keys.push_back(a->key);
+      std::vector<double> baseline =
+          pipeline_.concept_vectors().ScoreCandidates(window_text, keys);
+
+      uint32_t group = next_window_group++;
+      for (size_t i = 0; i < in_window.size(); ++i) {
+        const AnnotationRecord& a = *in_window[i];
+        const ConceptCache& entry = cache[concept_index.at(a.key)];
+
+        WindowInstance inst;
+        inst.key = a.key;
+        inst.type = a.type;
+        inst.window_group = group;
+        inst.story_index = s;
+        inst.position = a.position;
+        inst.views = a.views;
+        inst.clicks = a.clicks;
+        inst.ctr = a.Ctr();
+        inst.baseline_score = baseline[i];
+        inst.interestingness = entry.ivec;
+        for (int r = 0; r < 3; ++r) {
+          inst.relevance[static_cast<size_t>(r)] =
+              scorers[r].Score(a.key, stemmed);
+        }
+        ds.instances.push_back(std::move(inst));
+        ds.total_clicks += a.clicks;
+      }
+    }
+  }
+  ds.num_windows = next_window_group;
+  ds.num_distinct_concepts = concepts.size();
+  ds.story_fold = KFoldAssignment(ds.surviving_stories.size(),
+                                  config_.cv_folds, config_.cv_seed);
+  return ds;
+}
+
+}  // namespace ckr

@@ -1,0 +1,147 @@
+#include "core/experiment.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace ckr {
+
+ExperimentRunner::ExperimentRunner(const ClickDataset& dataset)
+    : dataset_(dataset),
+      window_groups_(dataset.GroupByWindow()),
+      buckets_(dataset.AllCtrs()) {}
+
+std::vector<double> ExperimentRunner::Features(const WindowInstance& inst,
+                                               const ModelSpec& spec) {
+  std::vector<double> f;
+  if (spec.use_interestingness) {
+    f = inst.interestingness.Flatten(spec.group_mask);
+  }
+  if (spec.include_relevance) {
+    // Log-scaled: raw relevance scores have heavy per-concept scale
+    // variance that starves a linear ranker.
+    f.push_back(std::log1p(
+        inst.relevance[static_cast<size_t>(spec.relevance_resource)]));
+  }
+  return f;
+}
+
+EvalResult ExperimentRunner::EvaluateScores(
+    const std::vector<double>& scores) const {
+  EvalResult result;
+  PairwiseErrorAccumulator weighted, plain;
+  double ndcg_sum[3] = {0, 0, 0};
+  std::vector<std::pair<double, double>> window_masses;
+  window_masses.reserve(window_groups_.size());
+  for (const auto& group : window_groups_) {
+    std::vector<double> pred, ctr;
+    pred.reserve(group.size());
+    ctr.reserve(group.size());
+    for (size_t idx : group) {
+      pred.push_back(scores[idx]);
+      ctr.push_back(dataset_.instances[idx].ctr);
+    }
+    PairwiseErrorAccumulator window_acc;
+    AccumulatePairwiseError(pred, ctr, /*weighted=*/true, &window_acc);
+    window_masses.emplace_back(window_acc.error_mass, window_acc.total_mass);
+    weighted.error_mass += window_acc.error_mass;
+    weighted.total_mass += window_acc.total_mass;
+    AccumulatePairwiseError(pred, ctr, /*weighted=*/false, &plain);
+    for (size_t k = 0; k < 3; ++k) {
+      ndcg_sum[k] += NdcgAtK(pred, ctr, buckets_, k + 1);
+    }
+  }
+  result.weighted_error_rate = weighted.Rate();
+  result.weighted_error_ci =
+      BootstrapRatioCi(window_masses, /*resamples=*/2000,
+                       /*confidence=*/0.95, /*seed=*/8675309);
+  result.error_rate = plain.Rate();
+  result.windows = window_groups_.size();
+  for (size_t k = 0; k < 3; ++k) {
+    result.ndcg[k] = result.windows > 0
+                         ? ndcg_sum[k] / static_cast<double>(result.windows)
+                         : 0.0;
+  }
+  return result;
+}
+
+EvalResult ExperimentRunner::EvaluateRandom(uint64_t seed) const {
+  Rng rng(seed);
+  std::vector<double> scores(dataset_.instances.size());
+  for (double& s : scores) s = rng.NextDouble();
+  return EvaluateScores(scores);
+}
+
+EvalResult ExperimentRunner::EvaluateBaseline() const {
+  std::vector<double> scores;
+  scores.reserve(dataset_.instances.size());
+  for (const WindowInstance& inst : dataset_.instances) {
+    scores.push_back(inst.baseline_score);
+  }
+  return EvaluateScores(scores);
+}
+
+EvalResult ExperimentRunner::EvaluateRelevanceOnly(
+    RelevanceResource resource) const {
+  std::vector<double> scores;
+  scores.reserve(dataset_.instances.size());
+  for (const WindowInstance& inst : dataset_.instances) {
+    scores.push_back(inst.relevance[static_cast<size_t>(resource)]);
+  }
+  return EvaluateScores(scores);
+}
+
+StatusOr<EvalResult> ExperimentRunner::EvaluateModelCV(
+    const ModelSpec& spec) const {
+  int folds = 0;
+  for (int f : dataset_.story_fold) folds = std::max(folds, f + 1);
+  if (folds < 2) {
+    return Status::FailedPrecondition("dataset has fewer than 2 folds");
+  }
+  std::vector<double> scores(dataset_.instances.size(), 0.0);
+  for (int fold = 0; fold < folds; ++fold) {
+    std::vector<RankingInstance> train;
+    for (const WindowInstance& inst : dataset_.instances) {
+      if (dataset_.story_fold[inst.story_index] == fold) continue;
+      RankingInstance ri;
+      ri.features = Features(inst, spec);
+      ri.label = inst.ctr;
+      ri.group = inst.window_group;
+      train.push_back(std::move(ri));
+    }
+    RankSvmTrainer trainer(spec.svm);
+    auto model_or = trainer.Train(train);
+    if (!model_or.ok()) return model_or.status();
+    const RankSvmModel& model = *model_or;
+    for (size_t i = 0; i < dataset_.instances.size(); ++i) {
+      const WindowInstance& inst = dataset_.instances[i];
+      if (dataset_.story_fold[inst.story_index] != fold) continue;
+      double s = model.Score(Features(inst, spec));
+      if (spec.tie_break_relevance) {
+        // Negligible against real score differences; decisive on ties.
+        s += 1e-9 * inst.relevance[static_cast<size_t>(
+                        spec.relevance_resource)];
+      }
+      scores[i] = s;
+    }
+  }
+  return EvaluateScores(scores);
+}
+
+StatusOr<RankSvmModel> ExperimentRunner::TrainFullModel(
+    const ModelSpec& spec) const {
+  std::vector<RankingInstance> train;
+  train.reserve(dataset_.instances.size());
+  for (const WindowInstance& inst : dataset_.instances) {
+    RankingInstance ri;
+    ri.features = Features(inst, spec);
+    ri.label = inst.ctr;
+    ri.group = inst.window_group;
+    train.push_back(std::move(ri));
+  }
+  RankSvmTrainer trainer(spec.svm);
+  return trainer.Train(train);
+}
+
+}  // namespace ckr

@@ -1,0 +1,80 @@
+// The experiment runner behind Tables III, IV, V and Figures 1-3: ranks
+// the dataset's windows with each technique and reports the paper's
+// metrics (weighted/plain pairwise error rate, NDCG@{1,2,3}).
+#ifndef CKR_CORE_EXPERIMENT_H_
+#define CKR_CORE_EXPERIMENT_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+#include "eval/metrics.h"
+#include "features/relevance.h"
+#include "ranksvm/rank_svm.h"
+
+namespace ckr {
+
+/// Metrics of one technique over the dataset.
+struct EvalResult {
+  double weighted_error_rate = 0.0;
+  double error_rate = 0.0;
+  std::array<double, 3> ndcg{};  ///< NDCG@1, @2, @3 (mean over windows).
+  size_t windows = 0;
+  /// 95% bootstrap CI of the weighted error rate (windows resampled).
+  BootstrapCi weighted_error_ci;
+};
+
+/// Learned-model configuration.
+struct ModelSpec {
+  /// Interestingness feature groups included (Table III ablations).
+  unsigned group_mask = kAllFeatureGroups;
+  bool use_interestingness = true;
+  /// Append the mined relevance score as a feature (Table V).
+  bool include_relevance = false;
+  RelevanceResource relevance_resource = RelevanceResource::kSnippets;
+  /// Tie-break equal model scores by the relevance score (Section V-A.6:
+  /// "in case of ties, we decided to favor concepts that have higher
+  /// relevance scores").
+  bool tie_break_relevance = false;
+  RankSvmConfig svm;
+};
+
+/// Evaluates ranking techniques on a built dataset.
+class ExperimentRunner {
+ public:
+  explicit ExperimentRunner(const ClickDataset& dataset);
+
+  /// Random ordering baseline (expected 50% error).
+  EvalResult EvaluateRandom(uint64_t seed = 1) const;
+
+  /// Production baseline: rank by concept-vector score.
+  EvalResult EvaluateBaseline() const;
+
+  /// Rank by the mined relevance score alone (Table IV; no training).
+  EvalResult EvaluateRelevanceOnly(RelevanceResource resource) const;
+
+  /// Cross-validated ranking SVM per the ModelSpec. Trains fold models on
+  /// the training stories and scores each window exactly once.
+  StatusOr<EvalResult> EvaluateModelCV(const ModelSpec& spec) const;
+
+  /// Trains one model on the full dataset (for deployment / the runtime
+  /// framework).
+  StatusOr<RankSvmModel> TrainFullModel(const ModelSpec& spec) const;
+
+  /// Assembles the feature vector of one instance under a spec (shared
+  /// with the runtime framework and tests).
+  static std::vector<double> Features(const WindowInstance& inst,
+                                      const ModelSpec& spec);
+
+ private:
+  EvalResult EvaluateScores(const std::vector<double>& scores) const;
+
+  const ClickDataset& dataset_;
+  std::vector<std::vector<size_t>> window_groups_;
+  CtrBucketizer buckets_;
+};
+
+}  // namespace ckr
+
+#endif  // CKR_CORE_EXPERIMENT_H_

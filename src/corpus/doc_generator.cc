@@ -1,0 +1,267 @@
+#include "corpus/doc_generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cctype>
+#include <cmath>
+
+#include "common/hash.h"
+#include "common/string_util.h"
+
+namespace ckr {
+namespace {
+
+double Clamp01(double x) { return std::min(1.0, std::max(0.0, x)); }
+
+// Centrality prior: most planted entities are moderately central, a few
+// dominate the story.
+double SampleCentrality(Rng& rng) {
+  double u = rng.NextDouble();
+  return u * u;  // Skew low; squared uniform has mean 1/3.
+}
+
+struct ScheduledMention {
+  size_t slot;  // Token index at which the mention is emitted.
+  size_t plan_index;
+};
+
+}  // namespace
+
+DocGenerator::DocGenerator(const World& world) : world_(world) {}
+
+std::vector<DocGenerator::PlannedEntity> DocGenerator::PlanEntities(
+    int topic, Document::Kind kind, Rng& rng) {
+  const WorldConfig& cfg = world_.config();
+  std::vector<PlannedEntity> plan;
+
+  size_t n_on = cfg.on_topic_entities_min +
+                rng.NextBounded(cfg.on_topic_entities_max -
+                                cfg.on_topic_entities_min + 1);
+  if (kind == Document::Kind::kAnswers) {
+    n_on = std::max<size_t>(2, n_on / 2);  // Short snippets carry fewer.
+  }
+  std::vector<EntityId> used;
+  for (size_t i = 0; i < n_on; ++i) {
+    EntityId id = world_.SampleTopicEntity(static_cast<size_t>(topic), rng);
+    if (id == kInvalidEntity) break;
+    if (std::find(used.begin(), used.end(), id) != used.end()) continue;
+    used.push_back(id);
+    PlannedEntity pe;
+    pe.entity = id;
+    // Editors write stories around entities their audience cares about:
+    // centrality correlates with latent interestingness, with independent
+    // story-to-story variation on top.
+    pe.centrality = Clamp01(0.45 * SampleCentrality(rng) +
+                            0.55 * world_.entity(id).interestingness *
+                                (0.5 + rng.NextDouble()));
+    // On-topic relevance: centrality raises it; noise keeps labels soft.
+    pe.relevance = Clamp01(0.22 + 0.7 * pe.centrality +
+                           0.08 * rng.NextGaussian());
+    pe.relevance = std::max(pe.relevance, 0.12);
+    pe.mention_count = 1 + static_cast<int>(pe.centrality * 6.999);
+    plan.push_back(pe);
+  }
+
+  size_t n_off = rng.NextBounded(cfg.off_topic_entities_max + 1);
+  for (size_t i = 0; i < n_off; ++i) {
+    EntityId id = world_.SampleOffTopicEntity(static_cast<size_t>(topic), rng);
+    if (id == kInvalidEntity) continue;
+    if (std::find(used.begin(), used.end(), id) != used.end()) continue;
+    used.push_back(id);
+    PlannedEntity pe;
+    pe.entity = id;
+    pe.centrality = 0.05 + 0.15 * rng.NextDouble();
+    pe.relevance = 0.05 + 0.18 * rng.NextDouble();
+    pe.mention_count = 1;
+    plan.push_back(pe);
+  }
+
+  if (rng.NextBernoulli(cfg.generic_concept_prob) &&
+      !world_.GenericConcepts().empty()) {
+    size_t n_junk = 1;
+    for (size_t i = 0; i < n_junk; ++i) {
+      EntityId id = world_.GenericConcepts()[rng.NextBounded(
+          world_.GenericConcepts().size())];
+      if (std::find(used.begin(), used.end(), id) != used.end()) continue;
+      used.push_back(id);
+      PlannedEntity pe;
+      pe.entity = id;
+      pe.centrality = 0.02 + 0.1 * rng.NextDouble();
+      pe.relevance = 0.02 + 0.08 * rng.NextDouble();
+      pe.mention_count = 1;
+      plan.push_back(pe);
+    }
+  }
+  return plan;
+}
+
+Document DocGenerator::Assemble(Document::Kind kind, DocId id, int topic,
+                                size_t token_budget,
+                                const std::vector<PlannedEntity>& plan,
+                                Rng& rng) {
+  const WorldConfig& cfg = world_.config();
+  Document doc;
+  doc.id = id;
+  doc.kind = kind;
+  doc.topic = topic;
+
+  // Schedule mention slots. High-centrality entities get earlier first
+  // mentions (news leads with its subject); repeats spread over the body.
+  std::vector<ScheduledMention> schedule;
+  for (size_t p = 0; p < plan.size(); ++p) {
+    const PlannedEntity& pe = plan[p];
+    for (int m = 0; m < pe.mention_count; ++m) {
+      double u = rng.NextDouble();
+      if (m == 0) u = std::pow(u, 1.0 + 2.0 * pe.centrality);
+      size_t slot = static_cast<size_t>(u * static_cast<double>(token_budget));
+      if (slot >= token_budget) slot = token_budget - 1;
+      schedule.push_back({slot, p});
+    }
+  }
+  std::sort(schedule.begin(), schedule.end(),
+            [](const ScheduledMention& a, const ScheduledMention& b) {
+              return a.slot < b.slot;
+            });
+
+  double topic_prob = cfg.topic_word_prob;
+  if (kind == Document::Kind::kAnswers) topic_prob *= 0.7;  // Noisier text.
+
+  std::string text;
+  text.reserve(token_budget * 7);
+  // Companion burst state: after a mention, nearby tokens are drawn from
+  // the entity's companion vocabulary with a centrality-scaled
+  // probability, giving relevant entities a distinctive local context.
+  size_t burst_remaining = 0;
+  double burst_prob = 0.0;
+  const std::vector<WordId>* burst_words = nullptr;
+  size_t next_sched = 0;
+  size_t sentence_len = 0;
+  size_t sentence_target = 8 + rng.NextBounded(12);
+  size_t sentences_in_para = 0;
+  size_t para_target = 3 + rng.NextBounded(4);
+  bool at_sentence_start = true;
+
+  auto begin_token = [&]() {
+    if (!text.empty() && text.back() != '\n') text.push_back(' ');
+  };
+  auto end_sentence = [&]() {
+    text.push_back('.');
+    ++sentences_in_para;
+    sentence_len = 0;
+    sentence_target = 8 + rng.NextBounded(12);
+    at_sentence_start = true;
+    if (sentences_in_para >= para_target) {
+      text.append("\n\n");
+      sentences_in_para = 0;
+      para_target = 3 + rng.NextBounded(4);
+    }
+  };
+
+  for (size_t i = 0; i < token_budget; ++i) {
+    bool emitted_mention = false;
+    while (next_sched < schedule.size() && schedule[next_sched].slot <= i) {
+      const PlannedEntity& pe = plan[schedule[next_sched].plan_index];
+      const Entity& e = world_.entity(pe.entity);
+      begin_token();
+      MentionTruth mt;
+      mt.entity = pe.entity;
+      mt.begin = text.size();
+      text.append(e.surface);
+      mt.end = text.size();
+      mt.relevance = pe.relevance;
+      mt.centrality = pe.centrality;
+      doc.mentions.push_back(mt);
+      ++next_sched;
+      emitted_mention = true;
+      ++sentence_len;
+      at_sentence_start = false;
+      if (!e.companions.empty()) {
+        burst_remaining = 1 + rng.NextBounded(3);
+        burst_prob = 0.22 + 0.4 * pe.centrality;
+        burst_words = &e.companions;
+      }
+    }
+    if (emitted_mention && sentence_len >= sentence_target) {
+      end_sentence();
+      continue;
+    }
+    begin_token();
+    WordId wid;
+    if (burst_remaining > 0 && burst_words != nullptr &&
+        rng.NextBernoulli(burst_prob)) {
+      wid = (*burst_words)[rng.NextBounded(burst_words->size())];
+      --burst_remaining;
+    } else {
+      if (burst_remaining > 0) --burst_remaining;
+      wid = world_.vocabulary().SampleForTopic(static_cast<size_t>(topic),
+                                               topic_prob, rng);
+    }
+    std::string word = world_.vocabulary().Word(wid);
+    if (at_sentence_start) {
+      word[0] = static_cast<char>(
+          std::toupper(static_cast<unsigned char>(word[0])));
+      at_sentence_start = false;
+    }
+    text.append(word);
+    ++sentence_len;
+    if (sentence_len >= sentence_target) end_sentence();
+  }
+  // Flush any mentions scheduled at the very end.
+  while (next_sched < schedule.size()) {
+    const PlannedEntity& pe = plan[schedule[next_sched].plan_index];
+    const Entity& e = world_.entity(pe.entity);
+    begin_token();
+    MentionTruth mt;
+    mt.entity = pe.entity;
+    mt.begin = text.size();
+    text.append(e.surface);
+    mt.end = text.size();
+    mt.relevance = pe.relevance;
+    mt.centrality = pe.centrality;
+    doc.mentions.push_back(mt);
+    ++next_sched;
+  }
+  if (!text.empty() && text.back() != '.') text.push_back('.');
+  doc.text = std::move(text);
+  return doc;
+}
+
+Document DocGenerator::Generate(Document::Kind kind, DocId id) {
+  const WorldConfig& cfg = world_.config();
+  // Per-document stream: independent of generation order.
+  uint64_t stream = HashCombine(cfg.seed, (static_cast<uint64_t>(kind) << 32) |
+                                              static_cast<uint64_t>(id));
+  Rng rng(Mix64(stream));
+  int topic = static_cast<int>(rng.NextBounded(cfg.num_topics));
+  size_t min_tokens = 0;
+  size_t max_tokens = 0;
+  switch (kind) {
+    case Document::Kind::kWeb:
+      min_tokens = cfg.web_doc_min_tokens;
+      max_tokens = cfg.web_doc_max_tokens;
+      break;
+    case Document::Kind::kNews:
+      min_tokens = cfg.news_min_tokens;
+      max_tokens = cfg.news_max_tokens;
+      break;
+    case Document::Kind::kAnswers:
+      min_tokens = cfg.answers_min_tokens;
+      max_tokens = cfg.answers_max_tokens;
+      break;
+  }
+  size_t budget = min_tokens + rng.NextBounded(max_tokens - min_tokens + 1);
+  std::vector<PlannedEntity> plan = PlanEntities(topic, kind, rng);
+  return Assemble(kind, id, topic, budget, plan, rng);
+}
+
+std::vector<Document> DocGenerator::GenerateCorpus(Document::Kind kind,
+                                                   size_t count) {
+  std::vector<Document> docs;
+  docs.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    docs.push_back(Generate(kind, static_cast<DocId>(i)));
+  }
+  return docs;
+}
+
+}  // namespace ckr

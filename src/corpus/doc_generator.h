@@ -1,0 +1,55 @@
+// Document generation: the substitute for Yahoo! News stories, Yahoo!
+// Answers snippets, and the web corpus behind the search engine.
+//
+// Each document is written around a primary topic. On-topic entities are
+// planted with a latent centrality that controls mention count, position,
+// and the ground-truth relevance label; a few off-topic entities are
+// planted with low relevance (the paper's "Texas" example); generic junk
+// units appear regardless of topic. The text itself is sampled from the
+// topic's word distribution, so snippet mining and tf*idf behave as they
+// would on real topical text.
+#ifndef CKR_CORPUS_DOC_GENERATOR_H_
+#define CKR_CORPUS_DOC_GENERATOR_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "corpus/document.h"
+#include "corpus/world.h"
+
+namespace ckr {
+
+/// Generates the three corpora of the world deterministically.
+class DocGenerator {
+ public:
+  /// `world` must outlive the generator.
+  explicit DocGenerator(const World& world);
+
+  /// Generates one document of the given kind. `id` should be unique per
+  /// corpus; it also perturbs the random stream so corpora are stable under
+  /// resizing.
+  Document Generate(Document::Kind kind, DocId id);
+
+  /// Generates a whole corpus of `count` documents.
+  std::vector<Document> GenerateCorpus(Document::Kind kind, size_t count);
+
+ private:
+  struct PlannedEntity {
+    EntityId entity;
+    double relevance;
+    double centrality;
+    int mention_count;
+  };
+
+  std::vector<PlannedEntity> PlanEntities(int topic, Document::Kind kind,
+                                          Rng& rng);
+  Document Assemble(Document::Kind kind, DocId id, int topic,
+                    size_t token_budget,
+                    const std::vector<PlannedEntity>& plan, Rng& rng);
+
+  const World& world_;
+};
+
+}  // namespace ckr
+
+#endif  // CKR_CORPUS_DOC_GENERATOR_H_

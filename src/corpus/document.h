@@ -1,0 +1,50 @@
+// Document model shared by the corpus generator, the search index, the
+// detection pipeline, and the click simulator.
+#ifndef CKR_CORPUS_DOCUMENT_H_
+#define CKR_CORPUS_DOCUMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "corpus/world.h"
+
+namespace ckr {
+
+using DocId = uint32_t;
+
+/// Ground-truth record of one entity mention placed by the generator.
+/// Visible only to the simulators (click model, editorial judges); the
+/// ranking pipeline works from the raw text.
+struct MentionTruth {
+  EntityId entity = kInvalidEntity;
+  size_t begin = 0;       ///< Byte offset of the mention in Document::text.
+  size_t end = 0;
+  double relevance = 0.0;  ///< r in [0,1]: topical relevance in this doc.
+  double centrality = 0.0; ///< How central the entity is to the story.
+};
+
+/// A generated document.
+struct Document {
+  enum class Kind : uint8_t { kWeb = 0, kNews, kAnswers };
+
+  DocId id = 0;
+  Kind kind = Kind::kWeb;
+  int topic = 0;
+  std::string text;
+  std::vector<MentionTruth> mentions;  ///< In increasing begin order.
+
+  /// Ground-truth relevance of an entity in this document (max over its
+  /// mentions); 0 if the entity was not deliberately placed.
+  double TruthRelevance(EntityId entity) const {
+    double r = 0.0;
+    for (const auto& m : mentions) {
+      if (m.entity == entity && m.relevance > r) r = m.relevance;
+    }
+    return r;
+  }
+};
+
+}  // namespace ckr
+
+#endif  // CKR_CORPUS_DOCUMENT_H_

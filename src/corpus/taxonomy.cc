@@ -1,0 +1,74 @@
+#include "corpus/taxonomy.h"
+
+#include <cassert>
+
+namespace ckr {
+
+std::string_view EntityTypeName(EntityType type) {
+  switch (type) {
+    case EntityType::kPerson:
+      return "person";
+    case EntityType::kPlace:
+      return "place";
+    case EntityType::kOrganization:
+      return "organization";
+    case EntityType::kEvent:
+      return "event";
+    case EntityType::kAnimal:
+      return "animal";
+    case EntityType::kProduct:
+      return "product";
+    case EntityType::kConcept:
+      return "concept";
+    case EntityType::kPattern:
+      return "pattern";
+  }
+  return "unknown";
+}
+
+EntityType ParseEntityType(std::string_view name) {
+  for (int i = 0; i < kNumEntityTypes; ++i) {
+    EntityType t = static_cast<EntityType>(i);
+    if (EntityTypeName(t) == name) return t;
+  }
+  return EntityType::kConcept;
+}
+
+Taxonomy::Taxonomy() {
+  subtypes_.resize(kNumEntityTypes);
+  subtypes_[static_cast<size_t>(EntityType::kPerson)] = {
+      "actor",    "musician",  "scientist", "politician", "athlete",
+      "author",   "director",  "journalist", "executive",
+  };
+  subtypes_[static_cast<size_t>(EntityType::kPlace)] = {
+      "city", "country", "state", "landmark", "region", "street_address",
+  };
+  subtypes_[static_cast<size_t>(EntityType::kOrganization)] = {
+      "company", "government", "ngo", "sports_team", "university", "band",
+  };
+  subtypes_[static_cast<size_t>(EntityType::kEvent)] = {
+      "election", "sports_event", "disaster", "festival", "conflict",
+  };
+  subtypes_[static_cast<size_t>(EntityType::kAnimal)] = {
+      "mammal", "bird", "reptile", "fish",
+  };
+  subtypes_[static_cast<size_t>(EntityType::kProduct)] = {
+      "phone", "car", "movie", "game", "software", "book",
+  };
+  subtypes_[static_cast<size_t>(EntityType::kConcept)] = {"query_unit"};
+  subtypes_[static_cast<size_t>(EntityType::kPattern)] = {
+      "email", "url", "phone_number",
+  };
+}
+
+const std::vector<std::string>& Taxonomy::Subtypes(EntityType type) const {
+  return subtypes_[static_cast<size_t>(type)];
+}
+
+size_t Taxonomy::NodeCount() const {
+  size_t n = 0;
+  for (const auto& list : subtypes_) n += list.size();
+  return n;
+}
+
+}  // namespace ckr

@@ -1,0 +1,62 @@
+// The entity taxonomy of the Contextual Shortcuts platform (paper Section
+// II-A): "a handful major types, such as people, organizations, places,
+// events, animals, products, and each of these major types contains a
+// large number of subtypes, e.g. actor, musician, scientist".
+#ifndef CKR_CORPUS_TAXONOMY_H_
+#define CKR_CORPUS_TAXONOMY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ckr {
+
+/// Major ("high level") entity types. kConcept marks abstract query-log
+/// concepts that are not in the editorial dictionaries; kPattern marks
+/// regex-detected entities (emails, URLs, phones) which bypass relevance
+/// ranking entirely.
+enum class EntityType : uint8_t {
+  kPerson = 0,
+  kPlace,
+  kOrganization,
+  kEvent,
+  kAnimal,
+  kProduct,
+  kConcept,
+  kPattern,
+};
+
+constexpr int kNumEntityTypes = 8;
+
+/// Subtypes under each major type (a representative subset of the paper's
+/// "large number of subtypes").
+struct TaxonomyNode {
+  EntityType type;
+  std::string subtype;
+};
+
+/// Name of a major type ("person", "place", ...).
+std::string_view EntityTypeName(EntityType type);
+
+/// Parses a major-type name; returns kConcept for unknown names.
+EntityType ParseEntityType(std::string_view name);
+
+/// The taxonomy: subtype lists per major type.
+class Taxonomy {
+ public:
+  Taxonomy();
+
+  /// All subtypes of a major type (non-empty for every dictionary type).
+  const std::vector<std::string>& Subtypes(EntityType type) const;
+
+  /// Total number of (type, subtype) nodes.
+  size_t NodeCount() const;
+
+ private:
+  std::vector<std::vector<std::string>> subtypes_;
+};
+
+}  // namespace ckr
+
+#endif  // CKR_CORPUS_TAXONOMY_H_

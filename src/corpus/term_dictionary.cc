@@ -1,0 +1,42 @@
+#include "corpus/term_dictionary.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "text/porter_stemmer.h"
+#include "text/tokenizer.h"
+
+namespace ckr {
+
+void TermDictionary::Build(const std::vector<Document>& corpus, bool stemmed) {
+  doc_freq_.clear();
+  num_docs_ = 0;
+  for (const Document& doc : corpus) AddDocument(doc.text, stemmed);
+}
+
+void TermDictionary::AddDocument(std::string_view text, bool stemmed) {
+  std::unordered_set<std::string> seen;
+  for (std::string& tok : TokenizeToStrings(text)) {
+    seen.insert(stemmed ? PorterStem(tok) : std::move(tok));
+  }
+  for (const std::string& t : seen) ++doc_freq_[t];
+  ++num_docs_;
+}
+
+double TermDictionary::DocFreqRatio(std::string_view term) const {
+  if (num_docs_ == 0) return 0.0;
+  return static_cast<double>(DocFreq(term)) / static_cast<double>(num_docs_);
+}
+
+uint32_t TermDictionary::DocFreq(std::string_view term) const {
+  auto it = doc_freq_.find(std::string(term));
+  return it == doc_freq_.end() ? 0 : it->second;
+}
+
+double TermDictionary::Idf(std::string_view term) const {
+  double n = static_cast<double>(num_docs_);
+  double df = static_cast<double>(DocFreq(term));
+  return std::log((n + 1.0) / (df + 1.0)) + 1.0;
+}
+
+}  // namespace ckr

@@ -1,0 +1,54 @@
+// Term dictionary with document frequencies — the paper's "term dictionary
+// which contains the term-document frequencies (i.e. the number of
+// documents of a large web corpus containing the dictionary term)"
+// (Section II-B). Built once over the web corpus and shared by concept-
+// vector generation and relevant-keyword mining.
+#ifndef CKR_CORPUS_TERM_DICTIONARY_H_
+#define CKR_CORPUS_TERM_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "corpus/document.h"
+
+namespace ckr {
+
+/// Immutable after Build(); lookup is by normalized token.
+class TermDictionary {
+ public:
+  TermDictionary() = default;
+
+  /// Counts document frequencies over the corpus (tokens normalized by the
+  /// standard tokenizer; stop words are kept so callers can decide). With
+  /// `stemmed`, tokens are Porter-stemmed first — relevance mining needs a
+  /// stemmed dictionary because its mined terms are stems.
+  void Build(const std::vector<Document>& corpus, bool stemmed = false);
+
+  /// Adds one more document's tokens (used for incremental construction).
+  void AddDocument(std::string_view text, bool stemmed = false);
+
+  /// Document-frequency ratio df(t)/N in [0, 1]; 0 for unseen terms.
+  double DocFreqRatio(std::string_view term) const;
+
+  size_t NumDocs() const { return num_docs_; }
+  size_t NumTerms() const { return doc_freq_.size(); }
+
+  /// Document frequency of a term (0 if unseen).
+  uint32_t DocFreq(std::string_view term) const;
+
+  /// Smoothed inverse document frequency:
+  ///   idf(t) = ln((N + 1) / (df(t) + 1)) + 1.
+  /// Always positive; unseen terms get the maximum value.
+  double Idf(std::string_view term) const;
+
+ private:
+  std::unordered_map<std::string, uint32_t> doc_freq_;
+  size_t num_docs_ = 0;
+};
+
+}  // namespace ckr
+
+#endif  // CKR_CORPUS_TERM_DICTIONARY_H_

@@ -1,0 +1,130 @@
+#include "corpus/vocabulary.h"
+
+#include <cassert>
+#include <cctype>
+
+#include "text/stopwords.h"
+
+namespace ckr {
+namespace {
+
+const char kConsonants[] = "bcdfghjklmnprstvwz";
+const char kVowels[] = "aeiou";
+
+std::string MakeSyllableWord(int syllables, Rng& rng) {
+  std::string word;
+  for (int s = 0; s < syllables; ++s) {
+    word.push_back(kConsonants[rng.NextBounded(sizeof(kConsonants) - 1)]);
+    word.push_back(kVowels[rng.NextBounded(sizeof(kVowels) - 1)]);
+    // Occasionally close the syllable with a consonant for variety.
+    if (rng.NextBernoulli(0.25)) {
+      word.push_back(kConsonants[rng.NextBounded(sizeof(kConsonants) - 1)]);
+    }
+  }
+  return word;
+}
+
+}  // namespace
+
+WordFactory::WordFactory(uint64_t seed) : rng_(seed) {
+  // Never generate stop words: they would distort idf statistics.
+  for (std::string_view sw : StopWordSet()) used_.insert(std::string(sw));
+}
+
+std::string WordFactory::MakeWord(int syllables, Rng& rng) {
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    std::string word = MakeSyllableWord(syllables, rng);
+    if (used_.insert(word).second) return word;
+  }
+  // Exhausted the syllable space at this length; extend with a counter.
+  std::string base = MakeSyllableWord(syllables, rng);
+  for (int i = 0;; ++i) {
+    std::string word = base + static_cast<char>('a' + (i % 26));
+    if (used_.insert(word).second) return word;
+    base = word;
+  }
+}
+
+std::string WordFactory::MakeName(int syllables, Rng& rng) {
+  std::string word = MakeWord(syllables, rng);
+  word[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(word[0])));
+  return word;
+}
+
+void WordFactory::Reserve(const std::string& word) { used_.insert(word); }
+
+Vocabulary::Vocabulary(size_t background_size, size_t num_topics,
+                       size_t per_topic, uint64_t seed)
+    : background_size_(background_size),
+      num_topics_(num_topics),
+      background_zipf_(background_size, 1.07) {
+  Rng rng(seed);
+  WordFactory factory(seed ^ 0xabcdef);
+  words_.reserve(background_size + num_topics * per_topic);
+  for (size_t i = 0; i < background_size; ++i) {
+    int syll = 1 + static_cast<int>(rng.NextBounded(3));
+    std::string w = factory.MakeWord(syll, rng);
+    index_[w] = static_cast<WordId>(words_.size());
+    words_.push_back(std::move(w));
+  }
+  topic_words_.resize(num_topics);
+  for (size_t t = 0; t < num_topics; ++t) {
+    topic_words_[t].reserve(per_topic);
+    for (size_t i = 0; i < per_topic; ++i) {
+      int syll = 2 + static_cast<int>(rng.NextBounded(2));
+      std::string w = factory.MakeWord(syll, rng);
+      WordId id = static_cast<WordId>(words_.size());
+      index_[w] = id;
+      words_.push_back(std::move(w));
+      topic_words_[t].push_back(id);
+    }
+  }
+}
+
+WordId Vocabulary::AddWord(const std::string& word) {
+  auto it = index_.find(word);
+  if (it != index_.end()) return it->second;
+  WordId id = static_cast<WordId>(words_.size());
+  index_[word] = id;
+  words_.push_back(word);
+  return id;
+}
+
+bool Vocabulary::Lookup(const std::string& word, WordId* id) const {
+  auto it = index_.find(word);
+  if (it == index_.end()) return false;
+  *id = it->second;
+  return true;
+}
+
+WordId Vocabulary::SampleBackground(Rng& rng) const {
+  // Zipf rank r (1-based) maps directly to word id r-1: low ids are the
+  // most frequent words.
+  return static_cast<WordId>(background_zipf_.Sample(rng) - 1);
+}
+
+WordId Vocabulary::SampleForTopic(size_t topic, double topic_prob,
+                                  Rng& rng) const {
+  assert(topic < num_topics_);
+  if (rng.NextBernoulli(topic_prob)) {
+    const auto& tw = topic_words_[topic];
+    return tw[rng.NextBounded(tw.size())];
+  }
+  return SampleBackground(rng);
+}
+
+bool Vocabulary::IsTopicWord(WordId id, size_t topic) const {
+  return TopicOf(id) == static_cast<int>(topic);
+}
+
+int Vocabulary::TopicOf(WordId id) const {
+  if (id < background_size_) return -1;
+  size_t per_topic = topic_words_.empty() ? 0 : topic_words_[0].size();
+  if (per_topic == 0) return -1;
+  size_t offset = id - background_size_;
+  size_t topic = offset / per_topic;
+  if (topic >= num_topics_) return -1;
+  return static_cast<int>(topic);
+}
+
+}  // namespace ckr

@@ -1,0 +1,99 @@
+// Synthetic vocabulary generation.
+//
+// The original system ran over English text from Yahoo! News and the Yahoo!
+// Search corpus. This substrate generates a deterministic pseudo-English
+// vocabulary (pronounceable syllable words) with a Zipfian background
+// distribution plus per-topic specific terms, and name pools for entity
+// surface forms. Everything downstream (tf*idf, query logs, snippets,
+// relevance mining) only depends on distributional structure, which this
+// module controls by construction.
+#ifndef CKR_CORPUS_VOCABULARY_H_
+#define CKR_CORPUS_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ckr {
+
+/// Identifier of a vocabulary word.
+using WordId = uint32_t;
+
+/// Deterministic pseudo-word factory. Generated words are unique,
+/// lower-case, 3-12 characters, alternating consonant/vowel syllables.
+class WordFactory {
+ public:
+  explicit WordFactory(uint64_t seed);
+
+  /// Generates a fresh word of `syllables` syllables not generated before
+  /// and not colliding with the reserved set.
+  std::string MakeWord(int syllables, Rng& rng);
+
+  /// Generates a capitalized name-like word (for entity surface forms).
+  std::string MakeName(int syllables, Rng& rng);
+
+  /// Marks a word as reserved so MakeWord never returns it.
+  void Reserve(const std::string& word);
+
+ private:
+  std::unordered_set<std::string> used_;
+  Rng rng_;
+};
+
+/// The world vocabulary: a shared background vocabulary with Zipf weights
+/// and per-topic specific words.
+class Vocabulary {
+ public:
+  /// Builds `background_size` common words plus `topics * per_topic`
+  /// topic-specific words.
+  Vocabulary(size_t background_size, size_t num_topics, size_t per_topic,
+             uint64_t seed);
+
+  size_t size() const { return words_.size(); }
+  const std::string& Word(WordId id) const { return words_[id]; }
+
+  /// Registers an extra word created after construction (e.g. entity
+  /// companion vocabulary). Returns its id; existing words return their
+  /// current id.
+  WordId AddWord(const std::string& word);
+
+  /// Word lookup; returns false if unknown.
+  bool Lookup(const std::string& word, WordId* id) const;
+
+  size_t background_size() const { return background_size_; }
+  size_t num_topics() const { return num_topics_; }
+
+  /// Topic-specific word ids for a topic.
+  const std::vector<WordId>& TopicWords(size_t topic) const {
+    return topic_words_[topic];
+  }
+
+  /// Samples a background word (Zipf rank ~ frequency).
+  WordId SampleBackground(Rng& rng) const;
+
+  /// Samples a word for a document of the given topic: with probability
+  /// `topic_prob` a topic word (uniform), else a background word (Zipf).
+  WordId SampleForTopic(size_t topic, double topic_prob, Rng& rng) const;
+
+  /// True if the word id is specific to `topic`.
+  bool IsTopicWord(WordId id, size_t topic) const;
+
+  /// The topic a word belongs to, or -1 for background words.
+  int TopicOf(WordId id) const;
+
+ private:
+  std::vector<std::string> words_;
+  std::unordered_map<std::string, WordId> index_;
+  std::vector<std::vector<WordId>> topic_words_;
+  size_t background_size_;
+  size_t num_topics_;
+  ZipfSampler background_zipf_;
+};
+
+}  // namespace ckr
+
+#endif  // CKR_CORPUS_VOCABULARY_H_

@@ -1,0 +1,308 @@
+#include "corpus/world.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/string_util.h"
+#include "text/tokenizer.h"
+
+namespace ckr {
+
+Status WorldConfig::Validate() const {
+  if (num_topics == 0) return Status::InvalidArgument("num_topics must be > 0");
+  if (background_vocab < 100) {
+    return Status::InvalidArgument("background_vocab must be >= 100");
+  }
+  if (words_per_topic < 8) {
+    return Status::InvalidArgument("words_per_topic must be >= 8");
+  }
+  if (num_named_entities + num_concepts == 0) {
+    return Status::InvalidArgument("world must contain entities");
+  }
+  if (web_doc_min_tokens == 0 || web_doc_min_tokens > web_doc_max_tokens ||
+      news_min_tokens > news_max_tokens ||
+      answers_min_tokens > answers_max_tokens) {
+    return Status::InvalidArgument("document token ranges are inconsistent");
+  }
+  if (on_topic_entities_min == 0 ||
+      on_topic_entities_min > on_topic_entities_max) {
+    return Status::InvalidArgument("on-topic entity range is inconsistent");
+  }
+  if (topic_word_prob < 0.0 || topic_word_prob > 1.0) {
+    return Status::InvalidArgument("topic_word_prob must be in [0,1]");
+  }
+  return Status::OK();
+}
+
+int Entity::TermCount() const {
+  if (key.empty()) return 0;
+  int count = 1;
+  for (char c : key) {
+    if (c == ' ') ++count;
+  }
+  return count;
+}
+
+World::World(const WorldConfig& config) : config_(config), rng_(config.seed) {}
+
+StatusOr<std::unique_ptr<World>> World::Create(const WorldConfig& config) {
+  CKR_RETURN_IF_ERROR(config.Validate());
+  std::unique_ptr<World> world(new World(config));
+  world->vocab_ = std::make_unique<Vocabulary>(
+      config.background_vocab, config.num_topics, config.words_per_topic,
+      config.seed ^ 0x5ca1ab1eULL);
+  world->topic_entities_.resize(config.num_topics);
+  world->BuildEntities();
+  return world;
+}
+
+namespace {
+
+// Beta(a, b) sample via two Gamma draws (Marsaglia-Tsang would be heavier
+// than needed; use the sum-of-logs approach through Gamma via Johnk for
+// small shapes). For our shapes (>= 1) a simple rejection on the density
+// mode suffices and stays deterministic.
+double SampleBeta(double a, double b, Rng& rng) {
+  // Johnk's algorithm works for any a, b and is branch-light.
+  for (int i = 0; i < 256; ++i) {
+    double u = rng.NextDouble();
+    double v = rng.NextDouble();
+    double x = std::pow(u, 1.0 / a);
+    double y = std::pow(v, 1.0 / b);
+    if (x + y <= 1.0 && x + y > 0.0) return x / (x + y);
+  }
+  return a / (a + b);  // Fall back to the mean.
+}
+
+double Clamp01(double x) { return std::min(1.0, std::max(0.0, x)); }
+
+}  // namespace
+
+void World::BuildEntities() {
+  WordFactory name_factory(config_.seed ^ 0xfeedULL);
+  // Distribute named entities across the dictionary types.
+  static const EntityType kDictTypes[] = {
+      EntityType::kPerson,       EntityType::kPlace,
+      EntityType::kOrganization, EntityType::kEvent,
+      EntityType::kAnimal,       EntityType::kProduct,
+  };
+  static const double kTypeShare[] = {0.34, 0.22, 0.18, 0.10, 0.04, 0.12};
+  for (size_t i = 0; i < config_.num_named_entities; ++i) {
+    size_t type_idx = rng_.NextCategorical(
+        std::vector<double>(kTypeShare, kTypeShare + 6));
+    FinishEntity(MakeNamedEntity(kDictTypes[type_idx], rng_, name_factory));
+  }
+  for (size_t i = 0; i < config_.num_concepts; ++i) {
+    FinishEntity(MakeConcept(rng_));
+  }
+  for (size_t i = 0; i < config_.num_generic_concepts; ++i) {
+    FinishEntity(MakeGenericConcept(rng_));
+  }
+  // Companion vocabulary: 3-5 shared topic words plus 2-3 entity-specific
+  // words minted here (their rarity makes them highly distinctive for
+  // snippet mining).
+  WordFactory companion_factory(config_.seed ^ 0xc0ffeeULL);
+  for (Entity& e : entities_) {
+    if (e.is_generic) continue;
+    const auto& topic_words =
+        vocab_->TopicWords(static_cast<size_t>(e.primary_topic));
+    size_t n_topic = 3 + rng_.NextBounded(3);
+    for (size_t i = 0; i < n_topic; ++i) {
+      e.companions.push_back(topic_words[rng_.NextBounded(topic_words.size())]);
+    }
+    size_t n_specific = 2 + rng_.NextBounded(2);
+    for (size_t i = 0; i < n_specific; ++i) {
+      std::string w = companion_factory.MakeWord(
+          2 + static_cast<int>(rng_.NextBounded(2)), rng_);
+      e.companions.push_back(vocab_->AddWord(w));
+    }
+  }
+}
+
+Entity World::MakeNamedEntity(EntityType type, Rng& rng,
+                              WordFactory& factory) {
+  Entity e;
+  e.type = type;
+  e.in_dictionary = true;
+  e.subtype = static_cast<int>(
+      rng.NextBounded(taxonomy_.Subtypes(type).size()));
+  e.primary_topic = static_cast<int>(rng.NextBounded(config_.num_topics));
+  if (rng.NextBernoulli(0.25)) {
+    e.secondary_topic =
+        static_cast<int>(rng.NextBounded(config_.num_topics));
+    if (e.secondary_topic == e.primary_topic) e.secondary_topic = -1;
+  }
+  // Surface form: persons get two name tokens, others one or two.
+  int name_tokens =
+      (type == EntityType::kPerson) ? 2 : 1 + (rng.NextBernoulli(0.45) ? 1 : 0);
+  std::vector<std::string> parts;
+  for (int t = 0; t < name_tokens; ++t) {
+    parts.push_back(factory.MakeName(2 + static_cast<int>(rng.NextBounded(2)),
+                                     rng));
+  }
+  e.surface = JoinStrings(parts, " ");
+  // Interestingness skews low (most entities are mildly interesting, few
+  // are hot) and popularity correlates with it plus independent noise.
+  // The major type carries a real prior — users click celebrities and
+  // products far more readily than places or animals — which is what
+  // makes the taxonomy feature informative (Table III: removing the
+  // taxonomy group visibly hurts the learned model).
+  static const double kTypeShift[] = {
+      0.16,   // person
+      -0.10,  // place
+      0.0,    // organization
+      0.10,   // event
+      -0.16,  // animal
+      0.13,   // product
+  };
+  double shift = 0.0;
+  switch (type) {
+    case EntityType::kPerson:
+      shift = kTypeShift[0];
+      break;
+    case EntityType::kPlace:
+      shift = kTypeShift[1];
+      break;
+    case EntityType::kOrganization:
+      shift = kTypeShift[2];
+      break;
+    case EntityType::kEvent:
+      shift = kTypeShift[3];
+      break;
+    case EntityType::kAnimal:
+      shift = kTypeShift[4];
+      break;
+    case EntityType::kProduct:
+      shift = kTypeShift[5];
+      break;
+    default:
+      break;
+  }
+  e.interestingness = Clamp01(SampleBeta(1.4, 3.2, rng) + shift);
+  e.popularity =
+      Clamp01(0.65 * e.interestingness + 0.35 * SampleBeta(1.2, 3.5, rng));
+  e.notability =
+      Clamp01(0.7 * e.interestingness + 0.3 * rng.NextDouble());
+  if (type == EntityType::kPlace) {
+    e.latitude = static_cast<float>(rng.NextDouble() * 180.0 - 90.0);
+    e.longitude = static_cast<float>(rng.NextDouble() * 360.0 - 180.0);
+  }
+  return e;
+}
+
+Entity World::MakeConcept(Rng& rng) {
+  Entity e;
+  e.type = EntityType::kConcept;
+  e.in_dictionary = false;
+  e.primary_topic = static_cast<int>(rng.NextBounded(config_.num_topics));
+  // Concept surface: 2-4 words, at least one topic word plus mostly
+  // common background words — real multi-word concepts ("auto insurance",
+  // "science fiction movies") are built from ordinary vocabulary, which
+  // keeps their constituent-term weights comparable to entity names'.
+  // Unit length skews short, like real query-log units.
+  double len_draw = rng.NextDouble();
+  int n_terms = len_draw < 0.6 ? 2 : (len_draw < 0.9 ? 3 : 4);
+  const auto& topic_words = vocab_->TopicWords(e.primary_topic);
+  std::vector<std::string> parts;
+  std::vector<size_t> picks;
+  for (int t = 0; t < n_terms; ++t) {
+    if (t > 0 && rng.NextBernoulli(0.55)) {
+      parts.push_back(vocab_->Word(vocab_->SampleBackground(rng)));
+      continue;
+    }
+    size_t pick = rng.NextBounded(topic_words.size());
+    // Avoid duplicate words inside one concept.
+    if (std::find(picks.begin(), picks.end(), pick) != picks.end()) {
+      pick = (pick + 1) % topic_words.size();
+    }
+    picks.push_back(pick);
+    parts.push_back(vocab_->Word(topic_words[pick]));
+  }
+  e.surface = JoinStrings(parts, " ");
+  e.interestingness = SampleBeta(1.3, 3.4, rng);
+  e.popularity =
+      Clamp01(0.7 * e.interestingness + 0.3 * SampleBeta(1.2, 3.0, rng));
+  e.notability = Clamp01(0.55 * e.interestingness + 0.25 * rng.NextDouble());
+  return e;
+}
+
+Entity World::MakeGenericConcept(Rng& rng) {
+  Entity e;
+  e.type = EntityType::kConcept;
+  e.in_dictionary = false;
+  e.is_generic = true;
+  e.primary_topic = static_cast<int>(rng.NextBounded(config_.num_topics));
+  // Junk units are built from very frequent background words (the analogue
+  // of "my favorite", "the other", "what is happening"), so they occur in
+  // documents of every topic and co-occur heavily in queries.
+  int n_terms = 2 + static_cast<int>(rng.NextBounded(2));
+  std::vector<std::string> parts;
+  for (int t = 0; t < n_terms; ++t) {
+    WordId id = static_cast<WordId>(rng.NextBounded(160));  // Top Zipf ranks.
+    parts.push_back(vocab_->Word(id));
+  }
+  e.surface = JoinStrings(parts, " ");
+  // Junk units are heavily queried (that is why they became units) but are
+  // neither interesting nor ever topically relevant.
+  e.interestingness = SampleBeta(1.2, 8.0, rng);
+  e.popularity = Clamp01(0.35 + 0.5 * rng.NextDouble());
+  e.notability = 0.0;
+  return e;
+}
+
+void World::FinishEntity(Entity entity) {
+  entity.key = NormalizePhrase(entity.surface);
+  if (key_index_.count(entity.key) > 0) {
+    // Duplicate surface form (rare): skip rather than create ambiguity in
+    // the key index.
+    return;
+  }
+  entity.id = static_cast<EntityId>(entities_.size());
+  key_index_[entity.key] = entity.id;
+  // Generic junk units have no topical home: they are planted by the
+  // dedicated junk path, never as on-topic subjects.
+  if (!entity.is_generic) {
+    topic_entities_[static_cast<size_t>(entity.primary_topic)].push_back(
+        entity.id);
+    if (entity.secondary_topic >= 0) {
+      topic_entities_[static_cast<size_t>(entity.secondary_topic)].push_back(
+          entity.id);
+    }
+  }
+  if (entity.is_generic) generic_concepts_.push_back(entity.id);
+  entities_.push_back(std::move(entity));
+}
+
+EntityId World::FindByKey(const std::string& key) const {
+  auto it = key_index_.find(key);
+  return it == key_index_.end() ? kInvalidEntity : it->second;
+}
+
+EntityId World::SampleTopicEntity(size_t topic, Rng& rng) const {
+  const auto& pool = topic_entities_[topic];
+  if (pool.empty()) return kInvalidEntity;
+  // Weight by popularity so hot entities appear in more stories, matching
+  // real news dynamics.
+  std::vector<double> weights;
+  weights.reserve(pool.size());
+  for (EntityId id : pool) {
+    weights.push_back(0.05 + entities_[id].popularity);
+  }
+  return pool[rng.NextCategorical(weights)];
+}
+
+EntityId World::SampleOffTopicEntity(size_t topic, Rng& rng) const {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    EntityId id = static_cast<EntityId>(rng.NextBounded(entities_.size()));
+    const Entity& e = entities_[id];
+    if (e.is_generic) continue;
+    if (e.primary_topic != static_cast<int>(topic) &&
+        e.secondary_topic != static_cast<int>(topic)) {
+      return id;
+    }
+  }
+  return kInvalidEntity;
+}
+
+}  // namespace ckr

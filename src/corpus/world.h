@@ -1,0 +1,157 @@
+// The synthetic world behind every experiment.
+//
+// The paper's system consumed proprietary Yahoo! assets. This module
+// defines the latent universe that replaces them: topics, a vocabulary, and
+// a population of entities/concepts, each with latent ground-truth
+// *interestingness* (how appealing to the broad user base, Section IV-A)
+// and *popularity* (query demand). Per-document *relevance* of a mention is
+// assigned by the document generator. These latents drive only the
+// simulated user behaviour (queries, clicks, editorial judgments); the
+// learning pipeline never observes them directly — it sees the features of
+// Section IV mined from the generated artifacts.
+#ifndef CKR_CORPUS_WORLD_H_
+#define CKR_CORPUS_WORLD_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "corpus/taxonomy.h"
+#include "corpus/vocabulary.h"
+
+namespace ckr {
+
+/// Identifier of an entity/concept in the world.
+using EntityId = uint32_t;
+
+constexpr EntityId kInvalidEntity = static_cast<EntityId>(-1);
+
+/// Scale and shape knobs of the synthetic world. Defaults reproduce the
+/// paper's dataset scale (Section V-A.1) on a laptop.
+struct WorldConfig {
+  uint64_t seed = 20090329;  // ICDE 2009 :-)
+
+  // Vocabulary.
+  size_t num_topics = 24;
+  size_t background_vocab = 4000;
+  size_t words_per_topic = 140;
+
+  // Entity universe.
+  size_t num_named_entities = 900;   ///< Editorial-dictionary entities.
+  size_t num_concepts = 600;         ///< Query-log multi-term concepts.
+  size_t num_generic_concepts = 60;  ///< Junk units ("my favorite", ...).
+
+  // Corpora.
+  size_t num_web_docs = 6000;       ///< The "web corpus" behind the engine.
+  size_t num_news_stories = 1500;   ///< Yahoo! News stories (pre-cleaning).
+  size_t num_answers_snippets = 900;
+
+  // Document shape (token counts).
+  size_t web_doc_min_tokens = 120;
+  size_t web_doc_max_tokens = 420;
+  size_t news_min_tokens = 250;
+  size_t news_max_tokens = 700;
+  size_t answers_min_tokens = 40;
+  size_t answers_max_tokens = 130;
+
+  // Mention structure.
+  double topic_word_prob = 0.32;    ///< P(topic word) per sampled token.
+  size_t on_topic_entities_min = 4;
+  size_t on_topic_entities_max = 9;
+  size_t off_topic_entities_max = 3;
+  double generic_concept_prob = 0.35;  ///< P(doc contains >=1 junk unit).
+
+  Status Validate() const;
+};
+
+/// One entity or concept of the world.
+struct Entity {
+  EntityId id = kInvalidEntity;
+  std::string surface;     ///< Display form, e.g. "Varok Tilmand".
+  std::string key;         ///< Normalized lower-case match key.
+  EntityType type = EntityType::kConcept;
+  int subtype = 0;         ///< Index into Taxonomy::Subtypes(type).
+  int primary_topic = 0;   ///< Home topic.
+  int secondary_topic = -1;  ///< Optional second topic (-1 if none).
+
+  // ---- Latent ground truth (visible only to simulators) ----
+  double interestingness = 0.0;  ///< g in [0,1].
+  double popularity = 0.0;       ///< Query demand in [0,1].
+  double notability = 0.0;       ///< Drives Wikipedia article length.
+  bool is_generic = false;       ///< Junk unit with no topical home.
+  bool in_dictionary = false;    ///< Member of the editorial dictionaries.
+
+  // Geo metadata pack payload for places (paper Section II-A).
+  float latitude = 0.0f;
+  float longitude = 0.0f;
+
+  /// Companion vocabulary: words that co-occur with this entity's mentions
+  /// in generated text (the analogue of real entity context, e.g. a
+  /// politician co-occurring with legislature terms). A mix of shared
+  /// topic words and entity-specific words; empty for generic junk units.
+  std::vector<WordId> companions;
+
+  /// Number of whitespace-separated terms in the surface form.
+  int TermCount() const;
+};
+
+/// The entity universe plus vocabulary and taxonomy. Construction is fully
+/// deterministic in WorldConfig::seed.
+class World {
+ public:
+  /// Builds the world; returns InvalidArgument on nonsensical configs.
+  static StatusOr<std::unique_ptr<World>> Create(const WorldConfig& config);
+
+  const WorldConfig& config() const { return config_; }
+  const Vocabulary& vocabulary() const { return *vocab_; }
+  const Taxonomy& taxonomy() const { return taxonomy_; }
+
+  size_t NumEntities() const { return entities_.size(); }
+  const Entity& entity(EntityId id) const { return entities_[id]; }
+  const std::vector<Entity>& entities() const { return entities_; }
+
+  /// Entities whose primary or secondary topic is `topic`.
+  const std::vector<EntityId>& TopicEntities(size_t topic) const {
+    return topic_entities_[topic];
+  }
+
+  /// All generic (junk) concepts.
+  const std::vector<EntityId>& GenericConcepts() const {
+    return generic_concepts_;
+  }
+
+  /// Looks up an entity by normalized key; kInvalidEntity if unknown.
+  EntityId FindByKey(const std::string& key) const;
+
+  /// Samples an entity for a document of `topic`, weighted by popularity.
+  EntityId SampleTopicEntity(size_t topic, Rng& rng) const;
+
+  /// Samples an entity whose topics exclude `topic` (the "Texas" case).
+  EntityId SampleOffTopicEntity(size_t topic, Rng& rng) const;
+
+ private:
+  World(const WorldConfig& config);
+
+  void BuildEntities();
+  Entity MakeNamedEntity(EntityType type, Rng& rng, WordFactory& factory);
+  Entity MakeConcept(Rng& rng);
+  Entity MakeGenericConcept(Rng& rng);
+  void FinishEntity(Entity entity);
+
+  WorldConfig config_;
+  std::unique_ptr<Vocabulary> vocab_;
+  Taxonomy taxonomy_;
+  Rng rng_;
+  std::vector<Entity> entities_;
+  std::vector<std::vector<EntityId>> topic_entities_;
+  std::vector<EntityId> generic_concepts_;
+  std::unordered_map<std::string, EntityId> key_index_;
+};
+
+}  // namespace ckr
+
+#endif  // CKR_CORPUS_WORLD_H_

@@ -1,0 +1,110 @@
+#include "detect/aho_corasick.h"
+
+#include <deque>
+
+#include "common/string_util.h"
+
+namespace ckr {
+
+uint32_t PhraseMatcher::InternTerm(const std::string& term) {
+  auto [it, inserted] =
+      term_ids_.emplace(term, static_cast<uint32_t>(term_ids_.size()));
+  return it->second;
+}
+
+uint32_t PhraseMatcher::LookupTerm(const std::string& term) const {
+  auto it = term_ids_.find(term);
+  return it == term_ids_.end() ? kNoTerm : it->second;
+}
+
+Status PhraseMatcher::AddPhrase(std::string_view phrase, uint32_t payload) {
+  if (built_) {
+    return Status::FailedPrecondition("AddPhrase after Build()");
+  }
+  std::vector<std::string> terms = SplitString(phrase, " \t");
+  if (terms.empty()) {
+    return Status::InvalidArgument("empty phrase");
+  }
+  int node = kRoot;
+  for (const std::string& term : terms) {
+    uint32_t tid = InternTerm(term);
+    auto it = nodes_[node].next.find(tid);
+    if (it == nodes_[node].next.end()) {
+      nodes_.push_back(Node{});
+      it = nodes_[node].next.emplace(tid, static_cast<int>(nodes_.size() - 1))
+               .first;
+    }
+    node = it->second;
+  }
+  // First payload wins for duplicates.
+  for (const auto& [payload0, len0] : nodes_[node].outputs) {
+    if (len0 == terms.size()) return Status::OK();
+  }
+  nodes_[node].outputs.emplace_back(payload,
+                                    static_cast<uint32_t>(terms.size()));
+  ++num_phrases_;
+  return Status::OK();
+}
+
+void PhraseMatcher::Build() {
+  if (built_) return;
+  // BFS to set fail links and merge output lists along fail chains.
+  std::deque<int> queue;
+  for (auto& [tid, child] : nodes_[kRoot].next) {
+    nodes_[child].fail = kRoot;
+    queue.push_back(child);
+  }
+  while (!queue.empty()) {
+    int node = queue.front();
+    queue.pop_front();
+    for (auto& [tid, child] : nodes_[node].next) {
+      // Follow fail links to find the longest proper suffix state with a
+      // `tid` transition.
+      int f = nodes_[node].fail;
+      while (f != kRoot && nodes_[f].next.count(tid) == 0) {
+        f = nodes_[f].fail;
+      }
+      auto it = nodes_[f].next.find(tid);
+      int fail_to = (it != nodes_[f].next.end() && it->second != child)
+                        ? it->second
+                        : kRoot;
+      nodes_[child].fail = fail_to;
+      // Inherit the fail target's outputs so every match is reported at
+      // its end position.
+      for (const auto& out : nodes_[fail_to].outputs) {
+        nodes_[child].outputs.push_back(out);
+      }
+      queue.push_back(child);
+    }
+  }
+  built_ = true;
+}
+
+std::vector<PhraseMatch> PhraseMatcher::FindAll(
+    const std::vector<std::string>& tokens) const {
+  std::vector<PhraseMatch> matches;
+  if (!built_) return matches;
+  int node = kRoot;
+  for (uint32_t i = 0; i < tokens.size(); ++i) {
+    uint32_t tid = LookupTerm(tokens[i]);
+    if (tid == kNoTerm) {
+      node = kRoot;
+      continue;
+    }
+    while (node != kRoot && nodes_[node].next.count(tid) == 0) {
+      node = nodes_[node].fail;
+    }
+    auto it = nodes_[node].next.find(tid);
+    node = (it == nodes_[node].next.end()) ? kRoot : it->second;
+    for (const auto& [payload, len] : nodes_[node].outputs) {
+      PhraseMatch m;
+      m.token_begin = i + 1 - len;
+      m.token_count = len;
+      m.payload = payload;
+      matches.push_back(m);
+    }
+  }
+  return matches;
+}
+
+}  // namespace ckr

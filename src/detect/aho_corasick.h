@@ -1,0 +1,71 @@
+// Token-level Aho-Corasick multi-phrase matcher.
+//
+// The Contextual Shortcuts platform matches hundreds of thousands of
+// dictionary entities and query-log concepts against each document in one
+// pass (paper Sections II and VI). Patterns are sequences of normalized
+// tokens; matching runs over a document's token stream in O(tokens +
+// matches). Token-level matching gives word-boundary correctness for free.
+#ifndef CKR_DETECT_AHO_CORASICK_H_
+#define CKR_DETECT_AHO_CORASICK_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ckr {
+
+/// A phrase match over a token stream.
+struct PhraseMatch {
+  uint32_t token_begin = 0;  ///< Index of the first matched token.
+  uint32_t token_count = 0;  ///< Number of tokens matched.
+  uint32_t payload = 0;      ///< Caller-supplied id of the phrase.
+};
+
+/// Builds once, matches many times. Not thread-safe during construction;
+/// FindAll is const and thread-safe after Build().
+class PhraseMatcher {
+ public:
+  PhraseMatcher() = default;
+
+  /// Registers a phrase (whitespace-separated normalized tokens) with a
+  /// caller-defined payload. Duplicate phrases keep the first payload.
+  /// Must be called before Build().
+  Status AddPhrase(std::string_view phrase, uint32_t payload);
+
+  /// Constructs goto/fail links. Idempotent.
+  void Build();
+
+  bool built() const { return built_; }
+  size_t NumPhrases() const { return num_phrases_; }
+
+  /// All (possibly overlapping) phrase occurrences in the token stream.
+  std::vector<PhraseMatch> FindAll(
+      const std::vector<std::string>& tokens) const;
+
+ private:
+  static constexpr uint32_t kNoTerm = static_cast<uint32_t>(-1);
+  static constexpr int kRoot = 0;
+
+  struct Node {
+    std::unordered_map<uint32_t, int> next;  ///< term id -> node.
+    int fail = kRoot;
+    std::vector<std::pair<uint32_t, uint32_t>> outputs;  ///< (payload, len).
+  };
+
+  uint32_t InternTerm(const std::string& term);
+  /// Term id for matching; kNoTerm if the term appears in no pattern.
+  uint32_t LookupTerm(const std::string& term) const;
+
+  std::vector<Node> nodes_{1};
+  std::unordered_map<std::string, uint32_t> term_ids_;
+  size_t num_phrases_ = 0;
+  bool built_ = false;
+};
+
+}  // namespace ckr
+
+#endif  // CKR_DETECT_AHO_CORASICK_H_

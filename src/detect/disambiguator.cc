@@ -1,0 +1,44 @@
+#include "detect/disambiguator.h"
+
+#include "text/tokenizer.h"
+
+namespace ckr {
+
+void SenseDisambiguator::AddSense(std::string_view key, Sense sense) {
+  KeySenses& ks = senses_[NormalizePhrase(key)];
+  std::unordered_set<std::string> profile(sense.profile.begin(),
+                                          sense.profile.end());
+  ks.senses.push_back(std::move(sense));
+  ks.profiles.push_back(std::move(profile));
+}
+
+bool SenseDisambiguator::HasSenses(std::string_view key) const {
+  return senses_.count(NormalizePhrase(key)) > 0;
+}
+
+const Sense* SenseDisambiguator::Resolve(
+    std::string_view key, const std::vector<std::string>& tokens,
+    size_t match_begin, size_t match_end, size_t window_tokens) const {
+  auto it = senses_.find(NormalizePhrase(key));
+  if (it == senses_.end()) return nullptr;
+  const KeySenses& ks = it->second;
+  size_t lo = match_begin > window_tokens ? match_begin - window_tokens : 0;
+  size_t hi = std::min(tokens.size(), match_end + window_tokens);
+
+  size_t best = 0;  // Primary sense wins ties.
+  size_t best_hits = 0;
+  for (size_t s = 0; s < ks.senses.size(); ++s) {
+    size_t hits = 0;
+    for (size_t t = lo; t < hi; ++t) {
+      if (t >= match_begin && t < match_end) continue;  // The mention itself.
+      if (ks.profiles[s].count(tokens[t]) > 0) ++hits;
+    }
+    if (hits > best_hits) {
+      best_hits = hits;
+      best = s;
+    }
+  }
+  return &ks.senses[best];
+}
+
+}  // namespace ckr

@@ -1,0 +1,63 @@
+// Sense disambiguation (paper Section II-A: "It is possible that a named
+// entity can be a member of multiple types, such as the term jaguar, in
+// which case the entity is disambiguated"; Section IV-C discusses the
+// same issue for ambiguous concepts whose relevant keywords form
+// distinct local clusters).
+//
+// Each sense of an ambiguous surface carries a profile of context words
+// (its keyword cluster). At detection time, the sense whose profile
+// overlaps the token window around the mention most wins; ties keep the
+// declared primary sense. This is the lightweight production counterpart
+// of the LSA-style clustering the paper points to.
+#ifndef CKR_DETECT_DISAMBIGUATOR_H_
+#define CKR_DETECT_DISAMBIGUATOR_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "corpus/taxonomy.h"
+
+namespace ckr {
+
+/// One sense of an ambiguous surface form.
+struct Sense {
+  EntityType type = EntityType::kConcept;
+  int subtype = 0;
+  /// Context words that indicate this sense (normalized tokens).
+  std::vector<std::string> profile;
+};
+
+/// Registry of ambiguous keys and their senses.
+class SenseDisambiguator {
+ public:
+  /// Registers a sense for a normalized key. The first registered sense of
+  /// a key is its primary (fallback) sense.
+  void AddSense(std::string_view key, Sense sense);
+
+  bool HasSenses(std::string_view key) const;
+  size_t NumAmbiguousKeys() const { return senses_.size(); }
+
+  /// Picks the sense with the highest profile hit count within
+  /// `window_tokens` tokens on each side of [match_begin, match_end) in
+  /// the token stream. Returns nullptr for unregistered keys.
+  const Sense* Resolve(std::string_view key,
+                       const std::vector<std::string>& tokens,
+                       size_t match_begin, size_t match_end,
+                       size_t window_tokens = 20) const;
+
+ private:
+  struct KeySenses {
+    std::vector<Sense> senses;
+    /// Per-sense profile word sets (parallel to senses).
+    std::vector<std::unordered_set<std::string>> profiles;
+  };
+  std::unordered_map<std::string, KeySenses> senses_;
+};
+
+}  // namespace ckr
+
+#endif  // CKR_DETECT_DISAMBIGUATOR_H_

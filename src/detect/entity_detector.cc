@@ -1,0 +1,187 @@
+#include "detect/entity_detector.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
+
+namespace ckr {
+
+EntityDetector::EntityDetector(const std::vector<DictionaryEntry>& dictionary,
+                               const UnitDictionary* units,
+                               const DetectorOptions& options)
+    : options_(options) {
+  std::unordered_map<std::string, size_t> by_key;
+  for (const DictionaryEntry& d : dictionary) {
+    if (d.key.empty()) continue;
+    if (by_key.count(d.key) > 0) continue;  // First definition wins.
+    CandidateEntry e;
+    e.key = d.key;
+    e.type = d.type;
+    e.subtype = d.subtype;
+    e.from_dictionary = true;
+    e.unit_score = 0.0;
+    by_key[e.key] = entries_.size();
+    entries_.push_back(std::move(e));
+    ++num_dictionary_entries_;
+  }
+  if (units != nullptr) {
+    for (const UnitInfo* u : units->MultiTermUnits()) {
+      auto it = by_key.find(u->phrase);
+      if (it != by_key.end()) {
+        // Disambiguation: the editorial identity wins, but the unit score
+        // is still attached so ranking features can use it.
+        entries_[it->second].unit_score = u->score;
+        continue;
+      }
+      CandidateEntry e;
+      e.key = u->phrase;
+      e.type = EntityType::kConcept;
+      e.subtype = 0;
+      e.from_dictionary = false;
+      e.unit_score = u->score;
+      by_key[e.key] = entries_.size();
+      entries_.push_back(std::move(e));
+      ++num_concept_entries_;
+    }
+  }
+  for (uint32_t i = 0; i < entries_.size(); ++i) {
+    Status s = matcher_.AddPhrase(entries_[i].key, i);
+    assert(s.ok());
+    (void)s;
+  }
+  matcher_.Build();
+}
+
+EntityDetector EntityDetector::FromWorld(const World& world,
+                                         const UnitDictionary* units,
+                                         const DetectorOptions& options) {
+  std::vector<DictionaryEntry> dict;
+  dict.reserve(world.NumEntities());
+  for (const Entity& e : world.entities()) {
+    if (!e.in_dictionary) continue;
+    dict.push_back({e.key, e.type, e.subtype});
+  }
+  return EntityDetector(dict, units, options);
+}
+
+std::vector<Detection> EntityDetector::Detect(std::string_view text) const {
+  std::vector<Detection> detections;
+
+  // Stage 1: pattern detectors (regex-equivalent scanners). Patterns are
+  // never subject to collision pruning by phrase matches; instead phrase
+  // matches overlapping a pattern are dropped below.
+  std::vector<PatternMatch> patterns;
+  if (options_.detect_patterns) {
+    patterns = DetectPatterns(text);
+    for (const PatternMatch& p : patterns) {
+      Detection d;
+      d.surface = p.text;
+      d.type = EntityType::kPattern;
+      d.subtype = static_cast<int>(p.kind);
+      d.begin = p.begin;
+      d.end = p.end;
+      detections.push_back(std::move(d));
+    }
+  }
+
+  // Stage 2: tokenization + one Aho-Corasick pass for dictionary entities
+  // and concepts.
+  std::vector<Token> tokens = Tokenize(text);
+  std::vector<std::string> token_texts;
+  token_texts.reserve(tokens.size());
+  for (const Token& t : tokens) token_texts.push_back(t.text);
+  std::vector<PhraseMatch> matches = matcher_.FindAll(token_texts);
+
+  // Stage 3: filtering.
+  std::vector<PhraseMatch> kept;
+  kept.reserve(matches.size());
+  for (const PhraseMatch& m : matches) {
+    const CandidateEntry& e = entries_[m.payload];
+    if (!e.from_dictionary) {
+      if (m.token_count == 1 &&
+          (e.key.size() < options_.min_concept_chars || IsStopWord(e.key))) {
+        continue;
+      }
+    }
+    size_t byte_begin = tokens[m.token_begin].begin;
+    size_t byte_end = tokens[m.token_begin + m.token_count - 1].end;
+    // Drop phrase matches that overlap a pattern entity.
+    bool overlaps_pattern = false;
+    for (const PatternMatch& p : patterns) {
+      if (byte_begin < p.end && p.begin < byte_end) {
+        overlaps_pattern = true;
+        break;
+      }
+    }
+    if (!overlaps_pattern) kept.push_back(m);
+  }
+
+  // Stage 4: collision resolution between overlapping phrase matches:
+  // longest match wins; ties broken leftmost, then dictionary-first.
+  std::sort(kept.begin(), kept.end(),
+            [this](const PhraseMatch& a, const PhraseMatch& b) {
+              if (a.token_count != b.token_count) {
+                return a.token_count > b.token_count;
+              }
+              if (a.token_begin != b.token_begin) {
+                return a.token_begin < b.token_begin;
+              }
+              return entries_[a.payload].from_dictionary &&
+                     !entries_[b.payload].from_dictionary;
+            });
+  std::vector<PhraseMatch> resolved;
+  if (options_.resolve_collisions) {
+    std::vector<bool> taken(token_texts.size(), false);
+    for (const PhraseMatch& m : kept) {
+      bool clash = false;
+      for (uint32_t t = m.token_begin; t < m.token_begin + m.token_count;
+           ++t) {
+        if (taken[t]) {
+          clash = true;
+          break;
+        }
+      }
+      if (clash) continue;
+      for (uint32_t t = m.token_begin; t < m.token_begin + m.token_count;
+           ++t) {
+        taken[t] = true;
+      }
+      resolved.push_back(m);
+    }
+  } else {
+    resolved = std::move(kept);
+  }
+
+  for (const PhraseMatch& m : resolved) {
+    const CandidateEntry& e = entries_[m.payload];
+    Detection d;
+    d.key = e.key;
+    d.type = e.type;
+    d.subtype = e.subtype;
+    if (disambiguator_ != nullptr && disambiguator_->HasSenses(e.key)) {
+      const Sense* sense = disambiguator_->Resolve(
+          e.key, token_texts, m.token_begin, m.token_begin + m.token_count);
+      if (sense != nullptr) {
+        d.type = sense->type;
+        d.subtype = sense->subtype;
+      }
+    }
+    d.from_dictionary = e.from_dictionary;
+    d.unit_score = e.unit_score;
+    d.begin = tokens[m.token_begin].begin;
+    d.end = tokens[m.token_begin + m.token_count - 1].end;
+    d.surface = std::string(text.substr(d.begin, d.end - d.begin));
+    detections.push_back(std::move(d));
+  }
+
+  std::sort(detections.begin(), detections.end(),
+            [](const Detection& a, const Detection& b) {
+              if (a.begin != b.begin) return a.begin < b.begin;
+              return a.end > b.end;
+            });
+  return detections;
+}
+
+}  // namespace ckr

@@ -1,0 +1,103 @@
+// The Contextual Shortcuts detection pipeline (paper Section II):
+// pre-processing -> specialized detectors (patterns, dictionary named
+// entities, query-log concepts) -> post-processing (collision resolution
+// between overlapping entities, disambiguation, filtering).
+#ifndef CKR_DETECT_ENTITY_DETECTOR_H_
+#define CKR_DETECT_ENTITY_DETECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "corpus/taxonomy.h"
+#include "corpus/world.h"
+#include "detect/aho_corasick.h"
+#include "detect/disambiguator.h"
+#include "detect/pattern_detector.h"
+#include "units/unit_extractor.h"
+
+namespace ckr {
+
+/// One annotated entity occurrence in a document.
+struct Detection {
+  std::string key;       ///< Normalized phrase (empty for patterns).
+  std::string surface;   ///< Text as it appears in the document.
+  EntityType type = EntityType::kConcept;
+  int subtype = 0;
+  size_t begin = 0;      ///< Byte span in the source text.
+  size_t end = 0;
+  bool from_dictionary = false;  ///< Editorial dictionary vs query-log unit.
+  double unit_score = 0.0;       ///< Normalized unit score (concepts).
+};
+
+/// Pipeline switches.
+struct DetectorOptions {
+  bool detect_patterns = true;
+  /// Resolve overlapping matches (longest-leftmost wins). Disabling keeps
+  /// every raw match; used by the collision ablation.
+  bool resolve_collisions = true;
+  /// Drop single-term concept matches shorter than this many characters.
+  size_t min_concept_chars = 3;
+};
+
+/// Immutable, thread-safe after construction.
+class EntityDetector {
+ public:
+  /// An editorial-dictionary entry.
+  struct DictionaryEntry {
+    std::string key;  ///< Normalized phrase.
+    EntityType type = EntityType::kConcept;
+    int subtype = 0;
+  };
+
+  /// Builds a detector from explicit dictionary entries and (optionally)
+  /// a unit dictionary of query-log concepts. Multi-term units become
+  /// concept detections; single-term units are ignored (too noisy), as are
+  /// units colliding with dictionary keys (dictionary identity wins —
+  /// the platform's disambiguation step).
+  EntityDetector(const std::vector<DictionaryEntry>& dictionary,
+                 const UnitDictionary* units,
+                 const DetectorOptions& options = {});
+
+  /// Convenience: dictionary = the world's editorial entities.
+  static EntityDetector FromWorld(const World& world,
+                                  const UnitDictionary* units,
+                                  const DetectorOptions& options = {});
+
+  /// Attaches a sense disambiguator for ambiguous surfaces (e.g.
+  /// "jaguar"); resolved matches get their type/subtype overridden by the
+  /// winning sense. Pass nullptr to detach; must outlive the detector.
+  void SetDisambiguator(const SenseDisambiguator* disambiguator) {
+    disambiguator_ = disambiguator;
+  }
+
+  /// Runs the full pipeline over plain text. Output is sorted by begin
+  /// offset; overlaps resolved per options.
+  std::vector<Detection> Detect(std::string_view text) const;
+
+  size_t NumDictionaryEntries() const { return num_dictionary_entries_; }
+  size_t NumConceptEntries() const { return num_concept_entries_; }
+
+ private:
+  struct CandidateEntry {
+    std::string key;
+    EntityType type;
+    int subtype;
+    bool from_dictionary;
+    double unit_score;
+  };
+
+  std::vector<CandidateEntry> entries_;
+  const SenseDisambiguator* disambiguator_ = nullptr;
+  PhraseMatcher matcher_;
+  DetectorOptions options_;
+  size_t num_dictionary_entries_ = 0;
+  size_t num_concept_entries_ = 0;
+};
+
+}  // namespace ckr
+
+#endif  // CKR_DETECT_ENTITY_DETECTOR_H_

@@ -1,0 +1,32 @@
+#include "eval/cross_validation.h"
+
+#include <cassert>
+
+#include "common/rng.h"
+
+namespace ckr {
+
+std::vector<int> KFoldAssignment(size_t n, int k, uint64_t seed) {
+  assert(k > 0);
+  Rng rng(seed);
+  std::vector<size_t> perm = rng.Permutation(n);
+  std::vector<int> folds(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    folds[perm[i]] = static_cast<int>(i % static_cast<size_t>(k));
+  }
+  return folds;
+}
+
+FoldSplit MakeFoldSplit(const std::vector<int>& assignment, int fold) {
+  FoldSplit split;
+  for (size_t i = 0; i < assignment.size(); ++i) {
+    if (assignment[i] == fold) {
+      split.test.push_back(i);
+    } else {
+      split.train.push_back(i);
+    }
+  }
+  return split;
+}
+
+}  // namespace ckr

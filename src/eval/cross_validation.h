@@ -1,0 +1,29 @@
+// k-fold cross-validation split (paper Section V-A.3: "We randomly
+// partitioned our document set into five subsets, used four subsets for
+// training and the remaining subset for testing").
+#ifndef CKR_EVAL_CROSS_VALIDATION_H_
+#define CKR_EVAL_CROSS_VALIDATION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ckr {
+
+/// Assigns each of `n` items a fold in [0, k). Folds are balanced (sizes
+/// differ by at most one) and the assignment is a random permutation
+/// deterministic in `seed`.
+std::vector<int> KFoldAssignment(size_t n, int k, uint64_t seed);
+
+/// Item indexes of the train/test split for one fold.
+struct FoldSplit {
+  std::vector<size_t> train;
+  std::vector<size_t> test;
+};
+
+/// Materializes the split for fold `fold` of an assignment.
+FoldSplit MakeFoldSplit(const std::vector<int>& assignment, int fold);
+
+}  // namespace ckr
+
+#endif  // CKR_EVAL_CROSS_VALIDATION_H_

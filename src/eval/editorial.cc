@@ -1,0 +1,69 @@
+#include "eval/editorial.h"
+
+namespace ckr {
+
+EditorialPanel::EditorialPanel(const World& world, const JudgeConfig& config)
+    : world_(world), config_(config) {}
+
+std::pair<double, double> EditorialPanel::Latents(const Document& doc,
+                                                  const std::string& key) const {
+  EntityId id = world_.FindByKey(key);
+  if (id == kInvalidEntity) return {0.04, 0.06};
+  const Entity& e = world_.entity(id);
+  double r = doc.TruthRelevance(id);
+  if (r == 0.0) {
+    bool on_topic =
+        e.primary_topic == doc.topic || e.secondary_topic == doc.topic;
+    r = on_topic ? 0.25 : 0.06;
+  }
+  return {e.interestingness, r};
+}
+
+InterestJudgment EditorialPanel::JudgeInterest(const Document& doc,
+                                               const std::string& key,
+                                               Rng& rng) const {
+  if (rng.NextBernoulli(config_.cant_tell_prob)) {
+    return InterestJudgment::kCantTell;
+  }
+  auto [g, r] = Latents(doc, key);
+  (void)r;  // Interestingness is judged independently of relevance (§V-B).
+  double judged = g + config_.noise_sd * rng.NextGaussian();
+  if (judged >= config_.interest_very) return InterestJudgment::kVery;
+  if (judged >= config_.interest_somewhat) return InterestJudgment::kSomewhat;
+  return InterestJudgment::kNot;
+}
+
+RelevanceJudgment EditorialPanel::JudgeRelevance(const Document& doc,
+                                                 const std::string& key,
+                                                 Rng& rng) const {
+  if (rng.NextBernoulli(config_.cant_tell_prob)) {
+    return RelevanceJudgment::kCantTell;
+  }
+  auto [g, r] = Latents(doc, key);
+  (void)g;
+  double judged = r + config_.noise_sd * rng.NextGaussian();
+  if (judged >= config_.relevance_very) return RelevanceJudgment::kVery;
+  if (judged >= config_.relevance_somewhat) return RelevanceJudgment::kSomewhat;
+  return RelevanceJudgment::kNot;
+}
+
+JudgmentDistribution EditorialPanel::JudgeAll(
+    const std::vector<JudgingTask>& tasks) const {
+  JudgmentDistribution dist;
+  Rng rng(config_.seed);
+  for (const JudgingTask& task : tasks) {
+    if (task.doc == nullptr) continue;
+    InterestJudgment ij = JudgeInterest(*task.doc, task.key, rng);
+    RelevanceJudgment rj = JudgeRelevance(*task.doc, task.key, rng);
+    dist.interest[static_cast<size_t>(ij)] += 1.0;
+    dist.relevance[static_cast<size_t>(rj)] += 1.0;
+    ++dist.total;
+  }
+  if (dist.total > 0) {
+    for (double& x : dist.interest) x /= static_cast<double>(dist.total);
+    for (double& x : dist.relevance) x /= static_cast<double>(dist.total);
+  }
+  return dist;
+}
+
+}  // namespace ckr

@@ -1,0 +1,82 @@
+// Simulated editorial study (paper Section V-B).
+//
+// The original study had a team of expert judges rate each highlighted
+// entity on two 3-level scales (interestingness, relevance) plus "Can't
+// Tell". The simulator replaces the judges with noisy threshold functions
+// over the world's latent ground truth: judge_value = latent + N(0,
+// judge_noise), then bucketed by fixed thresholds. This preserves exactly
+// what Table VI measures — how the judgment distribution over a ranker's
+// top-k picks shifts when the ranking improves.
+#ifndef CKR_EVAL_EDITORIAL_H_
+#define CKR_EVAL_EDITORIAL_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "corpus/document.h"
+#include "corpus/world.h"
+
+namespace ckr {
+
+/// 3-level judgment scales. kCantTell is the paper's rare fallback.
+enum class InterestJudgment { kVery = 0, kSomewhat, kNot, kCantTell };
+enum class RelevanceJudgment { kVery = 0, kSomewhat, kNot, kCantTell };
+
+/// Judge behaviour.
+struct JudgeConfig {
+  uint64_t seed = 4242;
+  double noise_sd = 0.12;          ///< Judge disagreement noise.
+  double cant_tell_prob = 0.001;   ///< "those rare cases".
+  // Interestingness thresholds on (latent + noise).
+  double interest_very = 0.55;
+  double interest_somewhat = 0.25;
+  // Relevance thresholds.
+  double relevance_very = 0.45;
+  double relevance_somewhat = 0.20;
+};
+
+/// Judgment distribution over a set of rated entities (fractions sum to 1
+/// per scale).
+struct JudgmentDistribution {
+  std::array<double, 4> interest{};   ///< Indexed by InterestJudgment.
+  std::array<double, 4> relevance{};  ///< Indexed by RelevanceJudgment.
+  size_t total = 0;
+};
+
+/// A (document, entity key) pair submitted for judgment.
+struct JudgingTask {
+  const Document* doc = nullptr;
+  std::string key;
+};
+
+/// The simulated judging team.
+class EditorialPanel {
+ public:
+  EditorialPanel(const World& world, const JudgeConfig& config = {});
+
+  /// Rates one entity in one document.
+  InterestJudgment JudgeInterest(const Document& doc, const std::string& key,
+                                 Rng& rng) const;
+  RelevanceJudgment JudgeRelevance(const Document& doc, const std::string& key,
+                                   Rng& rng) const;
+
+  /// Rates a batch and aggregates the distribution (deterministic in the
+  /// panel seed and task order).
+  JudgmentDistribution JudgeAll(const std::vector<JudgingTask>& tasks) const;
+
+ private:
+  /// Latent (interestingness, relevance) for a key on a doc; unknown keys
+  /// get the low defaults of noise units.
+  std::pair<double, double> Latents(const Document& doc,
+                                    const std::string& key) const;
+
+  const World& world_;
+  JudgeConfig config_;
+};
+
+}  // namespace ckr
+
+#endif  // CKR_EVAL_EDITORIAL_H_

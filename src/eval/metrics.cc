@@ -1,0 +1,128 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <utility>
+
+#include "common/rng.h"
+
+namespace ckr {
+
+void AccumulatePairwiseError(const std::vector<double>& pred,
+                             const std::vector<double>& ctr, bool weighted,
+                             PairwiseErrorAccumulator* acc) {
+  assert(pred.size() == ctr.size());
+  const size_t n = pred.size();
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      double gap = ctr[i] - ctr[j];
+      if (gap == 0.0) continue;  // No preference between the two.
+      double weight = weighted ? std::abs(gap) : 1.0;
+      acc->total_mass += weight;
+      double pred_gap = pred[i] - pred[j];
+      if (pred_gap == 0.0) {
+        acc->error_mass += 0.5 * weight;  // Random tie-break in expectation.
+      } else if ((gap > 0) != (pred_gap > 0)) {
+        acc->error_mass += weight;
+      }
+    }
+  }
+}
+
+double PairwiseErrorRate(const std::vector<double>& pred,
+                         const std::vector<double>& ctr, bool weighted) {
+  PairwiseErrorAccumulator acc;
+  AccumulatePairwiseError(pred, ctr, weighted, &acc);
+  return acc.Rate();
+}
+
+CtrBucketizer::CtrBucketizer(std::vector<double> all_ctrs)
+    : sorted_(std::move(all_ctrs)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+int CtrBucketizer::BucketNo(double ctr) const {
+  if (sorted_.empty()) return 0;
+  // Rank fraction of `ctr` among all observed CTRs (midpoint of the range
+  // of equal values for stability).
+  auto lo = std::lower_bound(sorted_.begin(), sorted_.end(), ctr);
+  auto hi = std::upper_bound(sorted_.begin(), sorted_.end(), ctr);
+  double rank = 0.5 * static_cast<double>((lo - sorted_.begin()) +
+                                          (hi - sorted_.begin()));
+  double frac = rank / static_cast<double>(sorted_.size());
+  int bucket = static_cast<int>(frac * 1000.0);
+  return std::min(1000, std::max(0, bucket));
+}
+
+double NdcgAtK(const std::vector<double>& pred, const std::vector<double>& ctr,
+               const CtrBucketizer& buckets, size_t k) {
+  assert(pred.size() == ctr.size());
+  const size_t n = pred.size();
+  if (n == 0) return 1.0;
+
+  auto dcg = [&](const std::vector<size_t>& order) {
+    double total = 0.0;
+    const size_t limit = std::min(k, order.size());
+    for (size_t j = 0; j < limit; ++j) {
+      double gain = std::pow(2.0, buckets.Score(ctr[order[j]])) - 1.0;
+      total += gain / std::log2(static_cast<double>(j) + 2.0);
+    }
+    return total;
+  };
+
+  std::vector<size_t> by_pred(n);
+  std::iota(by_pred.begin(), by_pred.end(), 0);
+  std::sort(by_pred.begin(), by_pred.end(), [&](size_t a, size_t b) {
+    if (pred[a] != pred[b]) return pred[a] > pred[b];
+    return a < b;
+  });
+  std::vector<size_t> ideal(n);
+  std::iota(ideal.begin(), ideal.end(), 0);
+  std::sort(ideal.begin(), ideal.end(), [&](size_t a, size_t b) {
+    if (ctr[a] != ctr[b]) return ctr[a] > ctr[b];
+    return a < b;
+  });
+
+  double ideal_dcg = dcg(ideal);
+  if (ideal_dcg <= 0.0) return 1.0;  // No gain anywhere: any order is perfect.
+  return dcg(by_pred) / ideal_dcg;
+}
+
+BootstrapCi BootstrapRatioCi(
+    const std::vector<std::pair<double, double>>& groups, int resamples,
+    double confidence, uint64_t seed) {
+  BootstrapCi ci;
+  if (groups.empty() || resamples <= 0) return ci;
+  double num = 0, den = 0;
+  for (const auto& [n, d] : groups) {
+    num += n;
+    den += d;
+  }
+  ci.mean = den > 0 ? num / den : 0.0;
+
+  Rng rng(seed);
+  std::vector<double> stats;
+  stats.reserve(static_cast<size_t>(resamples));
+  for (int r = 0; r < resamples; ++r) {
+    double rn = 0, rd = 0;
+    for (size_t i = 0; i < groups.size(); ++i) {
+      const auto& [n, d] = groups[rng.NextBounded(groups.size())];
+      rn += n;
+      rd += d;
+    }
+    stats.push_back(rd > 0 ? rn / rd : 0.0);
+  }
+  std::sort(stats.begin(), stats.end());
+  double alpha = (1.0 - confidence) / 2.0;
+  auto pick = [&](double q) {
+    double idx = q * static_cast<double>(stats.size() - 1);
+    return stats[static_cast<size_t>(idx + 0.5)];
+  };
+  ci.lo = pick(alpha);
+  ci.hi = pick(1.0 - alpha);
+  return ci;
+}
+
+}  // namespace ckr

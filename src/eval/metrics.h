@@ -1,0 +1,83 @@
+// Evaluation metrics of Section V-A.2.
+//
+//  * (Weighted) pairwise error rate (Eq. 4/5): the fraction of mispredicted
+//    preference pairs, with mistakes optionally punished by the CTR
+//    difference of the pair. Prediction ties count as half a mistake — the
+//    expectation of the paper's "in the case of ties, we assume a random
+//    ordering of concepts".
+//  * NDCG@k (Eq. 6): gain 2^score(j) - 1, discount log2(j + 1), where
+//    score(j) = bucketNo(CTR(j)) / 100 maps observed CTRs through a
+//    1000-bucket system-wide quantile table to judgments in [0, 10].
+#ifndef CKR_EVAL_METRICS_H_
+#define CKR_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ckr {
+
+/// Accumulates pairwise error mass across documents; report with Rate().
+struct PairwiseErrorAccumulator {
+  double error_mass = 0.0;
+  double total_mass = 0.0;
+
+  double Rate() const { return total_mass > 0 ? error_mass / total_mass : 0.0; }
+};
+
+/// Adds one document's pairs. `pred` are model scores (higher ranks
+/// first), `ctr` the observed labels; both aligned and of equal size.
+/// `weighted` selects Eq. 5 (weight = |ctr_i - ctr_j|) vs Eq. 4 (weight =
+/// 1). Pairs with equal CTR are skipped (no preference). Tied predictions
+/// contribute half their weight.
+void AccumulatePairwiseError(const std::vector<double>& pred,
+                             const std::vector<double>& ctr, bool weighted,
+                             PairwiseErrorAccumulator* acc);
+
+/// One-shot convenience over a single document.
+double PairwiseErrorRate(const std::vector<double>& pred,
+                         const std::vector<double>& ctr, bool weighted);
+
+/// System-wide CTR quantile bucketizer: bucketNo() returns 0..1000 by the
+/// CTR's rank among all observed CTRs, so score = bucketNo/100 in [0, 10].
+class CtrBucketizer {
+ public:
+  /// `all_ctrs` = every CTR observed in the system (any order).
+  explicit CtrBucketizer(std::vector<double> all_ctrs);
+
+  /// Bucket number in [0, 1000].
+  int BucketNo(double ctr) const;
+
+  /// Judgment score in [0, 10].
+  double Score(double ctr) const { return BucketNo(ctr) / 100.0; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// NDCG@k for one document: `pred` orders the items (higher first), gains
+/// come from `ctr` via the bucketizer. Returns 1.0 for empty input.
+/// Tied predictions are broken deterministically by original index.
+double NdcgAtK(const std::vector<double>& pred, const std::vector<double>& ctr,
+               const CtrBucketizer& buckets, size_t k);
+
+/// A two-sided bootstrap confidence interval.
+struct BootstrapCi {
+  double mean = 0.0;
+  double lo = 0.0;   ///< Lower percentile bound.
+  double hi = 0.0;   ///< Upper percentile bound.
+};
+
+/// Percentile-bootstrap CI of a ratio-of-sums statistic over per-group
+/// (error_mass, total_mass) contributions — the weighted error rate is
+/// exactly this shape with one contribution per window. `groups` holds
+/// (numerator, denominator) pairs; groups are resampled with replacement
+/// `resamples` times. Deterministic in `seed`.
+BootstrapCi BootstrapRatioCi(
+    const std::vector<std::pair<double, double>>& groups, int resamples,
+    double confidence, uint64_t seed);
+
+}  // namespace ckr
+
+#endif  // CKR_EVAL_METRICS_H_

@@ -1,0 +1,106 @@
+#include "features/interestingness.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+#include "text/tokenizer.h"
+
+namespace ckr {
+namespace {
+
+bool GroupEnabled(unsigned mask, FeatureGroup g) {
+  return (mask & (1u << static_cast<int>(g))) != 0;
+}
+
+}  // namespace
+
+std::vector<double> InterestingnessVector::Flatten(unsigned group_mask) const {
+  std::vector<double> out(Dim(), 0.0);
+  if (GroupEnabled(group_mask, FeatureGroup::kQueryLogs)) {
+    out[0] = freq_exact;
+    out[1] = freq_phrase_contained;
+    out[2] = unit_score;
+  }
+  if (GroupEnabled(group_mask, FeatureGroup::kSearchResults)) {
+    out[3] = searchengine_phrase;
+  }
+  if (GroupEnabled(group_mask, FeatureGroup::kTextBased)) {
+    out[4] = concept_size;
+    out[5] = number_of_chars;
+    out[6] = subconcepts;
+  }
+  if (GroupEnabled(group_mask, FeatureGroup::kOther)) {
+    out[7] = wiki_word_count;
+  }
+  if (GroupEnabled(group_mask, FeatureGroup::kTaxonomy)) {
+    for (int i = 0; i < kNumEntityTypes; ++i) {
+      out[8 + static_cast<size_t>(i)] = high_level_type[static_cast<size_t>(i)];
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> InterestingnessVector::DimNames() {
+  std::vector<std::string> names = {
+      "freq_exact",     "freq_phrase_contained",
+      "unit_score",     "searchengine_phrase",
+      "concept_size",   "number_of_chars",
+      "subconcepts",    "wiki_word_count",
+  };
+  for (int i = 0; i < kNumEntityTypes; ++i) {
+    names.push_back("type_" +
+                    std::string(EntityTypeName(static_cast<EntityType>(i))));
+  }
+  return names;
+}
+
+InterestingnessExtractor::InterestingnessExtractor(const QueryLog& log,
+                                                   const UnitDictionary& units,
+                                                   const SearchService& search,
+                                                   const WikiStore& wiki)
+    : log_(log), units_(units), search_(search), wiki_(wiki) {}
+
+InterestingnessVector InterestingnessExtractor::Extract(std::string_view key,
+                                                        EntityType type) const {
+  InterestingnessVector v;
+  std::string norm = NormalizePhrase(key);
+
+  // (1)-(3): query-log features; counts are log-scaled.
+  v.freq_exact = std::log1p(static_cast<double>(log_.ExactFreq(norm)));
+  v.freq_phrase_contained =
+      std::log1p(static_cast<double>(log_.PhraseContainedFreq(norm)));
+  v.unit_score = units_.UnitScore(norm);
+
+  // (4): phrase-query result count.
+  v.searchengine_phrase =
+      std::log1p(static_cast<double>(search_.PhraseResultCount(norm)));
+
+  // (5)-(7): text shape.
+  std::vector<std::string> terms = SplitString(norm, " ");
+  v.concept_size = static_cast<double>(terms.size());
+  v.number_of_chars = static_cast<double>(norm.size());
+  int subconcepts = 0;
+  const size_t k = terms.size();
+  for (size_t i = 0; i < k; ++i) {
+    std::string phrase;
+    for (size_t j = i; j < k; ++j) {
+      if (j > i) phrase.push_back(' ');
+      phrase.append(terms[j]);
+      size_t len = j - i + 1;
+      if (len == k && i == 0) continue;  // The concept itself.
+      if (len > 2 && units_.UnitScore(phrase) > 0.25) ++subconcepts;
+    }
+  }
+  v.subconcepts = static_cast<double>(subconcepts);
+
+  // (8): taxonomy one-hot (kConcept marks "not editorially listed" and is
+  // a category of its own).
+  v.high_level_type[static_cast<size_t>(type)] = 1.0;
+
+  // (9): Wikipedia article length.
+  v.wiki_word_count =
+      std::log1p(static_cast<double>(wiki_.ArticleWordCount(norm)));
+  return v;
+}
+
+}  // namespace ckr

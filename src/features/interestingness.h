@@ -1,0 +1,98 @@
+// The interestingness feature space (paper Section IV-A, Table I).
+//
+//  1 freq_exact             queries exactly equal to the concept
+//  2 freq_phrase_contained  queries containing the concept as a phrase
+//  3 unit_score             mutual information of the concept's terms
+//  4 searchengine_phrase    result count of the phrase query
+//  5 concept_size           number of terms
+//  6 number_of_chars        number of characters
+//  7 subconcepts            subconcepts with > 2 terms and unit score > .25
+//  8 high_level_type        taxonomy major type (one-hot encoded)
+//  9 wiki_word_count        length of the Wikipedia article (0 if none)
+//
+// Count-valued features are log-scaled (ln(1+x)) before entering the
+// model; the ranker additionally standardizes all dimensions on the
+// training split.
+#ifndef CKR_FEATURES_INTERESTINGNESS_H_
+#define CKR_FEATURES_INTERESTINGNESS_H_
+
+#include <array>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "corpus/taxonomy.h"
+#include "querylog/query_log.h"
+#include "search/search_service.h"
+#include "units/unit_extractor.h"
+#include "wiki/wiki_store.h"
+
+namespace ckr {
+
+/// Ablation groups of Table III.
+enum class FeatureGroup {
+  kQueryLogs = 0,    ///< Features 1-3.
+  kSearchResults,    ///< Feature 4.
+  kTextBased,        ///< Features 5-7.
+  kTaxonomy,         ///< Feature 8.
+  kOther,            ///< Feature 9 (Wikipedia).
+};
+
+constexpr int kNumFeatureGroups = 5;
+
+/// The raw (pre-standardization) interestingness vector. The one-hot type
+/// block uses kNumEntityTypes slots; `none` (not in any dictionary) is all
+/// zeros.
+struct InterestingnessVector {
+  double freq_exact = 0.0;
+  double freq_phrase_contained = 0.0;
+  double unit_score = 0.0;
+  double searchengine_phrase = 0.0;
+  double concept_size = 0.0;
+  double number_of_chars = 0.0;
+  double subconcepts = 0.0;
+  std::array<double, kNumEntityTypes> high_level_type{};
+  double wiki_word_count = 0.0;
+
+  /// Flattens to the dense layout used by the ranker. `group_mask` is a
+  /// bitmask over FeatureGroup; excluded groups contribute zeros (so the
+  /// dimensionality — and the trained model shape — is stable across
+  /// ablations).
+  std::vector<double> Flatten(unsigned group_mask = 0x1f) const;
+
+  /// Dimensionality of Flatten() output.
+  static size_t Dim() { return 8 + kNumEntityTypes; }
+
+  /// Human-readable names of the flattened dimensions.
+  static std::vector<std::string> DimNames();
+};
+
+/// Bitmask with every group enabled.
+constexpr unsigned kAllFeatureGroups = 0x1f;
+
+/// Bitmask excluding one group (Table III's "- Query Logs" rows).
+constexpr unsigned MaskWithout(FeatureGroup g) {
+  return kAllFeatureGroups & ~(1u << static_cast<int>(g));
+}
+
+/// Offline extractor: computes the static vector of each concept from the
+/// query log, the unit dictionary, the search engine and the wiki store.
+class InterestingnessExtractor {
+ public:
+  InterestingnessExtractor(const QueryLog& log, const UnitDictionary& units,
+                           const SearchService& search, const WikiStore& wiki);
+
+  /// `key` is the normalized concept phrase; `type` its taxonomy type
+  /// (kConcept when not in the editorial dictionaries).
+  InterestingnessVector Extract(std::string_view key, EntityType type) const;
+
+ private:
+  const QueryLog& log_;
+  const UnitDictionary& units_;
+  const SearchService& search_;
+  const WikiStore& wiki_;
+};
+
+}  // namespace ckr
+
+#endif  // CKR_FEATURES_INTERESTINGNESS_H_

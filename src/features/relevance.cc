@@ -1,0 +1,178 @@
+#include "features/relevance.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "text/porter_stemmer.h"
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
+
+namespace ckr {
+namespace {
+
+// Sorts by descending score (term as tie-break) and truncates to m.
+std::vector<RelevantTerm> TopM(std::unordered_map<std::string, double> scores,
+                               size_t m) {
+  std::vector<RelevantTerm> out;
+  out.reserve(scores.size());
+  for (auto& [term, score] : scores) out.push_back({term, score});
+  std::sort(out.begin(), out.end(),
+            [](const RelevantTerm& a, const RelevantTerm& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.term < b.term;
+            });
+  if (out.size() > m) out.resize(m);
+  return out;
+}
+
+// Stemmed, stop-word-free token stream of a text blob.
+std::vector<std::string> StemmedTokens(std::string_view text) {
+  std::vector<std::string> out;
+  for (std::string& tok : TokenizeToStrings(text)) {
+    if (IsStopWord(tok)) continue;
+    out.push_back(PorterStem(tok));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string_view RelevanceResourceName(RelevanceResource r) {
+  switch (r) {
+    case RelevanceResource::kSnippets:
+      return "snippets";
+    case RelevanceResource::kPrisma:
+      return "prisma";
+    case RelevanceResource::kQuerySuggestions:
+      return "query_suggestions";
+  }
+  return "unknown";
+}
+
+RelevanceMiner::RelevanceMiner(const SearchService& search,
+                               const TermDictionary& stemmed_dict,
+                               double max_df_ratio)
+    : search_(search),
+      term_dict_(stemmed_dict),
+      max_df_ratio_(max_df_ratio) {}
+
+std::vector<RelevantTerm> RelevanceMiner::Mine(std::string_view concept_phrase,
+                                               RelevanceResource resource,
+                                               size_t m) const {
+  switch (resource) {
+    case RelevanceResource::kSnippets:
+      return FromSnippets(concept_phrase, m);
+    case RelevanceResource::kPrisma:
+      return FromPrisma(concept_phrase, m);
+    case RelevanceResource::kQuerySuggestions:
+      return FromSuggestions(concept_phrase, m);
+  }
+  return {};
+}
+
+std::vector<RelevantTerm> RelevanceMiner::FromSnippets(
+    std::string_view concept_phrase, size_t m) const {
+  // "We pretend that the returned snippets constitute a single document
+  // and then use a bag-of-words model" — tf over the concatenated
+  // snippets, idf from the term dictionary.
+  std::vector<std::string> snippets = search_.Snippets(concept_phrase, 100);
+  std::unordered_map<std::string, double> tf;
+  for (const std::string& s : snippets) {
+    for (std::string& tok : StemmedTokens(s)) ++tf[tok];
+  }
+  // Exclude the concept's own terms: they trivially co-occur.
+  for (std::string& t : StemmedTokens(concept_phrase)) tf.erase(t);
+  std::unordered_map<std::string, double> scores;
+  for (const auto& [term, f] : tf) {
+    if (term_dict_.DocFreqRatio(term) > max_df_ratio_) continue;
+    scores[term] = f * term_dict_.Idf(term);
+  }
+  return TopM(std::move(scores), m);
+}
+
+std::vector<RelevantTerm> RelevanceMiner::FromPrisma(
+    std::string_view concept_phrase, size_t m) const {
+  // The 20 feedback terms form one small document; tf*idf over it. The
+  // tight cap is the coverage limitation the paper reports for Prisma.
+  std::vector<std::string> feedback =
+      search_.PrismaFeedbackTerms(concept_phrase, 20);
+  std::unordered_map<std::string, double> tf;
+  for (const std::string& f : feedback) {
+    for (std::string& tok : StemmedTokens(f)) ++tf[tok];
+  }
+  for (std::string& t : StemmedTokens(concept_phrase)) tf.erase(t);
+  std::unordered_map<std::string, double> scores;
+  for (const auto& [term, f] : tf) {
+    if (term_dict_.DocFreqRatio(term) > max_df_ratio_) continue;
+    scores[term] = f * term_dict_.Idf(term);
+  }
+  return TopM(std::move(scores), m);
+}
+
+std::vector<RelevantTerm> RelevanceMiner::FromSuggestions(
+    std::string_view concept_phrase, size_t m) const {
+  // score(term) = sum over suggestions containing it of ln(query_freq) *
+  // idf(term).
+  std::vector<Suggestion> suggestions =
+      search_.RelatedSuggestions(concept_phrase, 300);
+  std::unordered_map<std::string, double> log_freq_sum;
+  for (const Suggestion& s : suggestions) {
+    std::vector<std::string> toks = StemmedTokens(s.query);
+    std::sort(toks.begin(), toks.end());
+    toks.erase(std::unique(toks.begin(), toks.end()), toks.end());
+    double lf = std::log(1.0 + static_cast<double>(s.freq));
+    for (const std::string& t : toks) log_freq_sum[t] += lf;
+  }
+  for (std::string& t : StemmedTokens(concept_phrase)) log_freq_sum.erase(t);
+  std::unordered_map<std::string, double> scores;
+  for (const auto& [term, lfs] : log_freq_sum) {
+    if (term_dict_.DocFreqRatio(term) > max_df_ratio_) continue;
+    scores[term] = lfs * term_dict_.Idf(term);
+  }
+  return TopM(std::move(scores), m);
+}
+
+double RelevanceMiner::SummationOfScores(
+    const std::vector<RelevantTerm>& terms) {
+  double total = 0.0;
+  for (const RelevantTerm& t : terms) total += t.score;
+  return total;
+}
+
+void RelevanceScorer::AddConcept(std::string_view concept_phrase,
+                                 std::vector<RelevantTerm> terms) {
+  concept_terms_[NormalizePhrase(concept_phrase)] = std::move(terms);
+}
+
+bool RelevanceScorer::HasConcept(std::string_view concept_phrase) const {
+  return concept_terms_.count(NormalizePhrase(concept_phrase)) > 0;
+}
+
+std::unordered_map<std::string, uint32_t> RelevanceScorer::StemContext(
+    std::string_view context) {
+  std::unordered_map<std::string, uint32_t> counts;
+  for (std::string& tok : TokenizeToStrings(context)) {
+    if (IsStopWord(tok)) continue;
+    ++counts[PorterStem(tok)];
+  }
+  return counts;
+}
+
+double RelevanceScorer::Score(
+    std::string_view concept_phrase,
+    const std::unordered_map<std::string, uint32_t>& stemmed_context) const {
+  auto it = concept_terms_.find(NormalizePhrase(concept_phrase));
+  if (it == concept_terms_.end()) return 0.0;
+  double score = 0.0;
+  for (const RelevantTerm& t : it->second) {
+    if (stemmed_context.count(t.term) > 0) score += t.score;
+  }
+  return score;
+}
+
+double RelevanceScorer::Score(std::string_view concept_phrase,
+                              std::string_view context) const {
+  return Score(concept_phrase, StemContext(context));
+}
+
+}  // namespace ckr

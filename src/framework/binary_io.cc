@@ -1,0 +1,64 @@
+#include "framework/binary_io.h"
+
+#include <cstring>
+
+namespace ckr {
+
+void BinaryWriter::Raw(const void* data, size_t size) {
+  buffer_.append(static_cast<const char*>(data), size);
+}
+
+void BinaryWriter::U16(uint16_t v) { Raw(&v, sizeof(v)); }
+void BinaryWriter::U32(uint32_t v) { Raw(&v, sizeof(v)); }
+void BinaryWriter::U64(uint64_t v) { Raw(&v, sizeof(v)); }
+void BinaryWriter::F64(double v) { Raw(&v, sizeof(v)); }
+
+void BinaryWriter::Str(std::string_view s) {
+  U32(static_cast<uint32_t>(s.size()));
+  Raw(s.data(), s.size());
+}
+
+bool BinaryReader::Raw(void* out, size_t size) {
+  if (!ok_ || pos_ + size > data_.size()) {
+    ok_ = false;
+    std::memset(out, 0, size);
+    return false;
+  }
+  std::memcpy(out, data_.data() + pos_, size);
+  pos_ += size;
+  return true;
+}
+
+uint16_t BinaryReader::U16() {
+  uint16_t v = 0;
+  Raw(&v, sizeof(v));
+  return v;
+}
+uint32_t BinaryReader::U32() {
+  uint32_t v = 0;
+  Raw(&v, sizeof(v));
+  return v;
+}
+uint64_t BinaryReader::U64() {
+  uint64_t v = 0;
+  Raw(&v, sizeof(v));
+  return v;
+}
+double BinaryReader::F64() {
+  double v = 0;
+  Raw(&v, sizeof(v));
+  return v;
+}
+
+std::string BinaryReader::Str() {
+  uint32_t size = U32();
+  if (!ok_ || pos_ + size > data_.size()) {
+    ok_ = false;
+    return "";
+  }
+  std::string out(data_.substr(pos_, size));
+  pos_ += size;
+  return out;
+}
+
+}  // namespace ckr

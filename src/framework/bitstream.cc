@@ -1,0 +1,57 @@
+#include "framework/bitstream.h"
+
+namespace ckr {
+
+void BitWriter::WriteBit(bool bit) {
+  size_t byte_index = bit_count_ >> 3;
+  if (byte_index >= bytes_.size()) bytes_.push_back(0);
+  if (bit) {
+    bytes_[byte_index] |= static_cast<uint8_t>(1u << (7 - (bit_count_ & 7)));
+  }
+  ++bit_count_;
+}
+
+void BitWriter::WriteBits(uint64_t bits, int count) {
+  for (int i = count - 1; i >= 0; --i) {
+    WriteBit((bits >> i) & 1u);
+  }
+}
+
+void BitWriter::WriteUnary(uint64_t count) {
+  for (uint64_t i = 0; i < count; ++i) WriteBit(true);
+  WriteBit(false);
+}
+
+std::vector<uint8_t> BitWriter::Finish() { return std::move(bytes_); }
+
+BitReader::BitReader(const std::vector<uint8_t>& bytes) : bytes_(bytes) {}
+
+bool BitReader::ReadBit() {
+  size_t byte_index = pos_ >> 3;
+  if (byte_index >= bytes_.size()) {
+    overflow_ = true;
+    return false;
+  }
+  bool bit = (bytes_[byte_index] >> (7 - (pos_ & 7))) & 1u;
+  ++pos_;
+  return bit;
+}
+
+uint64_t BitReader::ReadBits(int count) {
+  uint64_t out = 0;
+  for (int i = 0; i < count; ++i) {
+    out = (out << 1) | static_cast<uint64_t>(ReadBit());
+  }
+  return out;
+}
+
+uint64_t BitReader::ReadUnary() {
+  uint64_t count = 0;
+  while (ReadBit()) {
+    ++count;
+    if (overflow_) break;
+  }
+  return count;
+}
+
+}  // namespace ckr

@@ -1,0 +1,61 @@
+// Bit-level I/O used by the Golomb coder (paper Section VI cites integer
+// compression, Witten/Moffat/Bell [26], as the way to shrink the per-
+// concept relevant-term storage).
+#ifndef CKR_FRAMEWORK_BITSTREAM_H_
+#define CKR_FRAMEWORK_BITSTREAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ckr {
+
+/// Append-only MSB-first bit writer.
+class BitWriter {
+ public:
+  /// Writes the lowest `count` bits of `bits` (MSB of the group first).
+  /// count must be <= 64.
+  void WriteBits(uint64_t bits, int count);
+
+  /// Writes a single bit.
+  void WriteBit(bool bit);
+
+  /// Writes `count` one-bits followed by a zero (unary coding).
+  void WriteUnary(uint64_t count);
+
+  /// Pads to a byte boundary and returns the buffer.
+  std::vector<uint8_t> Finish();
+
+  size_t BitCount() const { return bit_count_; }
+
+ private:
+  std::vector<uint8_t> bytes_;
+  size_t bit_count_ = 0;
+};
+
+/// MSB-first bit reader over a finished buffer.
+class BitReader {
+ public:
+  explicit BitReader(const std::vector<uint8_t>& bytes);
+
+  /// Reads `count` bits (<= 64); returns them right-aligned. Reads past
+  /// the end return zero bits and set overflow().
+  uint64_t ReadBits(int count);
+
+  bool ReadBit();
+
+  /// Reads a unary count (ones before the terminating zero).
+  uint64_t ReadUnary();
+
+  bool overflow() const { return overflow_; }
+  size_t BitPosition() const { return pos_; }
+
+ private:
+  const std::vector<uint8_t>& bytes_;
+  size_t pos_ = 0;
+  bool overflow_ = false;
+};
+
+}  // namespace ckr
+
+#endif  // CKR_FRAMEWORK_BITSTREAM_H_

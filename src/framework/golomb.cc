@@ -1,0 +1,112 @@
+#include "framework/golomb.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "framework/bitstream.h"
+
+namespace ckr {
+namespace {
+
+// Number of bits needed to represent v (>= 1 returns >= 1).
+int BitWidth(uint64_t v) {
+  int w = 0;
+  while (v > 0) {
+    ++w;
+    v >>= 1;
+  }
+  return w;
+}
+
+}  // namespace
+
+void GolombEncode(uint64_t value, uint64_t m, BitWriter* writer) {
+  uint64_t q = value / m;
+  uint64_t r = value % m;
+  writer->WriteUnary(q);
+  if (m == 1) return;  // Remainder is always 0.
+  // Truncated binary for the remainder.
+  int b = BitWidth(m - 1);
+  uint64_t cutoff = (1ULL << b) - m;
+  if (r < cutoff) {
+    writer->WriteBits(r, b - 1);
+  } else {
+    writer->WriteBits(r + cutoff, b);
+  }
+}
+
+uint64_t GolombDecode(uint64_t m, BitReader* reader) {
+  uint64_t q = reader->ReadUnary();
+  if (m == 1) return q;
+  int b = BitWidth(m - 1);
+  uint64_t cutoff = (1ULL << b) - m;
+  uint64_t r = reader->ReadBits(b - 1);
+  if (r >= cutoff) {
+    r = (r << 1) | static_cast<uint64_t>(reader->ReadBit());
+    r -= cutoff;
+  }
+  return q * m + r;
+}
+
+uint64_t OptimalGolombParameter(double mean_gap) {
+  if (mean_gap <= 1.0) return 1;
+  // m = ceil(log(2 - p) / -log(1 - p)) with p = 1/mean; the 0.69*mean
+  // approximation is within one of this for all practical p.
+  double m = std::ceil(0.69 * mean_gap);
+  return std::max<uint64_t>(1, static_cast<uint64_t>(m));
+}
+
+StatusOr<std::vector<uint8_t>> EncodeSortedIds(
+    const std::vector<uint32_t>& ids, uint32_t universe) {
+  for (size_t i = 1; i < ids.size(); ++i) {
+    if (ids[i] <= ids[i - 1]) {
+      return Status::InvalidArgument("ids must be strictly increasing");
+    }
+  }
+  if (!ids.empty() && ids.back() >= universe) {
+    return Status::InvalidArgument("id exceeds universe");
+  }
+  double mean_gap =
+      ids.empty() ? 1.0
+                  : static_cast<double>(universe) /
+                        static_cast<double>(ids.size());
+  uint64_t m = OptimalGolombParameter(mean_gap);
+
+  BitWriter writer;
+  // Header: count (32 bits) + parameter (32 bits).
+  writer.WriteBits(ids.size(), 32);
+  writer.WriteBits(m, 32);
+  uint32_t prev = 0;
+  bool first = true;
+  for (uint32_t id : ids) {
+    uint64_t gap = first ? id : (id - prev - 1);
+    GolombEncode(gap, m, &writer);
+    prev = id;
+    first = false;
+  }
+  return writer.Finish();
+}
+
+StatusOr<std::vector<uint32_t>> DecodeSortedIds(
+    const std::vector<uint8_t>& bytes) {
+  BitReader reader(bytes);
+  uint64_t count = reader.ReadBits(32);
+  uint64_t m = reader.ReadBits(32);
+  if (m == 0) return Status::InvalidArgument("corrupt header (m == 0)");
+  std::vector<uint32_t> ids;
+  ids.reserve(count);
+  uint32_t prev = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t gap = GolombDecode(m, &reader);
+    uint32_t id = (i == 0) ? static_cast<uint32_t>(gap)
+                           : prev + 1 + static_cast<uint32_t>(gap);
+    if (reader.overflow()) {
+      return Status::InvalidArgument("truncated Golomb stream");
+    }
+    ids.push_back(id);
+    prev = id;
+  }
+  return ids;
+}
+
+}  // namespace ckr

@@ -1,0 +1,341 @@
+#include "framework/runtime_ranker.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "framework/golomb.h"
+#include "text/porter_stemmer.h"
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
+
+namespace ckr {
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+void QuantizedInterestingnessStore::Add(std::string_view key,
+                                        const InterestingnessVector& vec) {
+  raw_[std::string(key)] = vec.Flatten();
+  finalized_ = false;
+}
+
+void QuantizedInterestingnessStore::Finalize() {
+  const size_t dim = InterestingnessVector::Dim();
+  field_min_.assign(dim, 1e300);
+  field_max_.assign(dim, -1e300);
+  for (const auto& [key, v] : raw_) {
+    for (size_t i = 0; i < dim; ++i) {
+      field_min_[i] = std::min(field_min_[i], v[i]);
+      field_max_[i] = std::max(field_max_[i], v[i]);
+    }
+  }
+  if (raw_.empty()) {
+    field_min_.assign(dim, 0.0);
+    field_max_.assign(dim, 1.0);
+  }
+  quantized_.clear();
+  for (const auto& [key, v] : raw_) {
+    std::vector<uint16_t> q(dim);
+    for (size_t i = 0; i < dim; ++i) {
+      double span = field_max_[i] - field_min_[i];
+      double frac = span > 0 ? (v[i] - field_min_[i]) / span : 0.0;
+      q[i] = static_cast<uint16_t>(frac * 65535.0 + 0.5);
+    }
+    quantized_[key] = std::move(q);
+  }
+  finalized_ = true;
+}
+
+bool QuantizedInterestingnessStore::Lookup(std::string_view key,
+                                           std::vector<double>* out) const {
+  auto it = quantized_.find(std::string(key));
+  if (it == quantized_.end()) return false;
+  const size_t dim = it->second.size();
+  out->resize(dim);
+  for (size_t i = 0; i < dim; ++i) {
+    double span = field_max_[i] - field_min_[i];
+    (*out)[i] = field_min_[i] +
+                span * static_cast<double>(it->second[i]) / 65535.0;
+  }
+  return true;
+}
+
+size_t QuantizedInterestingnessStore::PayloadBytes() const {
+  return quantized_.size() * InterestingnessVector::Dim() * sizeof(uint16_t);
+}
+
+void QuantizedInterestingnessStore::SaveTo(BinaryWriter* writer) const {
+  writer->U32(0x51493031);  // 'QI01'
+  writer->U32(static_cast<uint32_t>(field_min_.size()));
+  for (double v : field_min_) writer->F64(v);
+  for (double v : field_max_) writer->F64(v);
+  writer->U32(static_cast<uint32_t>(quantized_.size()));
+  for (const auto& [key, q] : quantized_) {
+    writer->Str(key);
+    for (uint16_t v : q) writer->U16(v);
+  }
+}
+
+StatusOr<QuantizedInterestingnessStore> QuantizedInterestingnessStore::LoadFrom(
+    BinaryReader* reader) {
+  if (reader->U32() != 0x51493031) {
+    return Status::InvalidArgument("bad interestingness-store magic");
+  }
+  QuantizedInterestingnessStore store;
+  uint32_t dim = reader->U32();
+  if (dim != InterestingnessVector::Dim()) {
+    return Status::InvalidArgument("interestingness dimensionality mismatch");
+  }
+  store.field_min_.resize(dim);
+  store.field_max_.resize(dim);
+  for (double& v : store.field_min_) v = reader->F64();
+  for (double& v : store.field_max_) v = reader->F64();
+  uint32_t n = reader->U32();
+  for (uint32_t i = 0; i < n && reader->ok(); ++i) {
+    std::string key = reader->Str();
+    std::vector<uint16_t> q(dim);
+    for (uint16_t& v : q) v = reader->U16();
+    store.quantized_[std::move(key)] = std::move(q);
+  }
+  if (!reader->ok()) {
+    return Status::InvalidArgument("truncated interestingness store");
+  }
+  store.finalized_ = true;
+  return store;
+}
+
+uint32_t GlobalTidTable::Intern(std::string_view term) {
+  auto it = tids_.find(std::string(term));
+  if (it != tids_.end()) return it->second;
+  if (tids_.size() >= kMaxTid) {
+    overflowed_ = true;
+    return kMaxTid;
+  }
+  uint32_t tid = static_cast<uint32_t>(tids_.size());
+  tids_.emplace(std::string(term), tid);
+  return tid;
+}
+
+uint32_t GlobalTidTable::Lookup(std::string_view term) const {
+  auto it = tids_.find(std::string(term));
+  return it == tids_.end() ? kMaxTid : it->second;
+}
+
+void GlobalTidTable::SaveTo(BinaryWriter* writer) const {
+  writer->U32(0x54493031);  // 'TI01'
+  writer->U32(static_cast<uint32_t>(tids_.size()));
+  for (const auto& [term, tid] : tids_) {
+    writer->Str(term);
+    writer->U32(tid);
+  }
+}
+
+StatusOr<GlobalTidTable> GlobalTidTable::LoadFrom(BinaryReader* reader) {
+  if (reader->U32() != 0x54493031) {
+    return Status::InvalidArgument("bad TID-table magic");
+  }
+  GlobalTidTable table;
+  uint32_t n = reader->U32();
+  for (uint32_t i = 0; i < n && reader->ok(); ++i) {
+    std::string term = reader->Str();
+    uint32_t tid = reader->U32();
+    if (tid > kMaxTid) return Status::InvalidArgument("TID out of range");
+    table.tids_[std::move(term)] = tid;
+  }
+  if (!reader->ok()) return Status::InvalidArgument("truncated TID table");
+  return table;
+}
+
+void PackedRelevanceStore::Add(std::string_view key,
+                               const std::vector<RelevantTerm>& terms) {
+  std::vector<RelevantTerm> kept(
+      terms.begin(),
+      terms.begin() + std::min<size_t>(terms.size(), 100));
+  raw_[std::string(key)] = std::move(kept);
+  finalized_ = false;
+}
+
+void PackedRelevanceStore::Finalize() {
+  double max_score = 0.0;
+  for (const auto& [key, terms] : raw_) {
+    for (const RelevantTerm& t : terms) {
+      max_score = std::max(max_score, t.score);
+    }
+  }
+  score_scale_ = max_score > 0 ? max_score : 1.0;
+  packed_.clear();
+  for (const auto& [key, terms] : raw_) {
+    std::vector<uint32_t> packed;
+    packed.reserve(terms.size());
+    for (const RelevantTerm& t : terms) {
+      uint32_t tid = tids_->Intern(t.term);
+      uint32_t score10 = static_cast<uint32_t>(
+          std::min(1.0, std::max(0.0, t.score / score_scale_)) * 1023.0 + 0.5);
+      packed.push_back((tid << 10) | score10);
+    }
+    // Sorted by TID: enables the Golomb-compressed representation and
+    // cache-friendly probing.
+    std::sort(packed.begin(), packed.end());
+    packed_[key] = std::move(packed);
+  }
+  finalized_ = true;
+}
+
+double PackedRelevanceStore::Score(
+    std::string_view key,
+    const std::unordered_set<uint32_t>& context_tids) const {
+  auto it = packed_.find(std::string(key));
+  if (it == packed_.end()) return 0.0;
+  double total = 0.0;
+  for (uint32_t pair : it->second) {
+    uint32_t tid = pair >> 10;
+    if (context_tids.count(tid) > 0) {
+      total += static_cast<double>(pair & 1023u) / 1023.0 * score_scale_;
+    }
+  }
+  return total;
+}
+
+size_t PackedRelevanceStore::PayloadBytes() const {
+  size_t pairs = 0;
+  for (const auto& [key, packed] : packed_) pairs += packed.size();
+  return pairs * sizeof(uint32_t);
+}
+
+size_t PackedRelevanceStore::GolombCompressedBytes() const {
+  size_t total = 0;
+  for (const auto& [key, packed] : packed_) {
+    std::vector<uint32_t> tids;
+    tids.reserve(packed.size());
+    for (uint32_t pair : packed) {
+      uint32_t tid = pair >> 10;
+      if (tids.empty() || tid > tids.back()) tids.push_back(tid);
+    }
+    auto encoded = EncodeSortedIds(tids, GlobalTidTable::kMaxTid + 1);
+    if (encoded.ok()) {
+      total += encoded.value().size();
+      // 10-bit scores stored alongside, byte-packed.
+      total += (packed.size() * 10 + 7) / 8;
+    } else {
+      total += packed.size() * sizeof(uint32_t);  // Fallback: raw.
+    }
+  }
+  return total;
+}
+
+void PackedRelevanceStore::SaveTo(BinaryWriter* writer) const {
+  writer->U32(0x50523031);  // 'PR01'
+  writer->F64(score_scale_);
+  writer->U32(static_cast<uint32_t>(packed_.size()));
+  for (const auto& [key, pairs] : packed_) {
+    writer->Str(key);
+    writer->U32(static_cast<uint32_t>(pairs.size()));
+    for (uint32_t p : pairs) writer->U32(p);
+  }
+}
+
+StatusOr<PackedRelevanceStore> PackedRelevanceStore::LoadFrom(
+    BinaryReader* reader, GlobalTidTable* tids) {
+  if (reader->U32() != 0x50523031) {
+    return Status::InvalidArgument("bad relevance-store magic");
+  }
+  PackedRelevanceStore store(tids);
+  store.score_scale_ = reader->F64();
+  uint32_t n = reader->U32();
+  for (uint32_t i = 0; i < n && reader->ok(); ++i) {
+    std::string key = reader->Str();
+    uint32_t m = reader->U32();
+    if (m > 100) return Status::InvalidArgument("oversized term list");
+    std::vector<uint32_t> pairs(m);
+    for (uint32_t& p : pairs) p = reader->U32();
+    store.packed_[std::move(key)] = std::move(pairs);
+  }
+  if (!reader->ok()) return Status::InvalidArgument("truncated relevance store");
+  store.finalized_ = true;
+  return store;
+}
+
+double RuntimeStats::StemmerMBps() const {
+  return stemmer_seconds > 0
+             ? static_cast<double>(bytes_processed) / 1e6 / stemmer_seconds
+             : 0.0;
+}
+
+double RuntimeStats::RankerMBps() const {
+  return ranker_seconds > 0
+             ? static_cast<double>(bytes_processed) / 1e6 / ranker_seconds
+             : 0.0;
+}
+
+RuntimeRanker::RuntimeRanker(const EntityDetector& detector,
+                             const QuantizedInterestingnessStore& interestingness,
+                             const PackedRelevanceStore& relevance,
+                             const GlobalTidTable& tids, RankSvmModel model)
+    : detector_(detector),
+      interestingness_(interestingness),
+      relevance_(relevance),
+      tids_(tids),
+      model_(std::move(model)) {}
+
+std::unordered_set<uint32_t> RuntimeRanker::StemToTids(
+    std::string_view text) const {
+  std::unordered_set<uint32_t> out;
+  for (std::string& tok : TokenizeToStrings(text)) {
+    if (IsStopWord(tok)) continue;
+    uint32_t tid = tids_.Lookup(PorterStem(tok));
+    if (tid != GlobalTidTable::kMaxTid) out.insert(tid);
+  }
+  return out;
+}
+
+std::vector<RankedAnnotation> RuntimeRanker::ProcessDocument(
+    std::string_view text, RuntimeStats* stats) const {
+  auto t0 = std::chrono::steady_clock::now();
+  std::unordered_set<uint32_t> context = StemToTids(text);
+  double stem_s = SecondsSince(t0);
+
+  auto t1 = std::chrono::steady_clock::now();
+  std::vector<Detection> detections = detector_.Detect(text);
+  std::vector<RankedAnnotation> ranked;
+  std::vector<double> features;
+  std::unordered_set<std::string> seen_keys;
+  for (const Detection& d : detections) {
+    if (d.type == EntityType::kPattern) continue;
+    if (!seen_keys.insert(d.key).second) continue;  // First occurrence only.
+    if (!interestingness_.Lookup(d.key, &features)) continue;
+    // Log-scaled to match ExperimentRunner::Features' model layout.
+    features.push_back(std::log1p(relevance_.Score(d.key, context)));
+    RankedAnnotation a;
+    a.key = d.key;
+    a.begin = d.begin;
+    a.end = d.end;
+    a.type = d.type;
+    a.score = model_.Score(features);
+    if (tracker_ != nullptr) a.score += tracker_->Adjustment(d.key);
+    ranked.push_back(std::move(a));
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const RankedAnnotation& a, const RankedAnnotation& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.begin < b.begin;
+            });
+  double rank_s = SecondsSince(t1);
+
+  if (stats != nullptr) {
+    stats->stemmer_seconds += stem_s;
+    stats->ranker_seconds += rank_s;
+    stats->bytes_processed += text.size();
+    stats->documents += 1;
+    stats->detections += ranked.size();
+  }
+  return ranked;
+}
+
+}  // namespace ckr

@@ -1,0 +1,196 @@
+// The production runtime of Section VI (Figure 4).
+//
+// All mining is offline; the online path must run under tight latency and
+// memory budgets. The components mirror the paper:
+//  * Stemmer — stems the incoming document once and caches the result;
+//  * quantized interestingness store — each of the vector's fields fits in
+//    two bytes ("this causes a minor decrease in granularity"), 18 MB per
+//    million concepts;
+//  * Global TID Table — maps each relevant term to a perfect-hash-style
+//    term id that fits in 22 bits;
+//  * packed relevance store — per concept up to 100 (TID, score) pairs,
+//    score quantized to 10 bits, 32 bits per pair (~400 MB per million
+//    concepts), optionally Golomb-compressed;
+//  * Ranker — detects candidates, assembles features, scores with the
+//    learned model, and returns the ranked list.
+#ifndef CKR_FRAMEWORK_RUNTIME_RANKER_H_
+#define CKR_FRAMEWORK_RUNTIME_RANKER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "detect/entity_detector.h"
+#include "framework/binary_io.h"
+#include "features/interestingness.h"
+#include "features/relevance.h"
+#include "online/ctr_tracker.h"
+#include "ranksvm/rank_svm.h"
+
+namespace ckr {
+
+/// Per-field linear quantizer to uint16 ("each field [fits] two bytes").
+class QuantizedInterestingnessStore {
+ public:
+  /// Registers a concept's raw vector. Ranges are fitted in Finalize().
+  void Add(std::string_view key, const InterestingnessVector& vec);
+
+  /// Fits per-field [min, max] ranges and quantizes everything.
+  void Finalize();
+
+  bool finalized() const { return finalized_; }
+  size_t NumConcepts() const { return quantized_.size(); }
+
+  /// Dequantized flat vector (InterestingnessVector::Dim() wide); false if
+  /// the concept is unknown.
+  bool Lookup(std::string_view key, std::vector<double>* out) const;
+
+  /// Bytes used by the quantized payload (the paper's "18MB for 1 million
+  /// concepts" accounting: NumConcepts * Dim * 2).
+  size_t PayloadBytes() const;
+
+  /// Serializes the finalized store (ranges + quantized vectors).
+  void SaveTo(BinaryWriter* writer) const;
+
+  /// Restores a store saved by SaveTo.
+  static StatusOr<QuantizedInterestingnessStore> LoadFrom(BinaryReader* reader);
+
+ private:
+  std::unordered_map<std::string, std::vector<double>> raw_;
+  std::unordered_map<std::string, std::vector<uint16_t>> quantized_;
+  std::vector<double> field_min_;
+  std::vector<double> field_max_;
+  bool finalized_ = false;
+};
+
+/// Term -> TID mapping; TIDs are dense and must fit in 22 bits.
+class GlobalTidTable {
+ public:
+  static constexpr uint32_t kMaxTid = (1u << 22) - 1;
+
+  /// Returns the TID, interning the term if new. Fails (returns kMaxTid
+  /// and sets overflow) past 2^22 terms.
+  uint32_t Intern(std::string_view term);
+
+  /// TID or kMaxTid when unknown.
+  uint32_t Lookup(std::string_view term) const;
+
+  size_t size() const { return tids_.size(); }
+  bool overflowed() const { return overflowed_; }
+
+  /// Serializes the term -> TID mapping.
+  void SaveTo(BinaryWriter* writer) const;
+
+  /// Restores a table saved by SaveTo (TIDs preserved exactly).
+  static StatusOr<GlobalTidTable> LoadFrom(BinaryReader* reader);
+
+ private:
+  std::unordered_map<std::string, uint32_t> tids_;
+  bool overflowed_ = false;
+};
+
+/// Packed per-concept relevant-term lists: each pair is tid << 10 | score,
+/// score linearly quantized to [0, 1023] against the global maximum.
+class PackedRelevanceStore {
+ public:
+  explicit PackedRelevanceStore(GlobalTidTable* tids) : tids_(tids) {}
+
+  /// Registers a concept's mined terms (at most 100 kept).
+  void Add(std::string_view key, const std::vector<RelevantTerm>& terms);
+
+  /// Fits the global score scale and packs all lists. Call once.
+  void Finalize();
+
+  bool finalized() const { return finalized_; }
+  size_t NumConcepts() const { return packed_.size(); }
+
+  /// Relevance score of a concept against a set of context TIDs: the sum
+  /// of dequantized scores of its terms present in the context.
+  double Score(std::string_view key,
+               const std::unordered_set<uint32_t>& context_tids) const;
+
+  /// Uncompressed payload bytes (4 bytes per pair).
+  size_t PayloadBytes() const;
+
+  /// Bytes if every concept's sorted TID list were Golomb-compressed
+  /// (scores still 10 bits each plus the coder's headers); reported by the
+  /// memory bench.
+  size_t GolombCompressedBytes() const;
+
+  /// Serializes the finalized packed lists (raw mined terms are not kept).
+  void SaveTo(BinaryWriter* writer) const;
+
+  /// Restores a store saved by SaveTo; `tids` must be the matching table
+  /// (same numbering) and outlive the store.
+  static StatusOr<PackedRelevanceStore> LoadFrom(BinaryReader* reader,
+                                                 GlobalTidTable* tids);
+
+ private:
+  GlobalTidTable* tids_;
+  std::unordered_map<std::string, std::vector<RelevantTerm>> raw_;
+  std::unordered_map<std::string, std::vector<uint32_t>> packed_;
+  double score_scale_ = 1.0;  ///< Raw score corresponding to 1023.
+  bool finalized_ = false;
+};
+
+/// Timing/throughput counters of one ProcessDocument call batch.
+struct RuntimeStats {
+  double stemmer_seconds = 0.0;
+  double ranker_seconds = 0.0;
+  uint64_t bytes_processed = 0;
+  uint64_t documents = 0;
+  uint64_t detections = 0;
+
+  double StemmerMBps() const;
+  double RankerMBps() const;
+};
+
+/// One ranked annotation produced by the runtime.
+struct RankedAnnotation {
+  std::string key;
+  size_t begin = 0;
+  size_t end = 0;
+  EntityType type = EntityType::kConcept;
+  double score = 0.0;
+};
+
+/// The online Ranker component (Figure 4). All stores must be finalized
+/// and outlive the ranker.
+class RuntimeRanker {
+ public:
+  RuntimeRanker(const EntityDetector& detector,
+                const QuantizedInterestingnessStore& interestingness,
+                const PackedRelevanceStore& relevance,
+                const GlobalTidTable& tids, RankSvmModel model);
+
+  /// Attaches (or detaches, with nullptr) a live CTR tracker; its
+  /// Adjustment() is added to every model score — the online adaptation
+  /// of the paper's Section VIII. The tracker must outlive the ranker.
+  void SetOnlineTracker(const CtrTracker* tracker) { tracker_ = tracker; }
+
+  /// Detects, scores and ranks the concepts of one document. Pattern
+  /// entities are excluded (they bypass ranking). Accumulates timing into
+  /// `stats` when non-null.
+  std::vector<RankedAnnotation> ProcessDocument(std::string_view text,
+                                                RuntimeStats* stats = nullptr)
+      const;
+
+ private:
+  /// The Stemmer component: stems the document once into context TIDs.
+  std::unordered_set<uint32_t> StemToTids(std::string_view text) const;
+
+  const EntityDetector& detector_;
+  const QuantizedInterestingnessStore& interestingness_;
+  const PackedRelevanceStore& relevance_;
+  const GlobalTidTable& tids_;
+  RankSvmModel model_;
+  const CtrTracker* tracker_ = nullptr;
+};
+
+}  // namespace ckr
+
+#endif  // CKR_FRAMEWORK_RUNTIME_RANKER_H_

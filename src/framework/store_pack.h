@@ -1,0 +1,48 @@
+// The deployable model pack: everything the online Ranker of Section VI
+// needs beyond the (externally provisioned) entity dictionaries — the
+// trained ranking model, the Global TID Table, the quantized
+// interestingness vectors and the packed relevant-term lists — in one
+// versioned binary blob. Production pushes this artifact to serving
+// machines; loading it skips the entire offline mining phase.
+#ifndef CKR_FRAMEWORK_STORE_PACK_H_
+#define CKR_FRAMEWORK_STORE_PACK_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "framework/runtime_ranker.h"
+#include "ranksvm/rank_svm.h"
+
+namespace ckr {
+
+/// Owns the runtime stores. Heap-held components keep internal pointers
+/// stable (PackedRelevanceStore references the TID table).
+struct StorePack {
+  std::unique_ptr<GlobalTidTable> tids;
+  QuantizedInterestingnessStore interestingness;
+  std::unique_ptr<PackedRelevanceStore> relevance;
+  RankSvmModel model;
+
+  /// Serializes the pack to a binary blob.
+  std::string Serialize() const;
+
+  /// Parses a blob produced by Serialize().
+  static StatusOr<StorePack> Deserialize(std::string_view blob);
+
+  /// Convenience file I/O.
+  Status SaveToFile(const std::string& path) const;
+  static StatusOr<StorePack> LoadFromFile(const std::string& path);
+};
+
+/// Serializes components that live outside a StorePack (e.g. inside a
+/// trained ContextualRanker) into the same blob format.
+std::string SerializeStorePack(const GlobalTidTable& tids,
+                               const QuantizedInterestingnessStore& interest,
+                               const PackedRelevanceStore& relevance,
+                               const RankSvmModel& model);
+
+}  // namespace ckr
+
+#endif  // CKR_FRAMEWORK_STORE_PACK_H_

@@ -1,0 +1,100 @@
+// Positional inverted index with BM25 ranked retrieval, phrase search, and
+// snippet generation — the substitute for the Yahoo! Search backend used by
+// the paper's feature pipeline:
+//  * feature (4) searchengine_phrase = number of results of a phrase query;
+//  * relevant-keyword mining reads the snippets of the top-100 results;
+//  * Prisma runs pseudo-relevance feedback over the top-50 results.
+#ifndef CKR_INDEX_INVERTED_INDEX_H_
+#define CKR_INDEX_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "corpus/document.h"
+
+namespace ckr {
+
+/// One ranked hit.
+struct SearchResult {
+  DocId doc = 0;
+  double score = 0.0;
+};
+
+/// BM25 parameters (standard defaults).
+struct Bm25Params {
+  double k1 = 1.2;
+  double b = 0.75;
+};
+
+/// Immutable after Finalize(). Stores normalized token streams per document
+/// for phrase matching and snippeting.
+class InvertedIndex {
+ public:
+  InvertedIndex() = default;
+
+  /// Indexes a document; `doc.id` must be unique within the index.
+  void Add(const Document& doc);
+
+  /// Builds postings and collection statistics; call once after all Add()s.
+  void Finalize();
+
+  bool finalized() const { return finalized_; }
+  size_t NumDocs() const { return docs_.size(); }
+  size_t NumTerms() const { return postings_.size(); }
+
+  /// Document frequency of a term.
+  uint32_t DocFreq(std::string_view term) const;
+
+  /// BM25 disjunctive retrieval over the query's normalized terms.
+  std::vector<SearchResult> Search(std::string_view query, size_t k,
+                                   const Bm25Params& params = {}) const;
+
+  /// Number of documents containing the phrase contiguously — the paper's
+  /// "number of result pages returned" for a phrase query.
+  uint64_t PhraseResultCount(std::string_view phrase) const;
+
+  /// Ranked documents containing the phrase contiguously (BM25 over the
+  /// phrase's terms, restricted to phrase matches).
+  std::vector<SearchResult> PhraseSearch(std::string_view phrase,
+                                         size_t k) const;
+
+  /// Builds a query-biased snippet for a result: a window of
+  /// `context_tokens` tokens centered on the first query-term hit.
+  std::string Snippet(DocId doc, std::string_view query,
+                      size_t context_tokens = 30) const;
+
+  /// Raw text of an indexed document.
+  const std::string& DocText(DocId doc) const;
+
+ private:
+  struct Posting {
+    uint32_t doc_index = 0;          ///< Index into docs_.
+    std::vector<uint32_t> positions; ///< Token positions.
+  };
+  struct StoredDoc {
+    DocId id = 0;
+    std::string text;
+    std::vector<std::string> tokens;      ///< Normalized tokens.
+    std::vector<uint32_t> token_begin;    ///< Byte offset per token.
+    std::vector<uint32_t> token_end;
+  };
+
+  const StoredDoc* FindDoc(DocId id) const;
+  /// Positions where the phrase's tokens occur contiguously in `doc`.
+  static std::vector<uint32_t> PhrasePositions(
+      const std::vector<const Posting*>& term_postings, size_t doc_index);
+
+  std::vector<StoredDoc> docs_;
+  std::unordered_map<DocId, uint32_t> doc_index_;
+  std::unordered_map<std::string, std::vector<Posting>> postings_;
+  double avg_doc_len_ = 0.0;
+  bool finalized_ = false;
+};
+
+}  // namespace ckr
+
+#endif  // CKR_INDEX_INVERTED_INDEX_H_

@@ -1,0 +1,84 @@
+#include "online/ctr_tracker.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ckr {
+
+CtrTracker::CtrTracker(const CtrTrackerConfig& config) : config_(config) {}
+
+void CtrTracker::Record(std::string_view key, uint64_t views,
+                        uint64_t clicks) {
+  ConceptStats& s = stats_[std::string(key)];
+  s.fresh_views += static_cast<double>(views);
+  s.fresh_clicks += static_cast<double>(clicks);
+  total_views_ += static_cast<double>(views);
+  total_clicks_ += static_cast<double>(clicks);
+}
+
+void CtrTracker::Tick() {
+  for (auto& [key, s] : stats_) {
+    s.hist_views = s.hist_views * config_.decay + s.fresh_views;
+    s.hist_clicks = s.hist_clicks * config_.decay + s.fresh_clicks;
+    s.fresh_views = 0;
+    s.fresh_clicks = 0;
+  }
+  total_views_ *= config_.decay;
+  total_clicks_ *= config_.decay;
+}
+
+double CtrTracker::SystemCtr() const {
+  // A weak global prior keeps the estimate sane before any traffic.
+  return (total_clicks_ + 1.0) / (total_views_ + 100.0);
+}
+
+double CtrTracker::SmoothedCtr(std::string_view key) const {
+  auto it = stats_.find(std::string(key));
+  double system = SystemCtr();
+  if (it == stats_.end()) return system;
+  const ConceptStats& s = it->second;
+  double views = s.hist_views + s.fresh_views;
+  double clicks = s.hist_clicks + s.fresh_clicks;
+  return (clicks + config_.prior_views * system) /
+         (views + config_.prior_views);
+}
+
+double CtrTracker::Adjustment(std::string_view key) const {
+  auto it = stats_.find(std::string(key));
+  if (it == stats_.end()) return 0.0;
+  double ratio = SmoothedCtr(key) / std::max(1e-12, SystemCtr());
+  double log_ratio = std::log(std::max(1e-12, ratio));
+  log_ratio = std::clamp(log_ratio, -config_.max_adjustment,
+                         config_.max_adjustment);
+  return config_.adjustment_weight * log_ratio;
+}
+
+double CtrTracker::SpikeStrength(const ConceptStats& s) const {
+  if (s.fresh_views < config_.spike_min_views) return 0.0;
+  double fresh_ctr = s.fresh_clicks / s.fresh_views;
+  double hist_ctr = s.hist_views > 0 ? s.hist_clicks / s.hist_views : 0.0;
+  double reference = std::max(hist_ctr, SystemCtr());
+  if (reference <= 0) return 0.0;
+  return fresh_ctr / reference;
+}
+
+bool CtrTracker::IsSpiking(std::string_view key) const {
+  auto it = stats_.find(std::string(key));
+  if (it == stats_.end()) return false;
+  return SpikeStrength(it->second) >= config_.spike_ratio;
+}
+
+std::vector<std::string> CtrTracker::SpikingConcepts() const {
+  std::vector<std::pair<double, std::string>> spiking;
+  for (const auto& [key, s] : stats_) {
+    double strength = SpikeStrength(s);
+    if (strength >= config_.spike_ratio) spiking.emplace_back(strength, key);
+  }
+  std::sort(spiking.rbegin(), spiking.rend());
+  std::vector<std::string> out;
+  out.reserve(spiking.size());
+  for (auto& [strength, key] : spiking) out.push_back(std::move(key));
+  return out;
+}
+
+}  // namespace ckr

@@ -1,0 +1,99 @@
+// Online CTR adaptation — the paper's future-work extension (Section
+// VIII): "the system would be able to respond to sudden fluctuations in
+// click data, either boosting scores of low scoring concepts that are
+// experiencing high CTRs, or punishing the scores of those experiencing
+// low CTRs. This may allow the system to potentially react intelligently
+// to world events in real time."
+//
+// CtrTracker aggregates live per-concept view/click counts in decayed
+// time buckets. For each concept it exposes:
+//  * a Bayesian-smoothed recent CTR (shrunk toward the system-wide CTR by
+//    a pseudo-count prior, so sparsely observed concepts stay neutral);
+//  * a score adjustment in log-odds form, clamped to a configurable band,
+//    that the runtime ranker adds to the model score; and
+//  * a spike detector comparing the current bucket against the decayed
+//    history (the Section IV-C idea of features that "identify spikes or
+//    changes in news articles and/or query logs").
+#ifndef CKR_ONLINE_CTR_TRACKER_H_
+#define CKR_ONLINE_CTR_TRACKER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace ckr {
+
+/// Tracker behaviour.
+struct CtrTrackerConfig {
+  /// Multiplier applied to accumulated counts at each Tick() (one tick =
+  /// one aggregation period, e.g. a day). Smaller forgets faster.
+  double decay = 0.7;
+  /// Pseudo-views of the system-prior CTR blended into every estimate.
+  double prior_views = 300.0;
+  /// Adjustment band: the log-ratio of smoothed to system CTR is clamped
+  /// to [-max_adjustment, +max_adjustment].
+  double max_adjustment = 1.2;
+  /// Weight of the adjustment when added to a model score.
+  double adjustment_weight = 1.0;
+  /// Spike detection: the current bucket must exceed this multiple of the
+  /// decayed historical rate, with at least `spike_min_views` fresh views.
+  double spike_ratio = 3.0;
+  double spike_min_views = 50.0;
+};
+
+/// Accumulates click feedback and produces score adjustments.
+/// Not thread-safe; callers serialize feeding and ticking.
+class CtrTracker {
+ public:
+  explicit CtrTracker(const CtrTrackerConfig& config = {});
+
+  /// Records traffic observed for a concept in the current period.
+  void Record(std::string_view key, uint64_t views, uint64_t clicks);
+
+  /// Closes the current period: folds fresh counts into the decayed
+  /// history.
+  void Tick();
+
+  /// System-wide smoothed CTR over everything observed (history + fresh).
+  double SystemCtr() const;
+
+  /// Bayesian-smoothed recent CTR of one concept.
+  double SmoothedCtr(std::string_view key) const;
+
+  /// Additive score adjustment in [-max_adjustment, max_adjustment] *
+  /// adjustment_weight: ln(smoothed / system), clamped. Unobserved
+  /// concepts get 0.
+  double Adjustment(std::string_view key) const;
+
+  /// True if the concept's fresh-period CTR spikes above its decayed
+  /// historical rate (a "world event" signal).
+  bool IsSpiking(std::string_view key) const;
+
+  /// Concepts currently spiking, most extreme first.
+  std::vector<std::string> SpikingConcepts() const;
+
+  size_t NumTracked() const { return stats_.size(); }
+
+ private:
+  struct ConceptStats {
+    double hist_views = 0;
+    double hist_clicks = 0;
+    double fresh_views = 0;
+    double fresh_clicks = 0;
+  };
+
+  /// Spike strength: fresh CTR / max(historical CTR, system CTR); < 1
+  /// when not spiking or too little fresh data.
+  double SpikeStrength(const ConceptStats& s) const;
+
+  CtrTrackerConfig config_;
+  std::unordered_map<std::string, ConceptStats> stats_;
+  double total_views_ = 0;
+  double total_clicks_ = 0;
+};
+
+}  // namespace ckr
+
+#endif  // CKR_ONLINE_CTR_TRACKER_H_

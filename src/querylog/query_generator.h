@@ -1,0 +1,48 @@
+// Query traffic simulation.
+//
+// Generates the weekly query log from the world's latent demand model:
+//  * entity/concept queries, drawn with probability proportional to the
+//    entity's popularity — exact surface queries, surface plus topical
+//    context words ("phrase contained"), or partial-surface queries;
+//  * generic background queries of 1-4 words (Zipfian word choice), which
+//    provide the noise floor and make junk units frequent.
+//
+// The resulting log drives the interestingness features (freq_exact,
+// freq_phrase_contained), unit extraction (mutual information), and the
+// related-query-suggestion service.
+#ifndef CKR_QUERYLOG_QUERY_GENERATOR_H_
+#define CKR_QUERYLOG_QUERY_GENERATOR_H_
+
+#include <cstdint>
+
+#include "corpus/world.h"
+#include "querylog/query_log.h"
+
+namespace ckr {
+
+/// Traffic-mix knobs.
+struct QueryGeneratorConfig {
+  uint64_t seed = 7;
+  uint64_t num_submissions = 150000;  ///< Total query submissions.
+  double entity_query_prob = 0.55;    ///< Share of entity-driven queries.
+  double exact_prob = 0.45;     ///< P(exact surface | entity query).
+  double context_prob = 0.35;   ///< P(surface + context | entity query).
+  // Remaining entity-query mass issues a partial (single-term) query.
+};
+
+/// Generates and finalizes a QueryLog for a world.
+class QueryGenerator {
+ public:
+  QueryGenerator(const World& world, const QueryGeneratorConfig& config);
+
+  /// Builds the aggregated log (deterministic in config.seed).
+  QueryLog Generate();
+
+ private:
+  const World& world_;
+  QueryGeneratorConfig config_;
+};
+
+}  // namespace ckr
+
+#endif  // CKR_QUERYLOG_QUERY_GENERATOR_H_

@@ -1,0 +1,127 @@
+#include "querylog/query_log.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+#include "text/tokenizer.h"
+
+namespace ckr {
+
+void QueryLog::AddQuery(std::string_view query, uint64_t count) {
+  std::string norm = NormalizePhrase(query);
+  if (norm.empty()) return;
+  raw_counts_[norm] += count;
+  finalized_ = false;
+}
+
+std::string QueryLog::PairKey(std::string_view a, std::string_view b) {
+  // Order-independent key.
+  if (b < a) std::swap(a, b);
+  std::string key(a);
+  key.push_back('\x01');
+  key.append(b);
+  return key;
+}
+
+void QueryLog::Finalize() {
+  entries_.clear();
+  query_index_.clear();
+  subphrase_freq_.clear();
+  term_freq_.clear();
+  pair_freq_.clear();
+  term_to_queries_.clear();
+  total_submissions_ = 0;
+
+  entries_.reserve(raw_counts_.size());
+  for (const auto& [text, freq] : raw_counts_) {
+    QueryEntry e;
+    e.text = text;
+    e.terms = SplitString(text, " ");
+    e.freq = freq;
+    entries_.push_back(std::move(e));
+  }
+  // Deterministic order independent of hash-map iteration.
+  std::sort(entries_.begin(), entries_.end(),
+            [](const QueryEntry& a, const QueryEntry& b) {
+              return a.text < b.text;
+            });
+
+  for (uint32_t qid = 0; qid < entries_.size(); ++qid) {
+    const QueryEntry& e = entries_[qid];
+    query_index_[e.text] = qid;
+    total_submissions_ += e.freq;
+
+    // Contiguous sub-phrases (including the full query).
+    const size_t k = e.terms.size();
+    for (size_t i = 0; i < k; ++i) {
+      std::string phrase;
+      for (size_t j = i; j < k; ++j) {
+        if (j > i) phrase.push_back(' ');
+        phrase.append(e.terms[j]);
+        subphrase_freq_[phrase] += e.freq;
+      }
+    }
+
+    // Distinct terms of this query.
+    std::vector<std::string> uniq = e.terms;
+    std::sort(uniq.begin(), uniq.end());
+    uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+    for (const std::string& t : uniq) {
+      term_freq_[t] += e.freq;
+      term_to_queries_[t].push_back(qid);
+    }
+    for (size_t i = 0; i < uniq.size(); ++i) {
+      for (size_t j = i + 1; j < uniq.size(); ++j) {
+        pair_freq_[PairKey(uniq[i], uniq[j])] += e.freq;
+      }
+    }
+  }
+  finalized_ = true;
+}
+
+uint64_t QueryLog::ExactFreq(std::string_view phrase) const {
+  std::string norm = NormalizePhrase(phrase);
+  auto it = query_index_.find(norm);
+  return it == query_index_.end() ? 0 : entries_[it->second].freq;
+}
+
+uint64_t QueryLog::PhraseContainedFreq(std::string_view phrase) const {
+  std::string norm = NormalizePhrase(phrase);
+  auto it = subphrase_freq_.find(norm);
+  return it == subphrase_freq_.end() ? 0 : it->second;
+}
+
+uint64_t QueryLog::TermFreq(std::string_view term) const {
+  auto it = term_freq_.find(std::string(term));
+  return it == term_freq_.end() ? 0 : it->second;
+}
+
+uint64_t QueryLog::PairFreq(std::string_view a, std::string_view b) const {
+  auto it = pair_freq_.find(PairKey(a, b));
+  return it == pair_freq_.end() ? 0 : it->second;
+}
+
+double QueryLog::MutualInformation(std::string_view a,
+                                   std::string_view b) const {
+  if (total_submissions_ == 0) return 0.0;
+  uint64_t fa = TermFreq(a);
+  uint64_t fb = TermFreq(b);
+  uint64_t fab = PairFreq(a, b);
+  if (fa == 0 || fb == 0 || fab == 0) return 0.0;
+  double n = static_cast<double>(total_submissions_);
+  double pxy = static_cast<double>(fab) / n;
+  double px = static_cast<double>(fa) / n;
+  double py = static_cast<double>(fb) / n;
+  return std::log(pxy / (px * py));
+}
+
+const std::vector<uint32_t>& QueryLog::QueriesWithTerm(
+    std::string_view term) const {
+  static const std::vector<uint32_t>* const kEmpty =
+      new std::vector<uint32_t>();
+  auto it = term_to_queries_.find(std::string(term));
+  return it == term_to_queries_.end() ? *kEmpty : it->second;
+}
+
+}  // namespace ckr

@@ -1,0 +1,86 @@
+// Aggregated search-engine query log — the substitute for "the most
+// popular 20 million queries submitted to the engine in the week of
+// November 17th-23rd, 2007" (paper Section V-A.1).
+//
+// The log stores each distinct query with its frequency and serves the
+// lookups the feature pipeline needs: exact-match frequency, phrase-
+// containment frequency (paper features (1) and (2) of Table I), per-term
+// statistics for mutual information (unit extraction, Eq. 1), and a
+// term -> query inverted index used by the suggestion service.
+#ifndef CKR_QUERYLOG_QUERY_LOG_H_
+#define CKR_QUERYLOG_QUERY_LOG_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ckr {
+
+/// One distinct query with its aggregated submission count.
+struct QueryEntry {
+  std::string text;                 ///< Normalized query string.
+  std::vector<std::string> terms;   ///< Normalized terms (split of text).
+  uint64_t freq = 0;                ///< Number of submissions.
+};
+
+/// Immutable aggregated log. Build via AddQuery + Finalize (or through
+/// QueryGenerator).
+class QueryLog {
+ public:
+  QueryLog() = default;
+
+  /// Accumulates `count` submissions of `query` (normalized internally).
+  void AddQuery(std::string_view query, uint64_t count = 1);
+
+  /// Freezes the log and builds the derived indexes. Must be called before
+  /// any lookup; calling lookups earlier returns zeros.
+  void Finalize();
+
+  bool finalized() const { return finalized_; }
+  size_t NumDistinctQueries() const { return entries_.size(); }
+  uint64_t TotalSubmissions() const { return total_submissions_; }
+  const std::vector<QueryEntry>& entries() const { return entries_; }
+
+  /// Feature (1) freq_exact: submissions of exactly this phrase.
+  uint64_t ExactFreq(std::string_view phrase) const;
+
+  /// Feature (2) freq_phrase_contained: total submissions of queries that
+  /// contain the phrase as a contiguous term sequence (includes exact
+  /// matches).
+  uint64_t PhraseContainedFreq(std::string_view phrase) const;
+
+  /// Total submissions of queries containing the single term.
+  uint64_t TermFreq(std::string_view term) const;
+
+  /// Total submissions of queries containing both terms (anywhere).
+  uint64_t PairFreq(std::string_view a, std::string_view b) const;
+
+  /// Pointwise mutual information of two terms over query submissions
+  /// (paper Eq. 1): log(p(x,y) / (p(x) p(y))). Returns 0 when either term
+  /// is unseen or they never co-occur.
+  double MutualInformation(std::string_view a, std::string_view b) const;
+
+  /// Ids (indexes into entries()) of queries containing `term`.
+  const std::vector<uint32_t>& QueriesWithTerm(std::string_view term) const;
+
+ private:
+  static std::string PairKey(std::string_view a, std::string_view b);
+
+  std::unordered_map<std::string, uint64_t> raw_counts_;
+  std::vector<QueryEntry> entries_;
+  std::unordered_map<std::string, uint32_t> query_index_;
+  std::unordered_map<std::string, uint64_t> subphrase_freq_;
+  std::unordered_map<std::string, uint64_t> term_freq_;
+  std::unordered_map<std::string, uint64_t> pair_freq_;
+  std::unordered_map<std::string, std::vector<uint32_t>> term_to_queries_;
+  uint64_t total_submissions_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace ckr
+
+#endif  // CKR_QUERYLOG_QUERY_LOG_H_

@@ -1,0 +1,239 @@
+#include "ranksvm/rank_svm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace ckr {
+
+std::vector<double> RankSvmModel::Transform(
+    const std::vector<double>& features) const {
+  std::vector<double> x(features.size());
+  for (size_t i = 0; i < features.size(); ++i) {
+    x[i] = (features[i] - mean_[i]) * inv_sd_[i];
+  }
+  if (kernel_ == SvmKernel::kLinear) return x;
+  // Random Fourier features for the RBF kernel.
+  std::vector<double> z(rff_w_.size());
+  const double scale = std::sqrt(2.0 / static_cast<double>(rff_w_.size()));
+  for (size_t d = 0; d < rff_w_.size(); ++d) {
+    double dot = rff_b_[d];
+    const std::vector<double>& w = rff_w_[d];
+    for (size_t i = 0; i < x.size(); ++i) dot += w[i] * x[i];
+    z[d] = scale * std::cos(dot);
+  }
+  return z;
+}
+
+double RankSvmModel::Score(const std::vector<double>& features) const {
+  if (features.size() != mean_.size()) return 0.0;
+  std::vector<double> phi = Transform(features);
+  double s = 0.0;
+  for (size_t i = 0; i < phi.size(); ++i) s += weights_[i] * phi[i];
+  return s;
+}
+
+std::string RankSvmModel::Serialize() const {
+  std::ostringstream out;
+  out.precision(17);
+  out << "ranksvm v1\n";
+  out << "kernel " << (kernel_ == SvmKernel::kLinear ? "linear" : "rbf_fourier")
+      << "\n";
+  auto dump = [&out](const char* name, const std::vector<double>& v) {
+    out << name << " " << v.size();
+    for (double x : v) out << " " << x;
+    out << "\n";
+  };
+  dump("mean", mean_);
+  dump("inv_sd", inv_sd_);
+  dump("weights", weights_);
+  out << "rff " << rff_w_.size() << "\n";
+  for (size_t d = 0; d < rff_w_.size(); ++d) {
+    out << "w" << d;
+    for (double x : rff_w_[d]) out << " " << x;
+    out << " b " << rff_b_[d] << "\n";
+  }
+  return out.str();
+}
+
+StatusOr<RankSvmModel> RankSvmModel::Deserialize(const std::string& blob) {
+  std::istringstream in(blob);
+  std::string magic, version;
+  in >> magic >> version;
+  if (magic != "ranksvm" || version != "v1") {
+    return Status::InvalidArgument("bad model header");
+  }
+  RankSvmModel m;
+  std::string tag, kernel;
+  in >> tag >> kernel;
+  if (tag != "kernel") return Status::InvalidArgument("missing kernel");
+  m.kernel_ = (kernel == "linear") ? SvmKernel::kLinear
+                                   : SvmKernel::kRbfFourier;
+  auto load = [&in](const char* name, std::vector<double>* v) -> Status {
+    std::string t;
+    size_t n = 0;
+    in >> t >> n;
+    if (t != name) return Status::InvalidArgument("expected " + std::string(name));
+    v->resize(n);
+    for (size_t i = 0; i < n; ++i) in >> (*v)[i];
+    return Status::OK();
+  };
+  CKR_RETURN_IF_ERROR(load("mean", &m.mean_));
+  CKR_RETURN_IF_ERROR(load("inv_sd", &m.inv_sd_));
+  CKR_RETURN_IF_ERROR(load("weights", &m.weights_));
+  std::string t;
+  size_t rff_n = 0;
+  in >> t >> rff_n;
+  if (t != "rff") return Status::InvalidArgument("expected rff");
+  m.rff_w_.resize(rff_n);
+  m.rff_b_.resize(rff_n);
+  for (size_t d = 0; d < rff_n; ++d) {
+    std::string wd;
+    in >> wd;
+    m.rff_w_[d].resize(m.mean_.size());
+    for (size_t i = 0; i < m.mean_.size(); ++i) in >> m.rff_w_[d][i];
+    std::string btag;
+    in >> btag >> m.rff_b_[d];
+    if (btag != "b") return Status::InvalidArgument("expected b");
+  }
+  if (in.fail()) return Status::InvalidArgument("truncated model blob");
+  return m;
+}
+
+RankSvmTrainer::RankSvmTrainer(const RankSvmConfig& config)
+    : config_(config) {}
+
+StatusOr<RankSvmModel> RankSvmTrainer::Train(
+    const std::vector<RankingInstance>& data) const {
+  if (data.empty()) return Status::InvalidArgument("no training data");
+  const size_t dim = data[0].features.size();
+  if (dim == 0) return Status::InvalidArgument("zero-dimensional features");
+  for (const RankingInstance& inst : data) {
+    if (inst.features.size() != dim) {
+      return Status::InvalidArgument("inconsistent feature dimensions");
+    }
+  }
+
+  RankSvmModel model;
+  model.kernel_ = config_.kernel;
+
+  // Standardization fitted on the training data.
+  model.mean_.assign(dim, 0.0);
+  model.inv_sd_.assign(dim, 0.0);
+  for (const RankingInstance& inst : data) {
+    for (size_t i = 0; i < dim; ++i) model.mean_[i] += inst.features[i];
+  }
+  for (double& m : model.mean_) m /= static_cast<double>(data.size());
+  std::vector<double> var(dim, 0.0);
+  for (const RankingInstance& inst : data) {
+    for (size_t i = 0; i < dim; ++i) {
+      double d = inst.features[i] - model.mean_[i];
+      var[i] += d * d;
+    }
+  }
+  // Binary indicator dimensions (e.g. the taxonomy one-hots) are centered
+  // but not variance-scaled: scaling a rare indicator by 1/sd blows it up
+  // to +-5 and lets it dominate the RBF distance.
+  std::vector<bool> is_binary(dim, true);
+  for (const RankingInstance& inst : data) {
+    for (size_t i = 0; i < dim; ++i) {
+      if (inst.features[i] != 0.0 && inst.features[i] != 1.0) {
+        is_binary[i] = false;
+      }
+    }
+  }
+  for (size_t i = 0; i < dim; ++i) {
+    if (is_binary[i]) {
+      model.inv_sd_[i] = 1.0;
+      continue;
+    }
+    double sd = std::sqrt(var[i] / static_cast<double>(data.size()));
+    model.inv_sd_[i] = sd > 1e-12 ? 1.0 / sd : 0.0;
+  }
+
+  Rng rng(config_.seed);
+  if (config_.kernel == SvmKernel::kRbfFourier) {
+    // W rows ~ N(0, 2*gamma I); b ~ U[0, 2pi).
+    model.rff_w_.resize(config_.rff_dim);
+    model.rff_b_.resize(config_.rff_dim);
+    // Scale-free width: the configured gamma is divided by the input
+    // dimensionality (the classic 1/num_features heuristic), so kernel
+    // width stays comparable across feature ablations.
+    const double w_sd =
+        std::sqrt(2.0 * config_.rbf_gamma / static_cast<double>(dim));
+    for (size_t d = 0; d < config_.rff_dim; ++d) {
+      model.rff_w_[d].resize(dim);
+      for (size_t i = 0; i < dim; ++i) {
+        model.rff_w_[d][i] = w_sd * rng.NextGaussian();
+      }
+      model.rff_b_[d] = 2.0 * M_PI * rng.NextDouble();
+    }
+  }
+
+  // Pre-transform all instances once.
+  std::vector<std::vector<double>> phi;
+  phi.reserve(data.size());
+  for (const RankingInstance& inst : data) {
+    phi.push_back(model.Transform(inst.features));
+  }
+  const size_t feat_dim = phi[0].size();
+
+  // Materialize preference pairs within groups.
+  std::map<uint32_t, std::vector<size_t>> groups;
+  for (size_t i = 0; i < data.size(); ++i) {
+    groups[data[i].group].push_back(i);
+  }
+  std::vector<std::pair<size_t, size_t>> pairs;  // (winner, loser)
+  for (const auto& [gid, members] : groups) {
+    for (size_t a = 0; a < members.size(); ++a) {
+      for (size_t b = a + 1; b < members.size(); ++b) {
+        size_t i = members[a], j = members[b];
+        double gap = data[i].label - data[j].label;
+        if (std::abs(gap) < config_.min_label_gap) continue;
+        if (gap > 0) {
+          pairs.emplace_back(i, j);
+        } else {
+          pairs.emplace_back(j, i);
+        }
+        if (pairs.size() >= config_.max_pairs) break;
+      }
+      if (pairs.size() >= config_.max_pairs) break;
+    }
+    if (pairs.size() >= config_.max_pairs) break;
+  }
+  if (pairs.empty()) {
+    return Status::FailedPrecondition("no preference pairs (all labels tied)");
+  }
+
+  // Pegasos-style SGD over the pairwise hinge loss.
+  model.weights_.assign(feat_dim, 0.0);
+  std::vector<double>& w = model.weights_;
+  const double lambda = config_.lambda;
+  uint64_t t = 0;
+  const uint64_t total_steps =
+      static_cast<uint64_t>(config_.epochs) * pairs.size();
+  for (uint64_t step = 0; step < total_steps; ++step) {
+    ++t;
+    const auto& [wi, li] = pairs[rng.NextBounded(pairs.size())];
+    const std::vector<double>& xw = phi[wi];
+    const std::vector<double>& xl = phi[li];
+    double margin = 0.0;
+    for (size_t d = 0; d < feat_dim; ++d) margin += w[d] * (xw[d] - xl[d]);
+    const double eta = 1.0 / (lambda * static_cast<double>(t));
+    // w <- (1 - eta*lambda) w [+ eta * (xw - xl) if margin < 1]
+    const double shrink = 1.0 - eta * lambda;
+    if (margin < 1.0) {
+      for (size_t d = 0; d < feat_dim; ++d) {
+        w[d] = shrink * w[d] + eta * (xw[d] - xl[d]);
+      }
+    } else {
+      for (size_t d = 0; d < feat_dim; ++d) w[d] *= shrink;
+    }
+  }
+  return model;
+}
+
+}  // namespace ckr

@@ -1,0 +1,107 @@
+#include "search/search_service.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
+
+namespace ckr {
+
+SearchService::SearchService(const InvertedIndex& index, const QueryLog& log,
+                             const TermDictionary& term_dict)
+    : index_(index), log_(log), term_dict_(term_dict) {}
+
+std::vector<std::string> SearchService::Snippets(std::string_view concept_phrase,
+                                                 size_t k) const {
+  // Phrase-query semantics: concepts with little web presence return few
+  // results and therefore few snippets — exactly the sparsity that keeps
+  // weak concepts' mined keyword mass low (Section IV-C).
+  std::vector<SearchResult> hits = index_.PhraseSearch(concept_phrase, k);
+  std::vector<std::string> snippets;
+  snippets.reserve(hits.size());
+  for (const SearchResult& h : hits) {
+    std::string s = index_.Snippet(h.doc, concept_phrase);
+    if (!s.empty()) snippets.push_back(std::move(s));
+  }
+  return snippets;
+}
+
+uint64_t SearchService::PhraseResultCount(std::string_view concept_phrase) const {
+  return index_.PhraseResultCount(concept_phrase);
+}
+
+uint64_t SearchService::RegularResultCount(std::string_view concept_phrase) const {
+  return index_.Search(concept_phrase, index_.NumDocs() + 1).size();
+}
+
+std::vector<std::string> SearchService::PrismaFeedbackTerms(
+    std::string_view concept_phrase, size_t max_terms, size_t feedback_docs) const {
+  // Pseudo-relevance feedback [19][20]: weight terms of the top documents
+  // by tf * idf, discounted by document rank.
+  // Prisma refines *regular* queries, so the feedback pool is the
+  // disjunctive top-50 - on loosely-matching queries it mixes senses,
+  // which is why the paper finds its keywords noisier than phrase-query
+  // snippets.
+  std::vector<SearchResult> hits = index_.Search(concept_phrase, feedback_docs);
+
+  std::vector<std::string> concept_terms = TokenizeToStrings(concept_phrase);
+  std::unordered_set<std::string> exclude(concept_terms.begin(),
+                                          concept_terms.end());
+
+  std::unordered_map<std::string, double> scores;
+  for (size_t rank = 0; rank < hits.size(); ++rank) {
+    const std::string& text = index_.DocText(hits[rank].doc);
+    std::unordered_map<std::string, uint32_t> tf;
+    for (std::string& tok : TokenizeToStrings(text)) {
+      if (IsStopWord(tok) || exclude.count(tok) > 0) continue;
+      ++tf[tok];
+    }
+    double rank_discount = 1.0 / std::log(2.0 + static_cast<double>(rank));
+    for (const auto& [term, count] : tf) {
+      scores[term] += static_cast<double>(count) * term_dict_.Idf(term) *
+                      rank_discount;
+    }
+  }
+  std::vector<std::pair<std::string, double>> ordered(scores.begin(),
+                                                      scores.end());
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  std::vector<std::string> out;
+  for (const auto& [term, score] : ordered) {
+    if (out.size() >= max_terms) break;
+    out.push_back(term);
+  }
+  return out;
+}
+
+std::vector<Suggestion> SearchService::RelatedSuggestions(
+    std::string_view concept_phrase, size_t max_suggestions) const {
+  std::vector<std::string> terms = TokenizeToStrings(concept_phrase);
+  std::unordered_set<uint32_t> query_ids;
+  for (const std::string& t : terms) {
+    if (IsStopWord(t)) continue;
+    for (uint32_t qid : log_.QueriesWithTerm(t)) query_ids.insert(qid);
+  }
+  std::string norm = NormalizePhrase(concept_phrase);
+  std::vector<Suggestion> out;
+  out.reserve(query_ids.size());
+  for (uint32_t qid : query_ids) {
+    const QueryEntry& q = log_.entries()[qid];
+    if (q.text == norm) continue;  // The query itself is not a suggestion.
+    out.push_back({q.text, q.freq});
+  }
+  std::sort(out.begin(), out.end(), [](const Suggestion& a, const Suggestion& b) {
+    if (a.freq != b.freq) return a.freq > b.freq;
+    return a.query < b.query;
+  });
+  if (out.size() > max_suggestions) out.resize(max_suggestions);
+  return out;
+}
+
+}  // namespace ckr

@@ -1,0 +1,68 @@
+// Search-services facade — the substitute for the Yahoo! Developer Network
+// APIs the paper mines for relevant keywords (Section IV-B.1):
+//  (a) search engine result snippets (top-100 results of a phrase query),
+//  (b) Prisma query-refinement feedback terms (pseudo-relevance feedback
+//      over the top-50 documents, capped at 20 feedback terms — the
+//      limitation the paper reports), and
+//  (c) related query suggestions (up to 300, with query frequencies).
+#ifndef CKR_SEARCH_SEARCH_SERVICE_H_
+#define CKR_SEARCH_SEARCH_SERVICE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "corpus/term_dictionary.h"
+#include "index/inverted_index.h"
+#include "querylog/query_log.h"
+
+namespace ckr {
+
+/// A related-query suggestion with its submission frequency.
+struct Suggestion {
+  std::string query;
+  uint64_t freq = 0;
+};
+
+/// Read-only facade over the index, the query log and the term dictionary.
+/// All referenced objects must outlive the service.
+class SearchService {
+ public:
+  SearchService(const InvertedIndex& index, const QueryLog& log,
+                const TermDictionary& term_dict);
+
+  /// Result snippets for the concept submitted as a phrase query; falls
+  /// back to disjunctive retrieval when phrase matches are scarce.
+  std::vector<std::string> Snippets(std::string_view concept_phrase,
+                                    size_t k = 100) const;
+
+  /// Number of results of the phrase query (feature searchengine_phrase).
+  uint64_t PhraseResultCount(std::string_view concept_phrase) const;
+
+  /// Number of results of the regular (disjunctive) query — the feature
+  /// variation the paper tried and discarded during feature selection.
+  uint64_t RegularResultCount(std::string_view concept_phrase) const;
+
+  /// Prisma feedback terms: pseudo-relevance feedback over the top
+  /// `feedback_docs` results, returning at most `max_terms` terms.
+  std::vector<std::string> PrismaFeedbackTerms(std::string_view concept_phrase,
+                                               size_t max_terms = 20,
+                                               size_t feedback_docs = 50) const;
+
+  /// Related query suggestions: queries sharing a non-stop-word term with
+  /// the concept, ranked by frequency.
+  std::vector<Suggestion> RelatedSuggestions(std::string_view concept_phrase,
+                                             size_t max_suggestions = 300) const;
+
+  const InvertedIndex& index() const { return index_; }
+  const TermDictionary& term_dictionary() const { return term_dict_; }
+
+ private:
+  const InvertedIndex& index_;
+  const QueryLog& log_;
+  const TermDictionary& term_dict_;
+};
+
+}  // namespace ckr
+
+#endif  // CKR_SEARCH_SEARCH_SERVICE_H_

@@ -1,0 +1,151 @@
+#include "text/html.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace ckr {
+namespace {
+
+// Tags whose end implies a text break.
+bool IsBlockTag(std::string_view name) {
+  static const char* const kBlockTags[] = {
+      "p",  "div", "br",  "li", "ul", "ol", "h1", "h2", "h3",
+      "h4", "h5",  "h6",  "tr", "td", "th", "table", "blockquote",
+  };
+  for (const char* t : kBlockTags) {
+    if (name == t) return true;
+  }
+  return false;
+}
+
+// Extracts the tag name from the inside of "<...>" (lower-cased, without a
+// leading '/').
+std::string TagName(std::string_view inside) {
+  size_t i = 0;
+  if (i < inside.size() && inside[i] == '/') ++i;
+  size_t start = i;
+  while (i < inside.size() &&
+         std::isalnum(static_cast<unsigned char>(inside[i]))) {
+    ++i;
+  }
+  return ToLowerAscii(inside.substr(start, i - start));
+}
+
+// Decodes an entity starting at text[i] == '&'; appends the decoded char(s)
+// to out and returns the index one past the entity, or i+1 (emitting '&')
+// if it is not a recognized entity.
+size_t DecodeEntity(std::string_view text, size_t i, std::string& out) {
+  size_t semi = text.find(';', i + 1);
+  if (semi == std::string_view::npos || semi - i > 8) {
+    out.push_back('&');
+    return i + 1;
+  }
+  std::string_view body = text.substr(i + 1, semi - i - 1);
+  if (body == "amp") {
+    out.push_back('&');
+  } else if (body == "lt") {
+    out.push_back('<');
+  } else if (body == "gt") {
+    out.push_back('>');
+  } else if (body == "quot") {
+    out.push_back('"');
+  } else if (body == "apos") {
+    out.push_back('\'');
+  } else if (body == "nbsp") {
+    out.push_back(' ');
+  } else if (!body.empty() && body[0] == '#') {
+    long code = std::strtol(std::string(body.substr(1)).c_str(), nullptr, 10);
+    if (code >= 32 && code < 127) {
+      out.push_back(static_cast<char>(code));
+    } else {
+      out.push_back(' ');
+    }
+  } else {
+    out.push_back('&');
+    return i + 1;
+  }
+  return semi + 1;
+}
+
+}  // namespace
+
+std::string StripHtml(std::string_view html) {
+  std::string out;
+  out.reserve(html.size());
+  size_t i = 0;
+  const size_t n = html.size();
+  while (i < n) {
+    char c = html[i];
+    if (c == '<') {
+      // Comment?
+      if (html.substr(i, 4) == "<!--") {
+        size_t end = html.find("-->", i + 4);
+        i = (end == std::string_view::npos) ? n : end + 3;
+        continue;
+      }
+      size_t close = html.find('>', i + 1);
+      if (close == std::string_view::npos) break;  // Truncated tag: stop.
+      std::string_view inside = html.substr(i + 1, close - i - 1);
+      std::string name = TagName(inside);
+      if (name == "script" || name == "style") {
+        // Skip to the matching close tag.
+        std::string end_tag = "</" + name;
+        size_t pos = close + 1;
+        size_t found = std::string_view::npos;
+        while (pos < n) {
+          size_t cand = html.find('<', pos);
+          if (cand == std::string_view::npos) break;
+          std::string_view rest = html.substr(cand, end_tag.size());
+          if (ToLowerAscii(rest) == end_tag) {
+            found = cand;
+            break;
+          }
+          pos = cand + 1;
+        }
+        if (found == std::string_view::npos) {
+          i = n;
+        } else {
+          size_t tag_close = html.find('>', found);
+          i = (tag_close == std::string_view::npos) ? n : tag_close + 1;
+        }
+        continue;
+      }
+      if (IsBlockTag(name)) out.push_back('\n');
+      i = close + 1;
+    } else if (c == '&') {
+      i = DecodeEntity(html, i, out);
+    } else {
+      out.push_back(c);
+      ++i;
+    }
+  }
+  return out;
+}
+
+std::string EscapeHtml(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace ckr

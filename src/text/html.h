@@ -1,0 +1,23 @@
+// Minimal HTML handling for the pre-processing stage (paper Section II:
+// "A sequence of pre-processing steps handles HTML parsing ...").
+#ifndef CKR_TEXT_HTML_H_
+#define CKR_TEXT_HTML_H_
+
+#include <string>
+#include <string_view>
+
+namespace ckr {
+
+/// Strips tags, comments, script/style bodies, and decodes the common named
+/// character entities (&amp; &lt; &gt; &quot; &apos; &nbsp;) plus numeric
+/// ASCII entities. Block-level tags are replaced by newlines so paragraph
+/// detection still works downstream.
+std::string StripHtml(std::string_view html);
+
+/// Escapes &, <, > and " for embedding plain text into HTML (used by the
+/// annotation output writer).
+std::string EscapeHtml(std::string_view text);
+
+}  // namespace ckr
+
+#endif  // CKR_TEXT_HTML_H_

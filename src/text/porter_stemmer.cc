@@ -1,0 +1,312 @@
+#include "text/porter_stemmer.h"
+
+#include <cctype>
+
+namespace ckr {
+namespace {
+
+// Implementation of the 1980 Porter algorithm. The word is held in a
+// mutable buffer `b` with logical end `k` (index of last character), and
+// `j` marks the stem boundary during suffix checks, mirroring the variable
+// names of Porter's reference implementation for ease of cross-checking.
+class Stemmer {
+ public:
+  explicit Stemmer(std::string word) : b_(std::move(word)) {
+    k_ = static_cast<int>(b_.size()) - 1;
+  }
+
+  std::string Run() {
+    if (k_ <= 1) return b_;  // Words of length <= 2 are left unchanged.
+    Step1ab();
+    Step1c();
+    Step2();
+    Step3();
+    Step4();
+    Step5();
+    b_.resize(static_cast<size_t>(k_) + 1);
+    return b_;
+  }
+
+ private:
+  // True if b_[i] is a consonant.
+  bool Cons(int i) const {
+    switch (b_[static_cast<size_t>(i)]) {
+      case 'a':
+      case 'e':
+      case 'i':
+      case 'o':
+      case 'u':
+        return false;
+      case 'y':
+        return (i == 0) ? true : !Cons(i - 1);
+      default:
+        return true;
+    }
+  }
+
+  // Measure of the stem b_[0..j_]: the number of VC sequences.
+  int M() const {
+    int n = 0;
+    int i = 0;
+    while (true) {
+      if (i > j_) return n;
+      if (!Cons(i)) break;
+      ++i;
+    }
+    ++i;
+    while (true) {
+      while (true) {
+        if (i > j_) return n;
+        if (Cons(i)) break;
+        ++i;
+      }
+      ++i;
+      ++n;
+      while (true) {
+        if (i > j_) return n;
+        if (!Cons(i)) break;
+        ++i;
+      }
+      ++i;
+    }
+  }
+
+  // True if the stem b_[0..j_] contains a vowel.
+  bool VowelInStem() const {
+    for (int i = 0; i <= j_; ++i) {
+      if (!Cons(i)) return true;
+    }
+    return false;
+  }
+
+  // True if b_[i-1..i] is a double consonant.
+  bool DoubleC(int i) const {
+    if (i < 1) return false;
+    if (b_[static_cast<size_t>(i)] != b_[static_cast<size_t>(i - 1)]) {
+      return false;
+    }
+    return Cons(i);
+  }
+
+  // True if b_[i-2..i] is consonant-vowel-consonant and the final consonant
+  // is not w, x or y; used to restore an 'e' (e.g. hop(p)ing -> hope).
+  bool Cvc(int i) const {
+    if (i < 2 || !Cons(i) || Cons(i - 1) || !Cons(i - 2)) return false;
+    char ch = b_[static_cast<size_t>(i)];
+    return ch != 'w' && ch != 'x' && ch != 'y';
+  }
+
+  // True if the word ends with suffix `s`; on success sets j_ to the stem
+  // boundary.
+  bool Ends(std::string_view s) {
+    int len = static_cast<int>(s.size());
+    if (len > k_ + 1) return false;
+    if (b_.compare(static_cast<size_t>(k_ - len + 1), static_cast<size_t>(len),
+                   s) != 0) {
+      return false;
+    }
+    j_ = k_ - len;
+    return true;
+  }
+
+  // Replaces the suffix after j_ with `s` and adjusts k_.
+  void SetTo(std::string_view s) {
+    b_.replace(static_cast<size_t>(j_ + 1), static_cast<size_t>(k_ - j_),
+               s);
+    k_ = j_ + static_cast<int>(s.size());
+  }
+
+  void R(std::string_view s) {
+    if (M() > 0) SetTo(s);
+  }
+
+  // Step 1ab: plurals and -ed / -ing.
+  void Step1ab() {
+    if (b_[static_cast<size_t>(k_)] == 's') {
+      if (Ends("sses")) {
+        k_ -= 2;
+      } else if (Ends("ies")) {
+        SetTo("i");
+      } else if (b_[static_cast<size_t>(k_ - 1)] != 's') {
+        --k_;
+      }
+    }
+    if (Ends("eed")) {
+      if (M() > 0) --k_;
+    } else if ((Ends("ed") || Ends("ing")) && VowelInStem()) {
+      k_ = j_;
+      if (Ends("at")) {
+        SetTo("ate");
+      } else if (Ends("bl")) {
+        SetTo("ble");
+      } else if (Ends("iz")) {
+        SetTo("ize");
+      } else if (DoubleC(k_)) {
+        char ch = b_[static_cast<size_t>(k_)];
+        if (ch != 'l' && ch != 's' && ch != 'z') --k_;
+      } else {
+        j_ = k_;
+        if (M() == 1 && Cvc(k_)) SetTo("e");
+      }
+    }
+  }
+
+  // Step 1c: y -> i when there is another vowel in the stem.
+  void Step1c() {
+    if (Ends("y") && VowelInStem()) b_[static_cast<size_t>(k_)] = 'i';
+  }
+
+  // Step 2: double suffixes -> single ones, when M > 0.
+  void Step2() {
+    if (k_ < 1) return;
+    switch (b_[static_cast<size_t>(k_ - 1)]) {
+      case 'a':
+        if (Ends("ational")) { R("ate"); break; }
+        if (Ends("tional")) { R("tion"); break; }
+        break;
+      case 'c':
+        if (Ends("enci")) { R("ence"); break; }
+        if (Ends("anci")) { R("ance"); break; }
+        break;
+      case 'e':
+        if (Ends("izer")) { R("ize"); break; }
+        break;
+      case 'l':
+        if (Ends("bli")) { R("ble"); break; }
+        if (Ends("alli")) { R("al"); break; }
+        if (Ends("entli")) { R("ent"); break; }
+        if (Ends("eli")) { R("e"); break; }
+        if (Ends("ousli")) { R("ous"); break; }
+        break;
+      case 'o':
+        if (Ends("ization")) { R("ize"); break; }
+        if (Ends("ation")) { R("ate"); break; }
+        if (Ends("ator")) { R("ate"); break; }
+        break;
+      case 's':
+        if (Ends("alism")) { R("al"); break; }
+        if (Ends("iveness")) { R("ive"); break; }
+        if (Ends("fulness")) { R("ful"); break; }
+        if (Ends("ousness")) { R("ous"); break; }
+        break;
+      case 't':
+        if (Ends("aliti")) { R("al"); break; }
+        if (Ends("iviti")) { R("ive"); break; }
+        if (Ends("biliti")) { R("ble"); break; }
+        break;
+      case 'g':
+        if (Ends("logi")) { R("log"); break; }
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Step 3: -ic-, -full, -ness etc.
+  void Step3() {
+    switch (b_[static_cast<size_t>(k_)]) {
+      case 'e':
+        if (Ends("icate")) { R("ic"); break; }
+        if (Ends("ative")) { R(""); break; }
+        if (Ends("alize")) { R("al"); break; }
+        break;
+      case 'i':
+        if (Ends("iciti")) { R("ic"); break; }
+        break;
+      case 'l':
+        if (Ends("ical")) { R("ic"); break; }
+        if (Ends("ful")) { R(""); break; }
+        break;
+      case 's':
+        if (Ends("ness")) { R(""); break; }
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Step 4: -ant, -ence etc. removed when M > 1.
+  void Step4() {
+    if (k_ < 1) return;
+    switch (b_[static_cast<size_t>(k_ - 1)]) {
+      case 'a':
+        if (Ends("al")) break;
+        return;
+      case 'c':
+        if (Ends("ance")) break;
+        if (Ends("ence")) break;
+        return;
+      case 'e':
+        if (Ends("er")) break;
+        return;
+      case 'i':
+        if (Ends("ic")) break;
+        return;
+      case 'l':
+        if (Ends("able")) break;
+        if (Ends("ible")) break;
+        return;
+      case 'n':
+        if (Ends("ant")) break;
+        if (Ends("ement")) break;
+        if (Ends("ment")) break;
+        if (Ends("ent")) break;
+        return;
+      case 'o':
+        if (Ends("ion") && j_ >= 0 &&
+            (b_[static_cast<size_t>(j_)] == 's' ||
+             b_[static_cast<size_t>(j_)] == 't')) {
+          break;
+        }
+        if (Ends("ou")) break;  // e.g. -ous via step 3 residue.
+        return;
+      case 's':
+        if (Ends("ism")) break;
+        return;
+      case 't':
+        if (Ends("ate")) break;
+        if (Ends("iti")) break;
+        return;
+      case 'u':
+        if (Ends("ous")) break;
+        return;
+      case 'v':
+        if (Ends("ive")) break;
+        return;
+      case 'z':
+        if (Ends("ize")) break;
+        return;
+      default:
+        return;
+    }
+    if (M() > 1) k_ = j_;
+  }
+
+  // Step 5: final -e removal and -ll -> -l.
+  void Step5() {
+    j_ = k_;
+    if (b_[static_cast<size_t>(k_)] == 'e') {
+      int a = M();
+      if (a > 1 || (a == 1 && !Cvc(k_ - 1))) --k_;
+    }
+    if (b_[static_cast<size_t>(k_)] == 'l' && DoubleC(k_) && M() > 1) --k_;
+  }
+
+  std::string b_;
+  int k_ = -1;
+  int j_ = 0;
+};
+
+}  // namespace
+
+std::string PorterStem(std::string_view word) {
+  if (word.size() <= 2) return std::string(word);
+  for (char c : word) {
+    if (!std::islower(static_cast<unsigned char>(c))) {
+      return std::string(word);
+    }
+  }
+  return Stemmer(std::string(word)).Run();
+}
+
+}  // namespace ckr

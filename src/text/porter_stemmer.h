@@ -1,0 +1,19 @@
+// Porter stemming algorithm (M.F. Porter, "An algorithm for suffix
+// stripping", Program 14(3), 1980) — the stemmer cited by the paper [17]
+// and used by the runtime framework's Stemmer component (Section VI).
+#ifndef CKR_TEXT_PORTER_STEMMER_H_
+#define CKR_TEXT_PORTER_STEMMER_H_
+
+#include <string>
+#include <string_view>
+
+namespace ckr {
+
+/// Stems a single lower-case ASCII word with the classic 5-step Porter
+/// algorithm. Words of length <= 2 are returned unchanged, as in the
+/// original definition. Non-alphabetic input is returned unchanged.
+std::string PorterStem(std::string_view word);
+
+}  // namespace ckr
+
+#endif  // CKR_TEXT_PORTER_STEMMER_H_

@@ -1,0 +1,159 @@
+#include "text/sentence.h"
+
+#include <cassert>
+#include <cctype>
+#include <string>
+
+#include "common/string_util.h"
+
+namespace ckr {
+namespace {
+
+bool IsAbbreviation(std::string_view text, size_t dot_pos) {
+  // Word immediately before the dot.
+  size_t start = dot_pos;
+  while (start > 0 &&
+         std::isalpha(static_cast<unsigned char>(text[start - 1]))) {
+    --start;
+  }
+  std::string_view word = text.substr(start, dot_pos - start);
+  if (word.size() == 1 &&
+      std::isupper(static_cast<unsigned char>(word[0]))) {
+    return true;  // Single initial, e.g. "John F. Kennedy".
+  }
+  static const char* const kAbbrevs[] = {
+      "mr", "mrs", "ms", "dr", "prof", "sen", "rep", "gov", "gen",
+      "sgt", "col", "lt",  "st", "jr", "sr", "inc", "corp", "co",
+      "vs", "etc", "jan", "feb", "mar", "apr", "jun", "jul", "aug",
+      "sep", "sept", "oct", "nov", "dec", "u.s", "u.k",
+  };
+  std::string lower = ToLowerAscii(word);
+  for (const char* a : kAbbrevs) {
+    if (lower == a) return true;
+  }
+  return false;
+}
+
+bool IsDecimalPoint(std::string_view text, size_t dot_pos) {
+  return dot_pos > 0 && dot_pos + 1 < text.size() &&
+         std::isdigit(static_cast<unsigned char>(text[dot_pos - 1])) &&
+         std::isdigit(static_cast<unsigned char>(text[dot_pos + 1]));
+}
+
+}  // namespace
+
+std::vector<TextSpan> DetectSentences(std::string_view text) {
+  std::vector<TextSpan> spans;
+  size_t begin = 0;
+  const size_t n = text.size();
+  for (size_t i = 0; i < n; ++i) {
+    char c = text[i];
+    bool boundary = false;
+    if (c == '!' || c == '?') {
+      boundary = true;
+    } else if (c == '.') {
+      if (!IsAbbreviation(text, i) && !IsDecimalPoint(text, i)) {
+        boundary = true;
+      }
+    } else if (c == '\n') {
+      boundary = true;
+    }
+    if (boundary) {
+      // Consume trailing closers/quotes after the terminator.
+      size_t end = i + 1;
+      while (end < n && (text[end] == '"' || text[end] == '\'' ||
+                         text[end] == ')' || text[end] == ']')) {
+        ++end;
+      }
+      // Require whitespace (or end-of-text) after the terminator for . ! ?
+      if (c != '\n' && end < n &&
+          !std::isspace(static_cast<unsigned char>(text[end]))) {
+        continue;
+      }
+      if (end > begin) {
+        std::string_view body = text.substr(begin, end - begin);
+        std::string_view trimmed = TrimView(body);
+        if (!trimmed.empty()) {
+          size_t off = static_cast<size_t>(trimmed.data() - text.data());
+          spans.push_back({off, off + trimmed.size()});
+        }
+      }
+      begin = end;
+      i = end - 1;
+    }
+  }
+  if (begin < n) {
+    std::string_view trimmed = TrimView(text.substr(begin));
+    if (!trimmed.empty()) {
+      size_t off = static_cast<size_t>(trimmed.data() - text.data());
+      spans.push_back({off, off + trimmed.size()});
+    }
+  }
+  return spans;
+}
+
+std::vector<TextSpan> DetectParagraphs(std::string_view text) {
+  std::vector<TextSpan> spans;
+  size_t begin = 0;
+  const size_t n = text.size();
+  size_t i = 0;
+  while (i < n) {
+    // A paragraph break is a newline followed by optional spaces and
+    // another newline.
+    if (text[i] == '\n') {
+      size_t j = i + 1;
+      while (j < n && (text[j] == ' ' || text[j] == '\t' || text[j] == '\r')) {
+        ++j;
+      }
+      if (j < n && text[j] == '\n') {
+        std::string_view trimmed = TrimView(text.substr(begin, i - begin));
+        if (!trimmed.empty()) {
+          size_t off = static_cast<size_t>(trimmed.data() - text.data());
+          spans.push_back({off, off + trimmed.size()});
+        }
+        while (j < n && std::isspace(static_cast<unsigned char>(text[j]))) {
+          ++j;
+        }
+        begin = j;
+        i = j;
+        continue;
+      }
+    }
+    ++i;
+  }
+  if (begin < n) {
+    std::string_view trimmed = TrimView(text.substr(begin));
+    if (!trimmed.empty()) {
+      size_t off = static_cast<size_t>(trimmed.data() - text.data());
+      spans.push_back({off, off + trimmed.size()});
+    }
+  }
+  return spans;
+}
+
+std::vector<TextSpan> PartitionIntoWindows(size_t text_size,
+                                           size_t window_size,
+                                           size_t overlap) {
+  assert(window_size > 0);
+  assert(overlap < window_size);
+  std::vector<TextSpan> windows;
+  if (text_size == 0) return windows;
+  if (text_size <= window_size) {
+    windows.push_back({0, text_size});
+    return windows;
+  }
+  const size_t stride = window_size - overlap;
+  size_t begin = 0;
+  while (true) {
+    size_t end = begin + window_size;
+    if (end >= text_size) {
+      windows.push_back({begin, text_size});
+      break;
+    }
+    windows.push_back({begin, end});
+    begin += stride;
+  }
+  return windows;
+}
+
+}  // namespace ckr

@@ -1,0 +1,41 @@
+// Sentence and paragraph boundary detection (paper Section II pre-
+// processing) and the evaluation-time document windowing of Section V-A.1
+// ("we partitioned large documents into windows of size 2500 characters
+// ... consecutive windows overlap (with 500 characters)").
+#ifndef CKR_TEXT_SENTENCE_H_
+#define CKR_TEXT_SENTENCE_H_
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+namespace ckr {
+
+/// A half-open [begin, end) byte span of the source text.
+struct TextSpan {
+  size_t begin = 0;
+  size_t end = 0;
+
+  size_t size() const { return end - begin; }
+  bool operator==(const TextSpan& other) const = default;
+};
+
+/// Splits text into sentences on '.', '!' and '?' followed by whitespace,
+/// with protection for common abbreviations ("Mr.", "Dr.", "U.S.", single
+/// initials) and decimal numbers.
+std::vector<TextSpan> DetectSentences(std::string_view text);
+
+/// Splits text into paragraphs on blank lines.
+std::vector<TextSpan> DetectParagraphs(std::string_view text);
+
+/// Partitions a document into fixed-size character windows with overlap;
+/// the last window is shortened to the text end. `overlap` must be smaller
+/// than `window_size`. A document shorter than `window_size` yields one
+/// window covering the whole text.
+std::vector<TextSpan> PartitionIntoWindows(size_t text_size,
+                                           size_t window_size = 2500,
+                                           size_t overlap = 500);
+
+}  // namespace ckr
+
+#endif  // CKR_TEXT_SENTENCE_H_

@@ -1,0 +1,34 @@
+#include "text/stopwords.h"
+
+namespace ckr {
+
+const std::unordered_set<std::string_view>& StopWordSet() {
+  static const std::unordered_set<std::string_view>* const kSet =
+      new std::unordered_set<std::string_view>({
+          "a",    "about", "above", "after", "again",  "all",   "also",
+          "am",   "an",    "and",   "any",   "are",    "as",    "at",
+          "be",   "been",  "before", "being", "below", "between", "both",
+          "but",  "by",    "can",   "could", "did",    "do",    "does",
+          "doing", "down", "during", "each", "few",    "for",   "from",
+          "further", "had", "has",  "have",  "having", "he",    "her",
+          "here", "hers",  "him",   "his",   "how",    "i",     "if",
+          "in",   "into",  "is",    "it",    "its",    "itself", "just",
+          "may",  "me",    "might", "more",  "most",   "must",  "my",
+          "no",   "nor",   "not",   "now",   "of",     "off",   "on",
+          "once", "only",  "or",    "other", "our",    "ours",  "out",
+          "over", "own",   "said",  "same",  "she",    "should", "so",
+          "some", "such",  "than",  "that",  "the",    "their", "theirs",
+          "them", "then",  "there", "these", "they",   "this",  "those",
+          "through", "to", "too",   "under", "until",  "up",    "upon",
+          "us",   "very",  "was",   "we",    "were",   "what",  "when",
+          "where", "which", "while", "who",  "whom",   "why",   "will",
+          "with", "would", "you",   "your",  "yours",  "yourself",
+      });
+  return *kSet;
+}
+
+bool IsStopWord(std::string_view word) {
+  return StopWordSet().count(word) > 0;
+}
+
+}  // namespace ckr

@@ -1,0 +1,20 @@
+// Stop-word list used by concept-vector generation (paper Section II-B:
+// "The stop-words are removed") and by relevant-keyword mining.
+#ifndef CKR_TEXT_STOPWORDS_H_
+#define CKR_TEXT_STOPWORDS_H_
+
+#include <string_view>
+#include <unordered_set>
+
+namespace ckr {
+
+/// Returns true for common English function words (articles, prepositions,
+/// pronouns, auxiliaries). The list is fixed and lower-case.
+bool IsStopWord(std::string_view word);
+
+/// The full stop-word set (for iteration in tests and generators).
+const std::unordered_set<std::string_view>& StopWordSet();
+
+}  // namespace ckr
+
+#endif  // CKR_TEXT_STOPWORDS_H_

@@ -1,0 +1,76 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+#include "text/porter_stemmer.h"
+
+namespace ckr {
+namespace {
+
+bool IsSpace(char c) { return std::isspace(static_cast<unsigned char>(c)); }
+
+bool AllDigits(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<Token> Tokenize(std::string_view text,
+                            const TokenizerOptions& options) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = text.size();
+  while (i < n) {
+    while (i < n && IsSpace(text[i])) ++i;
+    if (i >= n) break;
+    size_t start = i;
+    while (i < n && !IsSpace(text[i])) ++i;
+    std::string_view raw = text.substr(start, i - start);
+    std::string_view piece = raw;
+    size_t begin = start;
+    if (options.strip_punct) {
+      std::string_view stripped = StripSurroundingPunct(piece);
+      begin = start + static_cast<size_t>(stripped.data() - piece.data());
+      piece = stripped;
+    }
+    if (piece.empty()) continue;
+    if (!options.keep_numbers && AllDigits(piece)) continue;
+    Token tok;
+    tok.raw = std::string(piece);
+    tok.text = options.lowercase ? ToLowerAscii(piece) : std::string(piece);
+    // Possessive normalization: "obama's" matches the entity "obama" (the
+    // raw form and offsets keep the full surface).
+    if (tok.text.size() > 2 && EndsWith(tok.text, "'s")) {
+      tok.text.resize(tok.text.size() - 2);
+    }
+    tok.begin = begin;
+    tok.end = begin + piece.size();
+    tokens.push_back(std::move(tok));
+  }
+  return tokens;
+}
+
+std::vector<std::string> TokenizeToStrings(std::string_view text,
+                                           const TokenizerOptions& options) {
+  std::vector<std::string> out;
+  for (auto& tok : Tokenize(text, options)) out.push_back(std::move(tok.text));
+  return out;
+}
+
+std::string NormalizePhrase(std::string_view phrase) {
+  std::vector<std::string> tokens = TokenizeToStrings(phrase);
+  return JoinStrings(tokens, " ");
+}
+
+std::string StemPhrase(std::string_view phrase) {
+  std::vector<std::string> tokens = TokenizeToStrings(phrase);
+  for (std::string& t : tokens) t = PorterStem(t);
+  return JoinStrings(tokens, " ");
+}
+
+}  // namespace ckr

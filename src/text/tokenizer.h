@@ -1,0 +1,52 @@
+// Tokenization: the first pre-processing stage of the Contextual Shortcuts
+// pipeline (paper Section II). Produces tokens with byte offsets so that
+// downstream detectors can annotate the original text.
+#ifndef CKR_TEXT_TOKENIZER_H_
+#define CKR_TEXT_TOKENIZER_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ckr {
+
+/// A token with its position in the source text.
+struct Token {
+  std::string text;   ///< Normalized token (lower-cased).
+  std::string raw;    ///< Original surface form.
+  size_t begin = 0;   ///< Byte offset of the first character.
+  size_t end = 0;     ///< Byte offset one past the last character.
+
+  bool operator==(const Token& other) const = default;
+};
+
+/// Options controlling token normalization.
+struct TokenizerOptions {
+  bool lowercase = true;
+  /// Strip surrounding punctuation from each token ("(Obama," -> "obama").
+  bool strip_punct = true;
+  /// Keep tokens that are purely numeric.
+  bool keep_numbers = true;
+};
+
+/// Splits text on whitespace and normalizes each token. Tokens that become
+/// empty after normalization are dropped.
+std::vector<Token> Tokenize(std::string_view text,
+                            const TokenizerOptions& options = {});
+
+/// Convenience: normalized token strings only.
+std::vector<std::string> TokenizeToStrings(std::string_view text,
+                                           const TokenizerOptions& options = {});
+
+/// Normalizes a free-text phrase into the canonical form used for concept
+/// keys: lower-cased, punctuation-stripped tokens joined by single spaces.
+std::string NormalizePhrase(std::string_view phrase);
+
+/// Applies the Porter stemmer to every token of an already-normalized
+/// phrase.
+std::string StemPhrase(std::string_view phrase);
+
+}  // namespace ckr
+
+#endif  // CKR_TEXT_TOKENIZER_H_

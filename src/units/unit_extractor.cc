@@ -1,0 +1,168 @@
+#include "units/unit_extractor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace ckr {
+
+void UnitDictionary::Add(UnitInfo info) {
+  auto it = index_.find(info.phrase);
+  if (it != index_.end()) {
+    units_[it->second] = std::move(info);
+    return;
+  }
+  index_[info.phrase] = units_.size();
+  units_.push_back(std::move(info));
+}
+
+const UnitInfo* UnitDictionary::Find(std::string_view phrase) const {
+  auto it = index_.find(std::string(phrase));
+  return it == index_.end() ? nullptr : &units_[it->second];
+}
+
+double UnitDictionary::UnitScore(std::string_view phrase) const {
+  const UnitInfo* info = Find(phrase);
+  return info == nullptr ? 0.0 : info->score;
+}
+
+std::vector<const UnitInfo*> UnitDictionary::MultiTermUnits() const {
+  std::vector<const UnitInfo*> out;
+  for (const UnitInfo& u : units_) {
+    if (u.num_terms > 1) out.push_back(&u);
+  }
+  return out;
+}
+
+UnitExtractor::UnitExtractor(const UnitExtractorConfig& config)
+    : config_(config) {}
+
+StatusOr<UnitDictionary> UnitExtractor::Extract(const QueryLog& log) const {
+  if (!log.finalized()) {
+    return Status::FailedPrecondition("query log must be finalized");
+  }
+  const double total = static_cast<double>(log.TotalSubmissions());
+  if (total <= 0) {
+    return Status::FailedPrecondition("query log is empty");
+  }
+
+  UnitDictionary dict;
+  // Iteration 1: all sufficiently frequent single terms are units.
+  std::unordered_set<std::string> current;  // Units of the latest length.
+  std::vector<std::pair<std::string, uint64_t>> single_terms;
+  {
+    std::unordered_set<std::string> seen;
+    for (const QueryEntry& q : log.entries()) {
+      for (const std::string& t : q.terms) {
+        if (!seen.insert(t).second) continue;
+        uint64_t f = log.TermFreq(t);
+        if (f >= config_.min_term_freq) single_terms.emplace_back(t, f);
+      }
+    }
+  }
+  // Deterministic order + single-term scores from normalized log-frequency.
+  std::sort(single_terms.begin(), single_terms.end());
+  double min_lf = 1e300, max_lf = -1e300;
+  for (const auto& [term, f] : single_terms) {
+    double lf = std::log(static_cast<double>(f));
+    min_lf = std::min(min_lf, lf);
+    max_lf = std::max(max_lf, lf);
+  }
+  for (const auto& [term, f] : single_terms) {
+    UnitInfo info;
+    info.phrase = term;
+    info.num_terms = 1;
+    info.freq = f;
+    double lf = std::log(static_cast<double>(f));
+    info.score = (max_lf > min_lf) ? (lf - min_lf) / (max_lf - min_lf) : 1.0;
+    dict.Add(std::move(info));
+    current.insert(term);
+  }
+
+  // Subsequent iterations: grow units by one term per round by combining
+  // an existing unit of length k-1 with an adjacent single-term unit, or
+  // two units whose lengths sum to k. Validation: PMI of the two halves
+  // measured over query submissions.
+  std::vector<UnitInfo> accepted_multi;
+  std::unordered_set<std::string> all_units = current;
+  for (int len = 2; len <= config_.max_unit_terms; ++len) {
+    // Candidate phrases of `len` terms with their containment frequency.
+    std::unordered_map<std::string, uint64_t> candidates;
+    for (const QueryEntry& q : log.entries()) {
+      const auto& t = q.terms;
+      if (static_cast<int>(t.size()) < len) continue;
+      for (size_t i = 0; i + len <= t.size(); ++i) {
+        std::string phrase = t[i];
+        for (int j = 1; j < len; ++j) {
+          phrase.push_back(' ');
+          phrase.append(t[i + j]);
+        }
+        candidates[phrase] += q.freq;
+      }
+    }
+    std::vector<std::pair<std::string, uint64_t>> ordered(candidates.begin(),
+                                                          candidates.end());
+    std::sort(ordered.begin(), ordered.end());
+    size_t accepted_this_round = 0;
+    for (const auto& [phrase, freq] : ordered) {
+      if (freq < config_.min_unit_freq) continue;
+      if (all_units.count(phrase) > 0) continue;
+      std::vector<std::string> terms = SplitString(phrase, " ");
+      // Best split into two existing units.
+      double best_mi = -1e300;
+      bool has_split = false;
+      for (size_t cut = 1; cut < terms.size(); ++cut) {
+        std::string left = JoinStrings(
+            std::vector<std::string>(terms.begin(), terms.begin() + cut), " ");
+        std::string right = JoinStrings(
+            std::vector<std::string>(terms.begin() + cut, terms.end()), " ");
+        if (all_units.count(left) == 0 || all_units.count(right) == 0) {
+          continue;
+        }
+        has_split = true;
+        double p_left = log.PhraseContainedFreq(left) / total;
+        double p_right = log.PhraseContainedFreq(right) / total;
+        double p_joint = static_cast<double>(freq) / total;
+        if (p_left <= 0 || p_right <= 0 || p_joint <= 0) continue;
+        best_mi = std::max(best_mi, std::log(p_joint / (p_left * p_right)));
+      }
+      if (!has_split || best_mi < config_.mi_threshold) continue;
+      UnitInfo info;
+      info.phrase = phrase;
+      info.num_terms = len;
+      info.freq = freq;
+      info.raw_mi = best_mi;
+      accepted_multi.push_back(std::move(info));
+      all_units.insert(phrase);
+      ++accepted_this_round;
+      if (dict.size() + accepted_multi.size() >= config_.max_units) break;
+    }
+    if (accepted_this_round == 0) break;  // Fixed point reached.
+  }
+
+  // Normalize multi-term scores to [0, 1]. Raw PMI alone favors rare
+  // pairs (the classic PMI pathology), so the unit score combines
+  // cohesion (MI) with salience (log frequency) before min-max
+  // normalization — frequent cohesive units (including junk phrases like
+  // "my favorite") score high, matching the paper's observation that such
+  // units enter the candidate set "due to their high unit scores".
+  if (!accepted_multi.empty()) {
+    double lo = 1e300, hi = -1e300;
+    for (UnitInfo& u : accepted_multi) {
+      double combined =
+          u.raw_mi * std::log1p(static_cast<double>(u.freq));
+      u.score = combined;  // Temporarily hold the unnormalized value.
+      lo = std::min(lo, combined);
+      hi = std::max(hi, combined);
+    }
+    for (UnitInfo& u : accepted_multi) {
+      u.score = (hi > lo) ? (u.score - lo) / (hi - lo) : 1.0;
+      dict.Add(std::move(u));
+    }
+  }
+  return dict;
+}
+
+}  // namespace ckr

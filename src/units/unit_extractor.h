@@ -1,0 +1,86 @@
+// Unit extraction from search query logs (paper Section II-B, after
+// Parikh & Kapur [7][8]).
+//
+// "Units are constructed from query logs in an iterative statistical
+// approach using the frequencies of the distinct queries as follows. In the
+// first iteration, all the single terms that appear in queries are
+// considered to be units. In the following iterations, the units that
+// frequently co-occur in queries are combined into larger candidate units.
+// The validation of these units is performed based on statistical measures,
+// including mutual information."
+//
+// A candidate of length k is accepted when some split into two adjacent
+// existing units has pointwise mutual information (Eq. 1, over query
+// submissions) above the threshold and the candidate itself is frequent
+// enough. Scores are min-max normalized to [0, 1] as the paper requires.
+#ifndef CKR_UNITS_UNIT_EXTRACTOR_H_
+#define CKR_UNITS_UNIT_EXTRACTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "querylog/query_log.h"
+
+namespace ckr {
+
+/// One extracted unit.
+struct UnitInfo {
+  std::string phrase;   ///< Normalized phrase.
+  int num_terms = 1;
+  uint64_t freq = 0;    ///< Phrase-containment frequency in the log.
+  double raw_mi = 0.0;  ///< Validation MI (multi-term units only).
+  double score = 0.0;   ///< Normalized unit score in [0, 1].
+};
+
+/// Immutable result of extraction.
+class UnitDictionary {
+ public:
+  /// Adds a unit; last write wins for duplicate phrases.
+  void Add(UnitInfo info);
+
+  const UnitInfo* Find(std::string_view phrase) const;
+  bool Contains(std::string_view phrase) const { return Find(phrase) != nullptr; }
+
+  /// Normalized score; 0.0 for unknown phrases.
+  double UnitScore(std::string_view phrase) const;
+
+  size_t size() const { return units_.size(); }
+  const std::vector<UnitInfo>& units() const { return units_; }
+
+  /// Multi-term units only (the concept candidates for detection).
+  std::vector<const UnitInfo*> MultiTermUnits() const;
+
+ private:
+  std::vector<UnitInfo> units_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+/// Extraction thresholds. Defaults suit the default world scale (~150k
+/// submissions); min_unit_freq should grow roughly linearly with log size.
+struct UnitExtractorConfig {
+  int max_unit_terms = 4;
+  uint64_t min_term_freq = 5;    ///< Iteration-1 floor for single terms.
+  uint64_t min_unit_freq = 4;    ///< Floor for multi-term candidates.
+  double mi_threshold = 1.5;     ///< Validation MI floor (nats).
+  size_t max_units = 200000;     ///< Safety cap.
+};
+
+/// Runs the iterative extraction over a finalized QueryLog.
+class UnitExtractor {
+ public:
+  explicit UnitExtractor(const UnitExtractorConfig& config = {});
+
+  /// Returns the unit dictionary; fails if the log is not finalized.
+  StatusOr<UnitDictionary> Extract(const QueryLog& log) const;
+
+ private:
+  UnitExtractorConfig config_;
+};
+
+}  // namespace ckr
+
+#endif  // CKR_UNITS_UNIT_EXTRACTOR_H_

@@ -1,0 +1,65 @@
+#include "wiki/wiki_store.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/hash.h"
+#include "text/tokenizer.h"
+
+namespace ckr {
+
+WikiStore WikiStore::Build(const World& world, uint64_t seed) {
+  WikiStore store;
+  store.seed_ = seed;
+  Rng rng(seed);
+  for (const Entity& e : world.entities()) {
+    if (e.is_generic) continue;  // Junk units have no encyclopedia entry.
+    // Coverage grows with notability; low-notability entities usually
+    // have no article at all.
+    double p_article = std::min(0.95, 0.15 + 1.1 * e.notability);
+    if (!rng.NextBernoulli(p_article)) continue;
+    // Length: hundreds to thousands of words, log-normal-ish around a
+    // notability-driven mode.
+    double mode = 150.0 + 2800.0 * e.notability;
+    double noise = std::exp(0.5 * rng.NextGaussian());
+    uint32_t words = static_cast<uint32_t>(std::max(40.0, mode * noise));
+    store.word_counts_[e.key] = words;
+    store.article_entity_[e.key] = e.id;
+  }
+  return store;
+}
+
+uint32_t WikiStore::ArticleWordCount(std::string_view phrase) const {
+  auto it = word_counts_.find(NormalizePhrase(phrase));
+  return it == word_counts_.end() ? 0 : it->second;
+}
+
+std::string WikiStore::ArticleText(const World& world,
+                                   std::string_view phrase) const {
+  std::string key = NormalizePhrase(phrase);
+  auto it = word_counts_.find(key);
+  if (it == word_counts_.end()) return "";
+  EntityId eid = article_entity_.at(key);
+  const Entity& e = world.entity(eid);
+  Rng rng(Mix64(HashCombine(seed_, Fnv1a64(key))));
+  std::string text = e.surface;
+  text += " is a " +
+          std::string(EntityTypeName(e.type)) + ". ";
+  const Vocabulary& vocab = world.vocabulary();
+  size_t topic = static_cast<size_t>(e.primary_topic);
+  size_t sentence_len = 0;
+  for (uint32_t w = 0; w < it->second; ++w) {
+    text += vocab.Word(vocab.SampleForTopic(topic, 0.3, rng));
+    ++sentence_len;
+    if (sentence_len >= 12 + rng.NextBounded(8)) {
+      text += ". ";
+      sentence_len = 0;
+    } else {
+      text += " ";
+    }
+  }
+  text += ".";
+  return text;
+}
+
+}  // namespace ckr

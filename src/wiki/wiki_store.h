@@ -1,0 +1,51 @@
+// Wikipedia simulator.
+//
+// The paper uses the length of a concept's Wikipedia article as an
+// interestingness feature ((9) wiki_word_count, after Hu et al. [14]),
+// with 0 when no article exists. This store generates article word counts
+// correlated with each entity's latent notability (heavy noise, many
+// entities without articles) and can materialize article text on demand
+// for the examples.
+#ifndef CKR_WIKI_WIKI_STORE_H_
+#define CKR_WIKI_WIKI_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "corpus/world.h"
+
+namespace ckr {
+
+/// Immutable article registry keyed by normalized concept phrase.
+class WikiStore {
+ public:
+  /// Builds deterministically from the world's notability latents.
+  /// Entities below the notability floor, and all generic junk units, get
+  /// no article.
+  static WikiStore Build(const World& world, uint64_t seed);
+
+  /// Word count of the article for the phrase; 0 when no article exists.
+  uint32_t ArticleWordCount(std::string_view phrase) const;
+
+  /// True if an article exists.
+  bool HasArticle(std::string_view phrase) const {
+    return ArticleWordCount(phrase) > 0;
+  }
+
+  size_t NumArticles() const { return word_counts_.size(); }
+
+  /// Materializes deterministic article text of the registered length
+  /// (topic-flavored filler); empty string when no article exists.
+  std::string ArticleText(const World& world, std::string_view phrase) const;
+
+ private:
+  std::unordered_map<std::string, uint32_t> word_counts_;
+  std::unordered_map<std::string, EntityId> article_entity_;
+  uint64_t seed_ = 0;
+};
+
+}  // namespace ckr
+
+#endif  // CKR_WIKI_WIKI_STORE_H_

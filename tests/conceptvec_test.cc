@@ -1,0 +1,137 @@
+// Unit tests for ckr_conceptvec: the Section II-B concept vector.
+#include <gtest/gtest.h>
+
+#include "conceptvec/concept_vector.h"
+#include "corpus/term_dictionary.h"
+#include "units/unit_extractor.h"
+
+namespace ckr {
+namespace {
+
+class ConceptVectorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Corpus for idf: "common" in most docs; "rare", "insurance", "auto"
+    // in few.
+    dict_.AddDocument("common words everywhere in all docs");
+    dict_.AddDocument("common auto insurance policies");
+    dict_.AddDocument("common rare topic");
+    for (int i = 0; i < 20; ++i) dict_.AddDocument("common filler text block");
+
+    units_.Add({"auto insurance", 2, 120, 2.5, 0.9});
+    units_.Add({"auto", 1, 200, 0.0, 0.6});
+    units_.Add({"insurance", 1, 300, 0.0, 0.7});
+    units_.Add({"rare", 1, 40, 0.0, 0.3});
+  }
+  TermDictionary dict_;
+  UnitDictionary units_;
+};
+
+TEST_F(ConceptVectorTest, StopwordsExcluded) {
+  ConceptVectorGenerator gen(dict_, units_, {});
+  auto vec = gen.Generate("the and of rare rare rare");
+  for (const ConceptScore& c : vec) {
+    EXPECT_NE(c.phrase, "the");
+    EXPECT_NE(c.phrase, "and");
+  }
+}
+
+TEST_F(ConceptVectorTest, ScoresSortedDescending) {
+  ConceptVectorGenerator gen(dict_, units_, {});
+  auto vec = gen.Generate("auto insurance is cheap auto insurance rare");
+  ASSERT_GT(vec.size(), 1u);
+  for (size_t i = 1; i < vec.size(); ++i) {
+    EXPECT_GE(vec[i - 1].score, vec[i].score);
+  }
+}
+
+TEST_F(ConceptVectorTest, MultiTermUnitPresentAndBoosted) {
+  ConceptVectorGenerator gen(dict_, units_, {});
+  auto vec = gen.Generate("cheap auto insurance offers today");
+  double unit_score = 0, auto_score = 0;
+  for (const ConceptScore& c : vec) {
+    if (c.phrase == "auto insurance") unit_score = c.score;
+    if (c.phrase == "auto") auto_score = c.score;
+  }
+  ASSERT_GT(unit_score, 0.0);
+  // The multi-term bonus pushes the specific concept above its parts.
+  EXPECT_GT(unit_score, auto_score);
+}
+
+TEST_F(ConceptVectorTest, MultiTermBonusAblation) {
+  ConceptVectorConfig with;
+  ConceptVectorConfig without;
+  without.multi_term_bonus = false;
+  ConceptVectorGenerator gen_with(dict_, units_, with);
+  ConceptVectorGenerator gen_without(dict_, units_, without);
+  const char* text = "cheap auto insurance offers today";
+  double s_with = 0, s_without = 0;
+  for (const auto& c : gen_with.Generate(text)) {
+    if (c.phrase == "auto insurance") s_with = c.score;
+  }
+  for (const auto& c : gen_without.Generate(text)) {
+    if (c.phrase == "auto insurance") s_without = c.score;
+  }
+  EXPECT_GT(s_with, s_without);
+}
+
+TEST_F(ConceptVectorTest, CaseOneTermWithoutUnitIsPunished) {
+  // "topic" is in no unit: merged weight = punished term weight.
+  ConceptVectorConfig cfg;
+  cfg.no_unit_punish_factor = 0.5;
+  ConceptVectorGenerator gen(dict_, units_, cfg);
+  auto with_unit = gen.Generate("rare rare rare");      // rare is a unit.
+  auto without_unit = gen.Generate("topic topic topic");  // topic is not.
+  ASSERT_FALSE(with_unit.empty());
+  ASSERT_FALSE(without_unit.empty());
+  // Both normalize tf*idf to 1.0; "rare" gains its unit weight while
+  // "topic" is punished.
+  EXPECT_GT(with_unit[0].score, without_unit[0].score);
+}
+
+TEST_F(ConceptVectorTest, EmptyAndUnknownText) {
+  ConceptVectorGenerator gen(dict_, units_, {});
+  EXPECT_TRUE(gen.Generate("").empty());
+  EXPECT_TRUE(gen.Generate("the of and").empty());
+}
+
+TEST_F(ConceptVectorTest, ScoreCandidatesAlignsWithGenerate) {
+  ConceptVectorGenerator gen(dict_, units_, {});
+  const char* text = "cheap auto insurance offers rare today";
+  auto vec = gen.Generate(text);
+  std::vector<std::string> cands = {"auto insurance", "rare", "missing thing"};
+  auto scores = gen.ScoreCandidates(text, cands);
+  ASSERT_EQ(scores.size(), 3u);
+  for (const ConceptScore& c : vec) {
+    if (c.phrase == "auto insurance") {
+      EXPECT_DOUBLE_EQ(scores[0], c.score);
+    }
+    if (c.phrase == "rare") {
+      EXPECT_DOUBLE_EQ(scores[1], c.score);
+    }
+  }
+  EXPECT_EQ(scores[2], 0.0);  // Absent single... multi-term with absent parts.
+}
+
+TEST_F(ConceptVectorTest, AbsentMultiTermCandidateGetsPartsBonus) {
+  ConceptVectorGenerator gen(dict_, units_, {});
+  // "rare insurance" is not a unit, but both parts score in the text.
+  auto scores = gen.ScoreCandidates("rare insurance words common",
+                                    {"rare insurance"});
+  ASSERT_EQ(scores.size(), 1u);
+  EXPECT_GT(scores[0], 0.0);
+}
+
+TEST_F(ConceptVectorTest, RepeatedUnitOccurrencesDoNotAccumulate) {
+  ConceptVectorGenerator gen(dict_, units_, {});
+  auto once = gen.ScoreCandidates("auto insurance common", {"auto insurance"});
+  auto thrice = gen.ScoreCandidates(
+      "auto insurance auto insurance auto insurance common",
+      {"auto insurance"});
+  // Unit weight is presence-based; only term tf grows, so the score grows
+  // sublinearly (never 3x).
+  EXPECT_LT(thrice[0], 3.0 * once[0]);
+}
+
+}  // namespace
+}  // namespace ckr

@@ -1,0 +1,215 @@
+// Integration tests for ckr_core: the full pipeline, dataset construction,
+// the experiment runner, and the end-to-end ContextualRanker.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_set>
+
+#include "core/contextual_ranker.h"
+#include "core/dataset.h"
+#include "core/experiment.h"
+#include "core/pipeline.h"
+#include "corpus/doc_generator.h"
+
+namespace ckr {
+namespace {
+
+// One shared small pipeline + dataset for the whole file.
+class CoreTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto p = Pipeline::Build(PipelineConfig::SmallForTests());
+    ASSERT_TRUE(p.ok()) << p.status().ToString();
+    pipeline_ = p->release();
+    DatasetBuilder builder(*pipeline_, DatasetConfig{});
+    auto ds = builder.Build();
+    ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+    dataset_ = new ClickDataset(std::move(*ds));
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    delete pipeline_;
+    pipeline_ = nullptr;
+    dataset_ = nullptr;
+  }
+
+  static Pipeline* pipeline_;
+  static ClickDataset* dataset_;
+};
+
+Pipeline* CoreTest::pipeline_ = nullptr;
+ClickDataset* CoreTest::dataset_ = nullptr;
+
+TEST_F(CoreTest, PipelineComponentsAreWired) {
+  EXPECT_GT(pipeline_->world().NumEntities(), 200u);
+  EXPECT_EQ(pipeline_->web_corpus().size(),
+            pipeline_->config().world.num_web_docs);
+  EXPECT_TRUE(pipeline_->index().finalized());
+  EXPECT_TRUE(pipeline_->query_log().finalized());
+  EXPECT_GT(pipeline_->units().size(), 100u);
+  EXPECT_GT(pipeline_->wiki().NumArticles(), 20u);
+  EXPECT_GT(pipeline_->detector().NumDictionaryEntries(), 100u);
+  EXPECT_GT(pipeline_->term_dictionary().NumDocs(), 0u);
+  EXPECT_GT(pipeline_->stemmed_term_dictionary().NumTerms(), 0u);
+}
+
+TEST_F(CoreTest, PipelineRejectsBadConfig) {
+  PipelineConfig cfg = PipelineConfig::SmallForTests();
+  cfg.world.num_topics = 0;
+  EXPECT_FALSE(Pipeline::Build(cfg).ok());
+}
+
+TEST_F(CoreTest, DatasetShape) {
+  const ClickDataset& ds = *dataset_;
+  EXPECT_GT(ds.surviving_stories.size(), 20u);
+  EXPECT_GT(ds.num_windows, 20u);
+  EXPECT_GT(ds.instances.size(), 100u);
+  EXPECT_GT(ds.total_clicks, 100u);
+  EXPECT_GT(ds.num_distinct_concepts, 50u);
+  EXPECT_EQ(ds.story_fold.size(), ds.surviving_stories.size());
+  // The production annotation cut holds per story.
+  std::unordered_map<uint32_t, std::unordered_set<std::string>> per_story;
+  for (const WindowInstance& inst : ds.instances) {
+    per_story[inst.story_index].insert(inst.key);
+  }
+  for (const auto& [story, keys] : per_story) {
+    EXPECT_LE(keys.size(), DatasetConfig{}.max_annotations_per_story);
+  }
+}
+
+TEST_F(CoreTest, InstancesCarryFeaturesAndLabels) {
+  for (const WindowInstance& inst : dataset_->instances) {
+    EXPECT_FALSE(inst.key.empty());
+    EXPECT_GE(inst.ctr, 0.0);
+    EXPECT_LE(inst.ctr, 1.0);
+    EXPECT_GE(inst.baseline_score, 0.0);
+    for (double r : inst.relevance) EXPECT_GE(r, 0.0);
+    EXPECT_GE(inst.views, ReportFilter{}.min_views);
+  }
+}
+
+TEST_F(CoreTest, WindowsHaveAtLeastTwoInstances) {
+  for (const auto& group : dataset_->GroupByWindow()) {
+    EXPECT_GE(group.size(), 2u);
+  }
+}
+
+TEST_F(CoreTest, ExperimentOrderingMatchesPaper) {
+  ExperimentRunner runner(*dataset_);
+  EvalResult random = runner.EvaluateRandom();
+  EvalResult baseline = runner.EvaluateBaseline();
+  EvalResult relevance =
+      runner.EvaluateRelevanceOnly(RelevanceResource::kSnippets);
+  ModelSpec combined;
+  combined.include_relevance = true;
+  auto combined_or = runner.EvaluateModelCV(combined);
+  ASSERT_TRUE(combined_or.ok()) << combined_or.status().ToString();
+
+  // The paper's qualitative ordering (Table V): random worst, baseline
+  // clearly better, the combined learned model best.
+  EXPECT_NEAR(random.weighted_error_rate, 0.5, 0.06);
+  EXPECT_LT(baseline.weighted_error_rate, random.weighted_error_rate - 0.03);
+  EXPECT_LT(combined_or->weighted_error_rate,
+            baseline.weighted_error_rate - 0.03);
+  EXPECT_LT(combined_or->weighted_error_rate,
+            relevance.weighted_error_rate + 0.02);
+  // NDCG mirrors the error ordering (Figures 1-3): combined beats random
+  // at every cutoff.
+  for (size_t k = 0; k < 3; ++k) {
+    EXPECT_GT(combined_or->ndcg[k], random.ndcg[k]);
+  }
+}
+
+TEST_F(CoreTest, AblationDegradesButStaysUseful) {
+  ExperimentRunner runner(*dataset_);
+  ModelSpec full;
+  auto full_or = runner.EvaluateModelCV(full);
+  ASSERT_TRUE(full_or.ok());
+  ModelSpec no_logs;
+  no_logs.group_mask = MaskWithout(FeatureGroup::kQueryLogs);
+  auto no_logs_or = runner.EvaluateModelCV(no_logs);
+  ASSERT_TRUE(no_logs_or.ok());
+  // Dropping the strongest group should not *improve* things materially
+  // (generous tolerance: the reduced test scale is noisy).
+  EXPECT_GT(no_logs_or->weighted_error_rate,
+            full_or->weighted_error_rate - 0.05);
+}
+
+TEST_F(CoreTest, TrainFullModelProducesServingScores) {
+  ExperimentRunner runner(*dataset_);
+  ModelSpec spec;
+  spec.include_relevance = true;
+  auto model_or = runner.TrainFullModel(spec);
+  ASSERT_TRUE(model_or.ok());
+  const WindowInstance& inst = dataset_->instances.front();
+  double s = model_or->Score(ExperimentRunner::Features(inst, spec));
+  EXPECT_TRUE(std::isfinite(s));
+}
+
+TEST(ContextualRankerTest, EndToEndTrainAndRank) {
+  ContextualRankerOptions options;
+  options.pipeline = PipelineConfig::SmallForTests();
+  auto ranker_or = ContextualRanker::Train(options);
+  ASSERT_TRUE(ranker_or.ok()) << ranker_or.status().ToString();
+  const ContextualRanker& ranker = **ranker_or;
+
+  EXPECT_GT(ranker.interestingness_store().NumConcepts(), 200u);
+  EXPECT_GT(ranker.relevance_store().NumConcepts(), 200u);
+  EXPECT_FALSE(ranker.tid_table().overflowed());
+
+  // Rank a held-out story; scores must be sorted and keys unique.
+  DocGenerator gen(ranker.pipeline().world());
+  Document story = gen.Generate(Document::Kind::kNews, 424242);
+  auto ranked = ranker.Rank(story.text);
+  ASSERT_GT(ranked.size(), 2u);
+  std::unordered_set<std::string> keys;
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    EXPECT_TRUE(keys.insert(ranked[i].key).second);
+    if (i > 0) {
+      EXPECT_GE(ranked[i - 1].score, ranked[i].score);
+    }
+    EXPECT_NE(ranked[i].type, EntityType::kPattern);
+  }
+
+  // top_n truncation.
+  auto top3 = ranker.Rank(story.text, 3);
+  ASSERT_EQ(top3.size(), 3u);
+  EXPECT_EQ(top3[0].key, ranked[0].key);
+
+  // Stats accumulated across the two calls.
+  EXPECT_EQ(ranker.stats().documents, 2u);
+  EXPECT_GT(ranker.stats().bytes_processed, story.text.size());
+}
+
+TEST(ContextualRankerTest, RankedTopBeatsBottomInLatentQuality) {
+  ContextualRankerOptions options;
+  options.pipeline = PipelineConfig::SmallForTests();
+  auto ranker_or = ContextualRanker::Train(options);
+  ASSERT_TRUE(ranker_or.ok());
+  const ContextualRanker& ranker = **ranker_or;
+  const World& world = ranker.pipeline().world();
+  DocGenerator gen(world);
+
+  double top_quality = 0, bottom_quality = 0;
+  size_t n = 0;
+  for (DocId id = 500000; id < 500040; ++id) {
+    Document story = gen.Generate(Document::Kind::kNews, id);
+    auto ranked = ranker.Rank(story.text);
+    if (ranked.size() < 4) continue;
+    auto quality = [&](const RankedAnnotation& a) {
+      EntityId eid = world.FindByKey(a.key);
+      if (eid == kInvalidEntity) return 0.0;
+      double g = world.entity(eid).interestingness;
+      double r = story.TruthRelevance(eid);
+      return 0.45 * r + 0.3 * g + 0.25 * r * g;
+    };
+    top_quality += quality(ranked.front());
+    bottom_quality += quality(ranked.back());
+    ++n;
+  }
+  ASSERT_GT(n, 10u);
+  EXPECT_GT(top_quality / n, bottom_quality / n + 0.1);
+}
+
+}  // namespace
+}  // namespace ckr

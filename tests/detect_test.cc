@@ -1,0 +1,291 @@
+// Unit tests for ckr_detect: Aho-Corasick, pattern scanners, and the
+// detection pipeline.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "corpus/doc_generator.h"
+#include "detect/aho_corasick.h"
+#include "detect/entity_detector.h"
+#include "detect/pattern_detector.h"
+#include "text/tokenizer.h"
+
+namespace ckr {
+namespace {
+
+std::vector<std::string> Toks(const char* text) {
+  return TokenizeToStrings(text);
+}
+
+TEST(AhoCorasickTest, SinglePhrase) {
+  PhraseMatcher m;
+  ASSERT_TRUE(m.AddPhrase("new york", 1).ok());
+  m.Build();
+  auto matches = m.FindAll(Toks("i love new york city"));
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].token_begin, 2u);
+  EXPECT_EQ(matches[0].token_count, 2u);
+  EXPECT_EQ(matches[0].payload, 1u);
+}
+
+TEST(AhoCorasickTest, OverlappingAndNestedMatches) {
+  PhraseMatcher m;
+  ASSERT_TRUE(m.AddPhrase("new york", 1).ok());
+  ASSERT_TRUE(m.AddPhrase("new york city", 2).ok());
+  ASSERT_TRUE(m.AddPhrase("york city hall", 3).ok());
+  m.Build();
+  auto matches = m.FindAll(Toks("new york city hall opened"));
+  // All three (plus none spurious) are reported.
+  ASSERT_EQ(matches.size(), 3u);
+  std::vector<uint32_t> payloads;
+  for (const auto& x : matches) payloads.push_back(x.payload);
+  std::sort(payloads.begin(), payloads.end());
+  EXPECT_EQ(payloads, (std::vector<uint32_t>{1, 2, 3}));
+}
+
+TEST(AhoCorasickTest, RepeatedOccurrences) {
+  PhraseMatcher m;
+  ASSERT_TRUE(m.AddPhrase("ha", 7).ok());
+  m.Build();
+  auto matches = m.FindAll(Toks("ha ho ha ha"));
+  EXPECT_EQ(matches.size(), 3u);
+}
+
+TEST(AhoCorasickTest, FailLinksAcrossSharedPrefixes) {
+  PhraseMatcher m;
+  ASSERT_TRUE(m.AddPhrase("a b c", 1).ok());
+  ASSERT_TRUE(m.AddPhrase("b c d", 2).ok());
+  m.Build();
+  // "a b c d": "a b c" ends at token 2 and "b c d" at token 3 — the second
+  // requires a fail-link transition, not a restart.
+  auto matches = m.FindAll(Toks("a b c d"));
+  ASSERT_EQ(matches.size(), 2u);
+}
+
+TEST(AhoCorasickTest, UnknownTermsResetState) {
+  PhraseMatcher m;
+  ASSERT_TRUE(m.AddPhrase("x y", 1).ok());
+  m.Build();
+  EXPECT_TRUE(m.FindAll(Toks("x qqq y")).empty());
+}
+
+TEST(AhoCorasickTest, DuplicatePhraseKeepsFirstPayload) {
+  PhraseMatcher m;
+  ASSERT_TRUE(m.AddPhrase("dup phrase", 1).ok());
+  ASSERT_TRUE(m.AddPhrase("dup phrase", 2).ok());
+  m.Build();
+  EXPECT_EQ(m.NumPhrases(), 1u);
+  auto matches = m.FindAll(Toks("dup phrase"));
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].payload, 1u);
+}
+
+TEST(AhoCorasickTest, ErrorsOnMisuse) {
+  PhraseMatcher m;
+  EXPECT_FALSE(m.AddPhrase("", 1).ok());
+  ASSERT_TRUE(m.AddPhrase("ok", 1).ok());
+  m.Build();
+  EXPECT_FALSE(m.AddPhrase("late", 2).ok());
+}
+
+// Email literals are assembled at runtime so the source file contains no
+// address-shaped strings.
+std::string MakeAddr(const char* local, const char* domain) {
+  return std::string(local) + "@" + domain;
+}
+
+TEST(PatternTest, Emails) {
+  std::string addr = MakeAddr("jane.doe", "example.com");
+  auto matches = DetectPatterns("mail me at " + addr + " today");
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].kind, PatternKind::kEmail);
+  EXPECT_EQ(matches[0].text, addr);
+}
+
+TEST(PatternTest, EmailWithPlusAndDots) {
+  std::string addr = MakeAddr("a.b+tag_1", "sub.domain.org");
+  auto matches = DetectPatterns(addr);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].text, addr);
+}
+
+TEST(PatternTest, Urls) {
+  auto matches =
+      DetectPatterns("see http://example.com/path?q=1 and www.test.org.");
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0].kind, PatternKind::kUrl);
+  EXPECT_EQ(matches[0].text, "http://example.com/path?q=1");
+  EXPECT_EQ(matches[1].text, "www.test.org");  // Trailing dot stripped.
+}
+
+TEST(PatternTest, HttpsUrl) {
+  auto matches = DetectPatterns("(https://a.b.co/x)");
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].text, "https://a.b.co/x");
+}
+
+TEST(PatternTest, Phones) {
+  auto matches = DetectPatterns("call 555-123-4567 or (408) 555-1234 now");
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0].kind, PatternKind::kPhone);
+  EXPECT_EQ(matches[0].text, "555-123-4567");
+  EXPECT_EQ(matches[1].text, "(408) 555-1234");
+}
+
+TEST(PatternTest, BareNumbersAreNotPhones) {
+  EXPECT_TRUE(DetectPatterns("the year 2008 and 5551234567").empty());
+}
+
+TEST(PatternTest, ShortDigitGroupsAreNotPhones) {
+  EXPECT_TRUE(DetectPatterns("score was 12-34 yesterday").empty());
+}
+
+TEST(PatternTest, OffsetsPointIntoSource) {
+  std::string text = "x " + MakeAddr("user", "host.net") + " y";
+  auto matches = DetectPatterns(text);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(text.substr(matches[0].begin, matches[0].end - matches[0].begin),
+            matches[0].text);
+}
+
+class DetectorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    std::vector<EntityDetector::DictionaryEntry> dict = {
+        {"barack obama", EntityType::kPerson, 3},
+        {"new york", EntityType::kPlace, 0},
+        {"new york times", EntityType::kOrganization, 1},
+        {"texas", EntityType::kPlace, 2},
+    };
+    UnitDictionary units;
+    units.Add({"auto insurance", 2, 100, 2.0, 0.8});
+    units.Add({"insurance", 1, 400, 0.0, 0.5});   // Single-term: ignored.
+    units.Add({"new york", 2, 900, 3.0, 0.95});   // Collides with dict.
+    units_ = std::move(units);
+    detector_ = std::make_unique<EntityDetector>(dict, &units_,
+                                                 DetectorOptions{});
+  }
+  UnitDictionary units_;
+  std::unique_ptr<EntityDetector> detector_;
+};
+
+TEST_F(DetectorTest, DetectsDictionaryEntities) {
+  auto dets = detector_->Detect("Barack Obama visited Texas yesterday.");
+  ASSERT_EQ(dets.size(), 2u);
+  EXPECT_EQ(dets[0].key, "barack obama");
+  EXPECT_EQ(dets[0].type, EntityType::kPerson);
+  EXPECT_TRUE(dets[0].from_dictionary);
+  EXPECT_EQ(dets[0].surface, "Barack Obama");
+  EXPECT_EQ(dets[1].key, "texas");
+}
+
+TEST_F(DetectorTest, DetectsConceptsFromUnits) {
+  auto dets = detector_->Detect("cheap auto insurance offers");
+  ASSERT_EQ(dets.size(), 1u);
+  EXPECT_EQ(dets[0].key, "auto insurance");
+  EXPECT_EQ(dets[0].type, EntityType::kConcept);
+  EXPECT_FALSE(dets[0].from_dictionary);
+  EXPECT_DOUBLE_EQ(dets[0].unit_score, 0.8);
+}
+
+TEST_F(DetectorTest, DictionaryIdentityWinsOverUnit) {
+  auto dets = detector_->Detect("I moved to New York recently");
+  ASSERT_EQ(dets.size(), 1u);
+  EXPECT_EQ(dets[0].key, "new york");
+  EXPECT_EQ(dets[0].type, EntityType::kPlace);
+  EXPECT_TRUE(dets[0].from_dictionary);
+  // The unit score is still attached for the ranking features.
+  EXPECT_DOUBLE_EQ(dets[0].unit_score, 0.95);
+}
+
+TEST_F(DetectorTest, LongestMatchWinsCollision) {
+  auto dets = detector_->Detect("the New York Times reported");
+  ASSERT_EQ(dets.size(), 1u);
+  EXPECT_EQ(dets[0].key, "new york times");
+  EXPECT_EQ(dets[0].type, EntityType::kOrganization);
+}
+
+TEST_F(DetectorTest, CollisionResolutionCanBeDisabled) {
+  DetectorOptions opts;
+  opts.resolve_collisions = false;
+  std::vector<EntityDetector::DictionaryEntry> dict = {
+      {"new york", EntityType::kPlace, 0},
+      {"new york times", EntityType::kOrganization, 1},
+  };
+  EntityDetector raw(dict, nullptr, opts);
+  auto dets = raw.Detect("the New York Times reported");
+  EXPECT_EQ(dets.size(), 2u);
+}
+
+TEST_F(DetectorTest, PatternsCoexistWithEntities) {
+  auto dets = detector_->Detect(
+      "Barack Obama's office: call 555-123-4567 or visit "
+      "http://whitehouse.gov now");
+  ASSERT_EQ(dets.size(), 3u);
+  EXPECT_EQ(dets[0].type, EntityType::kPerson);
+  EXPECT_EQ(dets[1].type, EntityType::kPattern);
+  EXPECT_EQ(dets[2].type, EntityType::kPattern);
+}
+
+TEST_F(DetectorTest, PatternsCanBeDisabled) {
+  DetectorOptions opts;
+  opts.detect_patterns = false;
+  EntityDetector d({{"texas", EntityType::kPlace, 0}}, nullptr, opts);
+  auto dets = d.Detect("texas hotline 555-123-4567");
+  ASSERT_EQ(dets.size(), 1u);
+  EXPECT_EQ(dets[0].key, "texas");
+}
+
+TEST_F(DetectorTest, OffsetsAreByteAccurate) {
+  std::string text = "  Barack Obama, in Texas.";
+  auto dets = detector_->Detect(text);
+  ASSERT_EQ(dets.size(), 2u);
+  for (const Detection& d : dets) {
+    EXPECT_EQ(text.substr(d.begin, d.end - d.begin), d.surface);
+  }
+}
+
+TEST_F(DetectorTest, CaseInsensitiveMatching) {
+  auto dets = detector_->Detect("BARACK OBAMA and teXas");
+  EXPECT_EQ(dets.size(), 2u);
+}
+
+TEST(DetectorWorldTest, FromWorldDetectsPlantedMentions) {
+  WorldConfig cfg;
+  cfg.num_topics = 6;
+  cfg.background_vocab = 600;
+  cfg.words_per_topic = 40;
+  cfg.num_named_entities = 150;
+  cfg.num_concepts = 80;
+  cfg.num_generic_concepts = 10;
+  auto world_or = World::Create(cfg);
+  ASSERT_TRUE(world_or.ok());
+  const World& world = **world_or;
+  EntityDetector detector = EntityDetector::FromWorld(world, nullptr, {});
+  EXPECT_GT(detector.NumDictionaryEntries(), 100u);
+
+  DocGenerator gen(world);
+  size_t planted_dict = 0, found = 0;
+  for (DocId id = 0; id < 20; ++id) {
+    Document doc = gen.Generate(Document::Kind::kNews, id);
+    auto dets = detector.Detect(doc.text);
+    for (const MentionTruth& m : doc.mentions) {
+      const Entity& e = world.entity(m.entity);
+      if (!e.in_dictionary) continue;
+      ++planted_dict;
+      for (const Detection& d : dets) {
+        if (d.key == e.key && d.begin <= m.begin && d.end >= m.end) {
+          ++found;
+          break;
+        }
+      }
+    }
+  }
+  ASSERT_GT(planted_dict, 30u);
+  // Nearly all planted dictionary mentions are recovered (a few are lost
+  // to longest-match collisions with overlapping entities).
+  EXPECT_GT(static_cast<double>(found) / planted_dict, 0.9);
+}
+
+}  // namespace
+}  // namespace ckr

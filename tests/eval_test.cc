@@ -1,0 +1,289 @@
+// Unit tests for ckr_eval: error rates (Eq. 4/5), NDCG (Eq. 6),
+// cross-validation, editorial panel.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+#include "corpus/doc_generator.h"
+#include "eval/cross_validation.h"
+#include "eval/editorial.h"
+#include "eval/metrics.h"
+
+namespace ckr {
+namespace {
+
+TEST(ErrorRateTest, PaperExampleUnweighted) {
+  // Perfect order [A,B,C,D]; both R1=[A,B,D,C] and R2=[B,A,C,D] make one
+  // pairwise mistake of six: error 16.67%.
+  std::vector<double> ctr = {0.15, 0.05, 0.02, 0.01};
+  std::vector<double> r1 = {4, 3, 1, 2};  // Scores inducing A,B,D,C.
+  std::vector<double> r2 = {3, 4, 2, 1};  // B,A,C,D.
+  EXPECT_NEAR(PairwiseErrorRate(r1, ctr, false), 1.0 / 6.0, 1e-12);
+  EXPECT_NEAR(PairwiseErrorRate(r2, ctr, false), 1.0 / 6.0, 1e-12);
+}
+
+TEST(ErrorRateTest, PaperExampleWeighted) {
+  // With CTRs [.15,.05,.02,.01], R1's mistake (D,C) costs 0.01 and R2's
+  // (B,A) costs 0.10 of a total pair mass of 0.45: 2.22% vs 22.22%.
+  std::vector<double> ctr = {0.15, 0.05, 0.02, 0.01};
+  std::vector<double> r1 = {4, 3, 1, 2};
+  std::vector<double> r2 = {3, 4, 2, 1};
+  EXPECT_NEAR(PairwiseErrorRate(r1, ctr, true), 0.01 / 0.45, 1e-12);
+  EXPECT_NEAR(PairwiseErrorRate(r2, ctr, true), 0.10 / 0.45, 1e-12);
+}
+
+TEST(ErrorRateTest, PerfectAndReversed) {
+  std::vector<double> ctr = {0.3, 0.2, 0.1};
+  EXPECT_DOUBLE_EQ(PairwiseErrorRate({3, 2, 1}, ctr, true), 0.0);
+  EXPECT_DOUBLE_EQ(PairwiseErrorRate({1, 2, 3}, ctr, true), 1.0);
+}
+
+TEST(ErrorRateTest, PredictionTiesCountHalf) {
+  std::vector<double> ctr = {0.3, 0.1};
+  EXPECT_DOUBLE_EQ(PairwiseErrorRate({1, 1}, ctr, false), 0.5);
+  EXPECT_DOUBLE_EQ(PairwiseErrorRate({1, 1}, ctr, true), 0.5);
+}
+
+TEST(ErrorRateTest, EqualCtrPairsSkipped) {
+  std::vector<double> ctr = {0.2, 0.2, 0.1};
+  // Only two pairs carry preference: (0,2) and (1,2).
+  PairwiseErrorAccumulator acc;
+  AccumulatePairwiseError({1, 2, 3}, ctr, false, &acc);
+  EXPECT_DOUBLE_EQ(acc.total_mass, 2.0);
+  EXPECT_DOUBLE_EQ(acc.error_mass, 2.0);
+}
+
+TEST(ErrorRateTest, AccumulatorPoolsAcrossDocuments) {
+  PairwiseErrorAccumulator acc;
+  AccumulatePairwiseError({2, 1}, {0.2, 0.1}, false, &acc);  // Correct.
+  AccumulatePairwiseError({1, 2}, {0.2, 0.1}, false, &acc);  // Wrong.
+  EXPECT_DOUBLE_EQ(acc.Rate(), 0.5);
+}
+
+TEST(BucketizerTest, QuantileBuckets) {
+  std::vector<double> ctrs;
+  for (int i = 0; i < 1000; ++i) ctrs.push_back(i / 1000.0);
+  CtrBucketizer buckets(ctrs);
+  EXPECT_LT(buckets.BucketNo(0.0), 10);
+  EXPECT_NEAR(buckets.BucketNo(0.5), 500, 10);
+  EXPECT_GE(buckets.BucketNo(0.9991), 990);
+  EXPECT_GE(buckets.Score(0.9991), 9.9);
+  EXPECT_LE(buckets.Score(1.5), 10.0);  // Above-range clamps.
+}
+
+TEST(BucketizerTest, TiedValuesShareBucket) {
+  CtrBucketizer buckets({0.1, 0.1, 0.1, 0.9});
+  EXPECT_EQ(buckets.BucketNo(0.1), buckets.BucketNo(0.1));
+  EXPECT_LT(buckets.BucketNo(0.1), buckets.BucketNo(0.9));
+}
+
+TEST(NdcgTest, PaperExampleAtOne) {
+  // Simplified gains score(j) = CTR*10 (the paper's illustration):
+  // ndcg@1 of R2 = (2^0.5 - 1) / (2^1.5 - 1) ~= 0.23. We reproduce the
+  // gain arithmetic directly.
+  double expected = (std::pow(2.0, 0.5) - 1.0) / (std::pow(2.0, 1.5) - 1.0);
+  EXPECT_NEAR(expected, 0.2265, 5e-4);
+}
+
+TEST(NdcgTest, PerfectRankingIsOne) {
+  CtrBucketizer buckets({0.01, 0.02, 0.05, 0.15});
+  std::vector<double> ctr = {0.15, 0.05, 0.02, 0.01};
+  std::vector<double> pred = {9, 7, 5, 1};
+  for (size_t k = 1; k <= 4; ++k) {
+    EXPECT_DOUBLE_EQ(NdcgAtK(pred, ctr, buckets, k), 1.0) << k;
+  }
+}
+
+TEST(NdcgTest, WorseRankingScoresLower) {
+  CtrBucketizer buckets({0.01, 0.02, 0.05, 0.15});
+  std::vector<double> ctr = {0.15, 0.05, 0.02, 0.01};
+  std::vector<double> good = {9, 7, 5, 1};
+  std::vector<double> bad = {1, 5, 7, 9};
+  for (size_t k = 1; k <= 3; ++k) {
+    EXPECT_LT(NdcgAtK(bad, ctr, buckets, k), NdcgAtK(good, ctr, buckets, k));
+  }
+}
+
+TEST(NdcgTest, MonotoneInRankQuality) {
+  CtrBucketizer buckets({0.01, 0.02, 0.05, 0.15});
+  std::vector<double> ctr = {0.15, 0.05, 0.02, 0.01};
+  // Swapping the top item deeper hurts ndcg@1 progressively.
+  double top_right = NdcgAtK({9, 1, 2, 3}, ctr, buckets, 1);
+  double top_second = NdcgAtK({8, 9, 2, 1}, ctr, buckets, 1);
+  double top_last = NdcgAtK({1, 2, 3, 9}, ctr, buckets, 1);
+  EXPECT_DOUBLE_EQ(top_right, 1.0);
+  EXPECT_GT(top_second, top_last);
+}
+
+TEST(NdcgTest, EmptyAndNoGainEdgeCases) {
+  CtrBucketizer buckets({0.1});
+  EXPECT_DOUBLE_EQ(NdcgAtK({}, {}, buckets, 3), 1.0);
+}
+
+TEST(KFoldTest, BalancedAndComplete) {
+  auto folds = KFoldAssignment(103, 5, 1);
+  ASSERT_EQ(folds.size(), 103u);
+  std::vector<int> counts(5, 0);
+  for (int f : folds) {
+    ASSERT_GE(f, 0);
+    ASSERT_LT(f, 5);
+    ++counts[static_cast<size_t>(f)];
+  }
+  for (int c : counts) EXPECT_NEAR(c, 103 / 5, 1);
+}
+
+TEST(KFoldTest, SplitPartitions) {
+  auto folds = KFoldAssignment(50, 5, 2);
+  for (int fold = 0; fold < 5; ++fold) {
+    FoldSplit split = MakeFoldSplit(folds, fold);
+    EXPECT_EQ(split.train.size() + split.test.size(), 50u);
+    std::set<size_t> all(split.train.begin(), split.train.end());
+    all.insert(split.test.begin(), split.test.end());
+    EXPECT_EQ(all.size(), 50u);
+  }
+}
+
+TEST(KFoldTest, DeterministicInSeed) {
+  EXPECT_EQ(KFoldAssignment(40, 4, 9), KFoldAssignment(40, 4, 9));
+  EXPECT_NE(KFoldAssignment(40, 4, 9), KFoldAssignment(40, 4, 10));
+}
+
+TEST(BootstrapCiTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(BootstrapRatioCi({}, 100, 0.95, 1).mean, 0.0);
+  BootstrapCi one = BootstrapRatioCi({{1.0, 2.0}}, 100, 0.95, 1);
+  EXPECT_DOUBLE_EQ(one.mean, 0.5);
+  EXPECT_DOUBLE_EQ(one.lo, 0.5);  // Single group: no variation.
+  EXPECT_DOUBLE_EQ(one.hi, 0.5);
+}
+
+TEST(BootstrapCiTest, CoversTheMeanAndOrdersBounds) {
+  Rng rng(5);
+  std::vector<std::pair<double, double>> groups;
+  for (int i = 0; i < 200; ++i) {
+    double total = 1.0 + rng.NextDouble() * 4.0;
+    groups.emplace_back(total * (0.25 + 0.1 * rng.NextGaussian()), total);
+  }
+  BootstrapCi ci = BootstrapRatioCi(groups, 2000, 0.95, 42);
+  EXPECT_LT(ci.lo, ci.mean);
+  EXPECT_GT(ci.hi, ci.mean);
+  EXPECT_NEAR(ci.mean, 0.25, 0.03);
+  // The 95% band of a 200-group mean should be tight.
+  EXPECT_LT(ci.hi - ci.lo, 0.1);
+}
+
+TEST(BootstrapCiTest, DeterministicInSeed) {
+  std::vector<std::pair<double, double>> groups = {
+      {1, 4}, {2, 5}, {0, 3}, {1, 2}, {3, 7}};
+  BootstrapCi a = BootstrapRatioCi(groups, 500, 0.9, 7);
+  BootstrapCi b = BootstrapRatioCi(groups, 500, 0.9, 7);
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+}
+
+class EditorialTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    WorldConfig cfg;
+    cfg.num_topics = 6;
+    cfg.background_vocab = 600;
+    cfg.words_per_topic = 40;
+    cfg.num_named_entities = 150;
+    cfg.num_concepts = 80;
+    cfg.num_generic_concepts = 10;
+    auto world_or = World::Create(cfg);
+    ASSERT_TRUE(world_or.ok());
+    world_ = std::move(*world_or);
+    gen_ = std::make_unique<DocGenerator>(*world_);
+  }
+  std::unique_ptr<World> world_;
+  std::unique_ptr<DocGenerator> gen_;
+};
+
+TEST_F(EditorialTest, DistributionSumsToOne) {
+  EditorialPanel panel(*world_);
+  std::vector<Document> docs;
+  for (DocId i = 0; i < 10; ++i) {
+    docs.push_back(gen_->Generate(Document::Kind::kNews, i));
+  }
+  std::vector<JudgingTask> tasks;
+  for (const Document& d : docs) {
+    for (const MentionTruth& m : d.mentions) {
+      tasks.push_back({&d, world_->entity(m.entity).key});
+    }
+  }
+  JudgmentDistribution dist = panel.JudgeAll(tasks);
+  EXPECT_EQ(dist.total, tasks.size());
+  double isum = 0, rsum = 0;
+  for (double x : dist.interest) isum += x;
+  for (double x : dist.relevance) rsum += x;
+  EXPECT_NEAR(isum, 1.0, 1e-9);
+  EXPECT_NEAR(rsum, 1.0, 1e-9);
+}
+
+TEST_F(EditorialTest, JudgmentsTrackLatents) {
+  EditorialPanel panel(*world_);
+  Document doc = gen_->Generate(Document::Kind::kNews, 3);
+  // Find the most and least interesting planted entities.
+  const MentionTruth* hot = nullptr;
+  const MentionTruth* cold = nullptr;
+  for (const MentionTruth& m : doc.mentions) {
+    double g = world_->entity(m.entity).interestingness;
+    if (!hot || g > world_->entity(hot->entity).interestingness) hot = &m;
+    if (!cold || g < world_->entity(cold->entity).interestingness) cold = &m;
+  }
+  ASSERT_NE(hot, nullptr);
+  Rng rng(1);
+  int hot_very = 0, cold_very = 0;
+  for (int i = 0; i < 300; ++i) {
+    if (panel.JudgeInterest(doc, world_->entity(hot->entity).key, rng) ==
+        InterestJudgment::kVery) {
+      ++hot_very;
+    }
+    if (panel.JudgeInterest(doc, world_->entity(cold->entity).key, rng) ==
+        InterestJudgment::kVery) {
+      ++cold_very;
+    }
+  }
+  EXPECT_GT(hot_very, cold_very);
+}
+
+TEST_F(EditorialTest, OffTopicEntitiesJudgedNotRelevant) {
+  EditorialPanel panel(*world_);
+  // Aggregate over stories: planted off-topic mentions should rarely be
+  // judged Very Relevant.
+  Rng rng(2);
+  int off_very = 0, off_total = 0;
+  for (DocId id = 0; id < 40; ++id) {
+    Document doc = gen_->Generate(Document::Kind::kNews, id);
+    for (const MentionTruth& m : doc.mentions) {
+      if (m.relevance > 0.25) continue;  // On-topic or junk-but-lucky.
+      ++off_total;
+      if (panel.JudgeRelevance(doc, world_->entity(m.entity).key, rng) ==
+          RelevanceJudgment::kVery) {
+        ++off_very;
+      }
+    }
+  }
+  ASSERT_GT(off_total, 20);
+  EXPECT_LT(static_cast<double>(off_very) / off_total, 0.05);
+}
+
+TEST_F(EditorialTest, JudgeAllDeterministic) {
+  EditorialPanel panel(*world_);
+  Document doc = gen_->Generate(Document::Kind::kNews, 5);
+  std::vector<JudgingTask> tasks;
+  for (const MentionTruth& m : doc.mentions) {
+    tasks.push_back({&doc, world_->entity(m.entity).key});
+  }
+  JudgmentDistribution a = panel.JudgeAll(tasks);
+  JudgmentDistribution b = panel.JudgeAll(tasks);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(a.interest[i], b.interest[i]);
+    EXPECT_DOUBLE_EQ(a.relevance[i], b.relevance[i]);
+  }
+}
+
+}  // namespace
+}  // namespace ckr

@@ -1,0 +1,226 @@
+// Unit tests for ckr_framework: bit I/O, Golomb coding, quantized stores,
+// TID table, and the runtime ranker.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "framework/bitstream.h"
+#include "framework/golomb.h"
+#include "framework/runtime_ranker.h"
+
+namespace ckr {
+namespace {
+
+TEST(BitstreamTest, BitRoundTrip) {
+  BitWriter w;
+  w.WriteBit(true);
+  w.WriteBit(false);
+  w.WriteBits(0b10110, 5);
+  w.WriteUnary(3);
+  auto bytes = w.Finish();
+  BitReader r(bytes);
+  EXPECT_TRUE(r.ReadBit());
+  EXPECT_FALSE(r.ReadBit());
+  EXPECT_EQ(r.ReadBits(5), 0b10110u);
+  EXPECT_EQ(r.ReadUnary(), 3u);
+  EXPECT_FALSE(r.overflow());
+}
+
+TEST(BitstreamTest, OverflowDetected) {
+  BitWriter w;
+  w.WriteBits(0xff, 8);
+  auto bytes = w.Finish();
+  BitReader r(bytes);
+  r.ReadBits(8);
+  r.ReadBit();
+  EXPECT_TRUE(r.overflow());
+}
+
+TEST(BitstreamTest, LargeValues) {
+  BitWriter w;
+  w.WriteBits(0xdeadbeefcafebabeULL, 64);
+  auto bytes = w.Finish();
+  BitReader r(bytes);
+  EXPECT_EQ(r.ReadBits(64), 0xdeadbeefcafebabeULL);
+}
+
+TEST(GolombTest, EncodeDecodeSingleValues) {
+  for (uint64_t m : {1ull, 2ull, 3ull, 5ull, 8ull, 13ull, 100ull}) {
+    for (uint64_t v : {0ull, 1ull, 2ull, 7ull, 63ull, 1000ull}) {
+      BitWriter w;
+      GolombEncode(v, m, &w);
+      auto bytes = w.Finish();
+      BitReader r(bytes);
+      EXPECT_EQ(GolombDecode(m, &r), v) << "m=" << m << " v=" << v;
+    }
+  }
+}
+
+TEST(GolombTest, OptimalParameterRule) {
+  EXPECT_EQ(OptimalGolombParameter(0.5), 1u);
+  EXPECT_EQ(OptimalGolombParameter(1.0), 1u);
+  EXPECT_EQ(OptimalGolombParameter(10.0), 7u);   // ceil(6.9)
+  EXPECT_EQ(OptimalGolombParameter(100.0), 69u);
+}
+
+TEST(GolombTest, SortedIdsRoundTrip) {
+  std::vector<uint32_t> ids = {3, 7, 8, 100, 1024, 4000, 4001, 99999};
+  auto encoded = EncodeSortedIds(ids, 1u << 22);
+  ASSERT_TRUE(encoded.ok());
+  auto decoded = DecodeSortedIds(*encoded);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, ids);
+}
+
+TEST(GolombTest, EmptyList) {
+  auto encoded = EncodeSortedIds({}, 100);
+  ASSERT_TRUE(encoded.ok());
+  auto decoded = DecodeSortedIds(*encoded);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(GolombTest, RejectsUnsortedAndOutOfRange) {
+  EXPECT_FALSE(EncodeSortedIds({5, 4}, 100).ok());
+  EXPECT_FALSE(EncodeSortedIds({5, 5}, 100).ok());
+  EXPECT_FALSE(EncodeSortedIds({5, 200}, 100).ok());
+}
+
+TEST(GolombTest, CompressesDenseLists) {
+  // 100 ids in a 4M universe: raw = 400 bytes; Golomb should beat it.
+  std::vector<uint32_t> ids;
+  Rng rng(5);
+  uint32_t cur = 0;
+  for (int i = 0; i < 100; ++i) {
+    cur += 1 + static_cast<uint32_t>(rng.NextBounded(60000));
+    ids.push_back(cur);
+  }
+  auto encoded = EncodeSortedIds(ids, 1u << 22);
+  ASSERT_TRUE(encoded.ok());
+  EXPECT_LT(encoded->size(), ids.size() * sizeof(uint32_t));
+  auto decoded = DecodeSortedIds(*encoded);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, ids);
+}
+
+TEST(GolombTest, RandomizedRoundTripProperty) {
+  Rng rng(77);
+  for (int trial = 0; trial < 50; ++trial) {
+    size_t n = 1 + rng.NextBounded(200);
+    std::vector<uint32_t> ids;
+    uint32_t cur = 0;
+    for (size_t i = 0; i < n; ++i) {
+      cur += 1 + static_cast<uint32_t>(rng.NextBounded(1000));
+      ids.push_back(cur);
+    }
+    auto encoded = EncodeSortedIds(ids, cur + 1);
+    ASSERT_TRUE(encoded.ok());
+    auto decoded = DecodeSortedIds(*encoded);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded, ids);
+  }
+}
+
+TEST(TidTableTest, InternAndLookup) {
+  GlobalTidTable tids;
+  uint32_t a = tids.Intern("alpha");
+  uint32_t b = tids.Intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(tids.Intern("alpha"), a);  // Idempotent.
+  EXPECT_EQ(tids.Lookup("alpha"), a);
+  EXPECT_EQ(tids.Lookup("gamma"), GlobalTidTable::kMaxTid);
+  EXPECT_EQ(tids.size(), 2u);
+  EXPECT_FALSE(tids.overflowed());
+  EXPECT_LE(a, GlobalTidTable::kMaxTid);
+}
+
+TEST(QuantizedStoreTest, RoundTripWithinGranularity) {
+  QuantizedInterestingnessStore store;
+  InterestingnessVector v;
+  v.freq_exact = 5.5;
+  v.freq_phrase_contained = 7.25;
+  v.unit_score = 0.42;
+  v.searchengine_phrase = 3.0;
+  v.concept_size = 2;
+  v.number_of_chars = 17;
+  v.subconcepts = 1;
+  v.wiki_word_count = 6.2;
+  v.high_level_type[2] = 1.0;
+  store.Add("concept a", v);
+  InterestingnessVector w;  // A second vector to span the ranges.
+  w.freq_exact = 0.0;
+  w.unit_score = 1.0;
+  store.Add("concept b", w);
+  store.Finalize();
+
+  std::vector<double> out;
+  ASSERT_TRUE(store.Lookup("concept a", &out));
+  std::vector<double> raw = v.Flatten();
+  ASSERT_EQ(out.size(), raw.size());
+  for (size_t i = 0; i < raw.size(); ++i) {
+    // 16-bit quantization over the observed range: tiny error.
+    EXPECT_NEAR(out[i], raw[i], 1e-3) << i;
+  }
+  EXPECT_FALSE(store.Lookup("missing", &out));
+  EXPECT_EQ(store.PayloadBytes(),
+            2 * InterestingnessVector::Dim() * sizeof(uint16_t));
+}
+
+TEST(PackedRelevanceTest, ScoreMatchesUnpackedWithinQuantization) {
+  GlobalTidTable tids;
+  PackedRelevanceStore store(&tids);
+  std::vector<RelevantTerm> terms = {
+      {"alpha", 40.0}, {"beta", 25.0}, {"gamma", 10.0}, {"delta", 2.0}};
+  store.Add("my concept", terms);
+  store.Finalize();
+
+  std::unordered_set<uint32_t> context = {tids.Lookup("alpha"),
+                                          tids.Lookup("gamma")};
+  double score = store.Score("my concept", context);
+  EXPECT_NEAR(score, 50.0, 0.1);  // 10-bit quantization error bound.
+  EXPECT_DOUBLE_EQ(store.Score("unknown", context), 0.0);
+  EXPECT_DOUBLE_EQ(store.Score("my concept", {}), 0.0);
+}
+
+TEST(PackedRelevanceTest, KeepsAtMostHundredTerms) {
+  GlobalTidTable tids;
+  PackedRelevanceStore store(&tids);
+  std::vector<RelevantTerm> terms;
+  for (int i = 0; i < 150; ++i) {
+    terms.push_back({"t" + std::to_string(i), 150.0 - i});
+  }
+  store.Add("big", terms);
+  store.Finalize();
+  // 100 pairs * 4 bytes.
+  EXPECT_EQ(store.PayloadBytes(), 400u);
+}
+
+TEST(PackedRelevanceTest, GolombCompressionSavesSpace) {
+  GlobalTidTable tids;
+  PackedRelevanceStore store(&tids);
+  for (int c = 0; c < 50; ++c) {
+    std::vector<RelevantTerm> terms;
+    for (int i = 0; i < 100; ++i) {
+      // Heavy term sharing across concepts => dense TID space.
+      terms.push_back({"shared" + std::to_string((c * 37 + i) % 600),
+                       1.0 + i});
+    }
+    store.Add("concept " + std::to_string(c), terms);
+  }
+  store.Finalize();
+  EXPECT_LT(store.GolombCompressedBytes(), store.PayloadBytes());
+}
+
+TEST(RuntimeStatsTest, ThroughputMath) {
+  RuntimeStats stats;
+  stats.bytes_processed = 10'000'000;
+  stats.stemmer_seconds = 2.0;
+  stats.ranker_seconds = 4.0;
+  EXPECT_DOUBLE_EQ(stats.StemmerMBps(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.RankerMBps(), 2.5);
+  RuntimeStats zero;
+  EXPECT_DOUBLE_EQ(zero.StemmerMBps(), 0.0);
+}
+
+}  // namespace
+}  // namespace ckr

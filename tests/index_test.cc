@@ -1,0 +1,147 @@
+// Unit tests for ckr_index: postings, BM25 search, phrase search, snippets.
+#include <gtest/gtest.h>
+
+#include "corpus/document.h"
+#include "index/inverted_index.h"
+
+namespace ckr {
+namespace {
+
+Document MakeDoc(DocId id, std::string text) {
+  Document d;
+  d.id = id;
+  d.text = std::move(text);
+  return d;
+}
+
+class IndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    index_.Add(MakeDoc(0, "the quick brown fox jumps over the lazy dog"));
+    index_.Add(MakeDoc(1, "quick brown foxes are quick and brown"));
+    index_.Add(MakeDoc(2, "the lazy dog sleeps all day long today"));
+    index_.Add(MakeDoc(3, "a completely unrelated document about turtles"));
+    index_.Finalize();
+  }
+  InvertedIndex index_;
+};
+
+TEST_F(IndexTest, DocFreq) {
+  EXPECT_EQ(index_.DocFreq("quick"), 2u);
+  EXPECT_EQ(index_.DocFreq("dog"), 2u);
+  EXPECT_EQ(index_.DocFreq("turtles"), 1u);
+  EXPECT_EQ(index_.DocFreq("absent"), 0u);
+  EXPECT_EQ(index_.NumDocs(), 4u);
+}
+
+TEST_F(IndexTest, SearchRanksMatchingDocsFirst) {
+  auto results = index_.Search("quick brown", 10);
+  ASSERT_GE(results.size(), 2u);
+  // Doc 1 has double occurrences of both terms: should rank first.
+  EXPECT_EQ(results[0].doc, 1u);
+  EXPECT_GT(results[0].score, results[1].score);
+  for (const auto& r : results) EXPECT_NE(r.doc, 3u);
+}
+
+TEST_F(IndexTest, SearchRespectsK) {
+  auto results = index_.Search("the", 1);
+  EXPECT_EQ(results.size(), 1u);
+}
+
+TEST_F(IndexTest, SearchUnknownTermsEmpty) {
+  EXPECT_TRUE(index_.Search("zzz qqq", 10).empty());
+  EXPECT_TRUE(index_.Search("", 10).empty());
+}
+
+TEST_F(IndexTest, PhraseSearchRequiresAdjacency) {
+  // "quick brown" is contiguous in docs 0 and 1.
+  EXPECT_EQ(index_.PhraseResultCount("quick brown"), 2u);
+  // "quick dog" never occurs contiguously though both terms exist.
+  EXPECT_EQ(index_.PhraseResultCount("quick dog"), 0u);
+  // Order matters.
+  EXPECT_EQ(index_.PhraseResultCount("brown quick"), 0u);
+}
+
+TEST_F(IndexTest, PhraseSearchSingleTerm) {
+  EXPECT_EQ(index_.PhraseResultCount("lazy"), 2u);
+}
+
+TEST_F(IndexTest, PhraseSearchNormalizesCase) {
+  EXPECT_EQ(index_.PhraseResultCount("Quick BROWN"), 2u);
+}
+
+TEST_F(IndexTest, SnippetContainsQueryTerm) {
+  auto results = index_.PhraseSearch("lazy dog", 10);
+  ASSERT_FALSE(results.empty());
+  std::string snippet = index_.Snippet(results[0].doc, "lazy dog");
+  EXPECT_NE(snippet.find("lazy dog"), std::string::npos);
+}
+
+TEST_F(IndexTest, SnippetForUnknownDocEmpty) {
+  EXPECT_EQ(index_.Snippet(999, "anything"), "");
+}
+
+TEST_F(IndexTest, SnippetWindowBounded) {
+  std::string snippet = index_.Snippet(0, "fox", 4);
+  // 4-token window: should be much shorter than the document.
+  EXPECT_LT(snippet.size(), index_.DocText(0).size());
+  EXPECT_NE(snippet.find("fox"), std::string::npos);
+}
+
+TEST_F(IndexTest, DocTextRoundTrip) {
+  EXPECT_EQ(index_.DocText(3), "a completely unrelated document about turtles");
+  EXPECT_EQ(index_.DocText(12345), "");
+}
+
+TEST(IndexLargeTest, PhraseCountMatchesBruteForce) {
+  // Property test: phrase counts agree with a brute-force scan.
+  InvertedIndex index;
+  std::vector<std::string> texts = {
+      "a b c a b", "b c a", "c c c a b c", "a a a", "b a b a b",
+  };
+  for (size_t i = 0; i < texts.size(); ++i) {
+    index.Add(MakeDoc(static_cast<DocId>(i), texts[i]));
+  }
+  index.Finalize();
+  const char* phrases[] = {"a b", "b c", "c a", "a b c", "b a b", "c c"};
+  for (const char* phrase : phrases) {
+    uint64_t brute = 0;
+    for (const std::string& t : texts) {
+      if ((" " + t + " ").find(" " + std::string(phrase) + " ") !=
+          std::string::npos) {
+        ++brute;
+      }
+    }
+    EXPECT_EQ(index.PhraseResultCount(phrase), brute) << phrase;
+  }
+}
+
+TEST(IndexLargeTest, Bm25PrefersRareTerms) {
+  InvertedIndex index;
+  // "rare" appears once; "common" appears everywhere.
+  index.Add(MakeDoc(0, "common words common words rare"));
+  for (DocId i = 1; i < 20; ++i) {
+    index.Add(MakeDoc(i, "common words again and again"));
+  }
+  index.Finalize();
+  auto results = index.Search("rare common", 20);
+  ASSERT_FALSE(results.empty());
+  EXPECT_EQ(results[0].doc, 0u);
+  EXPECT_GT(results[0].score, 2.0 * results[1].score);
+}
+
+TEST(IndexLargeTest, DeterministicTieBreak) {
+  InvertedIndex index;
+  index.Add(MakeDoc(5, "same text here"));
+  index.Add(MakeDoc(2, "same text here"));
+  index.Add(MakeDoc(9, "same text here"));
+  index.Finalize();
+  auto results = index.Search("same text", 3);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(results[0].doc, 2u);  // Equal scores: ordered by doc id.
+  EXPECT_EQ(results[1].doc, 5u);
+  EXPECT_EQ(results[2].doc, 9u);
+}
+
+}  // namespace
+}  // namespace ckr

@@ -1,0 +1,111 @@
+// Unit tests for ckr_online: the Section VIII online CTR adaptation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "online/ctr_tracker.h"
+
+namespace ckr {
+namespace {
+
+TEST(CtrTrackerTest, EmptyTrackerIsNeutral) {
+  CtrTracker tracker;
+  EXPECT_EQ(tracker.NumTracked(), 0u);
+  EXPECT_DOUBLE_EQ(tracker.Adjustment("anything"), 0.0);
+  EXPECT_FALSE(tracker.IsSpiking("anything"));
+  EXPECT_GT(tracker.SystemCtr(), 0.0);
+}
+
+TEST(CtrTrackerTest, SmoothedCtrShrinksTowardSystem) {
+  CtrTracker tracker;
+  // Establish a system CTR of ~2%.
+  tracker.Record("bulk", 100000, 2000);
+  // A concept with 5 views and 5 clicks should NOT look like CTR 1.0.
+  tracker.Record("tiny", 5, 5);
+  double smoothed = tracker.SmoothedCtr("tiny");
+  EXPECT_GT(smoothed, tracker.SystemCtr());
+  EXPECT_LT(smoothed, 0.1);  // Far below the raw 1.0.
+}
+
+TEST(CtrTrackerTest, HotConceptGetsPositiveAdjustment) {
+  CtrTracker tracker;
+  tracker.Record("bulk", 100000, 2000);     // System ~2%.
+  tracker.Record("hot", 5000, 500);         // 10%.
+  tracker.Record("cold", 5000, 10);         // 0.2%.
+  EXPECT_GT(tracker.Adjustment("hot"), 0.3);
+  EXPECT_LT(tracker.Adjustment("cold"), -0.3);
+  EXPECT_DOUBLE_EQ(tracker.Adjustment("unseen"), 0.0);
+}
+
+TEST(CtrTrackerTest, AdjustmentIsClamped) {
+  CtrTrackerConfig cfg;
+  cfg.max_adjustment = 0.5;
+  cfg.adjustment_weight = 2.0;
+  CtrTracker tracker(cfg);
+  tracker.Record("bulk", 1000000, 1000);
+  tracker.Record("viral", 50000, 40000);  // Extreme ratio.
+  EXPECT_LE(tracker.Adjustment("viral"), 1.0 + 1e-12);   // 2.0 * 0.5.
+  tracker.Record("dead", 50000, 0);
+  EXPECT_GE(tracker.Adjustment("dead"), -1.0 - 1e-12);
+}
+
+TEST(CtrTrackerTest, TickDecaysHistory) {
+  CtrTrackerConfig cfg;
+  cfg.decay = 0.5;
+  cfg.prior_views = 10;
+  CtrTracker tracker(cfg);
+  tracker.Record("bulk", 100000, 2000);
+  tracker.Record("fad", 10000, 2000);  // 20% CTR this period.
+  tracker.Tick();
+  double right_after = tracker.SmoothedCtr("fad");
+  // Several quiet periods: history decays, estimate returns to the prior.
+  for (int i = 0; i < 12; ++i) tracker.Tick();
+  double much_later = tracker.SmoothedCtr("fad");
+  EXPECT_LT(much_later, right_after);
+  EXPECT_NEAR(much_later, tracker.SystemCtr(), 0.05);
+}
+
+TEST(CtrTrackerTest, SpikeDetection) {
+  CtrTrackerConfig cfg;
+  cfg.spike_ratio = 3.0;
+  cfg.spike_min_views = 50;
+  CtrTracker tracker(cfg);
+  // History: steady 2% for both concepts.
+  tracker.Record("steady", 10000, 200);
+  tracker.Record("event", 10000, 200);
+  tracker.Record("bulk", 100000, 2000);
+  tracker.Tick();
+  // Fresh period: "event" jumps to 20%.
+  tracker.Record("steady", 1000, 20);
+  tracker.Record("event", 1000, 200);
+  EXPECT_FALSE(tracker.IsSpiking("steady"));
+  EXPECT_TRUE(tracker.IsSpiking("event"));
+  auto spiking = tracker.SpikingConcepts();
+  ASSERT_EQ(spiking.size(), 1u);
+  EXPECT_EQ(spiking[0], "event");
+}
+
+TEST(CtrTrackerTest, SpikeNeedsFreshVolume) {
+  CtrTrackerConfig cfg;
+  cfg.spike_min_views = 100;
+  CtrTracker tracker(cfg);
+  tracker.Record("bulk", 100000, 2000);
+  tracker.Tick();
+  tracker.Record("thin", 20, 20);  // 100% CTR but only 20 views.
+  EXPECT_FALSE(tracker.IsSpiking("thin"));
+}
+
+TEST(CtrTrackerTest, RecordAccumulatesWithinPeriod) {
+  CtrTracker tracker;
+  tracker.Record("x", 100, 10);
+  tracker.Record("x", 100, 10);
+  tracker.Record("bulk", 100000, 1000);
+  double two_batches = tracker.SmoothedCtr("x");
+  CtrTracker tracker2;
+  tracker2.Record("x", 200, 20);
+  tracker2.Record("bulk", 100000, 1000);
+  EXPECT_DOUBLE_EQ(two_batches, tracker2.SmoothedCtr("x"));
+}
+
+}  // namespace
+}  // namespace ckr

@@ -1,0 +1,333 @@
+// Parameterized property suites: invariants swept over parameter grids
+// (TEST_P / INSTANTIATE_TEST_SUITE_P), plus randomized cross-checks of
+// optimized components against brute-force references.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <tuple>
+
+#include "common/rng.h"
+#include "detect/aho_corasick.h"
+#include "eval/metrics.h"
+#include "framework/bitstream.h"
+#include "framework/golomb.h"
+#include "ranksvm/rank_svm.h"
+#include "text/porter_stemmer.h"
+#include "text/sentence.h"
+#include "text/tokenizer.h"
+
+namespace ckr {
+namespace {
+
+// ---------- Golomb coding over a parameter grid ----------
+
+class GolombSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GolombSweep, RoundTripRandomValues) {
+  const uint64_t m = GetParam();
+  Rng rng(m * 977 + 1);
+  BitWriter writer;
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 200; ++i) {
+    uint64_t v = rng.NextBounded(1 + m * 20);
+    values.push_back(v);
+    GolombEncode(v, m, &writer);
+  }
+  auto bytes = writer.Finish();
+  BitReader reader(bytes);
+  for (uint64_t v : values) {
+    ASSERT_EQ(GolombDecode(m, &reader), v) << "m=" << m;
+  }
+  EXPECT_FALSE(reader.overflow());
+}
+
+INSTANTIATE_TEST_SUITE_P(Parameters, GolombSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 13, 16, 31,
+                                           64, 100, 1000));
+
+// ---------- Window partitioning over (size, window, overlap) ----------
+
+class WindowSweep
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t, size_t>> {};
+
+TEST_P(WindowSweep, CoverageStrideAndBounds) {
+  auto [text_size, window, overlap] = GetParam();
+  if (overlap >= window) {
+    GTEST_SKIP() << "invalid combination (API requires overlap < window)";
+  }
+  auto spans = PartitionIntoWindows(text_size, window, overlap);
+  if (text_size == 0) {
+    EXPECT_TRUE(spans.empty());
+    return;
+  }
+  ASSERT_FALSE(spans.empty());
+  EXPECT_EQ(spans.front().begin, 0u);
+  EXPECT_EQ(spans.back().end, text_size);
+  for (size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_LT(spans[i].begin, spans[i].end);
+    EXPECT_LE(spans[i].size(), window);
+    if (i > 0) {
+      EXPECT_EQ(spans[i].begin, spans[i - 1].begin + (window - overlap));
+      EXPECT_LE(spans[i].begin, spans[i - 1].end);  // No gaps.
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Parameters, WindowSweep,
+    ::testing::Combine(::testing::Values(0u, 1u, 100u, 2499u, 2500u, 2501u,
+                                         9999u, 20000u),
+                       ::testing::Values(2500u, 1000u, 300u),
+                       ::testing::Values(0u, 100u, 500u)));
+
+// ---------- Zipf sampler over (n, exponent) ----------
+
+class ZipfSweep
+    : public ::testing::TestWithParam<std::tuple<size_t, double>> {};
+
+TEST_P(ZipfSweep, PmfNormalizedAndMonotone) {
+  auto [n, exponent] = GetParam();
+  ZipfSampler zipf(n, exponent);
+  double total = 0;
+  for (size_t r = 1; r <= n; ++r) {
+    total += zipf.Pmf(r);
+    if (r > 1) {
+      EXPECT_LE(zipf.Pmf(r), zipf.Pmf(r - 1) + 1e-15);
+    }
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  Rng rng(static_cast<uint64_t>(n * 1000 + exponent * 10));
+  for (int i = 0; i < 1000; ++i) {
+    size_t r = zipf.Sample(rng);
+    ASSERT_GE(r, 1u);
+    ASSERT_LE(r, n);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Parameters, ZipfSweep,
+    ::testing::Combine(::testing::Values(1u, 2u, 10u, 100u, 5000u),
+                       ::testing::Values(0.5, 1.0, 1.07, 1.5, 2.0)));
+
+// ---------- Porter stemmer over random pseudo-words ----------
+
+class StemmerSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StemmerSweep, OutputIsSaneForRandomWords) {
+  Rng rng(GetParam());
+  const char alphabet[] = "abcdefghijklmnopqrstuvwxyz";
+  for (int i = 0; i < 500; ++i) {
+    size_t len = 1 + rng.NextBounded(14);
+    std::string word;
+    for (size_t c = 0; c < len; ++c) {
+      word.push_back(alphabet[rng.NextBounded(26)]);
+    }
+    std::string stem = PorterStem(word);
+    ASSERT_FALSE(stem.empty()) << word;
+    EXPECT_LE(stem.size(), word.size() + 1) << word;  // "+1": -iz -> -ize.
+    // Stem is a lower-case alphabetic string.
+    for (char c : stem) {
+      EXPECT_TRUE(c >= 'a' && c <= 'z') << word << " -> " << stem;
+    }
+    // Stemming never touches words of length <= 2.
+    if (word.size() <= 2) {
+      EXPECT_EQ(stem, word);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StemmerSweep,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// ---------- Tokenizer offsets over random byte soup ----------
+
+class TokenizerSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TokenizerSweep, OffsetsAlwaysConsistent) {
+  Rng rng(GetParam());
+  const char charset[] =
+      "abc XYZ 019 .,!?()'\"\t\n-@/:;";
+  for (int trial = 0; trial < 60; ++trial) {
+    size_t len = rng.NextBounded(300);
+    std::string text;
+    for (size_t i = 0; i < len; ++i) {
+      text.push_back(charset[rng.NextBounded(sizeof(charset) - 1)]);
+    }
+    for (const Token& tok : Tokenize(text)) {
+      ASSERT_LT(tok.begin, tok.end);
+      ASSERT_LE(tok.end, text.size());
+      EXPECT_EQ(text.substr(tok.begin, tok.end - tok.begin), tok.raw);
+      EXPECT_FALSE(tok.text.empty());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TokenizerSweep,
+                         ::testing::Values(11, 22, 33));
+
+// ---------- Pairwise error metric properties ----------
+
+class MetricsSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MetricsSweep, ErrorRateBoundsAndExtremes) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    size_t n = 2 + rng.NextBounded(10);
+    std::vector<double> ctr(n), pred(n);
+    for (size_t i = 0; i < n; ++i) {
+      ctr[i] = rng.NextDouble();
+      pred[i] = rng.NextDouble();
+    }
+    for (bool weighted : {false, true}) {
+      double e = PairwiseErrorRate(pred, ctr, weighted);
+      ASSERT_GE(e, 0.0);
+      ASSERT_LE(e, 1.0);
+      // Ranking by the labels themselves is perfect; by their negation,
+      // maximally wrong.
+      EXPECT_DOUBLE_EQ(PairwiseErrorRate(ctr, ctr, weighted), 0.0);
+      std::vector<double> neg(n);
+      for (size_t i = 0; i < n; ++i) neg[i] = -ctr[i];
+      EXPECT_DOUBLE_EQ(PairwiseErrorRate(neg, ctr, weighted), 1.0);
+      // Complement property: flipping the prediction flips the error.
+      double flipped = PairwiseErrorRate(neg, ctr, weighted);
+      EXPECT_NEAR(e + PairwiseErrorRate(pred, ctr, weighted), e + e, 1e-12);
+      (void)flipped;
+    }
+  }
+}
+
+TEST_P(MetricsSweep, NdcgBoundsAndPerfection) {
+  Rng rng(GetParam() + 1000);
+  for (int trial = 0; trial < 30; ++trial) {
+    size_t n = 1 + rng.NextBounded(12);
+    std::vector<double> ctr(n), pred(n);
+    for (size_t i = 0; i < n; ++i) {
+      ctr[i] = rng.NextDouble() * 0.2;
+      pred[i] = rng.NextDouble();
+    }
+    CtrBucketizer buckets(ctr);
+    for (size_t k = 1; k <= 3; ++k) {
+      double x = NdcgAtK(pred, ctr, buckets, k);
+      ASSERT_GE(x, 0.0);
+      ASSERT_LE(x, 1.0 + 1e-12);
+      EXPECT_NEAR(NdcgAtK(ctr, ctr, buckets, k), 1.0, 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetricsSweep, ::testing::Values(7, 17, 27));
+
+// ---------- Aho-Corasick vs brute force ----------
+
+class AhoCorasickSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AhoCorasickSweep, MatchesBruteForceOnRandomStreams) {
+  Rng rng(GetParam());
+  const char* vocab[] = {"a", "b", "c", "d", "e"};
+  for (int trial = 0; trial < 20; ++trial) {
+    // Random patterns of 1-3 tokens.
+    PhraseMatcher matcher;
+    std::vector<std::vector<std::string>> patterns;
+    size_t n_patterns = 1 + rng.NextBounded(8);
+    std::set<std::string> seen_phrases;
+    for (size_t p = 0; p < n_patterns; ++p) {
+      size_t len = 1 + rng.NextBounded(3);
+      std::vector<std::string> pat;
+      std::string phrase;
+      for (size_t t = 0; t < len; ++t) {
+        pat.push_back(vocab[rng.NextBounded(5)]);
+        if (t > 0) phrase += " ";
+        phrase += pat.back();
+      }
+      if (!seen_phrases.insert(phrase).second) continue;
+      ASSERT_TRUE(
+          matcher.AddPhrase(phrase, static_cast<uint32_t>(patterns.size()))
+              .ok());
+      patterns.push_back(pat);
+    }
+    matcher.Build();
+
+    // Random token stream.
+    std::vector<std::string> tokens;
+    size_t stream_len = rng.NextBounded(60);
+    for (size_t i = 0; i < stream_len; ++i) {
+      tokens.emplace_back(vocab[rng.NextBounded(5)]);
+    }
+
+    // Brute force: every (start, pattern) pair.
+    std::set<std::tuple<uint32_t, uint32_t, uint32_t>> expected;
+    for (uint32_t p = 0; p < patterns.size(); ++p) {
+      const auto& pat = patterns[p];
+      for (uint32_t s = 0; s + pat.size() <= tokens.size(); ++s) {
+        bool match = true;
+        for (size_t t = 0; t < pat.size(); ++t) {
+          if (tokens[s + t] != pat[t]) {
+            match = false;
+            break;
+          }
+        }
+        if (match) {
+          expected.insert({s, static_cast<uint32_t>(pat.size()), p});
+        }
+      }
+    }
+    std::set<std::tuple<uint32_t, uint32_t, uint32_t>> actual;
+    for (const PhraseMatch& m : matcher.FindAll(tokens)) {
+      actual.insert({m.token_begin, m.token_count, m.payload});
+    }
+    ASSERT_EQ(actual, expected) << "trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AhoCorasickSweep,
+                         ::testing::Values(101, 202, 303, 404));
+
+// ---------- RankSVM learnability across problem shapes ----------
+
+class RankSvmSweep
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+TEST_P(RankSvmSweep, LearnsAcrossShapes) {
+  auto [dim, group_size] = GetParam();
+  Rng rng(dim * 131 + group_size);
+  std::vector<double> w(dim);
+  for (double& x : w) x = rng.NextGaussian();
+  std::vector<RankingInstance> data;
+  for (size_t i = 0; i < 300; ++i) {
+    RankingInstance inst;
+    inst.features.resize(dim);
+    double score = 0;
+    for (size_t d = 0; d < dim; ++d) {
+      inst.features[d] = rng.NextGaussian();
+      score += w[d] * inst.features[d];
+    }
+    inst.label = score;
+    inst.group = static_cast<uint32_t>(i / group_size);
+    data.push_back(std::move(inst));
+  }
+  auto model = RankSvmTrainer().Train(data);
+  ASSERT_TRUE(model.ok());
+  size_t correct = 0, total = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    for (size_t j = i + 1; j < data.size(); ++j) {
+      if (data[i].group != data[j].group) continue;
+      ++total;
+      double si = model->Score(data[i].features);
+      double sj = model->Score(data[j].features);
+      if ((si > sj) == (data[i].label > data[j].label)) ++correct;
+    }
+  }
+  ASSERT_GT(total, 50u);
+  EXPECT_GT(static_cast<double>(correct) / total, 0.92)
+      << "dim=" << dim << " group=" << group_size;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, RankSvmSweep,
+    ::testing::Combine(::testing::Values(1u, 3u, 8u, 17u),
+                       ::testing::Values(2u, 5u, 10u)));
+
+}  // namespace
+}  // namespace ckr

@@ -1,0 +1,200 @@
+// Unit tests for ckr_ranksvm: pairwise training, kernels, serialization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "ranksvm/rank_svm.h"
+
+namespace ckr {
+namespace {
+
+// Synthetic ranking problem: label = w . x (+ optional noise), grouped.
+std::vector<RankingInstance> LinearProblem(size_t n, size_t dim,
+                                           size_t group_size, double noise,
+                                           uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> w(dim);
+  for (double& x : w) x = rng.NextGaussian();
+  std::vector<RankingInstance> data;
+  for (size_t i = 0; i < n; ++i) {
+    RankingInstance inst;
+    inst.features.resize(dim);
+    double score = 0;
+    for (size_t d = 0; d < dim; ++d) {
+      inst.features[d] = rng.NextGaussian();
+      score += w[d] * inst.features[d];
+    }
+    inst.label = score + noise * rng.NextGaussian();
+    inst.group = static_cast<uint32_t>(i / group_size);
+    data.push_back(std::move(inst));
+  }
+  return data;
+}
+
+// Fraction of correctly ordered within-group pairs.
+double PairAccuracy(const RankSvmModel& model,
+                    const std::vector<RankingInstance>& data) {
+  size_t correct = 0, total = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    for (size_t j = i + 1; j < data.size(); ++j) {
+      if (data[i].group != data[j].group) continue;
+      if (data[i].label == data[j].label) continue;
+      ++total;
+      double si = model.Score(data[i].features);
+      double sj = model.Score(data[j].features);
+      if ((si > sj) == (data[i].label > data[j].label)) ++correct;
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(correct) / total;
+}
+
+TEST(RankSvmTest, RejectsDegenerateInput) {
+  RankSvmTrainer trainer;
+  EXPECT_FALSE(trainer.Train({}).ok());
+
+  std::vector<RankingInstance> empty_features(3);
+  for (auto& inst : empty_features) inst.group = 0;
+  EXPECT_FALSE(trainer.Train(empty_features).ok());
+
+  std::vector<RankingInstance> mismatched = {
+      {{1.0, 2.0}, 0.5, 0}, {{1.0}, 0.2, 0}};
+  EXPECT_FALSE(trainer.Train(mismatched).ok());
+
+  // All labels tied: no preference pairs.
+  std::vector<RankingInstance> tied = {
+      {{1.0}, 0.5, 0}, {{2.0}, 0.5, 0}, {{3.0}, 0.5, 0}};
+  auto result = trainer.Train(tied);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(RankSvmTest, LearnsLinearOrdering) {
+  auto data = LinearProblem(400, 6, 8, 0.0, 42);
+  RankSvmTrainer trainer;
+  auto model = trainer.Train(data);
+  ASSERT_TRUE(model.ok());
+  EXPECT_GT(PairAccuracy(*model, data), 0.95);
+}
+
+TEST(RankSvmTest, GeneralizesToHeldOut) {
+  auto train = LinearProblem(400, 6, 8, 0.1, 7);
+  auto test = LinearProblem(200, 6, 8, 0.1, 7);  // Same w (same seed).
+  RankSvmTrainer trainer;
+  auto model = trainer.Train(train);
+  ASSERT_TRUE(model.ok());
+  EXPECT_GT(PairAccuracy(*model, test), 0.85);
+}
+
+TEST(RankSvmTest, PairsOnlyFormWithinGroups) {
+  // Two groups with opposite label-feature relationships within a shared
+  // global scale. If cross-group pairs were used the problem would be
+  // unlearnable; within groups it is exactly learnable.
+  std::vector<RankingInstance> data;
+  for (int g = 0; g < 40; ++g) {
+    double offset = (g % 2 == 0) ? 0.0 : 100.0;
+    data.push_back({{1.0 + offset}, offset + 2.0, static_cast<uint32_t>(g)});
+    data.push_back({{0.0 + offset}, offset + 1.0, static_cast<uint32_t>(g)});
+  }
+  RankSvmTrainer trainer;
+  auto model = trainer.Train(data);
+  ASSERT_TRUE(model.ok());
+  EXPECT_GT(PairAccuracy(*model, data), 0.99);
+}
+
+TEST(RankSvmTest, RbfSolvesNonlinearProblem) {
+  // label depends on |x| — linearly unlearnable, easy for RBF features.
+  Rng rng(3);
+  std::vector<RankingInstance> data;
+  for (size_t i = 0; i < 600; ++i) {
+    double x = rng.NextGaussian();
+    RankingInstance inst;
+    inst.features = {x};
+    inst.label = std::abs(x);
+    inst.group = static_cast<uint32_t>(i / 6);
+    data.push_back(std::move(inst));
+  }
+  RankSvmConfig linear_cfg;
+  RankSvmConfig rbf_cfg;
+  rbf_cfg.kernel = SvmKernel::kRbfFourier;
+  rbf_cfg.rbf_gamma = 1.0;
+  auto linear = RankSvmTrainer(linear_cfg).Train(data);
+  auto rbf = RankSvmTrainer(rbf_cfg).Train(data);
+  ASSERT_TRUE(linear.ok());
+  ASSERT_TRUE(rbf.ok());
+  double lin_acc = PairAccuracy(*linear, data);
+  double rbf_acc = PairAccuracy(*rbf, data);
+  EXPECT_LT(lin_acc, 0.65);  // Linear is near chance.
+  EXPECT_GT(rbf_acc, 0.8);
+  EXPECT_GT(rbf_acc, lin_acc + 0.15);
+}
+
+TEST(RankSvmTest, DeterministicTraining) {
+  auto data = LinearProblem(200, 4, 5, 0.2, 11);
+  RankSvmTrainer trainer;
+  auto a = trainer.Train(data);
+  auto b = trainer.Train(data);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->weights().size(), b->weights().size());
+  for (size_t i = 0; i < a->weights().size(); ++i) {
+    EXPECT_DOUBLE_EQ(a->weights()[i], b->weights()[i]);
+  }
+}
+
+TEST(RankSvmTest, ScoreDimensionMismatchIsZero) {
+  auto data = LinearProblem(100, 4, 5, 0.0, 2);
+  auto model = RankSvmTrainer().Train(data);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->Score({1.0, 2.0}), 0.0);
+  EXPECT_EQ(model->InputDim(), 4u);
+}
+
+TEST(RankSvmTest, ConstantFeatureDimensionIsIgnored) {
+  // A constant dimension has sd 0; standardization must not divide by it.
+  Rng rng(9);
+  std::vector<RankingInstance> data;
+  for (size_t i = 0; i < 200; ++i) {
+    double x = rng.NextGaussian();
+    data.push_back({{x, 5.0}, x, static_cast<uint32_t>(i / 5)});
+  }
+  auto model = RankSvmTrainer().Train(data);
+  ASSERT_TRUE(model.ok());
+  EXPECT_GT(PairAccuracy(*model, data), 0.95);
+}
+
+TEST(RankSvmTest, SerializationRoundTripLinear) {
+  auto data = LinearProblem(200, 5, 5, 0.1, 21);
+  auto model = RankSvmTrainer().Train(data);
+  ASSERT_TRUE(model.ok());
+  std::string blob = model->Serialize();
+  auto restored = RankSvmModel::Deserialize(blob);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  for (const auto& inst : data) {
+    EXPECT_NEAR(model->Score(inst.features), restored->Score(inst.features),
+                1e-12);
+  }
+}
+
+TEST(RankSvmTest, SerializationRoundTripRbf) {
+  RankSvmConfig cfg;
+  cfg.kernel = SvmKernel::kRbfFourier;
+  cfg.rff_dim = 64;
+  auto data = LinearProblem(200, 3, 5, 0.1, 23);
+  auto model = RankSvmTrainer(cfg).Train(data);
+  ASSERT_TRUE(model.ok());
+  auto restored = RankSvmModel::Deserialize(model->Serialize());
+  ASSERT_TRUE(restored.ok());
+  for (const auto& inst : data) {
+    EXPECT_NEAR(model->Score(inst.features), restored->Score(inst.features),
+                1e-9);
+  }
+}
+
+TEST(RankSvmTest, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(RankSvmModel::Deserialize("not a model").ok());
+  EXPECT_FALSE(RankSvmModel::Deserialize("").ok());
+  EXPECT_FALSE(RankSvmModel::Deserialize("ranksvm v1\nkernel linear\n").ok());
+}
+
+}  // namespace
+}  // namespace ckr

@@ -1,0 +1,217 @@
+// Unit tests for ckr_search (facade: snippets, result counts, Prisma,
+// suggestions) and ckr_wiki.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "corpus/doc_generator.h"
+#include "corpus/term_dictionary.h"
+#include "corpus/world.h"
+#include "index/inverted_index.h"
+#include "querylog/query_generator.h"
+#include "search/search_service.h"
+#include "wiki/wiki_store.h"
+
+namespace ckr {
+namespace {
+
+class SearchTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    WorldConfig cfg;
+    cfg.num_topics = 6;
+    cfg.background_vocab = 600;
+    cfg.words_per_topic = 40;
+    cfg.num_named_entities = 150;
+    cfg.num_concepts = 100;
+    cfg.num_generic_concepts = 12;
+    cfg.num_web_docs = 400;
+    world_ = World::Create(cfg)->release();
+    DocGenerator gen(*world_);
+    docs_ = new std::vector<Document>(
+        gen.GenerateCorpus(Document::Kind::kWeb, cfg.num_web_docs));
+    dict_ = new TermDictionary();
+    dict_->Build(*docs_);
+    index_ = new InvertedIndex();
+    for (const Document& d : *docs_) index_->Add(d);
+    index_->Finalize();
+    QueryGeneratorConfig qcfg;
+    qcfg.num_submissions = 30000;
+    log_ = new QueryLog(QueryGenerator(*world_, qcfg).Generate());
+    search_ = new SearchService(*index_, *log_, *dict_);
+  }
+  static void TearDownTestSuite() {
+    delete search_;
+    delete log_;
+    delete index_;
+    delete dict_;
+    delete docs_;
+    delete world_;
+    search_ = nullptr;
+  }
+
+  // Most popular multi-term entity: guaranteed web presence and queries.
+  static const Entity& PopularEntity() {
+    const Entity* best = nullptr;
+    for (const Entity& e : world_->entities()) {
+      if (e.is_generic || e.TermCount() < 2) continue;
+      if (best == nullptr || e.popularity > best->popularity) best = &e;
+    }
+    return *best;
+  }
+
+  static World* world_;
+  static std::vector<Document>* docs_;
+  static TermDictionary* dict_;
+  static InvertedIndex* index_;
+  static QueryLog* log_;
+  static SearchService* search_;
+};
+
+World* SearchTest::world_ = nullptr;
+std::vector<Document>* SearchTest::docs_ = nullptr;
+TermDictionary* SearchTest::dict_ = nullptr;
+InvertedIndex* SearchTest::index_ = nullptr;
+QueryLog* SearchTest::log_ = nullptr;
+SearchService* SearchTest::search_ = nullptr;
+
+TEST_F(SearchTest, SnippetsMentionTheConcept) {
+  const Entity& e = PopularEntity();
+  auto snippets = search_->Snippets(e.key, 50);
+  ASSERT_FALSE(snippets.empty());
+  size_t mentioning = 0;
+  for (const std::string& s : snippets) {
+    if (s.find(e.surface) != std::string::npos) ++mentioning;
+  }
+  // Phrase-query snippets are centered on the occurrence.
+  EXPECT_GT(mentioning, snippets.size() / 2);
+}
+
+TEST_F(SearchTest, SnippetCountBoundedByPhraseHits) {
+  const Entity& e = PopularEntity();
+  uint64_t hits = search_->PhraseResultCount(e.key);
+  auto snippets = search_->Snippets(e.key, 100);
+  EXPECT_LE(snippets.size(), std::min<uint64_t>(hits, 100));
+}
+
+TEST_F(SearchTest, ResultCountsOrdering) {
+  const Entity& e = PopularEntity();
+  // Disjunctive retrieval can only widen the result set.
+  EXPECT_GE(search_->RegularResultCount(e.key),
+            search_->PhraseResultCount(e.key));
+  EXPECT_EQ(search_->PhraseResultCount("zzz unknown phrase"), 0u);
+}
+
+TEST_F(SearchTest, PrismaReturnsAtMostTwenty) {
+  const Entity& e = PopularEntity();
+  auto terms = search_->PrismaFeedbackTerms(e.key);
+  EXPECT_LE(terms.size(), 20u);
+  EXPECT_FALSE(terms.empty());
+  // Feedback terms never echo the concept's own terms.
+  for (const std::string& t : terms) {
+    EXPECT_EQ(e.key.find(" " + t + " "), std::string::npos);
+  }
+}
+
+TEST_F(SearchTest, SuggestionsShareTermsAndCarryFreqs) {
+  const Entity& e = PopularEntity();
+  auto suggestions = search_->RelatedSuggestions(e.key, 300);
+  ASSERT_FALSE(suggestions.empty());
+  EXPECT_LE(suggestions.size(), 300u);
+  // Sorted by descending frequency.
+  for (size_t i = 1; i < suggestions.size(); ++i) {
+    EXPECT_GE(suggestions[i - 1].freq, suggestions[i].freq);
+  }
+  // None equals the concept itself.
+  for (const auto& s : suggestions) EXPECT_NE(s.query, e.key);
+}
+
+TEST_F(SearchTest, SuggestionsEmptyForUnknownConcept) {
+  EXPECT_TRUE(search_->RelatedSuggestions("zzz yyy xxx").empty());
+}
+
+TEST(WikiTest, CoverageAndLengthCorrelateWithNotability) {
+  WorldConfig cfg;
+  cfg.num_topics = 6;
+  cfg.background_vocab = 600;
+  cfg.words_per_topic = 40;
+  cfg.num_named_entities = 400;
+  cfg.num_concepts = 100;
+  cfg.num_generic_concepts = 20;
+  auto world_or = World::Create(cfg);
+  ASSERT_TRUE(world_or.ok());
+  const World& world = **world_or;
+  WikiStore wiki = WikiStore::Build(world, 77);
+  EXPECT_GT(wiki.NumArticles(), 100u);
+
+  double hi_sum = 0, lo_sum = 0;
+  size_t hi_n = 0, lo_n = 0;
+  for (const Entity& e : world.entities()) {
+    if (e.is_generic) {
+      // Junk units never have articles.
+      EXPECT_EQ(wiki.ArticleWordCount(e.key), 0u) << e.key;
+      continue;
+    }
+    uint32_t words = wiki.ArticleWordCount(e.key);
+    if (e.notability > 0.6) {
+      hi_sum += words;
+      ++hi_n;
+    } else if (e.notability < 0.2) {
+      lo_sum += words;
+      ++lo_n;
+    }
+  }
+  ASSERT_GT(hi_n, 5u);
+  ASSERT_GT(lo_n, 5u);
+  EXPECT_GT(hi_sum / hi_n, 2.0 * (lo_sum / lo_n + 1.0));
+}
+
+TEST(WikiTest, DeterministicInSeed) {
+  WorldConfig cfg;
+  cfg.num_topics = 4;
+  cfg.background_vocab = 400;
+  cfg.words_per_topic = 30;
+  cfg.num_named_entities = 100;
+  cfg.num_concepts = 50;
+  cfg.num_generic_concepts = 5;
+  auto world = World::Create(cfg);
+  ASSERT_TRUE(world.ok());
+  WikiStore a = WikiStore::Build(**world, 5);
+  WikiStore b = WikiStore::Build(**world, 5);
+  WikiStore c = WikiStore::Build(**world, 6);
+  EXPECT_EQ(a.NumArticles(), b.NumArticles());
+  size_t diff = 0;
+  for (const Entity& e : (*world)->entities()) {
+    EXPECT_EQ(a.ArticleWordCount(e.key), b.ArticleWordCount(e.key));
+    if (a.ArticleWordCount(e.key) != c.ArticleWordCount(e.key)) ++diff;
+  }
+  EXPECT_GT(diff, 0u);
+}
+
+TEST(WikiTest, ArticleTextMatchesRegisteredLength) {
+  WorldConfig cfg;
+  cfg.num_topics = 4;
+  cfg.background_vocab = 400;
+  cfg.words_per_topic = 30;
+  cfg.num_named_entities = 60;
+  cfg.num_concepts = 30;
+  cfg.num_generic_concepts = 5;
+  auto world = World::Create(cfg);
+  ASSERT_TRUE(world.ok());
+  WikiStore wiki = WikiStore::Build(**world, 9);
+  for (const Entity& e : (*world)->entities()) {
+    uint32_t words = wiki.ArticleWordCount(e.key);
+    if (words == 0) {
+      EXPECT_EQ(wiki.ArticleText(**world, e.key), "");
+      continue;
+    }
+    std::string text = wiki.ArticleText(**world, e.key);
+    ASSERT_FALSE(text.empty());
+    // Starts with the subject, like an encyclopedia lead.
+    EXPECT_EQ(text.find(e.surface), 0u);
+    return;  // One full-text check is enough (generation is costly).
+  }
+}
+
+}  // namespace
+}  // namespace ckr

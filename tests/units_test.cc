@@ -1,0 +1,169 @@
+// Unit tests for ckr_units: iterative MI-validated unit extraction.
+#include <gtest/gtest.h>
+
+#include "corpus/world.h"
+#include "querylog/query_generator.h"
+#include "units/unit_extractor.h"
+
+namespace ckr {
+namespace {
+
+TEST(UnitDictionaryTest, AddFindScore) {
+  UnitDictionary dict;
+  dict.Add({"tom cruise", 2, 70, 3.0, 0.9});
+  dict.Add({"tom", 1, 75, 0.0, 0.4});
+  EXPECT_EQ(dict.size(), 2u);
+  ASSERT_NE(dict.Find("tom cruise"), nullptr);
+  EXPECT_EQ(dict.Find("tom cruise")->num_terms, 2);
+  EXPECT_DOUBLE_EQ(dict.UnitScore("tom cruise"), 0.9);
+  EXPECT_DOUBLE_EQ(dict.UnitScore("nope"), 0.0);
+  EXPECT_TRUE(dict.Contains("tom"));
+  EXPECT_EQ(dict.MultiTermUnits().size(), 1u);
+}
+
+TEST(UnitDictionaryTest, DuplicateAddReplaces) {
+  UnitDictionary dict;
+  dict.Add({"x y", 2, 10, 1.0, 0.5});
+  dict.Add({"x y", 2, 20, 2.0, 0.8});
+  EXPECT_EQ(dict.size(), 1u);
+  EXPECT_DOUBLE_EQ(dict.UnitScore("x y"), 0.8);
+}
+
+TEST(UnitExtractorTest, RequiresFinalizedLog) {
+  QueryLog log;
+  log.AddQuery("a b", 10);
+  UnitExtractor extractor;
+  auto result = extractor.Extract(log);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(UnitExtractorTest, ExtractsCohesivePair) {
+  QueryLog log;
+  // "alpha bravo" always co-occur; "alpha" and "noise" never do.
+  log.AddQuery("alpha bravo", 40);
+  log.AddQuery("alpha bravo charlie", 10);
+  log.AddQuery("noise", 30);
+  log.AddQuery("charlie", 20);
+  log.Finalize();
+  UnitExtractorConfig cfg;
+  cfg.min_term_freq = 2;
+  cfg.min_unit_freq = 2;
+  cfg.mi_threshold = 0.2;
+  auto dict_or = UnitExtractor(cfg).Extract(log);
+  ASSERT_TRUE(dict_or.ok());
+  const UnitDictionary& dict = *dict_or;
+  EXPECT_TRUE(dict.Contains("alpha bravo"));
+  const UnitInfo* u = dict.Find("alpha bravo");
+  EXPECT_EQ(u->num_terms, 2);
+  EXPECT_EQ(u->freq, 50u);
+  EXPECT_GT(u->raw_mi, 0.0);
+  EXPECT_FALSE(dict.Contains("bravo charlie") &&
+               dict.Find("bravo charlie")->raw_mi >
+                   dict.Find("alpha bravo")->raw_mi);
+}
+
+TEST(UnitExtractorTest, RareCooccurrenceRejectedByFrequency) {
+  QueryLog log;
+  log.AddQuery("delta echo", 1);  // Below min_unit_freq.
+  log.AddQuery("delta", 30);
+  log.AddQuery("echo", 30);
+  log.Finalize();
+  UnitExtractorConfig cfg;
+  cfg.min_term_freq = 2;
+  cfg.min_unit_freq = 3;
+  cfg.mi_threshold = 0.0;
+  auto dict_or = UnitExtractor(cfg).Extract(log);
+  ASSERT_TRUE(dict_or.ok());
+  EXPECT_FALSE(dict_or->Contains("delta echo"));
+}
+
+TEST(UnitExtractorTest, IndependentTermsRejectedByMi) {
+  QueryLog log;
+  // "x" and "y" co-occur at chance level given their high frequencies.
+  log.AddQuery("x y", 10);
+  log.AddQuery("x", 500);
+  log.AddQuery("y", 500);
+  log.Finalize();
+  UnitExtractorConfig cfg;
+  cfg.min_term_freq = 2;
+  cfg.min_unit_freq = 2;
+  cfg.mi_threshold = 1.5;
+  auto dict_or = UnitExtractor(cfg).Extract(log);
+  ASSERT_TRUE(dict_or.ok());
+  EXPECT_FALSE(dict_or->Contains("x y"));
+}
+
+TEST(UnitExtractorTest, IterativeGrowthToTrigram) {
+  QueryLog log;
+  log.AddQuery("new york city", 50);
+  log.AddQuery("new york", 30);
+  log.AddQuery("city", 20);
+  log.AddQuery("background", 40);
+  log.Finalize();
+  UnitExtractorConfig cfg;
+  cfg.min_term_freq = 2;
+  cfg.min_unit_freq = 2;
+  cfg.mi_threshold = 0.1;
+  auto dict_or = UnitExtractor(cfg).Extract(log);
+  ASSERT_TRUE(dict_or.ok());
+  EXPECT_TRUE(dict_or->Contains("new york"));
+  EXPECT_TRUE(dict_or->Contains("new york city"));
+  const UnitInfo* tri = dict_or->Find("new york city");
+  EXPECT_EQ(tri->num_terms, 3);
+}
+
+TEST(UnitExtractorTest, ScoresAreNormalized) {
+  QueryLog log;
+  log.AddQuery("a b", 40);
+  log.AddQuery("c d", 15);
+  log.AddQuery("filler words here", 60);
+  log.Finalize();
+  UnitExtractorConfig cfg;
+  cfg.min_term_freq = 2;
+  cfg.min_unit_freq = 2;
+  cfg.mi_threshold = 0.0;
+  auto dict_or = UnitExtractor(cfg).Extract(log);
+  ASSERT_TRUE(dict_or.ok());
+  for (const UnitInfo& u : dict_or->units()) {
+    EXPECT_GE(u.score, 0.0) << u.phrase;
+    EXPECT_LE(u.score, 1.0) << u.phrase;
+  }
+}
+
+TEST(UnitExtractorTest, RecoversWorldConceptsFromTraffic) {
+  // End-to-end property: multi-term world concepts with real query demand
+  // are recovered as units.
+  WorldConfig wcfg;
+  wcfg.num_topics = 6;
+  wcfg.background_vocab = 600;
+  wcfg.words_per_topic = 40;
+  wcfg.num_named_entities = 120;
+  wcfg.num_concepts = 80;
+  wcfg.num_generic_concepts = 10;
+  auto world_or = World::Create(wcfg);
+  ASSERT_TRUE(world_or.ok());
+  QueryGeneratorConfig qcfg;
+  qcfg.num_submissions = 40000;
+  QueryLog log = QueryGenerator(**world_or, qcfg).Generate();
+  UnitExtractorConfig ucfg;
+  ucfg.min_term_freq = 3;
+  ucfg.min_unit_freq = 3;
+  auto dict_or = UnitExtractor(ucfg).Extract(log);
+  ASSERT_TRUE(dict_or.ok());
+
+  size_t multi_total = 0, recovered = 0;
+  double pop_threshold = 0.4;
+  for (const Entity& e : (*world_or)->entities()) {
+    if (e.TermCount() < 2 || e.popularity < pop_threshold) continue;
+    ++multi_total;
+    if (dict_or->Contains(e.key)) ++recovered;
+  }
+  ASSERT_GT(multi_total, 20u);
+  // Popular multi-term entities should be recovered at a high rate.
+  EXPECT_GT(static_cast<double>(recovered) / static_cast<double>(multi_total),
+            0.85);
+}
+
+}  // namespace
+}  // namespace ckr
