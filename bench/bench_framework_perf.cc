@@ -7,13 +7,20 @@
 // 7.9MB/sec and 2.4MB/sec" (Dual Core AMD Opteron 275, 1808 MHz).
 //
 // We run the trained production runtime over an equivalent document set
-// and report the same two throughput numbers. Absolute rates differ with
-// hardware; the shape to preserve is that ranking costs a small multiple
-// of stemming and both run at MB/s-scale, fast enough for online serving.
+// and report the same two throughput numbers, for both runtime layouts:
+//  * legacy — string-keyed map lookups and a hash-set context (the
+//    pre-flat-layout hot path, kept as ProcessDocumentLegacy);
+//  * flat — the id-keyed contiguous layout with a reused scratch.
+// Plus ProcessBatch scaling across worker threads. The summary run also
+// verifies the two layouts produce bit-identical rankings and writes all
+// measurements to BENCH_runtime.json for machine consumption.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 #include <memory>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "core/contextual_ranker.h"
@@ -26,6 +33,7 @@ using namespace ckr;
 struct PerfLab {
   std::unique_ptr<ContextualRanker> ranker;
   std::vector<std::string> docs;
+  std::vector<std::string_view> views;
   size_t total_bytes = 0;
 };
 
@@ -47,17 +55,40 @@ PerfLab* GetLab() {
       l->total_bytes += d.text.size();
       l->docs.push_back(std::move(d.text));
     }
+    for (const std::string& d : l->docs) l->views.push_back(d);
     return l;
   }();
   return lab;
 }
 
+double WallSeconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+bool SameRanking(const std::vector<RankedAnnotation>& a,
+                 const std::vector<RankedAnnotation>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].key != b[i].key || a[i].begin != b[i].begin ||
+        a[i].end != b[i].end || a[i].type != b[i].type ||
+        a[i].score != b[i].score) {  // Exact: bit-identical scores.
+      return false;
+    }
+  }
+  return true;
+}
+
 void BM_RuntimeProcessDocument(benchmark::State& state) {
   PerfLab* lab = GetLab();
+  RankerScratch scratch;
   size_t i = 0;
   size_t bytes = 0;
   for (auto _ : state) {
-    auto ranked = lab->ranker->Rank(lab->docs[i]);
+    auto ranked =
+        lab->ranker->runtime().ProcessDocument(lab->docs[i], &scratch,
+                                               nullptr);
     benchmark::DoNotOptimize(ranked);
     bytes += lab->docs[i].size();
     i = (i + 1) % lab->docs.size();
@@ -66,13 +97,27 @@ void BM_RuntimeProcessDocument(benchmark::State& state) {
 }
 BENCHMARK(BM_RuntimeProcessDocument)->Unit(benchmark::kMicrosecond);
 
+void BM_RuntimeProcessDocumentLegacy(benchmark::State& state) {
+  PerfLab* lab = GetLab();
+  size_t i = 0;
+  size_t bytes = 0;
+  for (auto _ : state) {
+    auto ranked = lab->ranker->runtime().ProcessDocumentLegacy(lab->docs[i]);
+    benchmark::DoNotOptimize(ranked);
+    bytes += lab->docs[i].size();
+    i = (i + 1) % lab->docs.size();
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_RuntimeProcessDocumentLegacy)->Unit(benchmark::kMicrosecond);
+
 void BM_StemmerComponent(benchmark::State& state) {
   PerfLab* lab = GetLab();
   size_t i = 0;
   size_t bytes = 0;
   for (auto _ : state) {
     // The stemmer stage in isolation: tokenize + Porter-stem the document
-    // (what RuntimeRanker::StemToTids does before TID lookup).
+    // (what the runtime's stemmer phase does before TID lookup).
     auto stemmed = RelevanceScorer::StemContext(lab->docs[i]);
     benchmark::DoNotOptimize(stemmed);
     bytes += lab->docs[i].size();
@@ -82,34 +127,170 @@ void BM_StemmerComponent(benchmark::State& state) {
 }
 BENCHMARK(BM_StemmerComponent)->Unit(benchmark::kMicrosecond);
 
+void BM_ProcessBatch(benchmark::State& state) {
+  PerfLab* lab = GetLab();
+  unsigned threads = static_cast<unsigned>(state.range(0));
+  size_t bytes = 0;
+  for (auto _ : state) {
+    auto results = lab->ranker->runtime().ProcessBatch(lab->views, threads);
+    benchmark::DoNotOptimize(results);
+    bytes += lab->total_bytes;
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_ProcessBatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+struct BatchPoint {
+  unsigned threads = 1;
+  double wall_seconds = 0.0;
+  double docs_per_sec = 0.0;
+  double mbps = 0.0;
+};
+
+/// The paper's summary run: process all 1445 documents once per layout and
+/// report component throughputs from the runtime's own instrumentation,
+/// then batch wall-clock scaling. Returns the JSON blob written to disk.
+void RunSummary() {
+  PerfLab* lab = GetLab();
+  const RuntimeRanker& runtime = lab->ranker->runtime();
+
+  // Legacy layout (string-keyed maps, hash-set context).
+  RuntimeStats legacy;
+  std::vector<std::vector<RankedAnnotation>> legacy_out;
+  legacy_out.reserve(lab->docs.size());
+  for (const std::string& text : lab->docs) {
+    legacy_out.push_back(runtime.ProcessDocumentLegacy(text, &legacy));
+  }
+
+  // Flat layout, single thread, one reused scratch.
+  RuntimeStats flat;
+  RankerScratch scratch;
+  std::vector<std::vector<RankedAnnotation>> flat_out;
+  flat_out.reserve(lab->docs.size());
+  for (const std::string& text : lab->docs) {
+    flat_out.push_back(runtime.ProcessDocument(text, &scratch, &flat));
+  }
+
+  bool identical = true;
+  uint64_t detections = 0;
+  for (size_t i = 0; i < lab->docs.size(); ++i) {
+    identical = identical && SameRanking(legacy_out[i], flat_out[i]);
+    detections += flat_out[i].size();
+  }
+
+  // Batch scaling (wall-clock, includes the fan-out overhead).
+  std::vector<BatchPoint> batch;
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    auto t0 = std::chrono::steady_clock::now();
+    auto results = runtime.ProcessBatch(lab->views, threads);
+    BatchPoint p;
+    p.threads = threads;
+    p.wall_seconds = WallSeconds(t0);
+    p.docs_per_sec = p.wall_seconds > 0
+                         ? static_cast<double>(results.size()) / p.wall_seconds
+                         : 0.0;
+    p.mbps = p.wall_seconds > 0
+                 ? static_cast<double>(lab->total_bytes) / 1e6 / p.wall_seconds
+                 : 0.0;
+    identical = identical && results.size() == flat_out.size();
+    for (size_t i = 0; i < results.size(); ++i) {
+      identical = identical && SameRanking(results[i], flat_out[i]);
+    }
+    batch.push_back(p);
+  }
+
+  double ranker_speedup =
+      legacy.RankerMBps() > 0 ? flat.RankerMBps() / legacy.RankerMBps() : 0.0;
+
+  std::printf("=== Section VI performance (paper: 1445 docs, avg 2.5KB, "
+              "6.45 detections; stemmer 7.9 MB/s, ranker 2.4 MB/s) ===\n");
+  std::printf("documents: %llu, avg size %.2f KB, avg detections %.2f\n",
+              static_cast<unsigned long long>(flat.documents),
+              static_cast<double>(flat.bytes_processed) /
+                  static_cast<double>(flat.documents) / 1000.0,
+              static_cast<double>(detections) /
+                  static_cast<double>(flat.documents));
+  std::printf("layout   stemmer MB/s   ranker MB/s   docs/s\n");
+  std::printf("legacy   %12.1f  %12.1f  %7.0f\n", legacy.StemmerMBps(),
+              legacy.RankerMBps(), legacy.DocsPerSec());
+  std::printf("flat     %12.1f  %12.1f  %7.0f\n", flat.StemmerMBps(),
+              flat.RankerMBps(), flat.DocsPerSec());
+  std::printf("flat ranker split: match %.1f MB/s, score %.1f MB/s\n",
+              flat.MatchMBps(), flat.ScoreMBps());
+  std::printf("ranker speedup (flat / legacy): %.2fx\n", ranker_speedup);
+  std::printf("outputs bit-identical across layouts and batch: %s\n",
+              identical ? "yes" : "NO");
+  std::printf("batch scaling (wall-clock, %u hardware threads):\n",
+              std::thread::hardware_concurrency());
+  for (const BatchPoint& p : batch) {
+    std::printf("  %u thread%s  %.3f s  %7.0f docs/s  %6.1f MB/s  %.2fx\n",
+                p.threads, p.threads == 1 ? " " : "s", p.wall_seconds,
+                p.docs_per_sec, p.mbps,
+                batch.front().wall_seconds > 0
+                    ? batch.front().wall_seconds / p.wall_seconds
+                    : 0.0);
+  }
+  std::printf("\n");
+
+  std::FILE* f = std::fopen("BENCH_runtime.json", "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_runtime.json\n");
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"documents\": %llu,\n",
+               static_cast<unsigned long long>(flat.documents));
+  std::fprintf(f, "  \"total_bytes\": %zu,\n", lab->total_bytes);
+  // Batch scaling is bounded by the physical cores available; record them
+  // so consumers can judge the speedup_vs_1 column.
+  std::fprintf(f, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"avg_detections\": %.4f,\n",
+               static_cast<double>(detections) /
+                   static_cast<double>(flat.documents));
+  std::fprintf(f,
+               "  \"legacy\": {\"stemmer_seconds\": %.6f, \"ranker_seconds\": "
+               "%.6f, \"stemmer_mbps\": %.3f, \"ranker_mbps\": %.3f, "
+               "\"docs_per_sec\": %.1f},\n",
+               legacy.stemmer_seconds, legacy.ranker_seconds,
+               legacy.StemmerMBps(), legacy.RankerMBps(), legacy.DocsPerSec());
+  std::fprintf(f,
+               "  \"flat\": {\"stemmer_seconds\": %.6f, \"ranker_seconds\": "
+               "%.6f, \"match_seconds\": %.6f, \"score_seconds\": %.6f, "
+               "\"stemmer_mbps\": %.3f, \"ranker_mbps\": %.3f, "
+               "\"match_mbps\": %.3f, \"score_mbps\": %.3f, "
+               "\"docs_per_sec\": %.1f},\n",
+               flat.stemmer_seconds, flat.ranker_seconds, flat.match_seconds,
+               flat.score_seconds, flat.StemmerMBps(), flat.RankerMBps(),
+               flat.MatchMBps(), flat.ScoreMBps(), flat.DocsPerSec());
+  std::fprintf(f, "  \"ranker_speedup_flat_over_legacy\": %.4f,\n",
+               ranker_speedup);
+  std::fprintf(f, "  \"outputs_bit_identical\": %s,\n",
+               identical ? "true" : "false");
+  std::fprintf(f, "  \"batch\": [\n");
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const BatchPoint& p = batch[i];
+    std::fprintf(f,
+                 "    {\"threads\": %u, \"wall_seconds\": %.6f, "
+                 "\"docs_per_sec\": %.1f, \"mbps\": %.3f, "
+                 "\"speedup_vs_1\": %.4f}%s\n",
+                 p.threads, p.wall_seconds, p.docs_per_sec, p.mbps,
+                 batch.front().wall_seconds > 0
+                     ? batch.front().wall_seconds / p.wall_seconds
+                     : 0.0,
+                 i + 1 < batch.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_runtime.json\n\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
-
-  // The paper's summary run: process all 1445 documents once and report
-  // the two component throughputs from the runtime's own instrumentation.
-  PerfLab* lab = GetLab();
-  lab->ranker->ResetStats();
-  uint64_t detections = 0;
-  for (const std::string& text : lab->docs) {
-    detections += lab->ranker->Rank(text).size();
-  }
-  const RuntimeStats& stats = lab->ranker->stats();
-  std::printf("=== Section VI performance (paper: 1445 docs, avg 2.5KB, "
-              "6.45 detections; stemmer 7.9 MB/s, ranker 2.4 MB/s) ===\n");
-  std::printf("documents: %llu, avg size %.2f KB, avg detections %.2f\n",
-              static_cast<unsigned long long>(stats.documents),
-              static_cast<double>(stats.bytes_processed) /
-                  static_cast<double>(stats.documents) / 1000.0,
-              static_cast<double>(detections) /
-                  static_cast<double>(stats.documents));
-  std::printf("stemmer: %.3f sec total -> %.1f MB/s\n", stats.stemmer_seconds,
-              stats.StemmerMBps());
-  std::printf("ranker:  %.3f sec total -> %.1f MB/s\n", stats.ranker_seconds,
-              stats.RankerMBps());
-  std::printf("\n");
-
+  RunSummary();
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

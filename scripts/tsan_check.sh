@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Builds the concurrency-sensitive targets under ThreadSanitizer and runs
+# the detector/framework/batch test suites. ProcessBatch is the only
+# multi-threaded steady-state path, so a clean run here is the data-race
+# gate for the Section VI serving layer.
+#
+# Usage: scripts/tsan_check.sh [extra ctest args]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake --preset tsan
+cmake --build --preset tsan -j "$(nproc)" --target \
+  common_test detect_test framework_test batch_test
+ctest --test-dir build-tsan --output-on-failure "$@" \
+  -R '(Batch|Parallel|Detector|AhoCorasick|Runtime|TidTable|QuantizedStore|PackedRelevance)'

@@ -1,0 +1,59 @@
+// Epoch-stamped flat membership set over a dense id universe.
+//
+// The online ranker needs a per-document "set of context TIDs" that is
+// cleared for every document. A hash set pays an allocation and a hash per
+// insert; a plain bitset pays an O(universe) clear per document. The
+// epoch-stamp trick gets O(1) insert/lookup *and* O(1) clear: each slot
+// stores the epoch in which it was last inserted, and Clear() just bumps
+// the current epoch. The backing array is allocated once per scratch
+// object and reused across documents — zero steady-state allocations.
+#ifndef CKR_COMMON_EPOCH_SET_H_
+#define CKR_COMMON_EPOCH_SET_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace ckr {
+
+/// Membership set for ids in [0, universe). Not thread-safe; intended to
+/// live inside per-worker scratch state.
+class EpochSet {
+ public:
+  /// Clears the set and (re)sizes it for ids in [0, universe). Growing the
+  /// universe reallocates; a steady universe makes this O(1).
+  void Reset(size_t universe) {
+    if (stamps_.size() < universe) stamps_.resize(universe, 0);
+    if (++epoch_ == 0) {  // Wrapped: stamps from 2^32 resets ago collide.
+      std::fill(stamps_.begin(), stamps_.end(), 0);
+      epoch_ = 1;
+    }
+    size_ = 0;
+  }
+
+  /// Inserts `id`; returns true if it was newly inserted. Ids outside the
+  /// Reset() universe are ignored (returns false).
+  bool Insert(uint32_t id) {
+    if (id >= stamps_.size()) return false;
+    if (stamps_[id] == epoch_) return false;
+    stamps_[id] = epoch_;
+    ++size_;
+    return true;
+  }
+
+  bool Contains(uint32_t id) const {
+    return id < stamps_.size() && stamps_[id] == epoch_;
+  }
+
+  /// Number of distinct ids inserted since the last Reset().
+  size_t size() const { return size_; }
+
+ private:
+  std::vector<uint32_t> stamps_;
+  uint32_t epoch_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace ckr
+
+#endif  // CKR_COMMON_EPOCH_SET_H_

@@ -4,9 +4,20 @@
 #define CKR_COMMON_HASH_H_
 
 #include <cstdint>
+#include <functional>
 #include <string_view>
 
 namespace ckr {
+
+/// Transparent hasher for string-keyed unordered containers (C++20
+/// heterogeneous lookup): find(string_view) without building a temporary
+/// std::string. Pair with std::equal_to<> as the key-equality functor.
+struct StringViewHash {
+  using is_transparent = void;
+  size_t operator()(std::string_view s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+};
 
 /// 64-bit FNV-1a over a byte string. Stable across platforms/runs, so it is
 /// safe to persist values derived from it.

@@ -40,6 +40,38 @@ void ParallelFor(size_t n, unsigned num_threads, Fn&& fn) {
   for (std::thread& t : threads) t.join();
 }
 
+/// Like ParallelFor, but the callable receives (worker, i) where `worker`
+/// is a dense id in [0, effective workers). Lets callers keep one scratch
+/// object per worker so the steady state allocates nothing per item.
+/// Worker ids — not item-to-worker assignment — are deterministic; the
+/// callable must still write only to per-index output slots for results to
+/// be independent of scheduling.
+template <typename Fn>
+void ParallelForWorkers(size_t n, unsigned num_threads, Fn&& fn) {
+  if (n == 0) return;
+  if (num_threads <= 1 || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(0u, i);
+    return;
+  }
+  unsigned workers = num_threads;
+  if (workers > n) workers = static_cast<unsigned>(n);
+  std::atomic<size_t> next{0};
+  auto body = [&](unsigned worker) {
+    while (true) {
+      size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) break;
+      fn(worker, i);
+    }
+  };
+  std::vector<std::thread> threads;
+  threads.reserve(workers - 1);
+  for (unsigned t = 0; t + 1 < workers; ++t) {
+    threads.emplace_back(body, t + 1);
+  }
+  body(0);
+  for (std::thread& t : threads) t.join();
+}
+
 /// A sensible default worker count for the offline phase.
 inline unsigned DefaultWorkerCount() {
   unsigned hw = std::thread::hardware_concurrency();

@@ -83,4 +83,17 @@ std::vector<RankedAnnotation> ContextualRanker::Rank(std::string_view text,
   return ranked;
 }
 
+std::vector<std::vector<RankedAnnotation>> ContextualRanker::RankBatch(
+    std::span<const std::string_view> docs, unsigned num_threads,
+    size_t top_n) const {
+  std::vector<std::vector<RankedAnnotation>> results =
+      runtime_->ProcessBatch(docs, num_threads, &stats_);
+  if (top_n > 0) {
+    for (auto& ranked : results) {
+      if (ranked.size() > top_n) ranked.resize(top_n);
+    }
+  }
+  return results;
+}
+
 }  // namespace ckr

@@ -12,6 +12,7 @@
 #define CKR_CORE_CONTEXTUAL_RANKER_H_
 
 #include <memory>
+#include <span>
 #include <string_view>
 #include <vector>
 
@@ -48,9 +49,20 @@ class ContextualRanker {
   std::vector<RankedAnnotation> Rank(std::string_view text,
                                      size_t top_n = 0) const;
 
+  /// Batch serving: ranks every document using up to `num_threads` workers
+  /// (0 or 1 = inline). Output slot i corresponds to docs[i]; results are
+  /// deterministic and identical to per-document Rank() calls regardless
+  /// of thread count. Stats are accumulated as with Rank().
+  std::vector<std::vector<RankedAnnotation>> RankBatch(
+      std::span<const std::string_view> docs, unsigned num_threads,
+      size_t top_n = 0) const;
+
   const Pipeline& pipeline() const { return *pipeline_; }
   const ClickDataset& dataset() const { return dataset_; }
   const RankSvmModel& model() const { return model_; }
+  /// The underlying Section VI runtime (for benchmarks and direct batch
+  /// access with caller-managed stats/scratch).
+  const RuntimeRanker& runtime() const { return *runtime_; }
 
   const QuantizedInterestingnessStore& interestingness_store() const {
     return interestingness_store_;

@@ -1,5 +1,6 @@
 #include "detect/aho_corasick.h"
 
+#include <algorithm>
 #include <deque>
 
 #include "common/string_util.h"
@@ -12,9 +13,9 @@ uint32_t PhraseMatcher::InternTerm(const std::string& term) {
   return it->second;
 }
 
-uint32_t PhraseMatcher::LookupTerm(const std::string& term) const {
+uint32_t PhraseMatcher::TermId(std::string_view term) const {
   auto it = term_ids_.find(term);
-  return it == term_ids_.end() ? kNoTerm : it->second;
+  return it == term_ids_.end() ? kUnknownTerm : it->second;
 }
 
 Status PhraseMatcher::AddPhrase(std::string_view phrase, uint32_t payload) {
@@ -30,7 +31,7 @@ Status PhraseMatcher::AddPhrase(std::string_view phrase, uint32_t payload) {
     uint32_t tid = InternTerm(term);
     auto it = nodes_[node].next.find(tid);
     if (it == nodes_[node].next.end()) {
-      nodes_.push_back(Node{});
+      nodes_.push_back(BuildNode{});
       it = nodes_[node].next.emplace(tid, static_cast<int>(nodes_.size() - 1))
                .first;
     }
@@ -77,33 +78,96 @@ void PhraseMatcher::Build() {
       queue.push_back(child);
     }
   }
+
+  // Freeze into the CSR layout: per-node transition spans sorted by term
+  // id, output lists flattened, construction maps discarded.
+  flat_.resize(nodes_.size());
+  size_t total_trans = 0;
+  size_t total_outs = 0;
+  for (const BuildNode& n : nodes_) {
+    total_trans += n.next.size();
+    total_outs += n.outputs.size();
+  }
+  trans_terms_.reserve(total_trans);
+  trans_targets_.reserve(total_trans);
+  outputs_.reserve(total_outs);
+  std::vector<std::pair<uint32_t, int>> sorted;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const BuildNode& n = nodes_[i];
+    FlatNode& f = flat_[i];
+    f.fail = static_cast<int32_t>(n.fail);
+    f.trans_begin = static_cast<uint32_t>(trans_terms_.size());
+    sorted.assign(n.next.begin(), n.next.end());
+    std::sort(sorted.begin(), sorted.end());
+    for (const auto& [tid, target] : sorted) {
+      trans_terms_.push_back(tid);
+      trans_targets_.push_back(static_cast<int32_t>(target));
+    }
+    f.trans_end = static_cast<uint32_t>(trans_terms_.size());
+    f.out_begin = static_cast<uint32_t>(outputs_.size());
+    outputs_.insert(outputs_.end(), n.outputs.begin(), n.outputs.end());
+    f.out_end = static_cast<uint32_t>(outputs_.size());
+  }
+  nodes_.clear();
+  nodes_.shrink_to_fit();
   built_ = true;
+}
+
+int32_t PhraseMatcher::FlatStep(int32_t node, uint32_t tid) const {
+  const FlatNode& f = flat_[static_cast<size_t>(node)];
+  uint32_t lo = f.trans_begin;
+  uint32_t hi = f.trans_end;
+  // Short spans (the overwhelming majority outside the root) probe
+  // linearly; the root's wide fan-out binary-searches.
+  if (hi - lo <= 8) {
+    for (uint32_t i = lo; i < hi; ++i) {
+      if (trans_terms_[i] == tid) return trans_targets_[i];
+    }
+    return -1;
+  }
+  const uint32_t* first = trans_terms_.data() + lo;
+  const uint32_t* last = trans_terms_.data() + hi;
+  const uint32_t* it = std::lower_bound(first, last, tid);
+  if (it == last || *it != tid) return -1;
+  return trans_targets_[static_cast<size_t>(it - trans_terms_.data())];
+}
+
+void PhraseMatcher::FindAllTids(const uint32_t* tids, size_t n,
+                                std::vector<PhraseMatch>* out) const {
+  out->clear();
+  if (!built_) return;
+  int32_t node = kRoot;
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t tid = tids[i];
+    if (tid == kUnknownTerm) {
+      node = kRoot;
+      continue;
+    }
+    int32_t next;
+    while ((next = FlatStep(node, tid)) < 0 && node != kRoot) {
+      node = flat_[static_cast<size_t>(node)].fail;
+    }
+    node = next < 0 ? kRoot : next;
+    const FlatNode& f = flat_[static_cast<size_t>(node)];
+    for (uint32_t o = f.out_begin; o < f.out_end; ++o) {
+      const auto& [payload, len] = outputs_[o];
+      PhraseMatch m;
+      m.token_begin = static_cast<uint32_t>(i) + 1 - len;
+      m.token_count = len;
+      m.payload = payload;
+      out->push_back(m);
+    }
+  }
 }
 
 std::vector<PhraseMatch> PhraseMatcher::FindAll(
     const std::vector<std::string>& tokens) const {
   std::vector<PhraseMatch> matches;
   if (!built_) return matches;
-  int node = kRoot;
-  for (uint32_t i = 0; i < tokens.size(); ++i) {
-    uint32_t tid = LookupTerm(tokens[i]);
-    if (tid == kNoTerm) {
-      node = kRoot;
-      continue;
-    }
-    while (node != kRoot && nodes_[node].next.count(tid) == 0) {
-      node = nodes_[node].fail;
-    }
-    auto it = nodes_[node].next.find(tid);
-    node = (it == nodes_[node].next.end()) ? kRoot : it->second;
-    for (const auto& [payload, len] : nodes_[node].outputs) {
-      PhraseMatch m;
-      m.token_begin = i + 1 - len;
-      m.token_count = len;
-      m.payload = payload;
-      matches.push_back(m);
-    }
-  }
+  std::vector<uint32_t> tids;
+  tids.reserve(tokens.size());
+  for (const std::string& tok : tokens) tids.push_back(TermId(tok));
+  FindAllTids(tids.data(), tids.size(), &matches);
   return matches;
 }
 

@@ -66,38 +66,50 @@ EntityDetector EntityDetector::FromWorld(const World& world,
   return EntityDetector(dict, units, options);
 }
 
-std::vector<Detection> EntityDetector::Detect(std::string_view text) const {
-  std::vector<Detection> detections;
+const std::vector<RawDetection>& EntityDetector::DetectRaw(
+    std::string_view text, Scratch* scratch) const {
+  TokenizeInto(text, &scratch->tokens);
+  return DetectRawPreTokenized(text, scratch);
+}
+
+const std::vector<RawDetection>& EntityDetector::DetectRawPreTokenized(
+    std::string_view text, Scratch* scratch) const {
+  const std::vector<Token>& tokens = scratch->tokens;
+  scratch->raw.clear();
 
   // Stage 1: pattern detectors (regex-equivalent scanners). Patterns are
   // never subject to collision pruning by phrase matches; instead phrase
   // matches overlapping a pattern are dropped below.
-  std::vector<PatternMatch> patterns;
+  scratch->patterns.clear();
   if (options_.detect_patterns) {
-    patterns = DetectPatterns(text);
-    for (const PatternMatch& p : patterns) {
-      Detection d;
-      d.surface = p.text;
+    DetectPatternsInto(text, &scratch->patterns);
+    for (uint32_t pi = 0; pi < scratch->patterns.size(); ++pi) {
+      const PatternMatch& p = scratch->patterns[pi];
+      RawDetection d;
+      d.entry_id = kPatternEntry;
+      d.pattern_idx = pi;
       d.type = EntityType::kPattern;
       d.subtype = static_cast<int>(p.kind);
       d.begin = p.begin;
       d.end = p.end;
-      detections.push_back(std::move(d));
+      scratch->raw.push_back(d);
     }
   }
 
-  // Stage 2: tokenization + one Aho-Corasick pass for dictionary entities
-  // and concepts.
-  std::vector<Token> tokens = Tokenize(text);
-  std::vector<std::string> token_texts;
-  token_texts.reserve(tokens.size());
-  for (const Token& t : tokens) token_texts.push_back(t.text);
-  std::vector<PhraseMatch> matches = matcher_.FindAll(token_texts);
+  // Stage 2: one Aho-Corasick pass over pre-interned term ids for
+  // dictionary entities and concepts.
+  scratch->token_tids.clear();
+  scratch->token_tids.reserve(tokens.size());
+  for (const Token& t : tokens) {
+    scratch->token_tids.push_back(matcher_.TermId(t.text));
+  }
+  matcher_.FindAllTids(scratch->token_tids.data(), scratch->token_tids.size(),
+                       &scratch->matches);
 
   // Stage 3: filtering.
-  std::vector<PhraseMatch> kept;
-  kept.reserve(matches.size());
-  for (const PhraseMatch& m : matches) {
+  std::vector<PhraseMatch>& kept = scratch->kept;
+  kept.clear();
+  for (const PhraseMatch& m : scratch->matches) {
     const CandidateEntry& e = entries_[m.payload];
     if (!e.from_dictionary) {
       if (m.token_count == 1 &&
@@ -109,7 +121,7 @@ std::vector<Detection> EntityDetector::Detect(std::string_view text) const {
     size_t byte_end = tokens[m.token_begin + m.token_count - 1].end;
     // Drop phrase matches that overlap a pattern entity.
     bool overlaps_pattern = false;
-    for (const PatternMatch& p : patterns) {
+    for (const PatternMatch& p : scratch->patterns) {
       if (byte_begin < p.end && p.begin < byte_end) {
         overlaps_pattern = true;
         break;
@@ -131,14 +143,16 @@ std::vector<Detection> EntityDetector::Detect(std::string_view text) const {
               return entries_[a.payload].from_dictionary &&
                      !entries_[b.payload].from_dictionary;
             });
-  std::vector<PhraseMatch> resolved;
+  size_t num_kept = kept.size();
   if (options_.resolve_collisions) {
-    std::vector<bool> taken(token_texts.size(), false);
-    for (const PhraseMatch& m : kept) {
+    scratch->taken.assign(tokens.size(), 0);
+    size_t out = 0;
+    for (size_t ki = 0; ki < kept.size(); ++ki) {
+      const PhraseMatch& m = kept[ki];
       bool clash = false;
       for (uint32_t t = m.token_begin; t < m.token_begin + m.token_count;
            ++t) {
-        if (taken[t]) {
+        if (scratch->taken[t] != 0) {
           clash = true;
           break;
         }
@@ -146,41 +160,78 @@ std::vector<Detection> EntityDetector::Detect(std::string_view text) const {
       if (clash) continue;
       for (uint32_t t = m.token_begin; t < m.token_begin + m.token_count;
            ++t) {
-        taken[t] = true;
+        scratch->taken[t] = 1;
       }
-      resolved.push_back(m);
+      kept[out++] = m;
     }
-  } else {
-    resolved = std::move(kept);
+    num_kept = out;
   }
 
-  for (const PhraseMatch& m : resolved) {
+  bool token_texts_ready = false;
+  for (size_t ki = 0; ki < num_kept; ++ki) {
+    const PhraseMatch& m = kept[ki];
     const CandidateEntry& e = entries_[m.payload];
-    Detection d;
-    d.key = e.key;
+    RawDetection d;
+    d.entry_id = m.payload;
     d.type = e.type;
     d.subtype = e.subtype;
     if (disambiguator_ != nullptr && disambiguator_->HasSenses(e.key)) {
+      if (!token_texts_ready) {
+        // Materialized lazily: only documents containing an ambiguous
+        // surface pay for the per-token strings the sense profiles need.
+        size_t count = 0;
+        for (const Token& t : tokens) {
+          if (count == scratch->token_texts.size()) {
+            scratch->token_texts.emplace_back();
+          }
+          scratch->token_texts[count++].assign(t.text);
+        }
+        scratch->token_texts.resize(count);
+        token_texts_ready = true;
+      }
       const Sense* sense = disambiguator_->Resolve(
-          e.key, token_texts, m.token_begin, m.token_begin + m.token_count);
+          e.key, scratch->token_texts, m.token_begin,
+          m.token_begin + m.token_count);
       if (sense != nullptr) {
         d.type = sense->type;
         d.subtype = sense->subtype;
       }
     }
-    d.from_dictionary = e.from_dictionary;
-    d.unit_score = e.unit_score;
     d.begin = tokens[m.token_begin].begin;
     d.end = tokens[m.token_begin + m.token_count - 1].end;
-    d.surface = std::string(text.substr(d.begin, d.end - d.begin));
-    detections.push_back(std::move(d));
+    scratch->raw.push_back(d);
   }
 
-  std::sort(detections.begin(), detections.end(),
-            [](const Detection& a, const Detection& b) {
+  std::sort(scratch->raw.begin(), scratch->raw.end(),
+            [](const RawDetection& a, const RawDetection& b) {
               if (a.begin != b.begin) return a.begin < b.begin;
               return a.end > b.end;
             });
+  return scratch->raw;
+}
+
+std::vector<Detection> EntityDetector::Detect(std::string_view text) const {
+  Scratch scratch;
+  const std::vector<RawDetection>& raw = DetectRaw(text, &scratch);
+  std::vector<Detection> detections;
+  detections.reserve(raw.size());
+  for (const RawDetection& r : raw) {
+    Detection d;
+    d.type = r.type;
+    d.subtype = r.subtype;
+    d.begin = r.begin;
+    d.end = r.end;
+    if (r.entry_id == kPatternEntry) {
+      d.surface = scratch.patterns[r.pattern_idx].text;
+    } else {
+      const CandidateEntry& e = entries_[r.entry_id];
+      d.key = e.key;
+      d.from_dictionary = e.from_dictionary;
+      d.unit_score = e.unit_score;
+      d.surface = std::string(text.substr(d.begin, d.end - d.begin));
+    }
+    detections.push_back(std::move(d));
+  }
   return detections;
 }
 

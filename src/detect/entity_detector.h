@@ -17,6 +17,7 @@
 #include "detect/aho_corasick.h"
 #include "detect/disambiguator.h"
 #include "detect/pattern_detector.h"
+#include "text/tokenizer.h"
 #include "units/unit_extractor.h"
 
 namespace ckr {
@@ -43,14 +44,44 @@ struct DetectorOptions {
   size_t min_concept_chars = 3;
 };
 
+/// An id-keyed detection: the allocation-free core of the pipeline's
+/// output. `entry_id` indexes the detector's candidate table (EntryKey()
+/// recovers the normalized phrase); pattern hits carry kPatternEntry and
+/// a `pattern_idx` into the scratch's pattern list instead.
+struct RawDetection {
+  uint32_t entry_id = 0;
+  uint32_t pattern_idx = 0;
+  EntityType type = EntityType::kConcept;
+  int subtype = 0;
+  size_t begin = 0;  ///< Byte span in the source text.
+  size_t end = 0;
+};
+
 /// Immutable, thread-safe after construction.
 class EntityDetector {
  public:
+  /// RawDetection::entry_id of pattern entities.
+  static constexpr uint32_t kPatternEntry = static_cast<uint32_t>(-1);
+
   /// An editorial-dictionary entry.
   struct DictionaryEntry {
     std::string key;  ///< Normalized phrase.
     EntityType type = EntityType::kConcept;
     int subtype = 0;
+  };
+
+  /// Reusable working state for the allocation-free detection path. One
+  /// per thread; contents are overwritten by every DetectRaw call and the
+  /// backing buffers are reused across documents.
+  struct Scratch {
+    std::vector<Token> tokens;
+    std::vector<uint32_t> token_tids;
+    std::vector<std::string> token_texts;  ///< Built only for sense lookup.
+    std::vector<PatternMatch> patterns;
+    std::vector<PhraseMatch> matches;
+    std::vector<PhraseMatch> kept;
+    std::vector<RawDetection> raw;
+    std::vector<uint8_t> taken;
   };
 
   /// Builds a detector from explicit dictionary entries and (optionally)
@@ -78,8 +109,26 @@ class EntityDetector {
   /// offset; overlaps resolved per options.
   std::vector<Detection> Detect(std::string_view text) const;
 
+  /// Allocation-free pipeline core: tokenizes into `scratch->tokens` and
+  /// fills `scratch->raw` with id-keyed detections in the same order
+  /// Detect() returns them. The returned reference aliases scratch->raw.
+  const std::vector<RawDetection>& DetectRaw(std::string_view text,
+                                             Scratch* scratch) const;
+
+  /// Like DetectRaw but trusts the caller-provided `scratch->tokens`
+  /// (must be Tokenize(text) with default options); lets the runtime
+  /// ranker tokenize once for both stemming and detection.
+  const std::vector<RawDetection>& DetectRawPreTokenized(
+      std::string_view text, Scratch* scratch) const;
+
   size_t NumDictionaryEntries() const { return num_dictionary_entries_; }
   size_t NumConceptEntries() const { return num_concept_entries_; }
+  /// Total candidate entries; RawDetection::entry_id < NumEntries().
+  size_t NumEntries() const { return entries_.size(); }
+  /// Normalized phrase of a candidate entry.
+  const std::string& EntryKey(uint32_t entry_id) const {
+    return entries_[entry_id].key;
+  }
 
  private:
   struct CandidateEntry {

@@ -1,5 +1,6 @@
 #include "detect/pattern_detector.h"
 
+#include <array>
 #include <cctype>
 
 #include "common/string_util.h"
@@ -7,9 +8,19 @@
 namespace ckr {
 namespace {
 
-bool IsWordChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+// Table-driven IsWordChar: the detector scans every byte of every
+// document, so avoid the libc isalnum call in the hot loop.
+constexpr std::array<bool, 256> MakeWordCharTable() {
+  std::array<bool, 256> t{};
+  for (int c = '0'; c <= '9'; ++c) t[c] = true;
+  for (int c = 'a'; c <= 'z'; ++c) t[c] = true;
+  for (int c = 'A'; c <= 'Z'; ++c) t[c] = true;
+  t['_'] = true;
+  return t;
 }
+constexpr std::array<bool, 256> kWordChar = MakeWordCharTable();
+
+bool IsWordChar(char c) { return kWordChar[static_cast<unsigned char>(c)]; }
 
 bool IsLocalPartChar(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) || c == '.' ||
@@ -125,33 +136,62 @@ size_t MatchPhone(std::string_view text, size_t pos) {
   return pos;
 }
 
-std::vector<PatternMatch> DetectPatterns(std::string_view text) {
-  std::vector<PatternMatch> out;
+void DetectPatternsInto(std::string_view text,
+                        std::vector<PatternMatch>* out) {
+  size_t count = 0;  // Slots [0, count) are live; later slots keep their
+                     // string capacity for reuse across documents.
   size_t i = 0;
   const size_t n = text.size();
+  // Position of the next '@' at or after the cursor; an email can only
+  // match when one exists ahead, which skips the local-part scan entirely
+  // on '@'-free documents (the common case).
+  size_t next_at = text.find('@');
+  bool prev_word = false;
   while (i < n) {
+    const char c = text[i];
     // Only try at token starts: beginning of text or after a non-word char.
-    if (i > 0 && IsWordChar(text[i - 1])) {
+    if (prev_word) {
+      prev_word = IsWordChar(c);
       ++i;
       continue;
     }
+    prev_word = IsWordChar(c);
     size_t end = 0;
     PatternKind kind = PatternKind::kEmail;
+    if (next_at != std::string_view::npos && next_at < i) {
+      next_at = text.find('@', i);
+    }
     // URL before email (URLs can contain '@' in userinfo); email before
-    // phone (emails can start with digits).
-    if ((end = MatchUrl(text, i)) != i) {
+    // phone (emails can start with digits). Each matcher is gated on the
+    // characters it requires, so a plain word costs zero matcher calls.
+    if ((c == 'h' || c == 'w') && (end = MatchUrl(text, i)) != i) {
       kind = PatternKind::kUrl;
-    } else if ((end = MatchEmail(text, i)) != i) {
+    } else if (next_at != std::string_view::npos && IsLocalPartChar(c) &&
+               (end = MatchEmail(text, i)) != i) {
       kind = PatternKind::kEmail;
-    } else if ((end = MatchPhone(text, i)) != i) {
+    } else if ((c == '+' || c == '(' ||
+                std::isdigit(static_cast<unsigned char>(c))) &&
+               (end = MatchPhone(text, i)) != i) {
       kind = PatternKind::kPhone;
     } else {
       ++i;
       continue;
     }
-    out.push_back({kind, i, end, std::string(text.substr(i, end - i))});
+    if (count == out->size()) out->emplace_back();
+    PatternMatch& m = (*out)[count++];
+    m.kind = kind;
+    m.begin = i;
+    m.end = end;
+    m.text.assign(text.substr(i, end - i));
     i = end;
+    prev_word = end > 0 && IsWordChar(text[end - 1]);
   }
+  out->resize(count);
+}
+
+std::vector<PatternMatch> DetectPatterns(std::string_view text) {
+  std::vector<PatternMatch> out;
+  DetectPatternsInto(text, &out);
   return out;
 }
 

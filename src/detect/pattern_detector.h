@@ -26,6 +26,10 @@ struct PatternMatch {
 /// Scans text for all pattern entities, left to right, non-overlapping.
 std::vector<PatternMatch> DetectPatterns(std::string_view text);
 
+/// Buffer-reuse variant for hot paths: overwrites `*out` in place, reusing
+/// vector capacity and slot string buffers.
+void DetectPatternsInto(std::string_view text, std::vector<PatternMatch>* out);
+
 /// Individual scanners (exposed for focused testing). Each tries to match
 /// at `pos` and returns the end offset, or `pos` if no match.
 size_t MatchEmail(std::string_view text, size_t pos);

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 
+#include "common/parallel.h"
 #include "framework/golomb.h"
 #include "text/porter_stemmer.h"
 #include "text/stopwords.h"
@@ -16,6 +17,18 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                        start)
       .count();
+}
+
+double SafeRate(uint64_t bytes, double seconds) {
+  return seconds > 0 ? static_cast<double>(bytes) / 1e6 / seconds : 0.0;
+}
+
+void SortRanked(std::vector<RankedAnnotation>* ranked) {
+  std::sort(ranked->begin(), ranked->end(),
+            [](const RankedAnnotation& a, const RankedAnnotation& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.begin < b.begin;
+            });
 }
 
 }  // namespace
@@ -40,35 +53,52 @@ void QuantizedInterestingnessStore::Finalize() {
     field_min_.assign(dim, 0.0);
     field_max_.assign(dim, 1.0);
   }
-  quantized_.clear();
-  for (const auto& [key, v] : raw_) {
-    std::vector<uint16_t> q(dim);
+  // Dense layout: ids in sorted-key order for run-to-run determinism.
+  keys_.clear();
+  keys_.reserve(raw_.size());
+  for (const auto& [key, v] : raw_) keys_.push_back(key);
+  std::sort(keys_.begin(), keys_.end());
+  key_to_id_.clear();
+  key_to_id_.reserve(keys_.size());
+  flat_.assign(keys_.size() * dim, 0);
+  for (uint32_t id = 0; id < keys_.size(); ++id) {
+    key_to_id_.emplace(keys_[id], id);
+    const std::vector<double>& v = raw_.at(keys_[id]);
+    uint16_t* q = flat_.data() + static_cast<size_t>(id) * dim;
     for (size_t i = 0; i < dim; ++i) {
       double span = field_max_[i] - field_min_[i];
       double frac = span > 0 ? (v[i] - field_min_[i]) / span : 0.0;
       q[i] = static_cast<uint16_t>(frac * 65535.0 + 0.5);
     }
-    quantized_[key] = std::move(q);
   }
   finalized_ = true;
 }
 
-bool QuantizedInterestingnessStore::Lookup(std::string_view key,
-                                           std::vector<double>* out) const {
-  auto it = quantized_.find(std::string(key));
-  if (it == quantized_.end()) return false;
-  const size_t dim = it->second.size();
+uint32_t QuantizedInterestingnessStore::IdOf(std::string_view key) const {
+  auto it = key_to_id_.find(key);
+  return it == key_to_id_.end() ? kInvalidConcept : it->second;
+}
+
+bool QuantizedInterestingnessStore::LookupById(uint32_t id,
+                                               std::vector<double>* out) const {
+  if (id >= keys_.size()) return false;
+  const size_t dim = InterestingnessVector::Dim();
   out->resize(dim);
+  const uint16_t* q = flat_.data() + static_cast<size_t>(id) * dim;
   for (size_t i = 0; i < dim; ++i) {
     double span = field_max_[i] - field_min_[i];
-    (*out)[i] = field_min_[i] +
-                span * static_cast<double>(it->second[i]) / 65535.0;
+    (*out)[i] = field_min_[i] + span * static_cast<double>(q[i]) / 65535.0;
   }
   return true;
 }
 
+bool QuantizedInterestingnessStore::Lookup(std::string_view key,
+                                           std::vector<double>* out) const {
+  return LookupById(IdOf(key), out);
+}
+
 size_t QuantizedInterestingnessStore::PayloadBytes() const {
-  return quantized_.size() * InterestingnessVector::Dim() * sizeof(uint16_t);
+  return keys_.size() * InterestingnessVector::Dim() * sizeof(uint16_t);
 }
 
 void QuantizedInterestingnessStore::SaveTo(BinaryWriter* writer) const {
@@ -76,10 +106,12 @@ void QuantizedInterestingnessStore::SaveTo(BinaryWriter* writer) const {
   writer->U32(static_cast<uint32_t>(field_min_.size()));
   for (double v : field_min_) writer->F64(v);
   for (double v : field_max_) writer->F64(v);
-  writer->U32(static_cast<uint32_t>(quantized_.size()));
-  for (const auto& [key, q] : quantized_) {
-    writer->Str(key);
-    for (uint16_t v : q) writer->U16(v);
+  writer->U32(static_cast<uint32_t>(keys_.size()));
+  const size_t dim = InterestingnessVector::Dim();
+  for (uint32_t id = 0; id < keys_.size(); ++id) {
+    writer->Str(keys_[id]);
+    const uint16_t* q = flat_.data() + static_cast<size_t>(id) * dim;
+    for (size_t i = 0; i < dim; ++i) writer->U16(q[i]);
   }
 }
 
@@ -98,23 +130,38 @@ StatusOr<QuantizedInterestingnessStore> QuantizedInterestingnessStore::LoadFrom(
   for (double& v : store.field_min_) v = reader->F64();
   for (double& v : store.field_max_) v = reader->F64();
   uint32_t n = reader->U32();
+  // Records may come from any writer order (the current SaveTo emits
+  // sorted keys; pre-flat packs used hash order): collect, then freeze in
+  // sorted-key order so loaded ids match a freshly finalized store.
+  std::vector<std::pair<std::string, std::vector<uint16_t>>> records;
+  records.reserve(n);
   for (uint32_t i = 0; i < n && reader->ok(); ++i) {
     std::string key = reader->Str();
     std::vector<uint16_t> q(dim);
     for (uint16_t& v : q) v = reader->U16();
-    store.quantized_[std::move(key)] = std::move(q);
+    records.emplace_back(std::move(key), std::move(q));
   }
   if (!reader->ok()) {
     return Status::InvalidArgument("truncated interestingness store");
+  }
+  std::sort(records.begin(), records.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  store.keys_.reserve(records.size());
+  store.flat_.reserve(records.size() * dim);
+  for (uint32_t id = 0; id < records.size(); ++id) {
+    store.key_to_id_.emplace(records[id].first, id);
+    store.keys_.push_back(std::move(records[id].first));
+    store.flat_.insert(store.flat_.end(), records[id].second.begin(),
+                       records[id].second.end());
   }
   store.finalized_ = true;
   return store;
 }
 
 uint32_t GlobalTidTable::Intern(std::string_view term) {
-  auto it = tids_.find(std::string(term));
+  auto it = tids_.find(term);
   if (it != tids_.end()) return it->second;
-  if (tids_.size() >= kMaxTid) {
+  if (overflowed_ || tids_.size() >= capacity_ || tids_.size() >= kMaxTid) {
     overflowed_ = true;
     return kMaxTid;
   }
@@ -124,7 +171,7 @@ uint32_t GlobalTidTable::Intern(std::string_view term) {
 }
 
 uint32_t GlobalTidTable::Lookup(std::string_view term) const {
-  auto it = tids_.find(std::string(term));
+  auto it = tids_.find(term);
   return it == tids_.end() ? kMaxTid : it->second;
 }
 
@@ -170,9 +217,22 @@ void PackedRelevanceStore::Finalize() {
     }
   }
   score_scale_ = max_score > 0 ? max_score : 1.0;
-  packed_.clear();
-  for (const auto& [key, terms] : raw_) {
-    std::vector<uint32_t> packed;
+  // Dense CSR layout in sorted-key order; interning in that order also
+  // makes the TID numbering deterministic across runs.
+  keys_.clear();
+  keys_.reserve(raw_.size());
+  for (const auto& [key, terms] : raw_) keys_.push_back(key);
+  std::sort(keys_.begin(), keys_.end());
+  key_to_id_.clear();
+  key_to_id_.reserve(keys_.size());
+  offsets_.assign(1, 0);
+  offsets_.reserve(keys_.size() + 1);
+  pairs_.clear();
+  std::vector<uint32_t> packed;
+  for (uint32_t id = 0; id < keys_.size(); ++id) {
+    key_to_id_.emplace(keys_[id], id);
+    const std::vector<RelevantTerm>& terms = raw_.at(keys_[id]);
+    packed.clear();
     packed.reserve(terms.size());
     for (const RelevantTerm& t : terms) {
       uint32_t tid = tids_->Intern(t.term);
@@ -183,18 +243,40 @@ void PackedRelevanceStore::Finalize() {
     // Sorted by TID: enables the Golomb-compressed representation and
     // cache-friendly probing.
     std::sort(packed.begin(), packed.end());
-    packed_[key] = std::move(packed);
+    pairs_.insert(pairs_.end(), packed.begin(), packed.end());
+    offsets_.push_back(static_cast<uint32_t>(pairs_.size()));
   }
   finalized_ = true;
+}
+
+uint32_t PackedRelevanceStore::IdOf(std::string_view key) const {
+  auto it = key_to_id_.find(key);
+  return it == key_to_id_.end() ? kInvalidConcept : it->second;
+}
+
+double PackedRelevanceStore::ScoreById(uint32_t id,
+                                       const EpochSet& context_tids) const {
+  if (id >= keys_.size()) return 0.0;
+  double total = 0.0;
+  const uint32_t* p = pairs_.data() + offsets_[id];
+  const uint32_t* end = pairs_.data() + offsets_[id + 1];
+  for (; p != end; ++p) {
+    uint32_t tid = *p >> 10;
+    if (context_tids.Contains(tid)) {
+      total += static_cast<double>(*p & 1023u) / 1023.0 * score_scale_;
+    }
+  }
+  return total;
 }
 
 double PackedRelevanceStore::Score(
     std::string_view key,
     const std::unordered_set<uint32_t>& context_tids) const {
-  auto it = packed_.find(std::string(key));
-  if (it == packed_.end()) return 0.0;
+  uint32_t id = IdOf(key);
+  if (id == kInvalidConcept) return 0.0;
   double total = 0.0;
-  for (uint32_t pair : it->second) {
+  for (uint32_t i = offsets_[id]; i < offsets_[id + 1]; ++i) {
+    uint32_t pair = pairs_[i];
     uint32_t tid = pair >> 10;
     if (context_tids.count(tid) > 0) {
       total += static_cast<double>(pair & 1023u) / 1023.0 * score_scale_;
@@ -204,27 +286,27 @@ double PackedRelevanceStore::Score(
 }
 
 size_t PackedRelevanceStore::PayloadBytes() const {
-  size_t pairs = 0;
-  for (const auto& [key, packed] : packed_) pairs += packed.size();
-  return pairs * sizeof(uint32_t);
+  return pairs_.size() * sizeof(uint32_t);
 }
 
 size_t PackedRelevanceStore::GolombCompressedBytes() const {
   size_t total = 0;
-  for (const auto& [key, packed] : packed_) {
-    std::vector<uint32_t> tids;
-    tids.reserve(packed.size());
-    for (uint32_t pair : packed) {
-      uint32_t tid = pair >> 10;
+  std::vector<uint32_t> tids;
+  for (uint32_t id = 0; id < keys_.size(); ++id) {
+    size_t count = offsets_[id + 1] - offsets_[id];
+    tids.clear();
+    tids.reserve(count);
+    for (uint32_t i = offsets_[id]; i < offsets_[id + 1]; ++i) {
+      uint32_t tid = pairs_[i] >> 10;
       if (tids.empty() || tid > tids.back()) tids.push_back(tid);
     }
     auto encoded = EncodeSortedIds(tids, GlobalTidTable::kMaxTid + 1);
     if (encoded.ok()) {
       total += encoded.value().size();
       // 10-bit scores stored alongside, byte-packed.
-      total += (packed.size() * 10 + 7) / 8;
+      total += (count * 10 + 7) / 8;
     } else {
-      total += packed.size() * sizeof(uint32_t);  // Fallback: raw.
+      total += count * sizeof(uint32_t);  // Fallback: raw.
     }
   }
   return total;
@@ -233,11 +315,13 @@ size_t PackedRelevanceStore::GolombCompressedBytes() const {
 void PackedRelevanceStore::SaveTo(BinaryWriter* writer) const {
   writer->U32(0x50523031);  // 'PR01'
   writer->F64(score_scale_);
-  writer->U32(static_cast<uint32_t>(packed_.size()));
-  for (const auto& [key, pairs] : packed_) {
-    writer->Str(key);
-    writer->U32(static_cast<uint32_t>(pairs.size()));
-    for (uint32_t p : pairs) writer->U32(p);
+  writer->U32(static_cast<uint32_t>(keys_.size()));
+  for (uint32_t id = 0; id < keys_.size(); ++id) {
+    writer->Str(keys_[id]);
+    writer->U32(offsets_[id + 1] - offsets_[id]);
+    for (uint32_t i = offsets_[id]; i < offsets_[id + 1]; ++i) {
+      writer->U32(pairs_[i]);
+    }
   }
 }
 
@@ -249,29 +333,62 @@ StatusOr<PackedRelevanceStore> PackedRelevanceStore::LoadFrom(
   PackedRelevanceStore store(tids);
   store.score_scale_ = reader->F64();
   uint32_t n = reader->U32();
+  std::vector<std::pair<std::string, std::vector<uint32_t>>> records;
+  records.reserve(n);
   for (uint32_t i = 0; i < n && reader->ok(); ++i) {
     std::string key = reader->Str();
     uint32_t m = reader->U32();
     if (m > 100) return Status::InvalidArgument("oversized term list");
     std::vector<uint32_t> pairs(m);
     for (uint32_t& p : pairs) p = reader->U32();
-    store.packed_[std::move(key)] = std::move(pairs);
+    records.emplace_back(std::move(key), std::move(pairs));
   }
   if (!reader->ok()) return Status::InvalidArgument("truncated relevance store");
+  std::sort(records.begin(), records.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  store.keys_.reserve(records.size());
+  store.offsets_.assign(1, 0);
+  store.offsets_.reserve(records.size() + 1);
+  for (uint32_t id = 0; id < records.size(); ++id) {
+    store.key_to_id_.emplace(records[id].first, id);
+    store.keys_.push_back(std::move(records[id].first));
+    store.pairs_.insert(store.pairs_.end(), records[id].second.begin(),
+                        records[id].second.end());
+    store.offsets_.push_back(static_cast<uint32_t>(store.pairs_.size()));
+  }
   store.finalized_ = true;
   return store;
 }
 
+void RuntimeStats::Merge(const RuntimeStats& other) {
+  stemmer_seconds += other.stemmer_seconds;
+  ranker_seconds += other.ranker_seconds;
+  match_seconds += other.match_seconds;
+  score_seconds += other.score_seconds;
+  bytes_processed += other.bytes_processed;
+  documents += other.documents;
+  detections += other.detections;
+}
+
 double RuntimeStats::StemmerMBps() const {
-  return stemmer_seconds > 0
-             ? static_cast<double>(bytes_processed) / 1e6 / stemmer_seconds
-             : 0.0;
+  return SafeRate(bytes_processed, stemmer_seconds);
 }
 
 double RuntimeStats::RankerMBps() const {
-  return ranker_seconds > 0
-             ? static_cast<double>(bytes_processed) / 1e6 / ranker_seconds
-             : 0.0;
+  return SafeRate(bytes_processed, ranker_seconds);
+}
+
+double RuntimeStats::MatchMBps() const {
+  return SafeRate(bytes_processed, match_seconds);
+}
+
+double RuntimeStats::ScoreMBps() const {
+  return SafeRate(bytes_processed, score_seconds);
+}
+
+double RuntimeStats::DocsPerSec() const {
+  double total = stemmer_seconds + ranker_seconds;
+  return total > 0 ? static_cast<double>(documents) / total : 0.0;
 }
 
 RuntimeRanker::RuntimeRanker(const EntityDetector& detector,
@@ -282,7 +399,18 @@ RuntimeRanker::RuntimeRanker(const EntityDetector& detector,
       interestingness_(interestingness),
       relevance_(relevance),
       tids_(tids),
-      model_(std::move(model)) {}
+      model_(std::move(model)) {
+  // Resolve every detector entry to dense store ids once; the per-document
+  // path then runs entirely on ids.
+  const uint32_t n = static_cast<uint32_t>(detector_.NumEntries());
+  entry_interest_.resize(n, kInvalidConcept);
+  entry_relevance_.resize(n, kInvalidConcept);
+  for (uint32_t i = 0; i < n; ++i) {
+    const std::string& key = detector_.EntryKey(i);
+    entry_interest_[i] = interestingness_.IdOf(key);
+    entry_relevance_[i] = relevance_.IdOf(key);
+  }
+}
 
 std::unordered_set<uint32_t> RuntimeRanker::StemToTids(
     std::string_view text) const {
@@ -296,6 +424,94 @@ std::unordered_set<uint32_t> RuntimeRanker::StemToTids(
 }
 
 std::vector<RankedAnnotation> RuntimeRanker::ProcessDocument(
+    std::string_view text, RuntimeStats* stats) const {
+  static thread_local RankerScratch scratch;
+  return ProcessDocument(text, &scratch, stats);
+}
+
+std::vector<RankedAnnotation> RuntimeRanker::ProcessDocument(
+    std::string_view text, RankerScratch* scratch, RuntimeStats* stats) const {
+  // Stemmer component: tokenize once (shared with detection below) and
+  // stem every non-stopword token into the context TID set.
+  auto t0 = std::chrono::steady_clock::now();
+  TokenizeInto(text, &scratch->detect.tokens);
+  scratch->context.Reset(tids_.size());
+  for (const Token& tok : scratch->detect.tokens) {
+    if (IsStopWord(tok.text)) continue;
+    PorterStemInto(tok.text, &scratch->stem_buf);
+    uint32_t tid = tids_.Lookup(scratch->stem_buf);
+    if (tid != GlobalTidTable::kMaxTid) scratch->context.Insert(tid);
+  }
+  double stem_s = SecondsSince(t0);
+
+  // Ranker component, stage 1: candidate detection on the flat automaton.
+  auto t1 = std::chrono::steady_clock::now();
+  const std::vector<RawDetection>& raw =
+      detector_.DetectRawPreTokenized(text, &scratch->detect);
+  double match_s = SecondsSince(t1);
+
+  // Ranker component, stage 2: id-keyed feature assembly + model scoring.
+  auto t2 = std::chrono::steady_clock::now();
+  std::vector<RankedAnnotation> ranked;
+  scratch->seen_entries.Reset(detector_.NumEntries());
+  for (const RawDetection& d : raw) {
+    if (d.type == EntityType::kPattern ||
+        d.entry_id == EntityDetector::kPatternEntry) {
+      continue;
+    }
+    if (!scratch->seen_entries.Insert(d.entry_id)) continue;  // First only.
+    uint32_t interest_id = entry_interest_[d.entry_id];
+    if (!interestingness_.LookupById(interest_id, &scratch->features)) {
+      continue;
+    }
+    // Log-scaled to match ExperimentRunner::Features' model layout.
+    scratch->features.push_back(std::log1p(
+        relevance_.ScoreById(entry_relevance_[d.entry_id], scratch->context)));
+    RankedAnnotation a;
+    a.key = detector_.EntryKey(d.entry_id);
+    a.begin = d.begin;
+    a.end = d.end;
+    a.type = d.type;
+    a.score = model_.Score(scratch->features);
+    if (tracker_ != nullptr) a.score += tracker_->Adjustment(a.key);
+    ranked.push_back(std::move(a));
+  }
+  SortRanked(&ranked);
+  double score_s = SecondsSince(t2);
+
+  if (stats != nullptr) {
+    stats->stemmer_seconds += stem_s;
+    stats->match_seconds += match_s;
+    stats->score_seconds += score_s;
+    stats->ranker_seconds += match_s + score_s;
+    stats->bytes_processed += text.size();
+    stats->documents += 1;
+    stats->detections += ranked.size();
+  }
+  return ranked;
+}
+
+std::vector<std::vector<RankedAnnotation>> RuntimeRanker::ProcessBatch(
+    std::span<const std::string_view> docs, unsigned num_threads,
+    RuntimeStats* stats) const {
+  std::vector<std::vector<RankedAnnotation>> results(docs.size());
+  unsigned workers = num_threads <= 1 ? 1 : num_threads;
+  if (workers > docs.size() && !docs.empty()) {
+    workers = static_cast<unsigned>(docs.size());
+  }
+  std::vector<RankerScratch> scratches(workers);
+  std::vector<RuntimeStats> worker_stats(workers);
+  ParallelForWorkers(docs.size(), workers, [&](unsigned worker, size_t i) {
+    results[i] = ProcessDocument(docs[i], &scratches[worker],
+                                 &worker_stats[worker]);
+  });
+  if (stats != nullptr) {
+    for (const RuntimeStats& ws : worker_stats) stats->Merge(ws);
+  }
+  return results;
+}
+
+std::vector<RankedAnnotation> RuntimeRanker::ProcessDocumentLegacy(
     std::string_view text, RuntimeStats* stats) const {
   auto t0 = std::chrono::steady_clock::now();
   std::unordered_set<uint32_t> context = StemToTids(text);
@@ -321,11 +537,7 @@ std::vector<RankedAnnotation> RuntimeRanker::ProcessDocument(
     if (tracker_ != nullptr) a.score += tracker_->Adjustment(d.key);
     ranked.push_back(std::move(a));
   }
-  std::sort(ranked.begin(), ranked.end(),
-            [](const RankedAnnotation& a, const RankedAnnotation& b) {
-              if (a.score != b.score) return a.score > b.score;
-              return a.begin < b.begin;
-            });
+  SortRanked(&ranked);
   double rank_s = SecondsSince(t1);
 
   if (stats != nullptr) {

@@ -11,12 +11,14 @@ namespace {
 // names of Porter's reference implementation for ease of cross-checking.
 class Stemmer {
  public:
-  explicit Stemmer(std::string word) : b_(std::move(word)) {
+  /// Stems `word` in place (the caller's buffer is reused, so repeated
+  /// stemming through PorterStemInto allocates nothing in steady state).
+  explicit Stemmer(std::string& word) : b_(word) {
     k_ = static_cast<int>(b_.size()) - 1;
   }
 
-  std::string Run() {
-    if (k_ <= 1) return b_;  // Words of length <= 2 are left unchanged.
+  void Run() {
+    if (k_ <= 1) return;  // Words of length <= 2 are left unchanged.
     Step1ab();
     Step1c();
     Step2();
@@ -24,7 +26,6 @@ class Stemmer {
     Step4();
     Step5();
     b_.resize(static_cast<size_t>(k_) + 1);
-    return b_;
   }
 
  private:
@@ -292,21 +293,26 @@ class Stemmer {
     if (b_[static_cast<size_t>(k_)] == 'l' && DoubleC(k_) && M() > 1) --k_;
   }
 
-  std::string b_;
+  std::string& b_;
   int k_ = -1;
   int j_ = 0;
 };
 
 }  // namespace
 
-std::string PorterStem(std::string_view word) {
-  if (word.size() <= 2) return std::string(word);
+void PorterStemInto(std::string_view word, std::string* out) {
+  out->assign(word);
+  if (word.size() <= 2) return;
   for (char c : word) {
-    if (!std::islower(static_cast<unsigned char>(c))) {
-      return std::string(word);
-    }
+    if (!std::islower(static_cast<unsigned char>(c))) return;
   }
-  return Stemmer(std::string(word)).Run();
+  Stemmer(*out).Run();
+}
+
+std::string PorterStem(std::string_view word) {
+  std::string out;
+  PorterStemInto(word, &out);
+  return out;
 }
 
 }  // namespace ckr

@@ -14,6 +14,10 @@ namespace ckr {
 /// original definition. Non-alphabetic input is returned unchanged.
 std::string PorterStem(std::string_view word);
 
+/// Buffer-reuse variant for hot paths: stems `word` into `*out`, reusing
+/// the string's capacity. `word` must not alias `*out`.
+void PorterStemInto(std::string_view word, std::string* out);
+
 }  // namespace ckr
 
 #endif  // CKR_TEXT_PORTER_STEMMER_H_

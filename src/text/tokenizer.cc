@@ -20,9 +20,10 @@ bool AllDigits(std::string_view s) {
 
 }  // namespace
 
-std::vector<Token> Tokenize(std::string_view text,
-                            const TokenizerOptions& options) {
-  std::vector<Token> tokens;
+void TokenizeInto(std::string_view text, std::vector<Token>* out,
+                  const TokenizerOptions& options) {
+  size_t count = 0;  // Slots [0, count) of *out are live; the rest reuse
+                     // their string capacity from earlier documents.
   size_t i = 0;
   const size_t n = text.size();
   while (i < n) {
@@ -40,9 +41,18 @@ std::vector<Token> Tokenize(std::string_view text,
     }
     if (piece.empty()) continue;
     if (!options.keep_numbers && AllDigits(piece)) continue;
-    Token tok;
-    tok.raw = std::string(piece);
-    tok.text = options.lowercase ? ToLowerAscii(piece) : std::string(piece);
+    if (count == out->size()) out->emplace_back();
+    Token& tok = (*out)[count++];
+    tok.raw.assign(piece);
+    if (options.lowercase) {
+      tok.text.resize(piece.size());
+      for (size_t c = 0; c < piece.size(); ++c) {
+        tok.text[c] = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(piece[c])));
+      }
+    } else {
+      tok.text.assign(piece);
+    }
     // Possessive normalization: "obama's" matches the entity "obama" (the
     // raw form and offsets keep the full surface).
     if (tok.text.size() > 2 && EndsWith(tok.text, "'s")) {
@@ -50,8 +60,14 @@ std::vector<Token> Tokenize(std::string_view text,
     }
     tok.begin = begin;
     tok.end = begin + piece.size();
-    tokens.push_back(std::move(tok));
   }
+  out->resize(count);
+}
+
+std::vector<Token> Tokenize(std::string_view text,
+                            const TokenizerOptions& options) {
+  std::vector<Token> tokens;
+  TokenizeInto(text, &tokens, options);
   return tokens;
 }
 

@@ -35,6 +35,13 @@ struct TokenizerOptions {
 std::vector<Token> Tokenize(std::string_view text,
                             const TokenizerOptions& options = {});
 
+/// Buffer-reuse variant of Tokenize for hot paths: overwrites `*out`
+/// in place, reusing both the vector capacity and each slot's string
+/// buffers, so steady-state tokenization of similar-sized documents
+/// performs no heap allocations.
+void TokenizeInto(std::string_view text, std::vector<Token>* out,
+                  const TokenizerOptions& options = {});
+
 /// Convenience: normalized token strings only.
 std::vector<std::string> TokenizeToStrings(std::string_view text,
                                            const TokenizerOptions& options = {});

@@ -1,0 +1,137 @@
+// Batch-serving tests: ProcessBatch determinism across thread counts,
+// agreement with per-document processing, and flat-vs-legacy ranking
+// bit-identity (the hard invariant behind the Section VI layout refactor).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/contextual_ranker.h"
+#include "corpus/doc_generator.h"
+
+namespace ckr {
+namespace {
+
+bool SameRanking(const std::vector<RankedAnnotation>& a,
+                 const std::vector<RankedAnnotation>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].key != b[i].key || a[i].begin != b[i].begin ||
+        a[i].end != b[i].end || a[i].type != b[i].type ||
+        a[i].score != b[i].score) {  // Exact: bit-identical scores required.
+      return false;
+    }
+  }
+  return true;
+}
+
+class BatchTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ContextualRankerOptions options;
+    options.pipeline = PipelineConfig::SmallForTests();
+    auto ranker_or = ContextualRanker::Train(options);
+    ASSERT_TRUE(ranker_or.ok()) << ranker_or.status().ToString();
+    ranker_ = ranker_or->release();
+
+    DocGenerator gen(ranker_->pipeline().world());
+    docs_ = new std::vector<std::string>();
+    for (DocId id = 700000; id < 700030; ++id) {
+      docs_->push_back(gen.Generate(Document::Kind::kNews, id).text);
+    }
+    views_ = new std::vector<std::string_view>(docs_->begin(), docs_->end());
+  }
+
+  static void TearDownTestSuite() {
+    delete views_;
+    views_ = nullptr;
+    delete docs_;
+    docs_ = nullptr;
+    delete ranker_;
+    ranker_ = nullptr;
+  }
+
+  static ContextualRanker* ranker_;
+  static std::vector<std::string>* docs_;
+  static std::vector<std::string_view>* views_;
+};
+
+ContextualRanker* BatchTest::ranker_ = nullptr;
+std::vector<std::string>* BatchTest::docs_ = nullptr;
+std::vector<std::string_view>* BatchTest::views_ = nullptr;
+
+TEST_F(BatchTest, ThreadCountDoesNotChangeResults) {
+  const RuntimeRanker& runtime = ranker_->runtime();
+  auto baseline = runtime.ProcessBatch(*views_, 1);
+  ASSERT_EQ(baseline.size(), views_->size());
+  for (unsigned threads : {2u, 8u}) {
+    auto got = runtime.ProcessBatch(*views_, threads);
+    ASSERT_EQ(got.size(), baseline.size()) << "threads=" << threads;
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_TRUE(SameRanking(got[i], baseline[i]))
+          << "threads=" << threads << " doc=" << i;
+    }
+  }
+}
+
+TEST_F(BatchTest, BatchAgreesWithPerDocumentProcessing) {
+  const RuntimeRanker& runtime = ranker_->runtime();
+  auto batched = runtime.ProcessBatch(*views_, 4);
+  ASSERT_EQ(batched.size(), views_->size());
+  for (size_t i = 0; i < views_->size(); ++i) {
+    auto single = runtime.ProcessDocument((*views_)[i]);
+    EXPECT_TRUE(SameRanking(batched[i], single)) << "doc=" << i;
+  }
+}
+
+TEST_F(BatchTest, FlatPathIsBitIdenticalToLegacy) {
+  const RuntimeRanker& runtime = ranker_->runtime();
+  size_t nonempty = 0;
+  for (size_t i = 0; i < views_->size(); ++i) {
+    auto flat = runtime.ProcessDocument((*views_)[i]);
+    auto legacy = runtime.ProcessDocumentLegacy((*views_)[i]);
+    EXPECT_TRUE(SameRanking(flat, legacy)) << "doc=" << i;
+    if (!flat.empty()) ++nonempty;
+  }
+  EXPECT_GT(nonempty, views_->size() / 2);  // The comparison is not vacuous.
+}
+
+TEST_F(BatchTest, BatchStatsAndTruncationThroughPublicApi) {
+  ContextualRankerOptions options;
+  options.pipeline = PipelineConfig::SmallForTests();
+  // RankBatch mutates accumulated stats, so use a private instance rather
+  // than the shared fixture ranker.
+  auto ranker_or = ContextualRanker::Train(options);
+  ASSERT_TRUE(ranker_or.ok()) << ranker_or.status().ToString();
+  const ContextualRanker& ranker = **ranker_or;
+
+  std::vector<std::string_view> views(views_->begin(), views_->begin() + 8);
+  auto full = ranker.RankBatch(views, 2);
+  ASSERT_EQ(full.size(), views.size());
+  EXPECT_EQ(ranker.stats().documents, views.size());
+  uint64_t bytes = 0;
+  for (std::string_view v : views) bytes += v.size();
+  EXPECT_EQ(ranker.stats().bytes_processed, bytes);
+  EXPECT_GT(ranker.stats().stemmer_seconds, 0.0);
+  EXPECT_GT(ranker.stats().ranker_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(ranker.stats().ranker_seconds,
+                   ranker.stats().match_seconds + ranker.stats().score_seconds);
+
+  auto top2 = ranker.RankBatch(views, 2, /*top_n=*/2);
+  for (size_t i = 0; i < views.size(); ++i) {
+    EXPECT_LE(top2[i].size(), 2u);
+    if (!full[i].empty()) {
+      ASSERT_FALSE(top2[i].empty());
+      EXPECT_EQ(top2[i][0].key, full[i][0].key);
+    }
+  }
+
+  // An empty batch is a no-op for results and counters.
+  auto empty = ranker.RankBatch({}, 4);
+  EXPECT_TRUE(empty.empty());
+}
+
+}  // namespace
+}  // namespace ckr

@@ -1,10 +1,13 @@
 // Unit tests for ckr_common: Status, RNG, samplers, hashing, strings.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <map>
 #include <set>
 
+#include "common/epoch_set.h"
 #include "common/hash.h"
 #include "common/parallel.h"
 #include "common/rng.h"
@@ -285,6 +288,80 @@ TEST(ParallelTest, MoreThreadsThanWork) {
 TEST(StringUtilTest, StrFormat) {
   EXPECT_EQ(StrFormat("%d-%s-%.2f", 3, "x", 1.5), "3-x-1.50");
   EXPECT_EQ(StrFormat("plain"), "plain");
+}
+
+TEST(ParallelWorkersTest, CoversAllIndicesOnceWithValidWorkerIds) {
+  for (unsigned threads : {0u, 1u, 2u, 4u, 16u}) {
+    std::vector<int> hits(1000, 0);
+    std::vector<std::atomic<int>> worker_hits(16);
+    ParallelForWorkers(hits.size(), threads, [&](unsigned worker, size_t i) {
+      ASSERT_LT(worker, std::max(threads, 1u));
+      ++hits[i];
+      ++worker_hits[worker];
+    });
+    for (int h : hits) ASSERT_EQ(h, 1) << "threads=" << threads;
+    int total = 0;
+    for (auto& w : worker_hits) total += w.load();
+    EXPECT_EQ(total, 1000) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelWorkersTest, EmptySingleAndOversubscribed) {
+  ParallelForWorkers(0, 8, [](unsigned, size_t) {
+    FAIL() << "must not be called";
+  });
+  int calls = 0;
+  ParallelForWorkers(1, 8, [&](unsigned worker, size_t i) {
+    EXPECT_EQ(worker, 0u);
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+  std::vector<int> hits(3, 0);
+  ParallelForWorkers(hits.size(), 64, [&](unsigned, size_t i) { ++hits[i]; });
+  EXPECT_EQ(hits[0] + hits[1] + hits[2], 3);
+}
+
+TEST(EpochSetTest, InsertContainsAndDuplicates) {
+  EpochSet set;
+  set.Reset(100);
+  EXPECT_EQ(set.size(), 0u);
+  EXPECT_TRUE(set.Insert(5));
+  EXPECT_TRUE(set.Insert(99));
+  EXPECT_FALSE(set.Insert(5));  // Duplicate.
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.Contains(5));
+  EXPECT_TRUE(set.Contains(99));
+  EXPECT_FALSE(set.Contains(0));
+  // Out of universe: rejected by both operations.
+  EXPECT_FALSE(set.Insert(100));
+  EXPECT_FALSE(set.Contains(100));
+}
+
+TEST(EpochSetTest, ResetClearsWithoutShrinkingUniverse) {
+  EpochSet set;
+  set.Reset(10);
+  for (uint32_t v = 0; v < 10; ++v) EXPECT_TRUE(set.Insert(v));
+  set.Reset(10);
+  EXPECT_EQ(set.size(), 0u);
+  for (uint32_t v = 0; v < 10; ++v) EXPECT_FALSE(set.Contains(v));
+  EXPECT_TRUE(set.Insert(3));
+  // Growing the universe preserves O(1) clearing semantics.
+  set.Reset(1000);
+  EXPECT_FALSE(set.Contains(3));
+  EXPECT_TRUE(set.Insert(999));
+  EXPECT_TRUE(set.Contains(999));
+}
+
+TEST(EpochSetTest, ManyResetsStayCorrect) {
+  EpochSet set;
+  for (int round = 0; round < 1000; ++round) {
+    set.Reset(16);
+    uint32_t v = static_cast<uint32_t>(round % 16);
+    EXPECT_FALSE(set.Contains(v));
+    EXPECT_TRUE(set.Insert(v));
+    EXPECT_TRUE(set.Contains(v));
+  }
 }
 
 }  // namespace

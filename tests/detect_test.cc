@@ -88,6 +88,39 @@ TEST(AhoCorasickTest, ErrorsOnMisuse) {
   EXPECT_FALSE(m.AddPhrase("late", 2).ok());
 }
 
+TEST(AhoCorasickTest, TermIdAndPreInternedFindAll) {
+  PhraseMatcher m;
+  ASSERT_TRUE(m.AddPhrase("new york", 1).ok());
+  ASSERT_TRUE(m.AddPhrase("new york city", 2).ok());
+  m.Build();
+  // Every term of every phrase has a stable id; unknown terms do not.
+  uint32_t t_new = m.TermId("new");
+  uint32_t t_york = m.TermId("york");
+  uint32_t t_city = m.TermId("city");
+  EXPECT_NE(t_new, PhraseMatcher::kUnknownTerm);
+  EXPECT_NE(t_york, PhraseMatcher::kUnknownTerm);
+  EXPECT_NE(t_city, PhraseMatcher::kUnknownTerm);
+  EXPECT_EQ(m.TermId("boston"), PhraseMatcher::kUnknownTerm);
+  EXPECT_LT(t_new, m.NumTerms());
+
+  // The pre-interned overload must agree with the string path, including
+  // unknown-term state resets.
+  std::vector<uint32_t> tids = {t_new, t_york, t_city};
+  std::vector<PhraseMatch> got;
+  m.FindAllTids(tids.data(), tids.size(), &got);
+  auto want = m.FindAll({"new", "york", "city"});
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].token_begin, want[i].token_begin);
+    EXPECT_EQ(got[i].token_count, want[i].token_count);
+    EXPECT_EQ(got[i].payload, want[i].payload);
+  }
+
+  std::vector<uint32_t> broken = {t_new, PhraseMatcher::kUnknownTerm, t_york};
+  m.FindAllTids(broken.data(), broken.size(), &got);
+  EXPECT_TRUE(got.empty());
+}
+
 // Email literals are assembled at runtime so the source file contains no
 // address-shaped strings.
 std::string MakeAddr(const char* local, const char* domain) {
@@ -248,6 +281,31 @@ TEST_F(DetectorTest, OffsetsAreByteAccurate) {
 TEST_F(DetectorTest, CaseInsensitiveMatching) {
   auto dets = detector_->Detect("BARACK OBAMA and teXas");
   EXPECT_EQ(dets.size(), 2u);
+}
+
+TEST_F(DetectorTest, DetectRawAgreesWithDetect) {
+  const std::string texts[] = {
+      "Barack Obama visited New York and the New York Times newsroom.",
+      "Call 555-123-4567 or see http://nytimes.example.com about texas "
+      "auto insurance in New York City.",
+      "",
+      "no entities here at all",
+  };
+  EntityDetector::Scratch scratch;  // Reused across documents.
+  for (const std::string& text : texts) {
+    auto dets = detector_->Detect(text);
+    detector_->DetectRaw(text, &scratch);
+    ASSERT_EQ(scratch.raw.size(), dets.size()) << "text: " << text;
+    for (size_t i = 0; i < dets.size(); ++i) {
+      const auto& r = scratch.raw[i];
+      EXPECT_EQ(r.begin, dets[i].begin);
+      EXPECT_EQ(r.end, dets[i].end);
+      EXPECT_EQ(r.type, dets[i].type);
+      if (r.entry_id != EntityDetector::kPatternEntry) {
+        EXPECT_EQ(detector_->EntryKey(r.entry_id), dets[i].key);
+      }
+    }
+  }
 }
 
 TEST(DetectorWorldTest, FromWorldDetectsPlantedMentions) {

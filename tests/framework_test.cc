@@ -222,5 +222,188 @@ TEST(RuntimeStatsTest, ThroughputMath) {
   EXPECT_DOUBLE_EQ(zero.StemmerMBps(), 0.0);
 }
 
+TEST(RuntimeStatsTest, ComponentThroughputIsDivideByZeroSafe) {
+  RuntimeStats zero;
+  EXPECT_DOUBLE_EQ(zero.RankerMBps(), 0.0);
+  EXPECT_DOUBLE_EQ(zero.MatchMBps(), 0.0);
+  EXPECT_DOUBLE_EQ(zero.ScoreMBps(), 0.0);
+  EXPECT_DOUBLE_EQ(zero.DocsPerSec(), 0.0);
+
+  RuntimeStats stats;
+  stats.bytes_processed = 20'000'000;
+  stats.match_seconds = 4.0;
+  stats.score_seconds = 1.0;
+  stats.ranker_seconds = stats.match_seconds + stats.score_seconds;
+  stats.stemmer_seconds = 5.0;
+  stats.documents = 100;
+  EXPECT_DOUBLE_EQ(stats.MatchMBps(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.ScoreMBps(), 20.0);
+  EXPECT_DOUBLE_EQ(stats.DocsPerSec(), 10.0);
+}
+
+TEST(RuntimeStatsTest, MergeAccumulatesEveryCounter) {
+  RuntimeStats a;
+  a.stemmer_seconds = 1.0;
+  a.ranker_seconds = 2.0;
+  a.match_seconds = 1.5;
+  a.score_seconds = 0.5;
+  a.bytes_processed = 100;
+  a.documents = 3;
+  a.detections = 7;
+  RuntimeStats b;
+  b.stemmer_seconds = 0.5;
+  b.ranker_seconds = 1.0;
+  b.match_seconds = 0.75;
+  b.score_seconds = 0.25;
+  b.bytes_processed = 50;
+  b.documents = 2;
+  b.detections = 4;
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.stemmer_seconds, 1.5);
+  EXPECT_DOUBLE_EQ(a.ranker_seconds, 3.0);
+  EXPECT_DOUBLE_EQ(a.match_seconds, 2.25);
+  EXPECT_DOUBLE_EQ(a.score_seconds, 0.75);
+  EXPECT_EQ(a.bytes_processed, 150u);
+  EXPECT_EQ(a.documents, 5u);
+  EXPECT_EQ(a.detections, 11u);
+}
+
+TEST(TidTableTest, OverflowReturnsSentinelWithoutMutatingState) {
+  GlobalTidTable tids;
+  tids.SetCapacityForTesting(2);
+  uint32_t a = tids.Intern("alpha");
+  uint32_t b = tids.Intern("beta");
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_FALSE(tids.overflowed());
+
+  // The table is full: a new term must get the unknown sentinel and must
+  // not change the table.
+  EXPECT_EQ(tids.Intern("gamma"), GlobalTidTable::kMaxTid);
+  EXPECT_TRUE(tids.overflowed());
+  EXPECT_EQ(tids.size(), 2u);
+  EXPECT_EQ(tids.Lookup("gamma"), GlobalTidTable::kMaxTid);
+
+  // Lookups and re-interns of existing terms still resolve after overflow.
+  EXPECT_EQ(tids.Lookup("alpha"), a);
+  EXPECT_EQ(tids.Intern("alpha"), a);
+  EXPECT_EQ(tids.Intern("beta"), b);
+  EXPECT_EQ(tids.Intern("delta"), GlobalTidTable::kMaxTid);
+  EXPECT_EQ(tids.size(), 2u);
+}
+
+TEST(QuantizedStoreTest, DenseIdsAreContiguousAndSorted) {
+  QuantizedInterestingnessStore store;
+  InterestingnessVector vec;
+  store.Add("zebra", vec);
+  store.Add("apple", vec);
+  store.Add("mango", vec);
+  store.Finalize();
+  ASSERT_EQ(store.NumConcepts(), 3u);
+  EXPECT_EQ(store.IdOf("apple"), 0u);
+  EXPECT_EQ(store.IdOf("mango"), 1u);
+  EXPECT_EQ(store.IdOf("zebra"), 2u);
+  EXPECT_EQ(store.KeyOf(1), "mango");
+  EXPECT_EQ(store.IdOf("unknown"), kInvalidConcept);
+}
+
+TEST(QuantizedStoreTest, SerializationRoundTripsDenseLayout) {
+  QuantizedInterestingnessStore store;
+  for (int c = 0; c < 5; ++c) {
+    InterestingnessVector vec;
+    vec.freq_exact = c * 10.0;
+    vec.unit_score = 1.0 + c * 0.5;
+    vec.number_of_chars = 7.0 + c;
+    vec.high_level_type[c % kNumEntityTypes] = 1.0;
+    store.Add("concept " + std::to_string(c), vec);
+  }
+  store.Finalize();
+
+  BinaryWriter writer;
+  store.SaveTo(&writer);
+  BinaryReader reader(writer.buffer());
+  auto loaded_or = QuantizedInterestingnessStore::LoadFrom(&reader);
+  ASSERT_TRUE(loaded_or.ok());
+  const QuantizedInterestingnessStore& loaded = *loaded_or;
+
+  ASSERT_EQ(loaded.NumConcepts(), store.NumConcepts());
+  std::vector<double> got, want;
+  for (int c = 0; c < 5; ++c) {
+    std::string key = "concept " + std::to_string(c);
+    EXPECT_EQ(loaded.IdOf(key), store.IdOf(key));
+    EXPECT_EQ(loaded.KeyOf(loaded.IdOf(key)), key);
+    ASSERT_TRUE(store.Lookup(key, &want));
+    ASSERT_TRUE(loaded.Lookup(key, &got));
+    EXPECT_EQ(got, want);  // Bit-identical dequantization.
+    ASSERT_TRUE(loaded.LookupById(loaded.IdOf(key), &got));
+    EXPECT_EQ(got, want);
+  }
+  EXPECT_FALSE(loaded.Lookup("unknown", &got));
+  EXPECT_FALSE(loaded.LookupById(kInvalidConcept, &got));
+}
+
+TEST(QuantizedStoreTest, EmptyStoreSerializationRoundTrip) {
+  QuantizedInterestingnessStore store;
+  store.Finalize();
+  BinaryWriter writer;
+  store.SaveTo(&writer);
+  BinaryReader reader(writer.buffer());
+  auto loaded_or = QuantizedInterestingnessStore::LoadFrom(&reader);
+  ASSERT_TRUE(loaded_or.ok());
+  EXPECT_EQ(loaded_or->NumConcepts(), 0u);
+  EXPECT_EQ(loaded_or->IdOf("anything"), kInvalidConcept);
+  std::vector<double> out;
+  EXPECT_FALSE(loaded_or->Lookup("anything", &out));
+}
+
+TEST(PackedRelevanceTest, SerializationRoundTripsDenseLayout) {
+  GlobalTidTable tids;
+  PackedRelevanceStore store(&tids);
+  store.Add("windsurfing", {{"board", 40.0}, {"sail", 25.0}, {"wave", 5.0}});
+  store.Add("alpha", {{"board", 12.0}, {"first", 30.0}});
+  store.Finalize();
+
+  BinaryWriter writer;
+  store.SaveTo(&writer);
+  BinaryReader reader(writer.buffer());
+  auto loaded_or = PackedRelevanceStore::LoadFrom(&reader, &tids);
+  ASSERT_TRUE(loaded_or.ok());
+  const PackedRelevanceStore& loaded = *loaded_or;
+
+  ASSERT_EQ(loaded.NumConcepts(), store.NumConcepts());
+  EXPECT_EQ(loaded.IdOf("alpha"), store.IdOf("alpha"));
+  EXPECT_EQ(loaded.IdOf("windsurfing"), store.IdOf("windsurfing"));
+  EXPECT_EQ(loaded.IdOf("unknown"), kInvalidConcept);
+
+  std::unordered_set<uint32_t> context = {tids.Lookup("board"),
+                                          tids.Lookup("wave")};
+  EXPECT_DOUBLE_EQ(loaded.Score("windsurfing", context),
+                   store.Score("windsurfing", context));
+  EXPECT_DOUBLE_EQ(loaded.Score("alpha", context),
+                   store.Score("alpha", context));
+  EXPECT_GT(loaded.Score("windsurfing", context), 0.0);
+
+  // The id-indexed hot path must agree with the string-keyed lookup.
+  EpochSet eset;
+  eset.Reset(tids.size());
+  for (uint32_t tid : context) eset.Insert(tid);
+  EXPECT_DOUBLE_EQ(loaded.ScoreById(loaded.IdOf("windsurfing"), eset),
+                   store.Score("windsurfing", context));
+  EXPECT_DOUBLE_EQ(loaded.ScoreById(kInvalidConcept, eset), 0.0);
+}
+
+TEST(PackedRelevanceTest, EmptyStoreSerializationRoundTrip) {
+  GlobalTidTable tids;
+  PackedRelevanceStore store(&tids);
+  store.Finalize();
+  BinaryWriter writer;
+  store.SaveTo(&writer);
+  BinaryReader reader(writer.buffer());
+  auto loaded_or = PackedRelevanceStore::LoadFrom(&reader, &tids);
+  ASSERT_TRUE(loaded_or.ok());
+  EXPECT_EQ(loaded_or->NumConcepts(), 0u);
+  EXPECT_DOUBLE_EQ(loaded_or->Score("anything", {}), 0.0);
+}
+
 }  // namespace
 }  // namespace ckr

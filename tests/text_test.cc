@@ -260,6 +260,35 @@ TEST(WindowTest, EmptyText) {
   EXPECT_TRUE(PartitionIntoWindows(0).empty());
 }
 
+TEST(TokenizeIntoTest, MatchesTokenizeAndReusesBuffer) {
+  const std::vector<std::string> samples = {
+      "",
+      "The Quick (Brown) Fox's 42 jumps, over http://x.y!",
+      "  leading   and trailing  ",
+      "O'Neill's co-worker visited San Francisco-based start-ups.",
+      "ALL CAPS and miXeD CaSe tokens 123abc",
+  };
+  std::vector<Token> reused;  // Deliberately reused across iterations.
+  for (const std::string& text : samples) {
+    TokenizeInto(text, &reused);
+    EXPECT_EQ(reused, Tokenize(text)) << "text: " << text;
+  }
+  // A longer document followed by a shorter one must not leak stale slots.
+  TokenizeInto("one two three four five six", &reused);
+  TokenizeInto("tiny", &reused);
+  EXPECT_EQ(reused, Tokenize("tiny"));
+}
+
+TEST(PorterStemIntoTest, MatchesPorterStem) {
+  std::string buf;  // Reused across calls like the runtime scratch does.
+  for (const char* word :
+       {"caresses", "ponies", "running", "a", "it", "xyz", "Mixed", "42",
+        "relational", "internationalization", ""}) {
+    PorterStemInto(word, &buf);
+    EXPECT_EQ(buf, PorterStem(word)) << "word: " << word;
+  }
+}
+
 TEST(WindowTest, CoverageProperty) {
   // Property: windows cover every byte for many sizes.
   for (size_t size : {1u, 499u, 2500u, 2501u, 4999u, 12345u}) {
