@@ -1,0 +1,403 @@
+// Offline-phase performance: the term-id flat index vs the string-keyed
+// legacy index, plus the parallel per-concept mining fan-out.
+//
+// The paper's offline phase hammers the search backend — feature (4)
+// searchengine_phrase issues one phrase-count query per concept, and
+// relevant-keyword mining runs a ranked query per (concept, resource) and
+// reads the top snippets (Sections IV-A/IV-B). This binary builds the
+// paper-scale world, indexes the same web corpus into both layouts, and
+// reports old-vs-new throughput for the three query kinds the offline
+// phase issues, mining wall-clock scaling across worker counts, and the
+// index memory footprint. The summary run verifies both layouts return
+// bit-identical results before timing anything, and writes every number
+// to BENCH_offline.json.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "features/offline_miner.h"
+#include "index/inverted_index.h"
+#include "index/legacy_index.h"
+
+namespace {
+
+using namespace ckr;
+
+struct OfflineLab {
+  std::unique_ptr<Pipeline> pipeline;
+  LegacyInvertedIndex legacy;
+  InvertedIndex flat;
+  std::vector<std::string> phrase_queries;   ///< Entity keys (multi-token).
+  std::vector<std::string> regular_queries;  ///< Query-log texts.
+  std::vector<ConceptKey> concepts;          ///< Mining workload.
+};
+
+OfflineLab* GetLab() {
+  static OfflineLab* lab = [] {
+    auto* l = new OfflineLab();
+    auto pipeline_or = Pipeline::Build(PipelineConfig{});  // Paper scale.
+    if (!pipeline_or.ok()) {
+      std::fprintf(stderr, "pipeline: %s\n",
+                   pipeline_or.status().ToString().c_str());
+      std::exit(1);
+    }
+    l->pipeline = std::move(*pipeline_or);
+
+    // Same web corpus, same Add order -> comparable indexes.
+    for (const Document& doc : l->pipeline->web_corpus()) {
+      l->legacy.Add(doc);
+      l->flat.Add(doc);
+    }
+    l->legacy.Finalize();
+    l->flat.Finalize();
+
+    // Phrase workload: one count query per entity/concept key, exactly
+    // what feature (4) issues during the offline fan-out.
+    const World& world = l->pipeline->world();
+    for (const Entity& e : world.entities()) {
+      l->phrase_queries.push_back(e.key);
+    }
+    // Regular workload: the distinct query-log texts (ranked retrieval +
+    // result counting, the Prisma / mining query mix).
+    for (const QueryEntry& q : l->pipeline->query_log().entries()) {
+      l->regular_queries.push_back(q.text);
+    }
+    // Mining workload: a representative slice of the concept universe
+    // (every 4th entity) so the scaling runs finish in seconds.
+    for (size_t i = 0; i < world.NumEntities(); i += 4) {
+      const Entity& e = world.entity(i);
+      l->concepts.push_back({e.key, e.type});
+    }
+    return l;
+  }();
+  return lab;
+}
+
+double WallSeconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+bool SameResults(const std::vector<SearchResult>& a,
+                 const std::vector<SearchResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].doc != b[i].doc || a[i].score != b[i].score) return false;
+  }
+  return true;
+}
+
+bool SameMined(const std::vector<MinedConcept>& a,
+               const std::vector<MinedConcept>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t c = 0; c < a.size(); ++c) {
+    for (size_t r = 0; r < kNumRelevanceResources; ++r) {
+      const auto& ta = a[c].relevance[r];
+      const auto& tb = b[c].relevance[r];
+      if (ta.size() != tb.size()) return false;
+      for (size_t t = 0; t < ta.size(); ++t) {
+        if (ta[t].term != tb[t].term || ta[t].score != tb[t].score) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+// ---- google-benchmark loops (old vs new, per query kind) ----
+
+void BM_SearchTop50Legacy(benchmark::State& state) {
+  OfflineLab* lab = GetLab();
+  size_t i = 0;
+  for (auto _ : state) {
+    auto r = lab->legacy.Search(lab->regular_queries[i], 50);
+    benchmark::DoNotOptimize(r);
+    i = (i + 1) % lab->regular_queries.size();
+  }
+}
+BENCHMARK(BM_SearchTop50Legacy)->Unit(benchmark::kMicrosecond);
+
+void BM_SearchTop50Flat(benchmark::State& state) {
+  OfflineLab* lab = GetLab();
+  size_t i = 0;
+  for (auto _ : state) {
+    auto r = lab->flat.Search(lab->regular_queries[i], 50);
+    benchmark::DoNotOptimize(r);
+    i = (i + 1) % lab->regular_queries.size();
+  }
+}
+BENCHMARK(BM_SearchTop50Flat)->Unit(benchmark::kMicrosecond);
+
+void BM_PhraseCountLegacy(benchmark::State& state) {
+  OfflineLab* lab = GetLab();
+  size_t i = 0;
+  for (auto _ : state) {
+    auto n = lab->legacy.PhraseResultCount(lab->phrase_queries[i]);
+    benchmark::DoNotOptimize(n);
+    i = (i + 1) % lab->phrase_queries.size();
+  }
+}
+BENCHMARK(BM_PhraseCountLegacy)->Unit(benchmark::kMicrosecond);
+
+void BM_PhraseCountFlat(benchmark::State& state) {
+  OfflineLab* lab = GetLab();
+  size_t i = 0;
+  for (auto _ : state) {
+    auto n = lab->flat.PhraseResultCount(lab->phrase_queries[i]);
+    benchmark::DoNotOptimize(n);
+    i = (i + 1) % lab->phrase_queries.size();
+  }
+}
+BENCHMARK(BM_PhraseCountFlat)->Unit(benchmark::kMicrosecond);
+
+void BM_RegularCountLegacy(benchmark::State& state) {
+  OfflineLab* lab = GetLab();
+  size_t i = 0;
+  for (auto _ : state) {
+    auto n = lab->legacy.RegularResultCount(lab->regular_queries[i]);
+    benchmark::DoNotOptimize(n);
+    i = (i + 1) % lab->regular_queries.size();
+  }
+}
+BENCHMARK(BM_RegularCountLegacy)->Unit(benchmark::kMicrosecond);
+
+void BM_RegularCountFlat(benchmark::State& state) {
+  OfflineLab* lab = GetLab();
+  size_t i = 0;
+  for (auto _ : state) {
+    auto n = lab->flat.RegularResultCount(lab->regular_queries[i]);
+    benchmark::DoNotOptimize(n);
+    i = (i + 1) % lab->regular_queries.size();
+  }
+}
+BENCHMARK(BM_RegularCountFlat)->Unit(benchmark::kMicrosecond);
+
+// ---- summary run: equivalence check, throughputs, scaling, JSON ----
+
+struct QpsPair {
+  double legacy_seconds = 0.0;
+  double flat_seconds = 0.0;
+  size_t queries = 0;
+  double LegacyQps() const {
+    return legacy_seconds > 0 ? queries / legacy_seconds : 0.0;
+  }
+  double FlatQps() const {
+    return flat_seconds > 0 ? queries / flat_seconds : 0.0;
+  }
+  double Speedup() const {
+    return flat_seconds > 0 ? legacy_seconds / flat_seconds : 0.0;
+  }
+};
+
+struct MiningPoint {
+  unsigned workers = 0;
+  double wall_seconds = 0.0;
+};
+
+void RunSummary() {
+  OfflineLab* lab = GetLab();
+
+  // Equivalence before timing: the speedup claim is void if the layouts
+  // disagree on any workload query.
+  bool identical = true;
+  for (const std::string& q : lab->regular_queries) {
+    identical = identical && SameResults(lab->flat.Search(q, 50),
+                                         lab->legacy.Search(q, 50));
+    identical = identical && lab->flat.RegularResultCount(q) ==
+                                 lab->legacy.RegularResultCount(q);
+  }
+  for (const std::string& q : lab->phrase_queries) {
+    identical = identical && lab->flat.PhraseResultCount(q) ==
+                                 lab->legacy.PhraseResultCount(q);
+    identical = identical && SameResults(lab->flat.PhraseSearch(q, 100),
+                                         lab->legacy.PhraseSearch(q, 100));
+  }
+
+  // Timed passes over the full workloads (several repeats so the fast
+  // paths get out of the noise).
+  constexpr int kRepeats = 3;
+  QpsPair search, phrase_count, regular_count;
+  search.queries = lab->regular_queries.size() * kRepeats;
+  regular_count.queries = lab->regular_queries.size() * kRepeats;
+  phrase_count.queries = lab->phrase_queries.size() * kRepeats;
+
+  auto t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < kRepeats; ++r) {
+    for (const std::string& q : lab->regular_queries) {
+      benchmark::DoNotOptimize(lab->legacy.Search(q, 50));
+    }
+  }
+  search.legacy_seconds = WallSeconds(t0);
+  t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < kRepeats; ++r) {
+    for (const std::string& q : lab->regular_queries) {
+      benchmark::DoNotOptimize(lab->flat.Search(q, 50));
+    }
+  }
+  search.flat_seconds = WallSeconds(t0);
+
+  t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < kRepeats; ++r) {
+    for (const std::string& q : lab->phrase_queries) {
+      benchmark::DoNotOptimize(lab->legacy.PhraseResultCount(q));
+    }
+  }
+  phrase_count.legacy_seconds = WallSeconds(t0);
+  t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < kRepeats; ++r) {
+    for (const std::string& q : lab->phrase_queries) {
+      benchmark::DoNotOptimize(lab->flat.PhraseResultCount(q));
+    }
+  }
+  phrase_count.flat_seconds = WallSeconds(t0);
+
+  t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < kRepeats; ++r) {
+    for (const std::string& q : lab->regular_queries) {
+      benchmark::DoNotOptimize(lab->legacy.RegularResultCount(q));
+    }
+  }
+  regular_count.legacy_seconds = WallSeconds(t0);
+  t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < kRepeats; ++r) {
+    for (const std::string& q : lab->regular_queries) {
+      benchmark::DoNotOptimize(lab->flat.RegularResultCount(q));
+    }
+  }
+  regular_count.flat_seconds = WallSeconds(t0);
+
+  // Mining fan-out scaling: same concepts, 1/2/4/8 workers; outputs must
+  // be identical for every worker count.
+  OfflineConceptMiner miner(lab->pipeline->interestingness(),
+                            lab->pipeline->relevance_miner());
+  constexpr size_t kRelevanceTerms = 50;
+  std::vector<MiningPoint> mining;
+  std::vector<MinedConcept> mined_serial;
+  bool mining_identical = true;
+  for (unsigned workers : {1u, 2u, 4u, 8u}) {
+    OfflineMiningStats stats;
+    auto mined = miner.MineAll(lab->concepts, kRelevanceTerms, workers,
+                               &stats);
+    if (workers == 1) {
+      mined_serial = std::move(mined);
+    } else {
+      mining_identical = mining_identical && SameMined(mined_serial, mined);
+    }
+    mining.push_back({workers, stats.wall_seconds});
+  }
+
+  size_t legacy_bytes = lab->legacy.MemoryBytes();
+  size_t flat_bytes = lab->flat.MemoryBytes();
+
+  std::printf("=== offline phase: term-id flat index vs legacy ===\n");
+  std::printf("corpus: %zu docs, %zu terms; workloads: %zu regular, "
+              "%zu phrase queries, %zu mining concepts\n",
+              lab->flat.NumDocs(), lab->flat.NumTerms(),
+              lab->regular_queries.size(), lab->phrase_queries.size(),
+              lab->concepts.size());
+  std::printf("results bit-identical across layouts: %s\n",
+              identical ? "yes" : "NO");
+  std::printf("workload              legacy qps      flat qps   speedup\n");
+  std::printf("search top-50      %11.0f  %12.0f  %7.2fx\n",
+              search.LegacyQps(), search.FlatQps(), search.Speedup());
+  std::printf("phrase count       %11.0f  %12.0f  %7.2fx\n",
+              phrase_count.LegacyQps(), phrase_count.FlatQps(),
+              phrase_count.Speedup());
+  std::printf("regular count      %11.0f  %12.0f  %7.2fx\n",
+              regular_count.LegacyQps(), regular_count.FlatQps(),
+              regular_count.Speedup());
+  std::printf("index memory: legacy %.2f MB, flat %.2f MB (%.2fx smaller, "
+              "position pool %.2f MB)\n",
+              legacy_bytes / 1e6, flat_bytes / 1e6,
+              flat_bytes > 0
+                  ? static_cast<double>(legacy_bytes) / flat_bytes
+                  : 0.0,
+              lab->flat.PositionPoolBytes() / 1e6);
+  std::printf("mining fan-out (%zu concepts, %u hardware threads), outputs "
+              "identical across worker counts: %s\n",
+              lab->concepts.size(), std::thread::hardware_concurrency(),
+              mining_identical ? "yes" : "NO");
+  for (const MiningPoint& p : mining) {
+    std::printf("  %u worker%s  %.3f s  %.2fx\n", p.workers,
+                p.workers == 1 ? " " : "s", p.wall_seconds,
+                mining.front().wall_seconds > 0
+                    ? mining.front().wall_seconds / p.wall_seconds
+                    : 0.0);
+  }
+  std::printf("\n");
+
+  std::FILE* f = std::fopen("BENCH_offline.json", "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_offline.json\n");
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"documents\": %zu,\n", lab->flat.NumDocs());
+  std::fprintf(f, "  \"terms\": %zu,\n", lab->flat.NumTerms());
+  std::fprintf(f, "  \"regular_queries\": %zu,\n",
+               lab->regular_queries.size());
+  std::fprintf(f, "  \"phrase_queries\": %zu,\n", lab->phrase_queries.size());
+  std::fprintf(f, "  \"results_bit_identical\": %s,\n",
+               identical ? "true" : "false");
+  std::fprintf(f,
+               "  \"search_top50\": {\"legacy_qps\": %.1f, \"flat_qps\": "
+               "%.1f, \"speedup\": %.4f},\n",
+               search.LegacyQps(), search.FlatQps(), search.Speedup());
+  std::fprintf(f,
+               "  \"phrase_count\": {\"legacy_qps\": %.1f, \"flat_qps\": "
+               "%.1f, \"speedup\": %.4f},\n",
+               phrase_count.LegacyQps(), phrase_count.FlatQps(),
+               phrase_count.Speedup());
+  std::fprintf(f,
+               "  \"regular_count\": {\"legacy_qps\": %.1f, \"flat_qps\": "
+               "%.1f, \"speedup\": %.4f},\n",
+               regular_count.LegacyQps(), regular_count.FlatQps(),
+               regular_count.Speedup());
+  std::fprintf(f,
+               "  \"memory\": {\"legacy_bytes\": %zu, \"flat_bytes\": %zu, "
+               "\"position_pool_bytes\": %zu, \"legacy_over_flat\": %.4f},\n",
+               legacy_bytes, flat_bytes, lab->flat.PositionPoolBytes(),
+               flat_bytes > 0
+                   ? static_cast<double>(legacy_bytes) / flat_bytes
+                   : 0.0);
+  std::fprintf(f, "  \"mining_concepts\": %zu,\n", lab->concepts.size());
+  // Mining scaling is bounded by the physical cores available; record them
+  // so consumers can judge the speedup_vs_1 column.
+  std::fprintf(f, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"mining_identical_across_workers\": %s,\n",
+               mining_identical ? "true" : "false");
+  std::fprintf(f, "  \"mining\": [\n");
+  for (size_t i = 0; i < mining.size(); ++i) {
+    const MiningPoint& p = mining[i];
+    std::fprintf(f,
+                 "    {\"workers\": %u, \"wall_seconds\": %.6f, "
+                 "\"speedup_vs_1\": %.4f}%s\n",
+                 p.workers, p.wall_seconds,
+                 mining.front().wall_seconds > 0
+                     ? mining.front().wall_seconds / p.wall_seconds
+                     : 0.0,
+                 i + 1 < mining.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_offline.json\n\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  RunSummary();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/parallel.h"
+#include "features/offline_miner.h"
 
 namespace ckr {
 
@@ -92,36 +93,27 @@ StatusOr<ClickDataset> DatasetBuilder::Build() const {
 
   // Stage 3: distinct concepts across surviving reports (insertion order
   // fixed by report order, so ids are deterministic).
-  std::vector<std::pair<std::string, EntityType>> concepts;
+  std::vector<ConceptKey> concepts;
   std::unordered_map<std::string, size_t> concept_index;
   for (const StoryReport& report : kept) {
     for (const AnnotationRecord& a : report.annotations) {
       if (concept_index.emplace(a.key, concepts.size()).second) {
-        concepts.emplace_back(a.key, a.type);
+        concepts.push_back({a.key, a.type});
       }
     }
   }
 
-  // Stage 4 (parallel over concepts): static interestingness vectors and
-  // relevant-keyword mining from all three resources.
-  struct ConceptCache {
-    InterestingnessVector ivec;
-    std::array<std::vector<RelevantTerm>, 3> mined;
-  };
-  std::vector<ConceptCache> cache(concepts.size());
-  ParallelFor(concepts.size(), workers, [&](size_t c) {
-    const auto& [key, type] = concepts[c];
-    cache[c].ivec = pipeline_.interestingness().Extract(key, type);
-    for (int r = 0; r < 3; ++r) {
-      cache[c].mined[static_cast<size_t>(r)] = pipeline_.relevance_miner().Mine(
-          key, static_cast<RelevanceResource>(r), config_.relevance_terms);
-    }
-  });
-  RelevanceScorer scorers[3];
+  // Stage 4: the per-concept offline fan-out — static interestingness
+  // vectors and relevant-keyword mining from all three resources, spread
+  // across workers with one output slot per concept.
+  OfflineConceptMiner miner(pipeline_.interestingness(),
+                            pipeline_.relevance_miner());
+  std::vector<MinedConcept> cache =
+      miner.MineAll(concepts, config_.relevance_terms, workers);
+  RelevanceScorer scorers[kNumRelevanceResources];
   for (size_t c = 0; c < concepts.size(); ++c) {
-    for (int r = 0; r < 3; ++r) {
-      scorers[r].AddConcept(concepts[c].first,
-                            cache[c].mined[static_cast<size_t>(r)]);
+    for (size_t r = 0; r < kNumRelevanceResources; ++r) {
+      scorers[r].AddConcept(concepts[c].key, cache[c].relevance[r]);
     }
   }
 
@@ -158,7 +150,7 @@ StatusOr<ClickDataset> DatasetBuilder::Build() const {
       uint32_t group = next_window_group++;
       for (size_t i = 0; i < in_window.size(); ++i) {
         const AnnotationRecord& a = *in_window[i];
-        const ConceptCache& entry = cache[concept_index.at(a.key)];
+        const MinedConcept& entry = cache[concept_index.at(a.key)];
 
         WindowInstance inst;
         inst.key = a.key;
@@ -170,7 +162,7 @@ StatusOr<ClickDataset> DatasetBuilder::Build() const {
         inst.clicks = a.clicks;
         inst.ctr = a.Ctr();
         inst.baseline_score = baseline[i];
-        inst.interestingness = entry.ivec;
+        inst.interestingness = entry.interestingness;
         for (int r = 0; r < 3; ++r) {
           inst.relevance[static_cast<size_t>(r)] =
               scorers[r].Score(a.key, stemmed);

@@ -29,7 +29,7 @@ double TermDictionary::DocFreqRatio(std::string_view term) const {
 }
 
 uint32_t TermDictionary::DocFreq(std::string_view term) const {
-  auto it = doc_freq_.find(std::string(term));
+  auto it = doc_freq_.find(term);
   return it == doc_freq_.end() ? 0 : it->second;
 }
 

@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/hash.h"
 #include "corpus/document.h"
 
 namespace ckr {
@@ -45,7 +46,10 @@ class TermDictionary {
   double Idf(std::string_view term) const;
 
  private:
-  std::unordered_map<std::string, uint32_t> doc_freq_;
+  // Transparent hasher: DocFreq/Idf are called per mined term in the
+  // offline fan-out, so lookups must not allocate a temporary std::string.
+  std::unordered_map<std::string, uint32_t, StringViewHash, std::equal_to<>>
+      doc_freq_;
   size_t num_docs_ = 0;
 };
 

@@ -1,0 +1,56 @@
+#include "features/offline_miner.h"
+
+#include <chrono>
+
+#include "common/parallel.h"
+
+namespace ckr {
+namespace {
+
+double WallSeconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+OfflineConceptMiner::OfflineConceptMiner(
+    const InterestingnessExtractor& interestingness,
+    const RelevanceMiner& miner)
+    : interestingness_(interestingness), miner_(miner) {}
+
+std::vector<MinedConcept> OfflineConceptMiner::MineAll(
+    const std::vector<ConceptKey>& concepts, size_t relevance_terms,
+    unsigned num_threads, OfflineMiningStats* stats) const {
+  const unsigned workers =
+      num_threads == 0 ? DefaultWorkerCount() : num_threads;
+  std::vector<MinedConcept> out(concepts.size());
+  std::vector<double> busy(workers, 0.0);
+  std::vector<uint64_t> mined(workers, 0);
+
+  auto t0 = std::chrono::steady_clock::now();
+  ParallelForWorkers(concepts.size(), workers, [&](unsigned worker,
+                                                   size_t c) {
+    auto item_start = std::chrono::steady_clock::now();
+    const ConceptKey& item = concepts[c];
+    MinedConcept& slot = out[c];
+    slot.interestingness = interestingness_.Extract(item.key, item.type);
+    for (size_t r = 0; r < kNumRelevanceResources; ++r) {
+      slot.relevance[r] = miner_.Mine(
+          item.key, static_cast<RelevanceResource>(r), relevance_terms);
+    }
+    busy[worker] += WallSeconds(item_start);
+    ++mined[worker];
+  });
+
+  if (stats != nullptr) {
+    stats->workers = workers;
+    stats->wall_seconds = WallSeconds(t0);
+    stats->worker_busy_seconds = std::move(busy);
+    stats->worker_concepts = std::move(mined);
+  }
+  return out;
+}
+
+}  // namespace ckr

@@ -1,0 +1,70 @@
+// Parallel per-concept offline fan-out (paper Sections IV-A/IV-B).
+//
+// Every offline experiment walks the same loop: for each distinct concept,
+// extract the static interestingness vector and mine relevant keywords
+// from the three resources. The work items are independent, so the miner
+// fans them out on ParallelForWorkers with one output slot per concept —
+// results are bit-identical for any thread count, mirroring the
+// ProcessBatch design of the serving runtime.
+#ifndef CKR_FEATURES_OFFLINE_MINER_H_
+#define CKR_FEATURES_OFFLINE_MINER_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "corpus/taxonomy.h"
+#include "features/interestingness.h"
+#include "features/relevance.h"
+
+namespace ckr {
+
+/// Number of RelevanceResource values.
+inline constexpr size_t kNumRelevanceResources = 3;
+
+/// One concept to mine: its normalized key and taxonomy type.
+struct ConceptKey {
+  std::string key;
+  EntityType type = EntityType::kConcept;
+};
+
+/// Everything the offline phase derives for one concept.
+struct MinedConcept {
+  InterestingnessVector interestingness;
+  /// Mined keywords per resource, indexed by RelevanceResource.
+  std::array<std::vector<RelevantTerm>, kNumRelevanceResources> relevance;
+};
+
+/// Per-run accounting (workers and busy time are informational; they do
+/// not affect the mined output).
+struct OfflineMiningStats {
+  unsigned workers = 0;
+  double wall_seconds = 0.0;
+  std::vector<double> worker_busy_seconds;   ///< One entry per worker.
+  std::vector<uint64_t> worker_concepts;     ///< Concepts mined per worker.
+};
+
+/// Fans the per-concept extraction + mining across worker threads.
+/// The referenced extractor/miner must be immutable and thread-safe for
+/// concurrent reads (they are: both only read the pipeline substrates).
+class OfflineConceptMiner {
+ public:
+  OfflineConceptMiner(const InterestingnessExtractor& interestingness,
+                      const RelevanceMiner& miner);
+
+  /// Mines all concepts with up to `num_threads` workers (0 = all hardware
+  /// threads). Returns one slot per input concept, in input order; the
+  /// output is independent of `num_threads` and of scheduling.
+  std::vector<MinedConcept> MineAll(const std::vector<ConceptKey>& concepts,
+                                    size_t relevance_terms,
+                                    unsigned num_threads,
+                                    OfflineMiningStats* stats = nullptr) const;
+
+ private:
+  const InterestingnessExtractor& interestingness_;
+  const RelevanceMiner& miner_;
+};
+
+}  // namespace ckr
+
+#endif  // CKR_FEATURES_OFFLINE_MINER_H_

@@ -24,15 +24,19 @@ void BitWriter::WriteUnary(uint64_t count) {
 
 std::vector<uint8_t> BitWriter::Finish() { return std::move(bytes_); }
 
-BitReader::BitReader(const std::vector<uint8_t>& bytes) : bytes_(bytes) {}
+BitReader::BitReader(const std::vector<uint8_t>& bytes)
+    : data_(bytes.data()), size_(bytes.size()) {}
+
+BitReader::BitReader(const uint8_t* data, size_t size)
+    : data_(data), size_(size) {}
 
 bool BitReader::ReadBit() {
   size_t byte_index = pos_ >> 3;
-  if (byte_index >= bytes_.size()) {
+  if (byte_index >= size_) {
     overflow_ = true;
     return false;
   }
-  bool bit = (bytes_[byte_index] >> (7 - (pos_ & 7))) & 1u;
+  bool bit = (data_[byte_index] >> (7 - (pos_ & 7))) & 1u;
   ++pos_;
   return bit;
 }

@@ -33,10 +33,16 @@ class BitWriter {
   size_t bit_count_ = 0;
 };
 
-/// MSB-first bit reader over a finished buffer.
+/// MSB-first bit reader over a finished buffer. Does not own the bytes;
+/// the underlying storage must outlive the reader.
 class BitReader {
  public:
   explicit BitReader(const std::vector<uint8_t>& bytes);
+
+  /// Reads from a raw byte span — lets callers decode blobs that live
+  /// inside a larger pool (e.g. concatenated posting-position blocks)
+  /// without copying them out first.
+  BitReader(const uint8_t* data, size_t size);
 
   /// Reads `count` bits (<= 64); returns them right-aligned. Reads past
   /// the end return zero bits and set overflow().
@@ -51,7 +57,8 @@ class BitReader {
   size_t BitPosition() const { return pos_; }
 
  private:
-  const std::vector<uint8_t>& bytes_;
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
   size_t pos_ = 0;
   bool overflow_ = false;
 };

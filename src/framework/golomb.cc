@@ -89,12 +89,30 @@ StatusOr<std::vector<uint8_t>> EncodeSortedIds(
 
 StatusOr<std::vector<uint32_t>> DecodeSortedIds(
     const std::vector<uint8_t>& bytes) {
-  BitReader reader(bytes);
+  std::vector<uint32_t> ids;
+  Status s = DecodeSortedIdsInto(bytes.data(), bytes.size(), &ids);
+  if (!s.ok()) return s;
+  return ids;
+}
+
+StatusOr<size_t> AppendEncodedSortedIds(const std::vector<uint32_t>& ids,
+                                        uint32_t universe,
+                                        std::vector<uint8_t>* pool) {
+  auto blob_or = EncodeSortedIds(ids, universe);
+  if (!blob_or.ok()) return blob_or.status();
+  size_t offset = pool->size();
+  pool->insert(pool->end(), blob_or->begin(), blob_or->end());
+  return offset;
+}
+
+Status DecodeSortedIdsInto(const uint8_t* data, size_t size,
+                           std::vector<uint32_t>* out) {
+  out->clear();
+  BitReader reader(data, size);
   uint64_t count = reader.ReadBits(32);
   uint64_t m = reader.ReadBits(32);
   if (m == 0) return Status::InvalidArgument("corrupt header (m == 0)");
-  std::vector<uint32_t> ids;
-  ids.reserve(count);
+  out->reserve(count);
   uint32_t prev = 0;
   for (uint64_t i = 0; i < count; ++i) {
     uint64_t gap = GolombDecode(m, &reader);
@@ -103,10 +121,10 @@ StatusOr<std::vector<uint32_t>> DecodeSortedIds(
     if (reader.overflow()) {
       return Status::InvalidArgument("truncated Golomb stream");
     }
-    ids.push_back(id);
+    out->push_back(id);
     prev = id;
   }
-  return ids;
+  return Status::OK();
 }
 
 }  // namespace ckr

@@ -3,55 +3,169 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <unordered_set>
 
-#include "common/string_util.h"
+#include "framework/golomb.h"
 #include "text/tokenizer.h"
 
 namespace ckr {
+namespace {
+
+// The deterministic total order shared with the legacy index: descending
+// score, ascending doc id.
+inline bool RankBefore(const SearchResult& a, const SearchResult& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.doc < b.doc;
+}
+
+// Bounded top-k selection. With RankBefore as the heap comparator the
+// front is the worst-ranked of the kept k, so a candidate enters iff it
+// ranks before the current worst — the same k results, in the same order,
+// as sort-everything-then-truncate.
+class TopKHeap {
+ public:
+  explicit TopKHeap(size_t k) : k_(k) {}
+
+  void Push(const SearchResult& r) {
+    if (k_ == 0) return;
+    if (heap_.size() < k_) {
+      heap_.push_back(r);
+      std::push_heap(heap_.begin(), heap_.end(), RankBefore);
+    } else if (RankBefore(r, heap_.front())) {
+      std::pop_heap(heap_.begin(), heap_.end(), RankBefore);
+      heap_.back() = r;
+      std::push_heap(heap_.begin(), heap_.end(), RankBefore);
+    }
+  }
+
+  std::vector<SearchResult> Take() {
+    std::sort(heap_.begin(), heap_.end(), RankBefore);
+    return std::move(heap_);
+  }
+
+ private:
+  size_t k_;
+  std::vector<SearchResult> heap_;
+};
+
+}  // namespace
+
+uint32_t InvertedIndex::InternTerm(std::string_view token) {
+  auto it = term_ids_.find(token);
+  if (it != term_ids_.end()) return it->second;
+  uint32_t tid = static_cast<uint32_t>(term_ids_.size());
+  term_ids_.emplace(std::string(token), tid);
+  return tid;
+}
+
+uint32_t InvertedIndex::LookupTerm(std::string_view term) const {
+  auto it = term_ids_.find(term);
+  return it == term_ids_.end() ? kInvalidTid : it->second;
+}
 
 void InvertedIndex::Add(const Document& doc) {
   assert(!finalized_);
-  StoredDoc stored;
-  stored.id = doc.id;
-  stored.text = doc.text;
-  std::vector<Token> toks = Tokenize(stored.text);
-  stored.tokens.reserve(toks.size());
-  stored.token_begin.reserve(toks.size());
-  stored.token_end.reserve(toks.size());
-  for (Token& t : toks) {
-    stored.tokens.push_back(std::move(t.text));
-    stored.token_begin.push_back(static_cast<uint32_t>(t.begin));
-    stored.token_end.push_back(static_cast<uint32_t>(t.end));
+  if (doc_tok_offset_.empty()) doc_tok_offset_.push_back(0);
+  std::vector<Token> toks = Tokenize(doc.text);
+  for (const Token& t : toks) {
+    tok_tid_.push_back(InternTerm(t.text));
+    tok_begin_.push_back(static_cast<uint32_t>(t.begin));
+    tok_end_.push_back(static_cast<uint32_t>(t.end));
   }
-  doc_index_[stored.id] = static_cast<uint32_t>(docs_.size());
-  docs_.push_back(std::move(stored));
+  doc_tok_offset_.push_back(tok_tid_.size());
+  doc_index_[doc.id] = static_cast<uint32_t>(docs_.size());
+  docs_.push_back({doc.id, doc.text});
 }
 
 void InvertedIndex::Finalize() {
-  postings_.clear();
+  const size_t num_docs = docs_.size();
+  const size_t num_terms = term_ids_.size();
+  if (doc_tok_offset_.empty()) doc_tok_offset_.push_back(0);
+
+  doc_len_.resize(num_docs);
   uint64_t total_len = 0;
-  for (uint32_t d = 0; d < docs_.size(); ++d) {
-    const StoredDoc& doc = docs_[d];
-    total_len += doc.tokens.size();
-    for (uint32_t pos = 0; pos < doc.tokens.size(); ++pos) {
-      std::vector<Posting>& plist = postings_[doc.tokens[pos]];
-      if (plist.empty() || plist.back().doc_index != d) {
-        plist.push_back({d, {}});
+  for (size_t d = 0; d < num_docs; ++d) {
+    doc_len_[d] =
+        static_cast<uint32_t>(doc_tok_offset_[d + 1] - doc_tok_offset_[d]);
+    total_len += doc_len_[d];
+  }
+  avg_doc_len_ =
+      num_docs == 0 ? 0.0 : static_cast<double>(total_len) / num_docs;
+
+  const Bm25Params defaults;
+  default_norm_.resize(num_docs);
+  for (size_t d = 0; d < num_docs; ++d) {
+    double dl = static_cast<double>(doc_len_[d]);
+    default_norm_[d] = defaults.k1 * (1.0 - defaults.b +
+                                      defaults.b * dl / avg_doc_len_);
+  }
+
+  // Pass 1: document frequency per term = number of posting slots.
+  std::vector<uint32_t> df(num_terms, 0);
+  std::vector<uint32_t> last_doc(num_terms, kInvalidTid);
+  for (size_t d = 0; d < num_docs; ++d) {
+    for (size_t i = doc_tok_offset_[d]; i < doc_tok_offset_[d + 1]; ++i) {
+      uint32_t tid = tok_tid_[i];
+      if (last_doc[tid] != d) {
+        last_doc[tid] = static_cast<uint32_t>(d);
+        ++df[tid];
       }
-      plist.back().positions.push_back(pos);
     }
   }
-  avg_doc_len_ = docs_.empty()
-                     ? 0.0
-                     : static_cast<double>(total_len) / docs_.size();
+  post_offset_.assign(num_terms + 1, 0);
+  for (size_t t = 0; t < num_terms; ++t) {
+    post_offset_[t + 1] = post_offset_[t] + df[t];
+  }
+  const size_t num_slots = post_offset_[num_terms];
+  post_doc_.resize(num_slots);
+  post_tf_.resize(num_slots);
+  pos_offset_.resize(num_slots);
+  pos_len_.resize(num_slots);
+  pos_first_.resize(num_slots);
+  pos_pool_.clear();
+
+  // Pass 2 (doc-major, so each term's slots come out sorted by doc):
+  // group the document's occurrences by term id, then emit one slot per
+  // group with its positions Golomb-coded into the shared pool.
+  std::vector<size_t> cursor(post_offset_.begin(), post_offset_.end() - 1);
+  std::vector<std::pair<uint32_t, uint32_t>> occ;  // (tid, position)
+  std::vector<uint32_t> positions;
+  for (size_t d = 0; d < num_docs; ++d) {
+    occ.clear();
+    uint32_t pos = 0;
+    for (size_t i = doc_tok_offset_[d]; i < doc_tok_offset_[d + 1]; ++i) {
+      occ.emplace_back(tok_tid_[i], pos++);
+    }
+    // Stable: positions stay ascending within each term group.
+    std::stable_sort(occ.begin(), occ.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    const uint32_t universe = doc_len_[d];
+    for (size_t i = 0; i < occ.size();) {
+      uint32_t tid = occ[i].first;
+      positions.clear();
+      while (i < occ.size() && occ[i].first == tid) {
+        positions.push_back(occ[i].second);
+        ++i;
+      }
+      size_t slot = cursor[tid]++;
+      post_doc_[slot] = static_cast<uint32_t>(d);
+      post_tf_[slot] = static_cast<uint32_t>(positions.size());
+      auto offset_or = AppendEncodedSortedIds(positions, universe, &pos_pool_);
+      assert(offset_or.ok());
+      pos_offset_[slot] = *offset_or;
+      pos_len_[slot] = static_cast<uint32_t>(pos_pool_.size() - *offset_or);
+      pos_first_[slot] = positions.front();
+    }
+  }
+  pos_pool_.shrink_to_fit();
   finalized_ = true;
 }
 
 uint32_t InvertedIndex::DocFreq(std::string_view term) const {
-  auto it = postings_.find(std::string(term));
-  return it == postings_.end() ? 0
-                               : static_cast<uint32_t>(it->second.size());
+  uint32_t tid = LookupTerm(term);
+  if (tid == kInvalidTid) return 0;
+  return static_cast<uint32_t>(post_offset_[tid + 1] - post_offset_[tid]);
 }
 
 std::vector<SearchResult> InvertedIndex::Search(std::string_view query,
@@ -59,176 +173,312 @@ std::vector<SearchResult> InvertedIndex::Search(std::string_view query,
                                                 const Bm25Params& params) const {
   assert(finalized_);
   std::vector<std::string> terms = TokenizeToStrings(query);
-  // Deduplicate query terms.
+  // Deduplicate query terms (same sorted accumulation order as the legacy
+  // path, so per-doc floating-point sums are bit-identical).
   std::sort(terms.begin(), terms.end());
   terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
 
-  std::unordered_map<uint32_t, double> scores;
+  const bool default_params =
+      params.k1 == Bm25Params{}.k1 && params.b == Bm25Params{}.b;
   const double n = static_cast<double>(docs_.size());
+  std::vector<double> acc(docs_.size(), 0.0);
+  std::vector<uint8_t> seen(docs_.size(), 0);
+  std::vector<uint32_t> touched;
   for (const std::string& term : terms) {
-    auto it = postings_.find(term);
-    if (it == postings_.end()) continue;
-    const auto& plist = it->second;
-    double idf = std::log(1.0 + (n - plist.size() + 0.5) /
-                                    (plist.size() + 0.5));
-    for (const Posting& p : plist) {
-      double tf = static_cast<double>(p.positions.size());
-      double dl = static_cast<double>(docs_[p.doc_index].tokens.size());
-      double denom =
-          tf + params.k1 * (1.0 - params.b + params.b * dl / avg_doc_len_);
-      scores[p.doc_index] += idf * tf * (params.k1 + 1.0) / denom;
-    }
-  }
-  std::vector<SearchResult> results;
-  results.reserve(scores.size());
-  for (const auto& [d, s] : scores) {
-    results.push_back({docs_[d].id, s});
-  }
-  std::sort(results.begin(), results.end(),
-            [](const SearchResult& a, const SearchResult& b) {
-              if (a.score != b.score) return a.score > b.score;
-              return a.doc < b.doc;  // Deterministic tie-break.
-            });
-  if (results.size() > k) results.resize(k);
-  return results;
-}
-
-std::vector<uint32_t> InvertedIndex::PhrasePositions(
-    const std::vector<const Posting*>& term_postings, size_t /*doc_index*/) {
-  // term_postings[i] is the posting of term i in the same document.
-  std::vector<uint32_t> starts;
-  const std::vector<uint32_t>& first = term_postings[0]->positions;
-  for (uint32_t p : first) {
-    bool match = true;
-    for (size_t t = 1; t < term_postings.size(); ++t) {
-      const auto& pos = term_postings[t]->positions;
-      if (!std::binary_search(pos.begin(), pos.end(),
-                              p + static_cast<uint32_t>(t))) {
-        match = false;
-        break;
+    uint32_t tid = LookupTerm(term);
+    if (tid == kInvalidTid) continue;
+    const size_t begin = post_offset_[tid];
+    const size_t end = post_offset_[tid + 1];
+    const double dfd = static_cast<double>(end - begin);
+    double idf = std::log(1.0 + (n - dfd + 0.5) / (dfd + 0.5));
+    for (size_t slot = begin; slot < end; ++slot) {
+      uint32_t d = post_doc_[slot];
+      double tf = static_cast<double>(post_tf_[slot]);
+      double norm =
+          default_params
+              ? default_norm_[d]
+              : params.k1 * (1.0 - params.b +
+                             params.b * static_cast<double>(doc_len_[d]) /
+                                 avg_doc_len_);
+      acc[d] += idf * tf * (params.k1 + 1.0) / (tf + norm);
+      if (!seen[d]) {
+        seen[d] = 1;
+        touched.push_back(d);
       }
     }
-    if (match) starts.push_back(p);
   }
-  return starts;
+  TopKHeap heap(k);
+  for (uint32_t d : touched) heap.Push({docs_[d].id, acc[d]});
+  return heap.Take();
+}
+
+uint64_t InvertedIndex::RegularResultCount(std::string_view query) const {
+  assert(finalized_);
+  std::vector<std::string> terms = TokenizeToStrings(query);
+  std::sort(terms.begin(), terms.end());
+  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+
+  // Single-term fast path: the union is one posting list.
+  if (terms.size() == 1) return DocFreq(terms[0]);
+
+  std::vector<uint8_t> seen(docs_.size(), 0);
+  uint64_t count = 0;
+  for (const std::string& term : terms) {
+    uint32_t tid = LookupTerm(term);
+    if (tid == kInvalidTid) continue;
+    for (size_t slot = post_offset_[tid]; slot < post_offset_[tid + 1];
+         ++slot) {
+      uint32_t d = post_doc_[slot];
+      if (!seen[d]) {
+        seen[d] = 1;
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+void InvertedIndex::DecodePositions(size_t slot,
+                                    std::vector<uint32_t>* out) const {
+  Status s = DecodeSortedIdsInto(pos_pool_.data() + pos_offset_[slot],
+                                 pos_len_[slot], out);
+  (void)s;
+  assert(s.ok());
+}
+
+bool InvertedIndex::ResolvePhrase(std::string_view phrase,
+                                  std::vector<uint32_t>* tids,
+                                  size_t* rarest) const {
+  std::vector<std::string> terms = TokenizeToStrings(phrase);
+  if (terms.empty()) return false;
+  tids->clear();
+  tids->reserve(terms.size());
+  for (const std::string& t : terms) {
+    uint32_t tid = LookupTerm(t);
+    if (tid == kInvalidTid) return false;
+    tids->push_back(tid);
+  }
+  *rarest = 0;
+  for (size_t i = 1; i < tids->size(); ++i) {
+    size_t df_i = post_offset_[(*tids)[i] + 1] - post_offset_[(*tids)[i]];
+    size_t df_r =
+        post_offset_[(*tids)[*rarest] + 1] - post_offset_[(*tids)[*rarest]];
+    if (df_i < df_r) *rarest = i;
+  }
+  return true;
+}
+
+namespace {
+
+/// True if the phrase window starting at rarest-occurrence `q` matches the
+/// doc's token stream. A window match at start p means every token p+t
+/// equals term t, which holds iff term t has a position at p+t (positions
+/// come from the same token stream) — so witnesses are exactly the legacy
+/// ones.
+inline bool WindowMatches(const uint32_t* toks, uint32_t len, uint32_t q,
+                          size_t rarest, const std::vector<uint32_t>& tids) {
+  if (q < rarest) return false;
+  const uint32_t p = q - static_cast<uint32_t>(rarest);
+  const uint32_t width = static_cast<uint32_t>(tids.size());
+  if (p + width > len) return false;
+  for (uint32_t t = 0; t < width; ++t) {
+    if (t == rarest) continue;  // q is a known occurrence.
+    if (toks[p + t] != tids[t]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool InvertedIndex::PhraseInDoc(uint32_t d, const std::vector<uint32_t>& tids,
+                                size_t rarest, size_t rarest_slot,
+                                std::vector<uint32_t>* pos_buf,
+                                uint32_t* num_starts) const {
+  const uint32_t* toks = tok_tid_.data() + doc_tok_offset_[d];
+  const uint32_t len = doc_len_[d];
+  const uint32_t tf = post_tf_[rarest_slot];
+  const bool first_hits =
+      WindowMatches(toks, len, pos_first_[rarest_slot], rarest, tids);
+
+  if (num_starts == nullptr) {
+    // Existence only: the stored first position answers most docs without
+    // touching the compressed pool.
+    if (first_hits) return true;
+    if (tf == 1) return false;
+    DecodePositions(rarest_slot, pos_buf);
+    for (size_t i = 1; i < pos_buf->size(); ++i) {
+      if (WindowMatches(toks, len, (*pos_buf)[i], rarest, tids)) return true;
+    }
+    return false;
+  }
+
+  uint32_t starts = 0;
+  if (tf == 1) {
+    starts = first_hits ? 1 : 0;
+  } else {
+    DecodePositions(rarest_slot, pos_buf);
+    for (uint32_t q : *pos_buf) {
+      if (WindowMatches(toks, len, q, rarest, tids)) ++starts;
+    }
+  }
+  *num_starts = starts;
+  return starts > 0;
 }
 
 uint64_t InvertedIndex::PhraseResultCount(std::string_view phrase) const {
-  return PhraseSearch(phrase, docs_.size() + 1).size();
+  assert(finalized_);
+  std::vector<uint32_t> tids;
+  size_t rarest = 0;
+  if (!ResolvePhrase(phrase, &tids, &rarest)) return 0;
+  // Single-term phrase: every posting slot is a match.
+  if (tids.size() == 1) {
+    return post_offset_[tids[0] + 1] - post_offset_[tids[0]];
+  }
+
+  std::vector<uint32_t> pos_buf;
+  uint64_t count = 0;
+  const size_t rb = post_offset_[tids[rarest]];
+  const size_t re = post_offset_[tids[rarest] + 1];
+  for (size_t seed = rb; seed < re; ++seed) {
+    if (PhraseInDoc(post_doc_[seed], tids, rarest, seed, &pos_buf, nullptr)) {
+      ++count;
+    }
+  }
+  return count;
 }
 
 std::vector<SearchResult> InvertedIndex::PhraseSearch(std::string_view phrase,
                                                       size_t k) const {
   assert(finalized_);
-  std::vector<std::string> terms = TokenizeToStrings(phrase);
-  std::vector<SearchResult> results;
-  if (terms.empty()) return results;
-
-  // Gather posting lists; bail if any term is absent.
-  std::vector<const std::vector<Posting>*> lists;
-  for (const std::string& t : terms) {
-    auto it = postings_.find(t);
-    if (it == postings_.end()) return results;
-    lists.push_back(&it->second);
-  }
-  // Intersect by doc via the rarest list.
+  std::vector<uint32_t> tids;
   size_t rarest = 0;
-  for (size_t i = 1; i < lists.size(); ++i) {
-    if (lists[i]->size() < lists[rarest]->size()) rarest = i;
-  }
+  if (!ResolvePhrase(phrase, &tids, &rarest)) return {};
+
   const double n = static_cast<double>(docs_.size());
-  for (const Posting& seed : *lists[rarest]) {
-    uint32_t d = seed.doc_index;
-    std::vector<const Posting*> in_doc(lists.size(), nullptr);
-    bool all = true;
-    for (size_t i = 0; i < lists.size(); ++i) {
-      const auto& plist = *lists[i];
-      auto it = std::lower_bound(
-          plist.begin(), plist.end(), d,
-          [](const Posting& p, uint32_t doc) { return p.doc_index < doc; });
-      if (it == plist.end() || it->doc_index != d) {
-        all = false;
-        break;
-      }
-      in_doc[i] = &*it;
+  const size_t rb = post_offset_[tids[rarest]];
+  const size_t re = post_offset_[tids[rarest] + 1];
+  const double dfr = static_cast<double>(re - rb);
+  // Loop-invariant in the legacy code; identical expression, same bits.
+  const double idf = std::log(1.0 + (n - dfr + 0.5) / (dfr + 0.5));
+
+  TopKHeap heap(k);
+  std::vector<uint32_t> pos_buf;
+  for (size_t seed = rb; seed < re; ++seed) {
+    uint32_t d = post_doc_[seed];
+    uint32_t starts = 0;
+    if (tids.size() == 1) {
+      starts = post_tf_[seed];  // Every occurrence is a phrase start.
+    } else if (!PhraseInDoc(d, tids, rarest, seed, &pos_buf, &starts)) {
+      continue;
     }
-    if (!all) continue;
-    std::vector<uint32_t> starts = PhrasePositions(in_doc, d);
-    if (starts.empty()) continue;
-    // Score: phrase tf * idf of the rarest term, normalized by length.
-    double idf = std::log(
-        1.0 + (n - lists[rarest]->size() + 0.5) / (lists[rarest]->size() + 0.5));
-    double dl = static_cast<double>(docs_[d].tokens.size());
-    double score = idf * static_cast<double>(starts.size()) /
-                   (1.0 + 0.002 * dl);
-    results.push_back({docs_[d].id, score});
+    double dl = static_cast<double>(doc_len_[d]);
+    double score =
+        idf * static_cast<double>(starts) / (1.0 + 0.002 * dl);
+    heap.Push({docs_[d].id, score});
   }
-  std::sort(results.begin(), results.end(),
-            [](const SearchResult& a, const SearchResult& b) {
-              if (a.score != b.score) return a.score > b.score;
-              return a.doc < b.doc;
-            });
-  if (results.size() > k) results.resize(k);
-  return results;
+  return heap.Take();
 }
 
-const InvertedIndex::StoredDoc* InvertedIndex::FindDoc(DocId id) const {
+int32_t InvertedIndex::FindDocIndex(DocId id) const {
   auto it = doc_index_.find(id);
-  return it == doc_index_.end() ? nullptr : &docs_[it->second];
+  return it == doc_index_.end() ? -1 : static_cast<int32_t>(it->second);
 }
 
 const std::string& InvertedIndex::DocText(DocId doc) const {
   static const std::string* const kEmpty = new std::string();
-  const StoredDoc* d = FindDoc(doc);
-  return d == nullptr ? *kEmpty : d->text;
+  int32_t d = FindDocIndex(doc);
+  return d < 0 ? *kEmpty : docs_[static_cast<size_t>(d)].text;
 }
 
 std::string InvertedIndex::Snippet(DocId doc, std::string_view query,
                                    size_t context_tokens) const {
-  const StoredDoc* d = FindDoc(doc);
-  if (d == nullptr || d->tokens.empty()) return "";
+  int32_t di = FindDocIndex(doc);
+  if (di < 0) return "";
+  const size_t d = static_cast<size_t>(di);
+  const size_t tok_begin = doc_tok_offset_[d];
+  const size_t num_tokens = doc_tok_offset_[d + 1] - tok_begin;
+  if (num_tokens == 0) return "";
+  const uint32_t* tids = tok_tid_.data() + tok_begin;
+
+  // Query tokens as term ids; out-of-vocabulary terms get the invalid id,
+  // which matches no document token (every document token is interned).
   std::vector<std::string> terms = TokenizeToStrings(query);
-  std::unordered_set<std::string> term_set(terms.begin(), terms.end());
+  std::vector<uint32_t> qtids;
+  qtids.reserve(terms.size());
+  for (const std::string& t : terms) qtids.push_back(LookupTerm(t));
 
   // Prefer the first contiguous phrase hit; fall back to the first hit of
   // any query term; fall back to the document head.
   size_t center = 0;
   bool found = false;
-  if (!terms.empty()) {
-    for (size_t i = 0; i + terms.size() <= d->tokens.size() && !found; ++i) {
+  if (!qtids.empty()) {
+    for (size_t i = 0; i + qtids.size() <= num_tokens && !found; ++i) {
       bool match = true;
-      for (size_t j = 0; j < terms.size(); ++j) {
-        if (d->tokens[i + j] != terms[j]) {
+      for (size_t j = 0; j < qtids.size(); ++j) {
+        if (tids[i + j] != qtids[j]) {
           match = false;
           break;
         }
       }
       if (match) {
-        center = i + terms.size() / 2;
+        center = i + qtids.size() / 2;
         found = true;
       }
     }
-    for (size_t i = 0; i < d->tokens.size() && !found; ++i) {
-      if (term_set.count(d->tokens[i]) > 0) {
-        center = i;
-        found = true;
+    for (size_t i = 0; i < num_tokens && !found; ++i) {
+      for (uint32_t q : qtids) {
+        if (q != kInvalidTid && tids[i] == q) {
+          center = i;
+          found = true;
+          break;
+        }
       }
     }
   }
   size_t half = context_tokens / 2;
   size_t lo = center > half ? center - half : 0;
-  size_t hi = std::min(d->tokens.size(), lo + context_tokens);
-  if (hi - lo < context_tokens && hi == d->tokens.size()) {
+  size_t hi = std::min(num_tokens, lo + context_tokens);
+  if (hi - lo < context_tokens && hi == num_tokens) {
     lo = hi > context_tokens ? hi - context_tokens : 0;
   }
-  size_t byte_lo = d->token_begin[lo];
-  size_t byte_hi = d->token_end[hi - 1];
-  std::string out = d->text.substr(byte_lo, byte_hi - byte_lo);
-  // Normalize whitespace so snippets are single-line.
+  size_t byte_lo = tok_begin_[tok_begin + lo];
+  size_t byte_hi = tok_end_[tok_begin + hi - 1];
+  std::string out = docs_[d].text.substr(byte_lo, byte_hi - byte_lo);
+  // Normalize whitespace (including CR, so CRLF text stays single-line).
   for (char& c : out) {
-    if (c == '\n' || c == '\t') c = ' ';
+    if (c == '\n' || c == '\t' || c == '\r') c = ' ';
   }
   return out;
+}
+
+size_t InvertedIndex::MemoryBytes() const {
+  size_t bytes = sizeof(*this);
+  for (const StoredDoc& d : docs_) {
+    bytes += sizeof(StoredDoc) + d.text.capacity();
+  }
+  bytes += doc_index_.bucket_count() * sizeof(void*);
+  bytes += doc_index_.size() *
+           (sizeof(std::pair<DocId, uint32_t>) + 2 * sizeof(void*));
+  bytes += doc_tok_offset_.capacity() * sizeof(size_t);
+  bytes += tok_tid_.capacity() * sizeof(uint32_t);
+  bytes += tok_begin_.capacity() * sizeof(uint32_t);
+  bytes += tok_end_.capacity() * sizeof(uint32_t);
+  bytes += term_ids_.bucket_count() * sizeof(void*);
+  for (const auto& [term, tid] : term_ids_) {
+    (void)tid;
+    bytes += sizeof(std::pair<std::string, uint32_t>) + 2 * sizeof(void*);
+    if (term.capacity() > sizeof(std::string)) bytes += term.capacity();
+  }
+  bytes += post_offset_.capacity() * sizeof(size_t);
+  bytes += post_doc_.capacity() * sizeof(uint32_t);
+  bytes += post_tf_.capacity() * sizeof(uint32_t);
+  bytes += pos_offset_.capacity() * sizeof(uint64_t);
+  bytes += pos_len_.capacity() * sizeof(uint32_t);
+  bytes += pos_first_.capacity() * sizeof(uint32_t);
+  bytes += pos_pool_.capacity();
+  bytes += doc_len_.capacity() * sizeof(uint32_t);
+  bytes += default_norm_.capacity() * sizeof(double);
+  return bytes;
 }
 
 }  // namespace ckr

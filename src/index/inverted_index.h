@@ -4,6 +4,21 @@
 //  * feature (4) searchengine_phrase = number of results of a phrase query;
 //  * relevant-keyword mining reads the snippets of the top-100 results;
 //  * Prisma runs pseudo-relevance feedback over the top-50 results.
+//
+// Layout (PISA-style, frozen by Finalize()):
+//  * terms are interned into dense ids at Add() time; lookups are
+//    heterogeneous (string_view, no temporary std::string);
+//  * postings live in CSR flat arrays — per-term slot ranges over
+//    contiguous (doc, tf) columns, with each slot's token positions
+//    delta-encoded through the framework's Golomb coder into one shared
+//    byte pool (decoded only when a phrase check actually needs them);
+//  * per-doc token-id streams + byte offsets (for phrase snippets) are
+//    CSR too — no per-document string vectors survive Finalize();
+//  * per-doc lengths and the default-parameter BM25 norm are precomputed.
+// Search/PhraseSearch select the top k through a bounded heap instead of
+// sorting the full result set, and the *ResultCount entry points count
+// without materializing results at all. All results are bit-identical to
+// LegacyInvertedIndex (the equivalence suite enforces this).
 #ifndef CKR_INDEX_INVERTED_INDEX_H_
 #define CKR_INDEX_INVERTED_INDEX_H_
 
@@ -13,6 +28,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/status.h"
 #include "corpus/document.h"
 
@@ -30,8 +46,7 @@ struct Bm25Params {
   double b = 0.75;
 };
 
-/// Immutable after Finalize(). Stores normalized token streams per document
-/// for phrase matching and snippeting.
+/// Immutable after Finalize(); thread-safe for concurrent reads.
 class InvertedIndex {
  public:
   InvertedIndex() = default;
@@ -44,17 +59,23 @@ class InvertedIndex {
 
   bool finalized() const { return finalized_; }
   size_t NumDocs() const { return docs_.size(); }
-  size_t NumTerms() const { return postings_.size(); }
+  size_t NumTerms() const { return term_ids_.size(); }
 
-  /// Document frequency of a term.
+  /// Document frequency of a term (heterogeneous lookup — no allocation).
   uint32_t DocFreq(std::string_view term) const;
 
   /// BM25 disjunctive retrieval over the query's normalized terms.
   std::vector<SearchResult> Search(std::string_view query, size_t k,
                                    const Bm25Params& params = {}) const;
 
+  /// Number of documents matching the disjunctive query. Count-only fast
+  /// path: marks the posting union in a doc bitmap, no scoring/sorting.
+  uint64_t RegularResultCount(std::string_view query) const;
+
   /// Number of documents containing the phrase contiguously — the paper's
-  /// "number of result pages returned" for a phrase query.
+  /// "number of result pages returned" for a phrase query. Count-only:
+  /// intersects doc lists and stops at the first adjacency witness per
+  /// document instead of materializing a ranked result set.
   uint64_t PhraseResultCount(std::string_view phrase) const;
 
   /// Ranked documents containing the phrase contiguously (BM25 over the
@@ -70,27 +91,71 @@ class InvertedIndex {
   /// Raw text of an indexed document.
   const std::string& DocText(DocId doc) const;
 
+  /// Approximate heap footprint of the index structures — the memory row
+  /// of bench_offline_perf.
+  size_t MemoryBytes() const;
+
+  /// Bytes of the Golomb-compressed positions pool (diagnostics).
+  size_t PositionPoolBytes() const { return pos_pool_.size(); }
+
  private:
-  struct Posting {
-    uint32_t doc_index = 0;          ///< Index into docs_.
-    std::vector<uint32_t> positions; ///< Token positions.
-  };
+  static constexpr uint32_t kInvalidTid = 0xffffffffu;
+
   struct StoredDoc {
     DocId id = 0;
     std::string text;
-    std::vector<std::string> tokens;      ///< Normalized tokens.
-    std::vector<uint32_t> token_begin;    ///< Byte offset per token.
-    std::vector<uint32_t> token_end;
   };
 
-  const StoredDoc* FindDoc(DocId id) const;
-  /// Positions where the phrase's tokens occur contiguously in `doc`.
-  static std::vector<uint32_t> PhrasePositions(
-      const std::vector<const Posting*>& term_postings, size_t doc_index);
+  /// Interns `token`, assigning the next dense id on first sight.
+  uint32_t InternTerm(std::string_view token);
+  /// Dense id of a term, or kInvalidTid if unseen.
+  uint32_t LookupTerm(std::string_view term) const;
 
+  int32_t FindDocIndex(DocId id) const;
+  /// Decodes the positions blob of posting slot `slot` into `*out`.
+  void DecodePositions(size_t slot, std::vector<uint32_t>* out) const;
+  /// Resolves a phrase to term ids and per-term posting slot ranges;
+  /// returns false if the phrase is empty or any term is unseen.
+  bool ResolvePhrase(std::string_view phrase, std::vector<uint32_t>* tids,
+                     size_t* rarest) const;
+  /// True if doc `d` contains the phrase starting at any position. Decodes
+  /// only the rarest term's position list (slot `rarest_slot`, reusable
+  /// buffer `pos_buf`) and verifies each candidate window directly against
+  /// the doc's token-id stream — no other position list is touched. With
+  /// `num_starts` all starts are counted; without it the first witness
+  /// returns early.
+  bool PhraseInDoc(uint32_t d, const std::vector<uint32_t>& tids,
+                   size_t rarest, size_t rarest_slot,
+                   std::vector<uint32_t>* pos_buf,
+                   uint32_t* num_starts) const;
+
+  // ---- Documents (CSR token streams; built during Add) ----
   std::vector<StoredDoc> docs_;
   std::unordered_map<DocId, uint32_t> doc_index_;
-  std::unordered_map<std::string, std::vector<Posting>> postings_;
+  std::vector<size_t> doc_tok_offset_;   ///< docs+1 offsets into pools below.
+  std::vector<uint32_t> tok_tid_;        ///< Token term ids, all docs.
+  std::vector<uint32_t> tok_begin_;      ///< Byte offset per token.
+  std::vector<uint32_t> tok_end_;
+
+  // ---- Term dictionary ----
+  std::unordered_map<std::string, uint32_t, StringViewHash, std::equal_to<>>
+      term_ids_;
+
+  // ---- Postings (CSR; built by Finalize) ----
+  std::vector<size_t> post_offset_;      ///< terms+1 slot offsets.
+  std::vector<uint32_t> post_doc_;       ///< Doc index per slot.
+  std::vector<uint32_t> post_tf_;        ///< Term frequency per slot.
+  std::vector<uint64_t> pos_offset_;     ///< Positions blob start per slot.
+  std::vector<uint32_t> pos_len_;        ///< Positions blob length per slot.
+  std::vector<uint32_t> pos_first_;      ///< First position per slot (phrase
+                                         ///< checks skip the decode when
+                                         ///< tf == 1 or the first occurrence
+                                         ///< is already a witness).
+  std::vector<uint8_t> pos_pool_;        ///< Golomb-coded positions.
+
+  // ---- Collection statistics ----
+  std::vector<uint32_t> doc_len_;        ///< Tokens per doc.
+  std::vector<double> default_norm_;     ///< k1*(1-b+b*dl/avg), default params.
   double avg_doc_len_ = 0.0;
   bool finalized_ = false;
 };

@@ -33,7 +33,7 @@ double CtrTracker::SystemCtr() const {
 }
 
 double CtrTracker::SmoothedCtr(std::string_view key) const {
-  auto it = stats_.find(std::string(key));
+  auto it = stats_.find(key);
   double system = SystemCtr();
   if (it == stats_.end()) return system;
   const ConceptStats& s = it->second;
@@ -44,7 +44,7 @@ double CtrTracker::SmoothedCtr(std::string_view key) const {
 }
 
 double CtrTracker::Adjustment(std::string_view key) const {
-  auto it = stats_.find(std::string(key));
+  auto it = stats_.find(key);
   if (it == stats_.end()) return 0.0;
   double ratio = SmoothedCtr(key) / std::max(1e-12, SystemCtr());
   double log_ratio = std::log(std::max(1e-12, ratio));
@@ -63,7 +63,7 @@ double CtrTracker::SpikeStrength(const ConceptStats& s) const {
 }
 
 bool CtrTracker::IsSpiking(std::string_view key) const {
-  auto it = stats_.find(std::string(key));
+  auto it = stats_.find(key);
   if (it == stats_.end()) return false;
   return SpikeStrength(it->second) >= config_.spike_ratio;
 }

@@ -23,6 +23,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/hash.h"
+
 namespace ckr {
 
 /// Tracker behaviour.
@@ -89,7 +91,10 @@ class CtrTracker {
   double SpikeStrength(const ConceptStats& s) const;
 
   CtrTrackerConfig config_;
-  std::unordered_map<std::string, ConceptStats> stats_;
+  // Transparent hasher: lookups run per annotation at serving time.
+  std::unordered_map<std::string, ConceptStats, StringViewHash,
+                     std::equal_to<>>
+      stats_;
   double total_views_ = 0;
   double total_clicks_ = 0;
 };

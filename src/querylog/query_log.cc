@@ -93,7 +93,7 @@ uint64_t QueryLog::PhraseContainedFreq(std::string_view phrase) const {
 }
 
 uint64_t QueryLog::TermFreq(std::string_view term) const {
-  auto it = term_freq_.find(std::string(term));
+  auto it = term_freq_.find(term);
   return it == term_freq_.end() ? 0 : it->second;
 }
 
@@ -120,7 +120,7 @@ const std::vector<uint32_t>& QueryLog::QueriesWithTerm(
     std::string_view term) const {
   static const std::vector<uint32_t>* const kEmpty =
       new std::vector<uint32_t>();
-  auto it = term_to_queries_.find(std::string(term));
+  auto it = term_to_queries_.find(term);
   return it == term_to_queries_.end() ? *kEmpty : it->second;
 }
 

@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/status.h"
 
 namespace ckr {
@@ -74,9 +75,14 @@ class QueryLog {
   std::vector<QueryEntry> entries_;
   std::unordered_map<std::string, uint32_t> query_index_;
   std::unordered_map<std::string, uint64_t> subphrase_freq_;
-  std::unordered_map<std::string, uint64_t> term_freq_;
+  // Transparent hashers: TermFreq/QueriesWithTerm run per candidate term
+  // in the offline fan-out, so lookups must not allocate a temporary.
+  std::unordered_map<std::string, uint64_t, StringViewHash, std::equal_to<>>
+      term_freq_;
   std::unordered_map<std::string, uint64_t> pair_freq_;
-  std::unordered_map<std::string, std::vector<uint32_t>> term_to_queries_;
+  std::unordered_map<std::string, std::vector<uint32_t>, StringViewHash,
+                     std::equal_to<>>
+      term_to_queries_;
   uint64_t total_submissions_ = 0;
   bool finalized_ = false;
 };

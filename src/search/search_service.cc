@@ -34,7 +34,9 @@ uint64_t SearchService::PhraseResultCount(std::string_view concept_phrase) const
 }
 
 uint64_t SearchService::RegularResultCount(std::string_view concept_phrase) const {
-  return index_.Search(concept_phrase, index_.NumDocs() + 1).size();
+  // Count-only: the index marks the posting union in a doc bitmap instead
+  // of scoring, sorting and materializing every matching document.
+  return index_.RegularResultCount(concept_phrase);
 }
 
 std::vector<std::string> SearchService::PrismaFeedbackTerms(

@@ -19,7 +19,7 @@ void UnitDictionary::Add(UnitInfo info) {
 }
 
 const UnitInfo* UnitDictionary::Find(std::string_view phrase) const {
-  auto it = index_.find(std::string(phrase));
+  auto it = index_.find(phrase);
   return it == index_.end() ? nullptr : &units_[it->second];
 }
 

@@ -22,6 +22,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/status.h"
 #include "querylog/query_log.h"
 
@@ -56,7 +57,9 @@ class UnitDictionary {
 
  private:
   std::vector<UnitInfo> units_;
-  std::unordered_map<std::string, size_t> index_;
+  // Transparent hasher: UnitScore is probed per detected phrase.
+  std::unordered_map<std::string, size_t, StringViewHash, std::equal_to<>>
+      index_;
 };
 
 /// Extraction thresholds. Defaults suit the default world scale (~150k

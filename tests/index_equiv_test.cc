@@ -1,0 +1,200 @@
+// Golden equivalence suite: the flat term-id index must be bit-identical
+// to LegacyInvertedIndex on every public entry point, over a generated
+// corpus large enough to exercise multi-block postings, phrase adjacency,
+// and snippet windowing.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "corpus/doc_generator.h"
+#include "corpus/document.h"
+#include "corpus/world.h"
+#include "index/inverted_index.h"
+#include "index/legacy_index.h"
+
+namespace ckr {
+namespace {
+
+class IndexEquivalenceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    WorldConfig config;
+    config.num_topics = 8;
+    config.background_vocab = 900;
+    config.words_per_topic = 60;
+    config.num_named_entities = 120;
+    config.num_concepts = 80;
+    config.num_generic_concepts = 12;
+    config.num_web_docs = 300;
+    config.num_news_stories = 40;
+    config.num_answers_snippets = 30;
+    auto world = World::Create(config);
+    ASSERT_TRUE(world.ok()) << world.status().message();
+    world_ = world.value().release();
+
+    DocGenerator gen(*world_);
+    corpus_ = new std::vector<Document>(
+        gen.GenerateCorpus(Document::Kind::kWeb, config.num_web_docs));
+
+    legacy_ = new LegacyInvertedIndex();
+    flat_ = new InvertedIndex();
+    for (const Document& doc : *corpus_) {
+      legacy_->Add(doc);
+      flat_->Add(doc);
+    }
+    legacy_->Finalize();
+    flat_->Finalize();
+  }
+
+  static void TearDownTestSuite() {
+    delete flat_;
+    delete legacy_;
+    delete corpus_;
+    delete world_;
+    flat_ = nullptr;
+    legacy_ = nullptr;
+    corpus_ = nullptr;
+    world_ = nullptr;
+  }
+
+  /// Queries covering single terms, multi-term disjunctions, entities
+  /// (multi-token phrases that actually occur), and unseen terms.
+  static std::vector<std::string> Queries() {
+    std::vector<std::string> queries;
+    for (size_t i = 0; i < world_->NumEntities(); i += 7) {
+      queries.push_back(world_->entity(i).key);
+    }
+    queries.push_back("the");
+    queries.push_back("zzz unseen qqq");
+    queries.push_back("");
+    // Mixed seen/unseen.
+    queries.push_back(world_->entity(0).key + " zzzunseen");
+    return queries;
+  }
+
+  static void ExpectSameResults(const std::vector<SearchResult>& a,
+                                const std::vector<SearchResult>& b,
+                                const std::string& query) {
+    ASSERT_EQ(a.size(), b.size()) << "query: " << query;
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].doc, b[i].doc) << "query: " << query << " rank " << i;
+      // Bit-identical, not approximately equal.
+      EXPECT_EQ(a[i].score, b[i].score) << "query: " << query << " rank " << i;
+    }
+  }
+
+  static World* world_;
+  static std::vector<Document>* corpus_;
+  static LegacyInvertedIndex* legacy_;
+  static InvertedIndex* flat_;
+};
+
+World* IndexEquivalenceTest::world_ = nullptr;
+std::vector<Document>* IndexEquivalenceTest::corpus_ = nullptr;
+LegacyInvertedIndex* IndexEquivalenceTest::legacy_ = nullptr;
+InvertedIndex* IndexEquivalenceTest::flat_ = nullptr;
+
+TEST_F(IndexEquivalenceTest, CollectionStats) {
+  EXPECT_EQ(flat_->NumDocs(), legacy_->NumDocs());
+  EXPECT_EQ(flat_->NumTerms(), legacy_->NumTerms());
+}
+
+TEST_F(IndexEquivalenceTest, DocFreq) {
+  for (const std::string& q : Queries()) {
+    EXPECT_EQ(flat_->DocFreq(q), legacy_->DocFreq(q)) << q;
+  }
+  EXPECT_EQ(flat_->DocFreq("absent"), 0u);
+}
+
+TEST_F(IndexEquivalenceTest, SearchTopK) {
+  for (const std::string& q : Queries()) {
+    for (size_t k : {1u, 10u, 100u, 100000u}) {
+      ExpectSameResults(flat_->Search(q, k), legacy_->Search(q, k), q);
+    }
+  }
+}
+
+TEST_F(IndexEquivalenceTest, SearchNonDefaultParams) {
+  Bm25Params params;
+  params.k1 = 0.9;
+  params.b = 0.4;
+  for (const std::string& q : Queries()) {
+    ExpectSameResults(flat_->Search(q, 50, params),
+                      legacy_->Search(q, 50, params), q);
+  }
+}
+
+TEST_F(IndexEquivalenceTest, PhraseSearchTopK) {
+  for (const std::string& q : Queries()) {
+    for (size_t k : {1u, 10u, 100000u}) {
+      ExpectSameResults(flat_->PhraseSearch(q, k), legacy_->PhraseSearch(q, k),
+                        q);
+    }
+  }
+}
+
+TEST_F(IndexEquivalenceTest, PhraseResultCount) {
+  for (const std::string& q : Queries()) {
+    EXPECT_EQ(flat_->PhraseResultCount(q), legacy_->PhraseResultCount(q)) << q;
+  }
+}
+
+TEST_F(IndexEquivalenceTest, RegularResultCount) {
+  for (const std::string& q : Queries()) {
+    uint64_t want = legacy_->RegularResultCount(q);
+    EXPECT_EQ(flat_->RegularResultCount(q), want) << q;
+    // The count-only path must agree with full materialization too.
+    EXPECT_EQ(flat_->RegularResultCount(q),
+              legacy_->Search(q, legacy_->NumDocs() + 1).size())
+        << q;
+  }
+}
+
+TEST_F(IndexEquivalenceTest, Snippets) {
+  for (const std::string& q : Queries()) {
+    if (q.empty()) continue;
+    auto results = legacy_->Search(q, 5);
+    for (const SearchResult& r : results) {
+      EXPECT_EQ(flat_->Snippet(r.doc, q), legacy_->Snippet(r.doc, q)) << q;
+      EXPECT_EQ(flat_->Snippet(r.doc, q, 8), legacy_->Snippet(r.doc, q, 8))
+          << q;
+    }
+  }
+}
+
+TEST_F(IndexEquivalenceTest, DocText) {
+  for (const Document& doc : *corpus_) {
+    EXPECT_EQ(flat_->DocText(doc.id), legacy_->DocText(doc.id));
+  }
+}
+
+TEST_F(IndexEquivalenceTest, MemoryFootprintShrinks) {
+  // The flat layout must not be larger than the node-based legacy layout.
+  EXPECT_LT(flat_->MemoryBytes(), legacy_->MemoryBytes());
+}
+
+// CRLF text: both indexes must normalize \r (as well as \n and \t) to
+// spaces so snippets stay single-line and byte-identical.
+TEST(IndexSnippetNormalizationTest, CarriageReturnsBecomeSpaces) {
+  Document doc;
+  doc.id = 7;
+  doc.text = "alpha beta\r\ngamma delta\ttail\rend";
+
+  LegacyInvertedIndex legacy;
+  InvertedIndex flat;
+  legacy.Add(doc);
+  flat.Add(doc);
+  legacy.Finalize();
+  flat.Finalize();
+
+  std::string legacy_snip = legacy.Snippet(7, "gamma", 4);
+  std::string flat_snip = flat.Snippet(7, "gamma", 4);
+  EXPECT_EQ(flat_snip, legacy_snip);
+  EXPECT_EQ(legacy_snip.find('\r'), std::string::npos);
+  EXPECT_EQ(legacy_snip.find('\n'), std::string::npos);
+  EXPECT_EQ(legacy_snip.find('\t'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ckr
