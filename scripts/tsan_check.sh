@@ -10,6 +10,7 @@ cd "$(dirname "$0")/.."
 
 cmake --preset tsan
 cmake --build --preset tsan -j "$(nproc)" --target \
-  common_test detect_test framework_test batch_test offline_parallel_test
+  common_test detect_test framework_test batch_test offline_parallel_test \
+  training_parallel_test
 ctest --test-dir build-tsan --output-on-failure "$@" \
   -R '(Batch|Parallel|Detector|AhoCorasick|Runtime|TidTable|QuantizedStore|PackedRelevance)'

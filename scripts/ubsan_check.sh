@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Builds the training & evaluation suites under UndefinedBehaviorSanitizer
+# and runs them. The flat trainer does manual pointer arithmetic over the
+# pre-transformed matrix and the pair-difference rows, and the v2 model
+# format round-trips raw little-endian doubles, so a clean run here is the
+# UB gate for the contiguous training engine.
+#
+# Usage: scripts/ubsan_check.sh [extra ctest args]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake --preset ubsan
+cmake --build --preset ubsan -j "$(nproc)" --target \
+  ranksvm_test training_parallel_test eval_test core_test
+ctest --test-dir build-ubsan --output-on-failure "$@" \
+  -R '(RankSvm|TrainingParallel|Bootstrap|Core)'

@@ -1,4 +1,4 @@
-#include "framework/binary_io.h"
+#include "common/binary_io.h"
 
 #include <cstring>
 

@@ -1,0 +1,53 @@
+#include "common/log.h"
+
+#include <cstdio>
+#include <mutex>
+#include <utility>
+
+namespace ckr {
+
+namespace {
+
+std::mutex& SinkMutex() {
+  static std::mutex* m = new std::mutex();
+  return *m;
+}
+
+LogSink& Sink() {
+  static LogSink* sink = new LogSink();
+  return *sink;
+}
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void LogMessage(LogLevel level, std::string_view message) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  const LogSink& sink = Sink();
+  if (sink) {
+    sink(level, message);
+    return;
+  }
+  std::fprintf(stderr, "[ckr %s] %.*s\n", LevelName(level),
+               static_cast<int>(message.size()), message.data());
+}
+
+LogSink SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  LogSink previous = std::move(Sink());
+  Sink() = std::move(sink);
+  return previous;
+}
+
+}  // namespace ckr

@@ -1,0 +1,43 @@
+// Minimal process-wide logging for the library: a leveled message sink
+// that defaults to stderr and can be replaced (e.g. by tests that assert
+// on warning paths, or by embedders that route into their own logger).
+//
+// This is deliberately tiny — the library logs rarely and only for
+// conditions that would otherwise fail silently (e.g. a feature-dimension
+// mismatch at scoring time, or a training-pair cap truncating data).
+#ifndef CKR_COMMON_LOG_H_
+#define CKR_COMMON_LOG_H_
+
+#include <functional>
+#include <string_view>
+
+namespace ckr {
+
+enum class LogLevel { kInfo = 0, kWarn = 1, kError = 2 };
+
+/// Receives every message emitted through LogMessage.
+using LogSink = std::function<void(LogLevel, std::string_view)>;
+
+/// Emits one message to the installed sink (stderr by default).
+/// Thread-safe; messages from concurrent threads are not interleaved.
+void LogMessage(LogLevel level, std::string_view message);
+
+inline void LogInfo(std::string_view message) {
+  LogMessage(LogLevel::kInfo, message);
+}
+inline void LogWarn(std::string_view message) {
+  LogMessage(LogLevel::kWarn, message);
+}
+inline void LogError(std::string_view message) {
+  LogMessage(LogLevel::kError, message);
+}
+
+/// Replaces the process-wide sink; an empty sink restores the stderr
+/// default. Returns the previously installed sink (empty for the
+/// default). Intended for tests and embedders; calls are serialized with
+/// in-flight LogMessage calls.
+LogSink SetLogSink(LogSink sink);
+
+}  // namespace ckr
+
+#endif  // CKR_COMMON_LOG_H_

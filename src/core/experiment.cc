@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 
 namespace ckr {
 
-ExperimentRunner::ExperimentRunner(const ClickDataset& dataset)
+ExperimentRunner::ExperimentRunner(const ClickDataset& dataset,
+                                   unsigned num_threads)
     : dataset_(dataset),
+      num_threads_(num_threads == 0 ? DefaultWorkerCount() : num_threads),
       window_groups_(dataset.GroupByWindow()),
       buckets_(dataset.AllCtrs()) {}
 
@@ -55,7 +58,7 @@ EvalResult ExperimentRunner::EvaluateScores(
   result.weighted_error_rate = weighted.Rate();
   result.weighted_error_ci =
       BootstrapRatioCi(window_masses, /*resamples=*/2000,
-                       /*confidence=*/0.95, /*seed=*/8675309);
+                       /*confidence=*/0.95, /*seed=*/8675309, num_threads_);
   result.error_rate = plain.Rate();
   result.windows = window_groups_.size();
   for (size_t k = 0; k < 3; ++k) {
@@ -99,8 +102,15 @@ StatusOr<EvalResult> ExperimentRunner::EvaluateModelCV(
   if (folds < 2) {
     return Status::FailedPrecondition("dataset has fewer than 2 folds");
   }
+  // Folds are independent: each one trains on the other folds' stories
+  // and writes scores only for its own held-out instances, so the fan-out
+  // below is bit-identical for any worker count. Fold trainers keep the
+  // spec's own num_threads (default 1) — the fold level already provides
+  // the parallelism.
   std::vector<double> scores(dataset_.instances.size(), 0.0);
-  for (int fold = 0; fold < folds; ++fold) {
+  std::vector<Status> fold_status(folds, Status::OK());
+  ParallelFor(static_cast<size_t>(folds), num_threads_, [&](size_t f) {
+    const int fold = static_cast<int>(f);
     std::vector<RankingInstance> train;
     for (const WindowInstance& inst : dataset_.instances) {
       if (dataset_.story_fold[inst.story_index] == fold) continue;
@@ -112,7 +122,10 @@ StatusOr<EvalResult> ExperimentRunner::EvaluateModelCV(
     }
     RankSvmTrainer trainer(spec.svm);
     auto model_or = trainer.Train(train);
-    if (!model_or.ok()) return model_or.status();
+    if (!model_or.ok()) {
+      fold_status[f] = model_or.status();
+      return;
+    }
     const RankSvmModel& model = *model_or;
     for (size_t i = 0; i < dataset_.instances.size(); ++i) {
       const WindowInstance& inst = dataset_.instances[i];
@@ -125,6 +138,9 @@ StatusOr<EvalResult> ExperimentRunner::EvaluateModelCV(
       }
       scores[i] = s;
     }
+  });
+  for (const Status& status : fold_status) {
+    if (!status.ok()) return status;
   }
   return EvaluateScores(scores);
 }

@@ -41,9 +41,16 @@ struct ModelSpec {
 };
 
 /// Evaluates ranking techniques on a built dataset.
+///
+/// `num_threads` bounds the worker fan-out of the parallel legs — CV fold
+/// training (independent folds, each scoring only its own held-out
+/// instances) and the bootstrap-CI resampling (per-replicate RNGs). Every
+/// leg writes only per-item output slots, so metrics are bit-identical
+/// for any worker count; 0 means all hardware threads.
 class ExperimentRunner {
  public:
-  explicit ExperimentRunner(const ClickDataset& dataset);
+  explicit ExperimentRunner(const ClickDataset& dataset,
+                            unsigned num_threads = 0);
 
   /// Random ordering baseline (expected 50% error).
   EvalResult EvaluateRandom(uint64_t seed = 1) const;
@@ -71,6 +78,7 @@ class ExperimentRunner {
   EvalResult EvaluateScores(const std::vector<double>& scores) const;
 
   const ClickDataset& dataset_;
+  unsigned num_threads_;
   std::vector<std::vector<size_t>> window_groups_;
   CtrBucketizer buckets_;
 };

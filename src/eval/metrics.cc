@@ -6,6 +6,7 @@
 #include <numeric>
 #include <utility>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 
 namespace ckr {
@@ -92,7 +93,7 @@ double NdcgAtK(const std::vector<double>& pred, const std::vector<double>& ctr,
 
 BootstrapCi BootstrapRatioCi(
     const std::vector<std::pair<double, double>>& groups, int resamples,
-    double confidence, uint64_t seed) {
+    double confidence, uint64_t seed, unsigned num_threads) {
   BootstrapCi ci;
   if (groups.empty() || resamples <= 0) return ci;
   double num = 0, den = 0;
@@ -102,18 +103,23 @@ BootstrapCi BootstrapRatioCi(
   }
   ci.mean = den > 0 ? num / den : 0.0;
 
-  Rng rng(seed);
-  std::vector<double> stats;
-  stats.reserve(static_cast<size_t>(resamples));
-  for (int r = 0; r < resamples; ++r) {
+  // One independent RNG per replicate (seed mixed with the replicate id
+  // through the Rng's SplitMix64 seeding): replicate r's resample is a
+  // pure function of (seed, r), so the fan-out below is bit-identical
+  // for any worker count.
+  const unsigned workers =
+      num_threads == 0 ? DefaultWorkerCount() : num_threads;
+  std::vector<double> stats(static_cast<size_t>(resamples));
+  ParallelFor(stats.size(), workers, [&](size_t r) {
+    Rng rng(seed + 0x9e3779b97f4a7c15ULL * (static_cast<uint64_t>(r) + 1));
     double rn = 0, rd = 0;
     for (size_t i = 0; i < groups.size(); ++i) {
       const auto& [n, d] = groups[rng.NextBounded(groups.size())];
       rn += n;
       rd += d;
     }
-    stats.push_back(rd > 0 ? rn / rd : 0.0);
-  }
+    stats[r] = rd > 0 ? rn / rd : 0.0;
+  });
   std::sort(stats.begin(), stats.end());
   double alpha = (1.0 - confidence) / 2.0;
   auto pick = [&](double q) {

@@ -73,10 +73,12 @@ struct BootstrapCi {
 /// (error_mass, total_mass) contributions — the weighted error rate is
 /// exactly this shape with one contribution per window. `groups` holds
 /// (numerator, denominator) pairs; groups are resampled with replacement
-/// `resamples` times. Deterministic in `seed`.
+/// `resamples` times. Each replicate draws from its own seeded RNG, so
+/// the result is deterministic in `seed` and bit-identical for any
+/// `num_threads` (0 = all hardware threads).
 BootstrapCi BootstrapRatioCi(
     const std::vector<std::pair<double, double>>& groups, int resamples,
-    double confidence, uint64_t seed);
+    double confidence, uint64_t seed, unsigned num_threads = 1);
 
 }  // namespace ckr
 

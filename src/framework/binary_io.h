@@ -1,58 +1,10 @@
-// Little-endian binary serialization primitives for the runtime store
-// pack (model + TID table + quantized stores). Deliberately minimal: a
-// length-checked reader over a contiguous buffer and an append-only
-// writer; every composite format is versioned by its owner.
+// Forwarding header: the binary primitives moved to common/ so layers
+// below the framework (e.g. the ranksvm v2 model format) can use them
+// without depending on the runtime stack. Include "common/binary_io.h"
+// in new code.
 #ifndef CKR_FRAMEWORK_BINARY_IO_H_
 #define CKR_FRAMEWORK_BINARY_IO_H_
 
-#include <cstdint>
-#include <string>
-#include <string_view>
-#include <vector>
-
-namespace ckr {
-
-/// Append-only buffer writer.
-class BinaryWriter {
- public:
-  void U16(uint16_t v);
-  void U32(uint32_t v);
-  void U64(uint64_t v);
-  void F64(double v);
-  /// Length-prefixed (u32) byte string.
-  void Str(std::string_view s);
-
-  const std::string& buffer() const { return buffer_; }
-  std::string Release() { return std::move(buffer_); }
-
- private:
-  void Raw(const void* data, size_t size);
-  std::string buffer_;
-};
-
-/// Bounds-checked reader; after any over-read, ok() is false and all
-/// subsequent reads return zero values.
-class BinaryReader {
- public:
-  explicit BinaryReader(std::string_view data) : data_(data) {}
-
-  uint16_t U16();
-  uint32_t U32();
-  uint64_t U64();
-  double F64();
-  std::string Str();
-
-  bool ok() const { return ok_; }
-  /// True when the whole buffer was consumed exactly.
-  bool AtEnd() const { return ok_ && pos_ == data_.size(); }
-
- private:
-  bool Raw(void* out, size_t size);
-  std::string_view data_;
-  size_t pos_ = 0;
-  bool ok_ = true;
-};
-
-}  // namespace ckr
+#include "common/binary_io.h"  // IWYU pragma: export
 
 #endif  // CKR_FRAMEWORK_BINARY_IO_H_

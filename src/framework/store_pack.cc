@@ -20,7 +20,9 @@ std::string SerializeStorePack(const GlobalTidTable& tids,
   tids.SaveTo(&writer);
   interest.SaveTo(&writer);
   relevance.SaveTo(&writer);
-  writer.Str(model.Serialize());
+  // The compact v2 model blob; Deserialize sniffs the format, so packs
+  // written with the v1 text blob load unchanged.
+  writer.Str(model.SerializeBinary());
   return writer.Release();
 }
 

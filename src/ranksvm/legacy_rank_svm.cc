@@ -1,0 +1,165 @@
+#include "ranksvm/legacy_rank_svm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+
+namespace ckr {
+
+LegacyRankSvmTrainer::LegacyRankSvmTrainer(const RankSvmConfig& config)
+    : config_(config) {}
+
+StatusOr<RankSvmModel> LegacyRankSvmTrainer::Train(
+    const std::vector<RankingInstance>& data) const {
+  if (data.empty()) return Status::InvalidArgument("no training data");
+  const size_t dim = data[0].features.size();
+  if (dim == 0) return Status::InvalidArgument("zero-dimensional features");
+  for (const RankingInstance& inst : data) {
+    if (inst.features.size() != dim) {
+      return Status::InvalidArgument("inconsistent feature dimensions");
+    }
+  }
+
+  RankSvmModel model;
+  model.kernel_ = config_.kernel;
+
+  // Standardization fitted on the training data.
+  model.mean_.assign(dim, 0.0);
+  model.inv_sd_.assign(dim, 0.0);
+  for (const RankingInstance& inst : data) {
+    for (size_t i = 0; i < dim; ++i) model.mean_[i] += inst.features[i];
+  }
+  for (double& m : model.mean_) m /= static_cast<double>(data.size());
+  std::vector<double> var(dim, 0.0);
+  for (const RankingInstance& inst : data) {
+    for (size_t i = 0; i < dim; ++i) {
+      double d = inst.features[i] - model.mean_[i];
+      var[i] += d * d;
+    }
+  }
+  std::vector<bool> is_binary(dim, true);
+  for (const RankingInstance& inst : data) {
+    for (size_t i = 0; i < dim; ++i) {
+      if (inst.features[i] != 0.0 && inst.features[i] != 1.0) {
+        is_binary[i] = false;
+      }
+    }
+  }
+  for (size_t i = 0; i < dim; ++i) {
+    if (is_binary[i]) {
+      model.inv_sd_[i] = 1.0;
+      continue;
+    }
+    double sd = std::sqrt(var[i] / static_cast<double>(data.size()));
+    model.inv_sd_[i] = sd > 1e-12 ? 1.0 / sd : 0.0;
+  }
+
+  // The projection is drawn into the original nested layout, then copied
+  // (value for value) into the model's flat storage.
+  Rng rng(config_.seed);
+  std::vector<std::vector<double>> rff_w;
+  std::vector<double> rff_b;
+  if (config_.kernel == SvmKernel::kRbfFourier) {
+    rff_w.resize(config_.rff_dim);
+    rff_b.resize(config_.rff_dim);
+    const double w_sd =
+        std::sqrt(2.0 * config_.rbf_gamma / static_cast<double>(dim));
+    for (size_t d = 0; d < config_.rff_dim; ++d) {
+      rff_w[d].resize(dim);
+      for (size_t i = 0; i < dim; ++i) {
+        rff_w[d][i] = w_sd * rng.NextGaussian();
+      }
+      rff_b[d] = 2.0 * M_PI * rng.NextDouble();
+    }
+    model.rff_w_.resize(config_.rff_dim * dim);
+    for (size_t d = 0; d < config_.rff_dim; ++d) {
+      for (size_t i = 0; i < dim; ++i) {
+        model.rff_w_[d * dim + i] = rff_w[d][i];
+      }
+    }
+    model.rff_b_ = rff_b;
+  }
+
+  auto transform =
+      [&](const std::vector<double>& features) -> std::vector<double> {
+    std::vector<double> x(features.size());
+    for (size_t i = 0; i < features.size(); ++i) {
+      x[i] = (features[i] - model.mean_[i]) * model.inv_sd_[i];
+    }
+    if (config_.kernel == SvmKernel::kLinear) return x;
+    std::vector<double> z(rff_w.size());
+    const double scale = std::sqrt(2.0 / static_cast<double>(rff_w.size()));
+    for (size_t d = 0; d < rff_w.size(); ++d) {
+      double dot = rff_b[d];
+      const std::vector<double>& w = rff_w[d];
+      for (size_t i = 0; i < x.size(); ++i) dot += w[i] * x[i];
+      z[d] = scale * std::cos(dot);
+    }
+    return z;
+  };
+
+  // Pre-transform all instances once.
+  std::vector<std::vector<double>> phi;
+  phi.reserve(data.size());
+  for (const RankingInstance& inst : data) {
+    phi.push_back(transform(inst.features));
+  }
+  const size_t feat_dim = phi[0].size();
+
+  // Materialize preference pairs within groups.
+  std::map<uint32_t, std::vector<size_t>> groups;
+  for (size_t i = 0; i < data.size(); ++i) {
+    groups[data[i].group].push_back(i);
+  }
+  std::vector<std::pair<size_t, size_t>> pairs;  // (winner, loser)
+  for (const auto& [gid, members] : groups) {
+    for (size_t a = 0; a < members.size(); ++a) {
+      for (size_t b = a + 1; b < members.size(); ++b) {
+        size_t i = members[a], j = members[b];
+        double gap = data[i].label - data[j].label;
+        if (std::abs(gap) < config_.min_label_gap) continue;
+        if (gap > 0) {
+          pairs.emplace_back(i, j);
+        } else {
+          pairs.emplace_back(j, i);
+        }
+        if (pairs.size() >= config_.max_pairs) break;
+      }
+      if (pairs.size() >= config_.max_pairs) break;
+    }
+    if (pairs.size() >= config_.max_pairs) break;
+  }
+  if (pairs.empty()) {
+    return Status::FailedPrecondition("no preference pairs (all labels tied)");
+  }
+
+  // Pegasos-style SGD over the pairwise hinge loss.
+  model.weights_.assign(feat_dim, 0.0);
+  std::vector<double>& w = model.weights_;
+  const double lambda = config_.lambda;
+  uint64_t t = 0;
+  const uint64_t total_steps =
+      static_cast<uint64_t>(config_.epochs) * pairs.size();
+  for (uint64_t step = 0; step < total_steps; ++step) {
+    ++t;
+    const auto& [wi, li] = pairs[rng.NextBounded(pairs.size())];
+    const std::vector<double>& xw = phi[wi];
+    const std::vector<double>& xl = phi[li];
+    double margin = 0.0;
+    for (size_t d = 0; d < feat_dim; ++d) margin += w[d] * (xw[d] - xl[d]);
+    const double eta = 1.0 / (lambda * static_cast<double>(t));
+    // w <- (1 - eta*lambda) w [+ eta * (xw - xl) if margin < 1]
+    const double shrink = 1.0 - eta * lambda;
+    if (margin < 1.0) {
+      for (size_t d = 0; d < feat_dim; ++d) {
+        w[d] = shrink * w[d] + eta * (xw[d] - xl[d]);
+      }
+    } else {
+      for (size_t d = 0; d < feat_dim; ++d) w[d] *= shrink;
+    }
+  }
+  return model;
+}
+
+}  // namespace ckr

@@ -1,0 +1,37 @@
+// The pre-flat scalar ranking-SVM trainer, preserved verbatim as the
+// golden reference for the contiguous-matrix trainer in rank_svm.h: same
+// standardization, same RFF draw order, same std::map pair
+// materialization, same per-step rng consumption, same scalar Pegasos
+// updates. Tests and bench_training_perf assert that RankSvmTrainer
+// produces bit-identical weights before any speedup is timed.
+//
+// Not for production use: it allocates one vector per transformed
+// instance and chases nested vectors in the SGD hot loop.
+#ifndef CKR_RANKSVM_LEGACY_RANK_SVM_H_
+#define CKR_RANKSVM_LEGACY_RANK_SVM_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "ranksvm/rank_svm.h"
+
+namespace ckr {
+
+/// Trains models with the original nested-vector implementation. The
+/// returned model is a regular RankSvmModel (flat storage); only the
+/// training computation is legacy.
+class LegacyRankSvmTrainer {
+ public:
+  explicit LegacyRankSvmTrainer(const RankSvmConfig& config = {});
+
+  /// Fails when no valid preference pair exists or dimensions disagree.
+  StatusOr<RankSvmModel> Train(
+      const std::vector<RankingInstance>& data) const;
+
+ private:
+  RankSvmConfig config_;
+};
+
+}  // namespace ckr
+
+#endif  // CKR_RANKSVM_LEGACY_RANK_SVM_H_

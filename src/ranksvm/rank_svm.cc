@@ -2,34 +2,107 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
+#include <cstdint>
+#include <numeric>
 #include <sstream>
+#include <string>
 
+#include "common/binary_io.h"
+#include "common/log.h"
+#include "common/parallel.h"
 #include "common/string_util.h"
 
 namespace ckr {
 
-std::vector<double> RankSvmModel::Transform(
-    const std::vector<double>& features) const {
-  std::vector<double> x(features.size());
-  for (size_t i = 0; i < features.size(); ++i) {
+namespace {
+
+/// Header of the compact binary model format.
+constexpr char kBinaryMagic[] = "ckr.ranksvm.v2";
+
+/// Pair-diff rows are precomputed when they fit this budget — sized so
+/// the matrix stays roughly last-level-cache resident, where halving the
+/// per-step traffic pays for the build. Above it (RFF-width rows) the
+/// matrix would be pure DRAM and materializing loses; the SGD loop reads
+/// the two phi rows per step instead (same arithmetic).
+constexpr size_t kPairDiffBudgetBytes = 32u << 20;
+
+/// Picks are drawn kPickAhead steps early through a small ring so the
+/// upcoming row can be prefetched and the RNG arithmetic overlaps the
+/// latency-bound SGD chain. Ring size must be a power of two > ahead.
+constexpr size_t kPickRing = 16;
+constexpr size_t kPickAhead = 8;
+
+}  // namespace
+
+void RankSvmModel::TransformRowInto(const double* features, double* out,
+                                    double* scratch) const {
+  const size_t dim = mean_.size();
+  if (kernel_ == SvmKernel::kLinear) {
+    for (size_t i = 0; i < dim; ++i) {
+      out[i] = (features[i] - mean_[i]) * inv_sd_[i];
+    }
+    return;
+  }
+  double* x = scratch;
+  for (size_t i = 0; i < dim; ++i) {
     x[i] = (features[i] - mean_[i]) * inv_sd_[i];
   }
-  if (kernel_ == SvmKernel::kLinear) return x;
-  // Random Fourier features for the RBF kernel.
-  std::vector<double> z(rff_w_.size());
-  const double scale = std::sqrt(2.0 / static_cast<double>(rff_w_.size()));
-  for (size_t d = 0; d < rff_w_.size(); ++d) {
+  const size_t rff_dim = rff_b_.size();
+  const double scale = std::sqrt(2.0 / static_cast<double>(rff_dim));
+  const double* w_row = rff_w_.data();
+  for (size_t d = 0; d < rff_dim; ++d, w_row += dim) {
     double dot = rff_b_[d];
-    const std::vector<double>& w = rff_w_[d];
-    for (size_t i = 0; i < x.size(); ++i) dot += w[i] * x[i];
-    z[d] = scale * std::cos(dot);
+    for (size_t i = 0; i < dim; ++i) dot += w_row[i] * x[i];
+    out[d] = scale * std::cos(dot);
   }
-  return z;
+}
+
+std::vector<double> RankSvmModel::Transform(
+    const std::vector<double>& features) const {
+  std::vector<double> out(FeatureDim());
+  std::vector<double> scratch(kernel_ == SvmKernel::kLinear ? 0
+                                                            : mean_.size());
+  TransformRowInto(features.data(), out.data(), scratch.data());
+  return out;
+}
+
+std::vector<double> RankSvmModel::TransformBatch(
+    const std::vector<std::vector<double>>& rows,
+    unsigned num_threads) const {
+  const size_t feat_dim = FeatureDim();
+  std::vector<double> out(rows.size() * feat_dim);
+  unsigned workers = num_threads == 0 ? DefaultWorkerCount() : num_threads;
+  std::vector<std::vector<double>> scratch(
+      std::max(1u, workers),
+      std::vector<double>(kernel_ == SvmKernel::kLinear ? 0 : mean_.size()));
+  ParallelForWorkers(rows.size(), workers, [&](unsigned worker, size_t i) {
+    TransformRowInto(rows[i].data(), out.data() + i * feat_dim,
+                     scratch[worker].data());
+  });
+  return out;
 }
 
 double RankSvmModel::Score(const std::vector<double>& features) const {
-  if (features.size() != mean_.size()) return 0.0;
+  if (features.size() != mean_.size()) {
+    LogWarn("ranksvm: Score called with " + std::to_string(features.size()) +
+            " features on a model expecting " + std::to_string(mean_.size()) +
+            "; returning 0");
+    return 0.0;
+  }
+  std::vector<double> phi = Transform(features);
+  double s = 0.0;
+  for (size_t i = 0; i < phi.size(); ++i) s += weights_[i] * phi[i];
+  return s;
+}
+
+StatusOr<double> RankSvmModel::ScoreChecked(
+    const std::vector<double>& features) const {
+  if (features.size() != mean_.size()) {
+    return Status::InvalidArgument(
+        "feature dimension mismatch: got " +
+        std::to_string(features.size()) + ", model expects " +
+        std::to_string(mean_.size()));
+  }
   std::vector<double> phi = Transform(features);
   double s = 0.0;
   for (size_t i = 0; i < phi.size(); ++i) s += weights_[i] * phi[i];
@@ -50,16 +123,37 @@ std::string RankSvmModel::Serialize() const {
   dump("mean", mean_);
   dump("inv_sd", inv_sd_);
   dump("weights", weights_);
-  out << "rff " << rff_w_.size() << "\n";
-  for (size_t d = 0; d < rff_w_.size(); ++d) {
+  const size_t dim = mean_.size();
+  const size_t rff_dim = rff_b_.size();
+  out << "rff " << rff_dim << "\n";
+  for (size_t d = 0; d < rff_dim; ++d) {
     out << "w" << d;
-    for (double x : rff_w_[d]) out << " " << x;
+    for (size_t i = 0; i < dim; ++i) out << " " << rff_w_[d * dim + i];
     out << " b " << rff_b_[d] << "\n";
   }
   return out.str();
 }
 
-StatusOr<RankSvmModel> RankSvmModel::Deserialize(const std::string& blob) {
+std::string RankSvmModel::SerializeBinary() const {
+  BinaryWriter writer;
+  writer.Str(kBinaryMagic);
+  writer.U16(static_cast<uint16_t>(kernel_));
+  writer.U32(static_cast<uint32_t>(mean_.size()));
+  writer.U32(static_cast<uint32_t>(weights_.size()));
+  writer.U32(static_cast<uint32_t>(rff_b_.size()));
+  auto dump = [&writer](const std::vector<double>& v) {
+    for (double x : v) writer.F64(x);
+  };
+  dump(mean_);
+  dump(inv_sd_);
+  dump(weights_);
+  dump(rff_w_);
+  dump(rff_b_);
+  return writer.Release();
+}
+
+StatusOr<RankSvmModel> RankSvmModel::DeserializeText(
+    const std::string& blob) {
   std::istringstream in(blob);
   std::string magic, version;
   in >> magic >> version;
@@ -70,8 +164,13 @@ StatusOr<RankSvmModel> RankSvmModel::Deserialize(const std::string& blob) {
   std::string tag, kernel;
   in >> tag >> kernel;
   if (tag != "kernel") return Status::InvalidArgument("missing kernel");
-  m.kernel_ = (kernel == "linear") ? SvmKernel::kLinear
-                                   : SvmKernel::kRbfFourier;
+  if (kernel == "linear") {
+    m.kernel_ = SvmKernel::kLinear;
+  } else if (kernel == "rbf_fourier") {
+    m.kernel_ = SvmKernel::kRbfFourier;
+  } else {
+    return Status::InvalidArgument("unknown kernel '" + kernel + "'");
+  }
   auto load = [&in](const char* name, std::vector<double>* v) -> Status {
     std::string t;
     size_t n = 0;
@@ -88,19 +187,62 @@ StatusOr<RankSvmModel> RankSvmModel::Deserialize(const std::string& blob) {
   size_t rff_n = 0;
   in >> t >> rff_n;
   if (t != "rff") return Status::InvalidArgument("expected rff");
-  m.rff_w_.resize(rff_n);
+  const size_t dim = m.mean_.size();
+  m.rff_w_.resize(rff_n * dim);
   m.rff_b_.resize(rff_n);
   for (size_t d = 0; d < rff_n; ++d) {
     std::string wd;
     in >> wd;
-    m.rff_w_[d].resize(m.mean_.size());
-    for (size_t i = 0; i < m.mean_.size(); ++i) in >> m.rff_w_[d][i];
+    for (size_t i = 0; i < dim; ++i) in >> m.rff_w_[d * dim + i];
     std::string btag;
     in >> btag >> m.rff_b_[d];
     if (btag != "b") return Status::InvalidArgument("expected b");
   }
   if (in.fail()) return Status::InvalidArgument("truncated model blob");
   return m;
+}
+
+StatusOr<RankSvmModel> RankSvmModel::DeserializeBinary(
+    const std::string& blob) {
+  BinaryReader reader(blob);
+  if (reader.Str() != kBinaryMagic) {
+    return Status::InvalidArgument("bad model header");
+  }
+  RankSvmModel m;
+  const uint16_t kernel = reader.U16();
+  if (kernel > static_cast<uint16_t>(SvmKernel::kRbfFourier)) {
+    return Status::InvalidArgument("unknown kernel id " +
+                                   std::to_string(kernel));
+  }
+  m.kernel_ = static_cast<SvmKernel>(kernel);
+  const size_t dim = reader.U32();
+  const size_t weights = reader.U32();
+  const size_t rff_dim = reader.U32();
+  const size_t expected_weights =
+      m.kernel_ == SvmKernel::kLinear ? dim : rff_dim;
+  if (weights != expected_weights) {
+    return Status::InvalidArgument("weight count does not match kernel");
+  }
+  auto load = [&reader](std::vector<double>* v, size_t n) {
+    v->resize(n);
+    for (size_t i = 0; i < n; ++i) (*v)[i] = reader.F64();
+  };
+  load(&m.mean_, dim);
+  load(&m.inv_sd_, dim);
+  load(&m.weights_, weights);
+  load(&m.rff_w_, rff_dim * dim);
+  load(&m.rff_b_, rff_dim);
+  if (!reader.AtEnd()) {
+    return Status::InvalidArgument("truncated or oversized model blob");
+  }
+  return m;
+}
+
+StatusOr<RankSvmModel> RankSvmModel::Deserialize(const std::string& blob) {
+  // v1 text blobs begin with their magic in the clear; anything else is
+  // dispatched to the length-prefixed binary reader.
+  if (blob.rfind("ranksvm", 0) == 0) return DeserializeText(blob);
+  return DeserializeBinary(blob);
 }
 
 RankSvmTrainer::RankSvmTrainer(const RankSvmConfig& config)
@@ -115,6 +257,9 @@ StatusOr<RankSvmModel> RankSvmTrainer::Train(
     if (inst.features.size() != dim) {
       return Status::InvalidArgument("inconsistent feature dimensions");
     }
+  }
+  if (data.size() > UINT32_MAX) {
+    return Status::InvalidArgument("too many instances");
   }
 
   RankSvmModel model;
@@ -156,8 +301,9 @@ StatusOr<RankSvmModel> RankSvmTrainer::Train(
 
   Rng rng(config_.seed);
   if (config_.kernel == SvmKernel::kRbfFourier) {
-    // W rows ~ N(0, 2*gamma I); b ~ U[0, 2pi).
-    model.rff_w_.resize(config_.rff_dim);
+    // W rows ~ N(0, 2*gamma I); b ~ U[0, 2pi). Draw order matches the
+    // legacy trainer row by row, so the projection is bit-identical.
+    model.rff_w_.resize(config_.rff_dim * dim);
     model.rff_b_.resize(config_.rff_dim);
     // Scale-free width: the configured gamma is divided by the input
     // dimensionality (the classic 1/num_features heuristic), so kernel
@@ -165,72 +311,241 @@ StatusOr<RankSvmModel> RankSvmTrainer::Train(
     const double w_sd =
         std::sqrt(2.0 * config_.rbf_gamma / static_cast<double>(dim));
     for (size_t d = 0; d < config_.rff_dim; ++d) {
-      model.rff_w_[d].resize(dim);
       for (size_t i = 0; i < dim; ++i) {
-        model.rff_w_[d][i] = w_sd * rng.NextGaussian();
+        model.rff_w_[d * dim + i] = w_sd * rng.NextGaussian();
       }
       model.rff_b_[d] = 2.0 * M_PI * rng.NextDouble();
     }
   }
 
-  // Pre-transform all instances once.
-  std::vector<std::vector<double>> phi;
-  phi.reserve(data.size());
-  for (const RankingInstance& inst : data) {
-    phi.push_back(model.Transform(inst.features));
+  // Pre-transform all instances into one contiguous n x feat_dim matrix.
+  // Rows are independent, so the fan-out is bit-identical for any worker
+  // count.
+  const size_t n = data.size();
+  const size_t feat_dim = model.FeatureDim();
+  const unsigned workers =
+      config_.num_threads == 0 ? DefaultWorkerCount() : config_.num_threads;
+  std::vector<double> phi(n * feat_dim);
+  {
+    std::vector<std::vector<double>> scratch(
+        std::max(1u, workers),
+        std::vector<double>(config_.kernel == SvmKernel::kLinear ? 0 : dim));
+    ParallelForWorkers(n, workers, [&](unsigned worker, size_t i) {
+      model.TransformRowInto(data[i].features.data(),
+                             phi.data() + i * feat_dim,
+                             scratch[worker].data());
+    });
   }
-  const size_t feat_dim = phi[0].size();
 
-  // Materialize preference pairs within groups.
-  std::map<uint32_t, std::vector<size_t>> groups;
-  for (size_t i = 0; i < data.size(); ++i) {
-    groups[data[i].group].push_back(i);
-  }
-  std::vector<std::pair<size_t, size_t>> pairs;  // (winner, loser)
-  for (const auto& [gid, members] : groups) {
-    for (size_t a = 0; a < members.size(); ++a) {
-      for (size_t b = a + 1; b < members.size(); ++b) {
-        size_t i = members[a], j = members[b];
+  // Materialize preference pairs within groups: one stable sort brings
+  // each group's members together in ascending (group, instance) order —
+  // the same order the legacy std::map pass produced — and a linear walk
+  // emits the pairs.
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return data[a].group < data[b].group;
+  });
+  std::vector<uint32_t> winners, losers;
+  bool truncated = false;
+  size_t groups_consumed = 0;
+  for (size_t start = 0; start < n && !truncated;) {
+    size_t end = start + 1;
+    while (end < n && data[order[end]].group == data[order[start]].group) {
+      ++end;
+    }
+    for (size_t a = start; a < end && !truncated; ++a) {
+      for (size_t b = a + 1; b < end; ++b) {
+        const uint32_t i = order[a], j = order[b];
         double gap = data[i].label - data[j].label;
         if (std::abs(gap) < config_.min_label_gap) continue;
         if (gap > 0) {
-          pairs.emplace_back(i, j);
+          winners.push_back(i);
+          losers.push_back(j);
         } else {
-          pairs.emplace_back(j, i);
+          winners.push_back(j);
+          losers.push_back(i);
         }
-        if (pairs.size() >= config_.max_pairs) break;
+        if (winners.size() >= config_.max_pairs) {
+          truncated = true;
+          break;
+        }
       }
-      if (pairs.size() >= config_.max_pairs) break;
     }
-    if (pairs.size() >= config_.max_pairs) break;
+    ++groups_consumed;
+    start = end;
   }
-  if (pairs.empty()) {
+  if (truncated) {
+    // The cap silently biases training toward early (low-id) groups;
+    // count how many groups never contributed and say so.
+    size_t groups_total = 0;
+    for (size_t start = 0; start < n;) {
+      size_t end = start + 1;
+      while (end < n && data[order[end]].group == data[order[start]].group) {
+        ++end;
+      }
+      ++groups_total;
+      start = end;
+    }
+    LogWarn("ranksvm: max_pairs=" + std::to_string(config_.max_pairs) +
+            " truncated pair materialization after " +
+            std::to_string(groups_consumed) + " of " +
+            std::to_string(groups_total) +
+            " groups; training is biased toward early groups");
+  }
+  if (winners.empty()) {
     return Status::FailedPrecondition("no preference pairs (all labels tied)");
   }
+  const size_t num_pairs = winners.size();
 
-  // Pegasos-style SGD over the pairwise hinge loss.
-  model.weights_.assign(feat_dim, 0.0);
-  std::vector<double>& w = model.weights_;
-  const double lambda = config_.lambda;
-  uint64_t t = 0;
-  const uint64_t total_steps =
-      static_cast<uint64_t>(config_.epochs) * pairs.size();
-  for (uint64_t step = 0; step < total_steps; ++step) {
-    ++t;
-    const auto& [wi, li] = pairs[rng.NextBounded(pairs.size())];
-    const std::vector<double>& xw = phi[wi];
-    const std::vector<double>& xl = phi[li];
-    double margin = 0.0;
-    for (size_t d = 0; d < feat_dim; ++d) margin += w[d] * (xw[d] - xl[d]);
-    const double eta = 1.0 / (lambda * static_cast<double>(t));
-    // w <- (1 - eta*lambda) w [+ eta * (xw - xl) if margin < 1]
-    const double shrink = 1.0 - eta * lambda;
-    if (margin < 1.0) {
+  // Precompute each pair's difference row when the whole matrix fits a
+  // last-level-cache-sized budget: the SGD step then streams one short,
+  // cache-resident row instead of chasing two, and the margin/update
+  // arithmetic is unchanged (same subtractions, same order). Past the
+  // budget (e.g. RFF-dim rows) materializing loses — the matrix would be
+  // pure DRAM traffic at twice phi's footprint — so the step instead
+  // reads both phi rows and fuses the subtraction into the margin and
+  // update loops exactly like the legacy trainer does.
+  std::vector<double> diff;
+  const bool use_diff =
+      num_pairs <= kPairDiffBudgetBytes / sizeof(double) / feat_dim;
+  if (use_diff) {
+    diff.resize(num_pairs * feat_dim);
+    ParallelForWorkers(num_pairs, workers, [&](unsigned, size_t p) {
+      const double* xw = phi.data() + size_t{winners[p]} * feat_dim;
+      const double* xl = phi.data() + size_t{losers[p]} * feat_dim;
+      double* out = diff.data() + p * feat_dim;
+      for (size_t d = 0; d < feat_dim; ++d) out[d] = xw[d] - xl[d];
+    });
+  }
+
+  // A column whose difference is exactly zero in every pair never moves
+  // its weight: the weight starts at +0.0, the shrink step maps +0.0 to
+  // +0.0, and the hinge step adds eta * (+-0.0), which keeps +0.0 — the
+  // legacy trainer computes exactly +0.0 for that dimension at every
+  // step. Its margin terms are +-0.0 additions, which never change the
+  // running sum either. So dead columns can be compacted out of the hot
+  // loop entirely, shortening the latency-bound margin chain, and the
+  // final weights scattered back with literal +0.0 in the gaps. This
+  // fires in practice: ablation masks zero out whole feature groups, and
+  // a feature that is constant within every window cancels in every
+  // within-group pair.
+  size_t sgd_dim = feat_dim;
+  std::vector<uint32_t> live_cols;
+  if (use_diff) {
+    std::vector<char> col_live(feat_dim, 0);
+    for (size_t p = 0; p < num_pairs; ++p) {
+      const double* row = diff.data() + p * feat_dim;
       for (size_t d = 0; d < feat_dim; ++d) {
-        w[d] = shrink * w[d] + eta * (xw[d] - xl[d]);
+        col_live[d] |= row[d] != 0.0 ? 1 : 0;
       }
+    }
+    for (size_t d = 0; d < feat_dim; ++d) {
+      if (col_live[d]) live_cols.push_back(static_cast<uint32_t>(d));
+    }
+    if (live_cols.size() < feat_dim) {
+      sgd_dim = live_cols.size();
+      // In-place row compaction: each destination row starts at or
+      // before its source row, and within a row live_cols[j] >= j, so
+      // reads stay ahead of writes.
+      for (size_t p = 0; p < num_pairs; ++p) {
+        const double* src = diff.data() + p * feat_dim;
+        double* dst = diff.data() + p * sgd_dim;
+        for (size_t j = 0; j < sgd_dim; ++j) dst[j] = src[live_cols[j]];
+      }
+      diff.resize(num_pairs * sgd_dim);
     } else {
-      for (size_t d = 0; d < feat_dim; ++d) w[d] *= shrink;
+      live_cols.clear();
+    }
+  }
+
+  // Pegasos-style SGD over the pairwise hinge loss. The loop is
+  // sequential (each step reads the previous step's weights) but works on
+  // contiguous rows. Picks are drawn through a small ring, kPickAhead
+  // steps early — the identical NextBounded sequence the legacy per-step
+  // calls consumed, in the identical order. Drawing ahead serves two
+  // purposes: the upcoming row can be prefetched while earlier steps
+  // retire, and the RNG arithmetic itself executes in the issue slots the
+  // latency-bound margin chain leaves idle instead of forming its own
+  // serial phase.
+  //
+  // The update is written branchlessly in both paths below: the hinge is
+  // active on roughly half the steps of a converged run, so the classic
+  // two-loop form (hit: shrink+add, miss: shrink only) mispredicts
+  // constantly and each mispredict stalls the whole serial
+  // margin->update->margin dependency chain. Folding the condition into
+  // the step size (e = eta or 0.0) keeps one straight-line loop. This is
+  // bit-identical to the legacy two-branch update: when e == 0,
+  // e * d_row[d] is +-0.0 and adding +-0.0 to shrink * w[d] leaves it
+  // unchanged (w never holds -0.0: weights start at +0.0 and an
+  // exactly-zero update sum rounds to +0.0; shrink * w underflowing to a
+  // signed zero would need |w| near DBL_TRUE_MIN, far below anything the
+  // O(eta)-sized updates can produce).
+  std::vector<double> sgd_w(sgd_dim, 0.0);
+  double* const w = sgd_w.data();
+  const double lambda = config_.lambda;
+  const uint64_t total_steps =
+      static_cast<uint64_t>(config_.epochs) * num_pairs;
+  uint32_t ring[kPickRing];
+  const uint64_t warmup = std::min<uint64_t>(total_steps, kPickAhead);
+  for (uint64_t i = 0; i < warmup; ++i) {
+    ring[i & (kPickRing - 1)] =
+        static_cast<uint32_t>(rng.NextBounded(num_pairs));
+  }
+  if (use_diff) {
+    for (uint64_t s = 0; s < total_steps; ++s) {
+      const uint32_t pick = ring[s & (kPickRing - 1)];
+      const uint64_t draw = s + kPickAhead;
+      if (draw < total_steps) {
+        const uint32_t next =
+            static_cast<uint32_t>(rng.NextBounded(num_pairs));
+        ring[draw & (kPickRing - 1)] = next;
+        __builtin_prefetch(diff.data() + size_t{next} * sgd_dim);
+      }
+      const double* d_row = diff.data() + size_t{pick} * sgd_dim;
+      double margin = 0.0;
+      for (size_t d = 0; d < sgd_dim; ++d) margin += w[d] * d_row[d];
+      const double eta = 1.0 / (lambda * static_cast<double>(s + 1));
+      // w <- (1 - eta*lambda) w [+ eta * (xw - xl) if margin < 1]
+      const double shrink = 1.0 - eta * lambda;
+      const double e = margin < 1.0 ? eta : 0.0;
+      for (size_t d = 0; d < sgd_dim; ++d) {
+        w[d] = shrink * w[d] + e * d_row[d];
+      }
+    }
+  } else {
+    for (uint64_t s = 0; s < total_steps; ++s) {
+      const uint32_t pick = ring[s & (kPickRing - 1)];
+      const uint64_t draw = s + kPickAhead;
+      if (draw < total_steps) {
+        const uint32_t next =
+            static_cast<uint32_t>(rng.NextBounded(num_pairs));
+        ring[draw & (kPickRing - 1)] = next;
+        __builtin_prefetch(phi.data() + size_t{winners[next]} * feat_dim);
+        __builtin_prefetch(phi.data() + size_t{losers[next]} * feat_dim);
+      }
+      const double* xw = phi.data() + size_t{winners[pick]} * feat_dim;
+      const double* xl = phi.data() + size_t{losers[pick]} * feat_dim;
+      // Same fused subtraction as the legacy trainer — the update's
+      // second pass over xw/xl hits rows the margin pass just loaded.
+      double margin = 0.0;
+      for (size_t d = 0; d < feat_dim; ++d) {
+        margin += w[d] * (xw[d] - xl[d]);
+      }
+      const double eta = 1.0 / (lambda * static_cast<double>(s + 1));
+      const double shrink = 1.0 - eta * lambda;
+      const double e = margin < 1.0 ? eta : 0.0;
+      for (size_t d = 0; d < feat_dim; ++d) {
+        w[d] = shrink * w[d] + e * (xw[d] - xl[d]);
+      }
+    }
+  }
+  model.weights_.assign(feat_dim, 0.0);
+  if (live_cols.empty()) {
+    model.weights_ = std::move(sgd_w);
+  } else {
+    for (size_t j = 0; j < sgd_dim; ++j) {
+      model.weights_[live_cols[j]] = sgd_w[j];
     }
   }
   return model;

@@ -11,6 +11,14 @@
 // kernel ("we test with both linear and the radial basis function
 // kernels", Section V-A.3). Features are standardized on the training
 // split inside the model.
+//
+// Layout: the RFF projection and every batch intermediate are contiguous
+// row-major matrices. The trainer pre-transforms instances in parallel
+// (ParallelForWorkers; per-row outputs, so bit-identical for any worker
+// count), materializes pairs with a sort-by-group pass, and runs the
+// Pegasos loop sequentially over contiguous rows. Weights are
+// bit-identical to the scalar reference in legacy_rank_svm.h, which the
+// golden tests and bench_training_perf assert.
 #ifndef CKR_RANKSVM_RANK_SVM_H_
 #define CKR_RANKSVM_RANK_SVM_H_
 
@@ -46,6 +54,12 @@ struct RankSvmConfig {
   size_t rff_dim = 768;      ///< Random Fourier feature dimensionality.
   double min_label_gap = 1e-9;  ///< Pairs need |label_i - label_j| above this.
   size_t max_pairs = 2000000;   ///< Safety cap on materialized pairs.
+  /// Worker threads for the batch phases (RFF pre-transform, pair-diff
+  /// materialization). Results are bit-identical for any value: every
+  /// worker writes only per-row output slots. 0 = all hardware threads;
+  /// the default stays 1 so nested callers (parallel CV folds) don't
+  /// oversubscribe.
+  unsigned num_threads = 1;
 };
 
 /// A trained scorer. Value type; cheap to copy relative to training.
@@ -54,15 +68,40 @@ class RankSvmModel {
   RankSvmModel() = default;
 
   /// Score of a raw (unstandardized) feature vector; higher ranks first.
+  /// A feature-dimension mismatch returns 0.0 and logs a warning (see
+  /// ScoreChecked for the Status-returning variant).
   double Score(const std::vector<double>& features) const;
+
+  /// Like Score, but a feature-dimension mismatch is an InvalidArgument
+  /// error instead of a silent 0.0.
+  StatusOr<double> ScoreChecked(const std::vector<double>& features) const;
 
   /// Dimensionality of raw input vectors.
   size_t InputDim() const { return mean_.size(); }
 
-  /// Serializes to a line-oriented text blob (stable across platforms).
+  /// Dimensionality of the transformed space the weights live in
+  /// (InputDim for linear, rff_dim for RFF models).
+  size_t FeatureDim() const {
+    return kernel_ == SvmKernel::kLinear ? mean_.size() : rff_b_.size();
+  }
+
+  /// Standardizes + projects a batch into a row-major rows.size() x
+  /// FeatureDim() matrix. Rows are transformed in parallel; the output is
+  /// bit-identical for any worker count (0 = all hardware threads).
+  std::vector<double> TransformBatch(
+      const std::vector<std::vector<double>>& rows,
+      unsigned num_threads = 1) const;
+
+  /// Serializes to the line-oriented v1 text blob (stable across
+  /// platforms, readable by every prior version).
   std::string Serialize() const;
 
-  /// Parses a blob produced by Serialize().
+  /// Serializes to the compact little-endian v2 binary blob (~2.4x
+  /// smaller than v1 for RFF models; exact double round-trip).
+  std::string SerializeBinary() const;
+
+  /// Parses a blob produced by Serialize() or SerializeBinary(); the
+  /// format is sniffed from the header.
   static StatusOr<RankSvmModel> Deserialize(const std::string& blob);
 
   /// Linear weights in standardized space (linear kernel only; empty for
@@ -71,15 +110,26 @@ class RankSvmModel {
 
  private:
   friend class RankSvmTrainer;
+  friend class LegacyRankSvmTrainer;
 
   std::vector<double> Transform(const std::vector<double>& features) const;
+
+  static StatusOr<RankSvmModel> DeserializeText(const std::string& blob);
+  static StatusOr<RankSvmModel> DeserializeBinary(const std::string& blob);
+
+  /// Transforms one raw row of InputDim() doubles into `out`
+  /// (FeatureDim() doubles). `scratch` must hold InputDim() doubles when
+  /// the kernel is RFF; it may alias nothing.
+  void TransformRowInto(const double* features, double* out,
+                        double* scratch) const;
 
   SvmKernel kernel_ = SvmKernel::kLinear;
   std::vector<double> mean_;   ///< Per-dim standardization mean.
   std::vector<double> inv_sd_; ///< Per-dim 1/sd (0 for constant dims).
   std::vector<double> weights_;
-  // RFF projection: z(x) = sqrt(2/D) cos(Wx + b).
-  std::vector<std::vector<double>> rff_w_;
+  // RFF projection: z(x) = sqrt(2/D) cos(Wx + b). W is a flat row-major
+  // rff_dim x InputDim matrix (row d at rff_w_[d * InputDim()]).
+  std::vector<double> rff_w_;
   std::vector<double> rff_b_;
 };
 

@@ -182,6 +182,20 @@ TEST(BootstrapCiTest, DeterministicInSeed) {
   EXPECT_DOUBLE_EQ(a.hi, b.hi);
 }
 
+TEST(BootstrapCiTest, BitIdenticalAcrossWorkerCounts) {
+  // Per-replicate RNGs make the resampling embarrassingly parallel
+  // without changing a single draw.
+  std::vector<std::pair<double, double>> groups = {
+      {1, 4}, {2, 5}, {0, 3}, {1, 2}, {3, 7}, {2, 9}, {4, 6}};
+  BootstrapCi one = BootstrapRatioCi(groups, 1000, 0.95, 31, 1);
+  for (unsigned threads : {2u, 4u}) {
+    BootstrapCi many = BootstrapRatioCi(groups, 1000, 0.95, 31, threads);
+    EXPECT_EQ(one.mean, many.mean);
+    EXPECT_EQ(one.lo, many.lo);
+    EXPECT_EQ(one.hi, many.hi);
+  }
+}
+
 class EditorialTest : public ::testing::Test {
  protected:
   void SetUp() override {

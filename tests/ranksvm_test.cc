@@ -1,9 +1,14 @@
-// Unit tests for ckr_ranksvm: pairwise training, kernels, serialization.
+// Unit tests for ckr_ranksvm: pairwise training, kernels, serialization,
+// and bit-equivalence of the flat trainer against the legacy scalar one.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
+#include <vector>
 
+#include "common/log.h"
 #include "common/rng.h"
+#include "ranksvm/legacy_rank_svm.h"
 #include "ranksvm/rank_svm.h"
 
 namespace ckr {
@@ -141,12 +146,52 @@ TEST(RankSvmTest, DeterministicTraining) {
   }
 }
 
-TEST(RankSvmTest, ScoreDimensionMismatchIsZero) {
+// Captures every log line emitted while in scope.
+class ScopedLogCapture {
+ public:
+  ScopedLogCapture() {
+    previous_ = SetLogSink([this](LogLevel level, std::string_view msg) {
+      levels_.push_back(level);
+      messages_.emplace_back(msg);
+    });
+  }
+  ~ScopedLogCapture() { SetLogSink(std::move(previous_)); }
+
+  const std::vector<std::string>& messages() const { return messages_; }
+  const std::vector<LogLevel>& levels() const { return levels_; }
+
+ private:
+  LogSink previous_;
+  std::vector<LogLevel> levels_;
+  std::vector<std::string> messages_;
+};
+
+TEST(RankSvmTest, ScoreDimensionMismatchIsZeroAndLogs) {
   auto data = LinearProblem(100, 4, 5, 0.0, 2);
   auto model = RankSvmTrainer().Train(data);
   ASSERT_TRUE(model.ok());
+  ScopedLogCapture capture;
   EXPECT_EQ(model->Score({1.0, 2.0}), 0.0);
   EXPECT_EQ(model->InputDim(), 4u);
+  ASSERT_EQ(capture.messages().size(), 1u);
+  EXPECT_EQ(capture.levels()[0], LogLevel::kWarn);
+  EXPECT_NE(capture.messages()[0].find("expecting"), std::string::npos)
+      << capture.messages()[0];
+  // A well-shaped vector logs nothing.
+  EXPECT_NE(model->Score({1.0, 2.0, 3.0, 4.0}), 0.0);
+  EXPECT_EQ(capture.messages().size(), 1u);
+}
+
+TEST(RankSvmTest, ScoreCheckedRejectsDimensionMismatch) {
+  auto data = LinearProblem(100, 4, 5, 0.0, 2);
+  auto model = RankSvmTrainer().Train(data);
+  ASSERT_TRUE(model.ok());
+  auto bad = model->ScoreChecked({1.0, 2.0});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  auto good = model->ScoreChecked({1.0, 2.0, 3.0, 4.0});
+  ASSERT_TRUE(good.ok());
+  EXPECT_DOUBLE_EQ(*good, model->Score({1.0, 2.0, 3.0, 4.0}));
 }
 
 TEST(RankSvmTest, ConstantFeatureDimensionIsIgnored) {
@@ -194,6 +239,174 @@ TEST(RankSvmTest, DeserializeRejectsGarbage) {
   EXPECT_FALSE(RankSvmModel::Deserialize("not a model").ok());
   EXPECT_FALSE(RankSvmModel::Deserialize("").ok());
   EXPECT_FALSE(RankSvmModel::Deserialize("ranksvm v1\nkernel linear\n").ok());
+}
+
+TEST(RankSvmTest, DeserializeRejectsUnknownKernel) {
+  auto data = LinearProblem(100, 3, 5, 0.1, 17);
+  auto model = RankSvmTrainer().Train(data);
+  ASSERT_TRUE(model.ok());
+  std::string blob = model->Serialize();
+  const std::string from = "kernel linear";
+  size_t pos = blob.find(from);
+  ASSERT_NE(pos, std::string::npos);
+  blob.replace(pos, from.size(), "kernel quadratic");
+  auto restored = RankSvmModel::Deserialize(blob);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(restored.status().ToString().find("kernel"), std::string::npos);
+}
+
+TEST(RankSvmTest, DeserializeParsesHandWrittenV1Blob) {
+  // A v1 blob written by an earlier version of the library must keep
+  // loading byte for byte.
+  const std::string blob =
+      "ranksvm v1\n"
+      "kernel linear\n"
+      "mean 2 0 0\n"
+      "inv_sd 2 1 1\n"
+      "weights 2 1 2\n"
+      "rff 0\n";
+  auto model = RankSvmModel::Deserialize(blob);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  EXPECT_EQ(model->InputDim(), 2u);
+  EXPECT_DOUBLE_EQ(model->Score({1.0, 2.0}), 5.0);
+}
+
+TEST(RankSvmTest, BinarySerializationRoundTripLinear) {
+  auto data = LinearProblem(200, 5, 5, 0.1, 21);
+  auto model = RankSvmTrainer().Train(data);
+  ASSERT_TRUE(model.ok());
+  std::string blob = model->SerializeBinary();
+  auto restored = RankSvmModel::Deserialize(blob);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  for (const auto& inst : data) {
+    // Binary F64 fields round-trip exactly.
+    EXPECT_DOUBLE_EQ(model->Score(inst.features),
+                     restored->Score(inst.features));
+  }
+  EXPECT_EQ(restored->SerializeBinary(), blob);
+}
+
+TEST(RankSvmTest, BinarySerializationRoundTripRbfAndIsCompact) {
+  RankSvmConfig cfg;
+  cfg.kernel = SvmKernel::kRbfFourier;
+  cfg.rff_dim = 64;
+  auto data = LinearProblem(200, 3, 5, 0.1, 23);
+  auto model = RankSvmTrainer(cfg).Train(data);
+  ASSERT_TRUE(model.ok());
+  std::string blob = model->SerializeBinary();
+  auto restored = RankSvmModel::Deserialize(blob);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  for (const auto& inst : data) {
+    EXPECT_DOUBLE_EQ(model->Score(inst.features),
+                     restored->Score(inst.features));
+  }
+  EXPECT_LT(blob.size(), model->Serialize().size() / 2);
+}
+
+TEST(RankSvmTest, BinaryDeserializeRejectsCorruption) {
+  auto data = LinearProblem(100, 3, 5, 0.1, 29);
+  auto model = RankSvmTrainer().Train(data);
+  ASSERT_TRUE(model.ok());
+  std::string blob = model->SerializeBinary();
+  EXPECT_FALSE(RankSvmModel::Deserialize(blob.substr(0, blob.size() - 4))
+                   .ok());  // Truncated.
+  EXPECT_FALSE(RankSvmModel::Deserialize(blob + "xx").ok());  // Trailing.
+  std::string bad_kernel = blob;
+  bad_kernel[4 + 14] = 9;  // Kernel id u16 right after the magic string.
+  EXPECT_FALSE(RankSvmModel::Deserialize(bad_kernel).ok());
+}
+
+// --- Golden equivalence: flat trainer vs the preserved scalar trainer ---
+
+void ExpectBitIdentical(const RankSvmModel& a, const RankSvmModel& b) {
+  // Serialized blobs cover every field (standardization, weights, RFF
+  // projection) with exact doubles, so blob equality is bit equality.
+  EXPECT_EQ(a.SerializeBinary(), b.SerializeBinary());
+  ASSERT_EQ(a.weights().size(), b.weights().size());
+  for (size_t i = 0; i < a.weights().size(); ++i) {
+    EXPECT_EQ(a.weights()[i], b.weights()[i]) << "weight " << i;
+  }
+}
+
+TEST(RankSvmGoldenTest, LinearWeightsBitIdenticalToLegacy) {
+  auto data = LinearProblem(400, 6, 8, 0.1, 42);
+  RankSvmConfig cfg;
+  auto legacy = LegacyRankSvmTrainer(cfg).Train(data);
+  auto flat = RankSvmTrainer(cfg).Train(data);
+  ASSERT_TRUE(legacy.ok() && flat.ok());
+  ExpectBitIdentical(*flat, *legacy);
+}
+
+TEST(RankSvmGoldenTest, RbfWeightsBitIdenticalToLegacy) {
+  RankSvmConfig cfg;
+  cfg.kernel = SvmKernel::kRbfFourier;
+  cfg.rff_dim = 96;
+  auto data = LinearProblem(300, 5, 6, 0.2, 77);
+  auto legacy = LegacyRankSvmTrainer(cfg).Train(data);
+  auto flat = RankSvmTrainer(cfg).Train(data);
+  ASSERT_TRUE(legacy.ok() && flat.ok());
+  ExpectBitIdentical(*flat, *legacy);
+}
+
+TEST(RankSvmGoldenTest, ParallelTransformBitIdenticalToLegacy) {
+  RankSvmConfig cfg;
+  cfg.kernel = SvmKernel::kRbfFourier;
+  cfg.rff_dim = 48;
+  auto data = LinearProblem(300, 4, 6, 0.2, 5);
+  auto legacy = LegacyRankSvmTrainer(cfg).Train(data);
+  ASSERT_TRUE(legacy.ok());
+  for (unsigned threads : {1u, 2u, 4u}) {
+    cfg.num_threads = threads;
+    auto flat = RankSvmTrainer(cfg).Train(data);
+    ASSERT_TRUE(flat.ok());
+    ExpectBitIdentical(*flat, *legacy);
+  }
+}
+
+TEST(RankSvmGoldenTest, MaxPairsTruncationMatchesLegacyAndWarns) {
+  auto data = LinearProblem(200, 4, 10, 0.1, 33);
+  RankSvmConfig cfg;
+  cfg.max_pairs = 50;  // Far fewer than the ~900 candidate pairs.
+  auto legacy = LegacyRankSvmTrainer(cfg).Train(data);
+  ASSERT_TRUE(legacy.ok());
+  ScopedLogCapture capture;
+  auto flat = RankSvmTrainer(cfg).Train(data);
+  ASSERT_TRUE(flat.ok());
+  ExpectBitIdentical(*flat, *legacy);
+  ASSERT_EQ(capture.messages().size(), 1u);
+  EXPECT_EQ(capture.levels()[0], LogLevel::kWarn);
+  EXPECT_NE(capture.messages()[0].find("max_pairs=50"), std::string::npos)
+      << capture.messages()[0];
+  EXPECT_NE(capture.messages()[0].find("biased"), std::string::npos);
+}
+
+TEST(RankSvmTest, NoTruncationWarningBelowCap) {
+  auto data = LinearProblem(100, 4, 5, 0.1, 33);
+  ScopedLogCapture capture;
+  auto model = RankSvmTrainer().Train(data);
+  ASSERT_TRUE(model.ok());
+  EXPECT_TRUE(capture.messages().empty());
+}
+
+TEST(RankSvmTest, TransformBatchDeterministicAcrossWorkers) {
+  RankSvmConfig cfg;
+  cfg.kernel = SvmKernel::kRbfFourier;
+  cfg.rff_dim = 32;
+  auto data = LinearProblem(150, 4, 5, 0.1, 61);
+  auto model = RankSvmTrainer(cfg).Train(data);
+  ASSERT_TRUE(model.ok());
+  std::vector<std::vector<double>> rows;
+  for (const auto& inst : data) rows.push_back(inst.features);
+  const std::vector<double> serial = model->TransformBatch(rows, 1);
+  EXPECT_EQ(serial.size(), rows.size() * model->FeatureDim());
+  for (unsigned threads : {2u, 4u}) {
+    const std::vector<double> parallel = model->TransformBatch(rows, threads);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(serial[i], parallel[i]) << "row element " << i;
+    }
+  }
 }
 
 }  // namespace

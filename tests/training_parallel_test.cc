@@ -1,0 +1,133 @@
+// Worker-count determinism of the training & evaluation engine: CV fold
+// training, bootstrap-CI resampling, and the trainer's batch phases must
+// produce bit-identical results for 1, 2, and 4 workers. Test names
+// contain "Parallel" so the tsan preset exercises them under the race
+// detector.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/experiment.h"
+#include "core/pipeline.h"
+#include "eval/metrics.h"
+#include "ranksvm/rank_svm.h"
+
+namespace ckr {
+namespace {
+
+// One shared small pipeline + dataset for the whole file (mirrors
+// core_test.cc; building it dominates the suite's runtime).
+class TrainingParallelTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto p = Pipeline::Build(PipelineConfig::SmallForTests());
+    ASSERT_TRUE(p.ok()) << p.status().ToString();
+    pipeline_ = p->release();
+    DatasetBuilder builder(*pipeline_, DatasetConfig{});
+    auto ds = builder.Build();
+    ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+    dataset_ = new ClickDataset(std::move(*ds));
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    delete pipeline_;
+    pipeline_ = nullptr;
+    dataset_ = nullptr;
+  }
+
+  static Pipeline* pipeline_;
+  static ClickDataset* dataset_;
+};
+
+Pipeline* TrainingParallelTest::pipeline_ = nullptr;
+ClickDataset* TrainingParallelTest::dataset_ = nullptr;
+
+// Every field, compared exactly — including the bootstrap CI bounds.
+void ExpectBitIdentical(const EvalResult& a, const EvalResult& b) {
+  EXPECT_EQ(a.weighted_error_rate, b.weighted_error_rate);
+  EXPECT_EQ(a.error_rate, b.error_rate);
+  EXPECT_EQ(a.windows, b.windows);
+  for (size_t k = 0; k < 3; ++k) EXPECT_EQ(a.ndcg[k], b.ndcg[k]);
+  EXPECT_EQ(a.weighted_error_ci.mean, b.weighted_error_ci.mean);
+  EXPECT_EQ(a.weighted_error_ci.lo, b.weighted_error_ci.lo);
+  EXPECT_EQ(a.weighted_error_ci.hi, b.weighted_error_ci.hi);
+}
+
+TEST_F(TrainingParallelTest, ParallelCvMetricsMatchSequential) {
+  ModelSpec spec;
+  spec.include_relevance = true;
+  ExperimentRunner sequential(*dataset_, 1);
+  auto reference = sequential.EvaluateModelCV(spec);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  for (unsigned threads : {2u, 4u}) {
+    ExperimentRunner parallel(*dataset_, threads);
+    auto result = parallel.EvaluateModelCV(spec);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ExpectBitIdentical(*result, *reference);
+  }
+}
+
+TEST_F(TrainingParallelTest, ParallelCvMatchesForRbfKernel) {
+  ModelSpec spec;
+  spec.svm.kernel = SvmKernel::kRbfFourier;
+  spec.svm.rff_dim = 128;  // Small: keeps the 3 CV sweeps fast.
+  ExperimentRunner sequential(*dataset_, 1);
+  auto reference = sequential.EvaluateModelCV(spec);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  for (unsigned threads : {2u, 4u}) {
+    ExperimentRunner parallel(*dataset_, threads);
+    auto result = parallel.EvaluateModelCV(spec);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ExpectBitIdentical(*result, *reference);
+  }
+}
+
+TEST_F(TrainingParallelTest, ParallelBaselineMetricsMatchSequential) {
+  // No training involved — isolates the bootstrap-CI fan-out inside
+  // EvaluateScores.
+  ExperimentRunner sequential(*dataset_, 1);
+  EvalResult reference = sequential.EvaluateBaseline();
+  for (unsigned threads : {2u, 4u}) {
+    ExperimentRunner parallel(*dataset_, threads);
+    ExpectBitIdentical(parallel.EvaluateBaseline(), reference);
+  }
+}
+
+TEST_F(TrainingParallelTest, ParallelTrainerThreadsMatchSingle) {
+  // The trainer's internal fan-out (RFF pre-transform + pair-diff
+  // materialization) on real dataset features.
+  ModelSpec spec;
+  spec.svm.kernel = SvmKernel::kRbfFourier;
+  spec.svm.rff_dim = 128;
+  ExperimentRunner runner(*dataset_, 1);
+  spec.svm.num_threads = 1;
+  auto reference = runner.TrainFullModel(spec);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  const std::string blob = reference->SerializeBinary();
+  for (unsigned threads : {2u, 4u, 0u}) {
+    spec.svm.num_threads = threads;
+    auto model = runner.TrainFullModel(spec);
+    ASSERT_TRUE(model.ok()) << model.status().ToString();
+    EXPECT_EQ(model->SerializeBinary(), blob) << "threads=" << threads;
+  }
+}
+
+TEST(BootstrapParallelTest, ParallelResamplingBitIdentical) {
+  std::vector<std::pair<double, double>> groups;
+  for (int i = 0; i < 257; ++i) {
+    groups.emplace_back(static_cast<double>(i % 7),
+                        static_cast<double>(7 + i % 11));
+  }
+  BootstrapCi reference =
+      BootstrapRatioCi(groups, /*resamples=*/4000, 0.95, /*seed=*/99, 1);
+  for (unsigned threads : {2u, 3u, 4u, 0u}) {
+    BootstrapCi ci = BootstrapRatioCi(groups, 4000, 0.95, 99, threads);
+    EXPECT_EQ(ci.mean, reference.mean) << "threads=" << threads;
+    EXPECT_EQ(ci.lo, reference.lo) << "threads=" << threads;
+    EXPECT_EQ(ci.hi, reference.hi) << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace ckr
