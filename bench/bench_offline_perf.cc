@@ -71,7 +71,7 @@ OfflineLab* GetLab() {
     // Mining workload: a representative slice of the concept universe
     // (every 4th entity) so the scaling runs finish in seconds.
     for (size_t i = 0; i < world.NumEntities(); i += 4) {
-      const Entity& e = world.entity(i);
+      const Entity& e = world.entity(static_cast<EntityId>(i));
       l->concepts.push_back({e.key, e.type});
     }
     return l;
@@ -187,10 +187,14 @@ struct QpsPair {
   double flat_seconds = 0.0;
   size_t queries = 0;
   double LegacyQps() const {
-    return legacy_seconds > 0 ? queries / legacy_seconds : 0.0;
+    return legacy_seconds > 0
+               ? static_cast<double>(queries) / legacy_seconds
+               : 0.0;
   }
   double FlatQps() const {
-    return flat_seconds > 0 ? queries / flat_seconds : 0.0;
+    return flat_seconds > 0
+               ? static_cast<double>(queries) / flat_seconds
+               : 0.0;
   }
   double Speedup() const {
     return flat_seconds > 0 ? legacy_seconds / flat_seconds : 0.0;
@@ -316,11 +320,13 @@ void RunSummary() {
               regular_count.Speedup());
   std::printf("index memory: legacy %.2f MB, flat %.2f MB (%.2fx smaller, "
               "position pool %.2f MB)\n",
-              legacy_bytes / 1e6, flat_bytes / 1e6,
+              static_cast<double>(legacy_bytes) / 1e6,
+              static_cast<double>(flat_bytes) / 1e6,
               flat_bytes > 0
-                  ? static_cast<double>(legacy_bytes) / flat_bytes
+                  ? static_cast<double>(legacy_bytes) /
+                        static_cast<double>(flat_bytes)
                   : 0.0,
-              lab->flat.PositionPoolBytes() / 1e6);
+              static_cast<double>(lab->flat.PositionPoolBytes()) / 1e6);
   std::printf("mining fan-out (%zu concepts, %u hardware threads), outputs "
               "identical across worker counts: %s\n",
               lab->concepts.size(), std::thread::hardware_concurrency(),
@@ -366,7 +372,8 @@ void RunSummary() {
                "\"position_pool_bytes\": %zu, \"legacy_over_flat\": %.4f},\n",
                legacy_bytes, flat_bytes, lab->flat.PositionPoolBytes(),
                flat_bytes > 0
-                   ? static_cast<double>(legacy_bytes) / flat_bytes
+                   ? static_cast<double>(legacy_bytes) /
+                        static_cast<double>(flat_bytes)
                    : 0.0);
   std::fprintf(f, "  \"mining_concepts\": %zu,\n", lab->concepts.size());
   // Mining scaling is bounded by the physical cores available; record them

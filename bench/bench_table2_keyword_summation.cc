@@ -89,13 +89,14 @@ int main() {
     ++generic_n;
     if (i < rows.size() / 2) ++generic_in_top_half;
   }
-  generic_mean /= std::max<size_t>(1, generic_n);
+  generic_mean /= static_cast<double>(std::max<size_t>(1, generic_n));
 
   std::printf("\nmeasured: specific top-decile mean = %.1f, generic mean = "
               "%.1f (ratio %.2fx; paper's extremes ratio ~4.8x)\n",
               top_decile, generic_mean, top_decile / generic_mean);
   std::printf("generic concepts in the top half of the ranking: %.0f%% "
               "(paper: generic concepts rank very low)\n",
-              100.0 * generic_in_top_half / std::max<size_t>(1, generic_n));
+              100.0 * static_cast<double>(generic_in_top_half) /
+                  static_cast<double>(std::max<size_t>(1, generic_n)));
   return 0;
 }

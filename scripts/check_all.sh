@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# The one gate: tier-1 tests, the three sanitizer suites (with
+# CKR_DCHECK invariants live — the presets set CKR_ENABLE_DCHECKS), the
+# ckr_lint contract linter over the tree, and clang-tidy when available.
+# Exits non-zero if anything fails; CI runs exactly this script.
+#
+# Usage: scripts/check_all.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: configure + build + ctest (default preset) =="
+cmake --preset default
+cmake --build --preset default -j "$(nproc)"
+ctest --preset default -j "$(nproc)"
+
+echo "== ckr_lint: contract rules over src/ bench/ tests/ tools/ =="
+./build/tools/ckr_lint
+
+echo "== asan =="
+scripts/asan_check.sh
+echo "== tsan =="
+scripts/tsan_check.sh
+echo "== ubsan =="
+scripts/ubsan_check.sh
+
+echo "== clang-tidy (skipped gracefully when unavailable) =="
+scripts/tidy_check.sh
+
+echo "check_all: OK"

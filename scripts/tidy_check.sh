@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config in .clang-tidy) over src/ using the compile
+# database from the default preset. The container image used for growth
+# sessions does not ship clang-tidy, so absence is a skip, not a failure —
+# ckr_lint carries the repo-specific contracts either way.
+#
+# Usage: scripts/tidy_check.sh [files...]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "tidy_check: clang-tidy not found; skipping (ckr_lint still gates)"
+  exit 0
+fi
+
+if [[ ! -f build/compile_commands.json ]]; then
+  cmake --preset default -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+
+files=("$@")
+if [[ ${#files[@]} -eq 0 ]]; then
+  mapfile -t files < <(find src -name '*.cc' | sort)
+fi
+
+clang-tidy -p build --quiet "${files[@]}"
+echo "tidy_check: OK (${#files[@]} files)"

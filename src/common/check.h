@@ -1,0 +1,154 @@
+// Debug-invariant layer: always-on CKR_CHECK, compiled-out CKR_DCHECK,
+// and a bounds-checked ckr::Span for the CSR hot paths.
+//
+// The repo's correctness story is Status/StatusOr for recoverable errors
+// (bad input, corrupt files) and CHECK-style invariants for programming
+// errors (a CSR offset table that is not monotone, a term id past the
+// dictionary). CKR_CHECK is active in every build and aborts with
+// file:line. CKR_DCHECK is active when NDEBUG is absent or the build
+// defines CKR_ENABLE_DCHECKS (the sanitizer presets do); otherwise it
+// expands to an unevaluated operand — zero codegen, but identifiers used
+// only in the check do not become "unused" warnings.
+//
+// ckr::Span carries (pointer, length) over a contiguous CSR slice and
+// bounds-checks operator[] under CKR_DCHECK; in release it is exactly a
+// raw pointer plus an unused length (tests/check_release_test.cc pins the
+// layout and the no-evaluation guarantee).
+#ifndef CKR_COMMON_CHECK_H_
+#define CKR_COMMON_CHECK_H_
+
+#include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+#include <type_traits>
+#include <vector>
+
+// CKR_FORCE_NO_DCHECKS is a per-TU test hook (see check_release_test.cc);
+// normal code never defines it.
+#if defined(CKR_FORCE_NO_DCHECKS)
+#define CKR_DEBUG_CHECKS 0
+#elif defined(CKR_ENABLE_DCHECKS) || !defined(NDEBUG)
+#define CKR_DEBUG_CHECKS 1
+#else
+#define CKR_DEBUG_CHECKS 0
+#endif
+
+namespace ckr {
+namespace internal {
+
+[[noreturn]] inline void CheckFail(const char* file, int line,
+                                   const char* expr) {
+  std::fprintf(stderr, "CKR_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace ckr
+
+/// Aborts with file:line and the failed expression. Active in all builds;
+/// use for invariants whose violation makes continuing meaningless even in
+/// production (e.g. a corrupt frozen automaton).
+#define CKR_CHECK(cond)                                              \
+  (__builtin_expect(!(cond), 0)                                      \
+       ? ::ckr::internal::CheckFail(__FILE__, __LINE__, #cond)       \
+       : (void)0)
+
+#define CKR_CHECK_EQ(a, b) CKR_CHECK((a) == (b))
+#define CKR_CHECK_NE(a, b) CKR_CHECK((a) != (b))
+#define CKR_CHECK_LT(a, b) CKR_CHECK((a) < (b))
+#define CKR_CHECK_LE(a, b) CKR_CHECK((a) <= (b))
+#define CKR_CHECK_GT(a, b) CKR_CHECK((a) > (b))
+#define CKR_CHECK_GE(a, b) CKR_CHECK((a) >= (b))
+
+#if CKR_DEBUG_CHECKS
+#define CKR_DCHECK(cond) CKR_CHECK(cond)
+#else
+// Unevaluated operand: no codegen, no side effects, but operands are
+// odr-used enough to silence -Wunused under -Werror.
+#define CKR_DCHECK(cond) ((void)sizeof((cond) ? 1 : 0))
+#endif
+
+#define CKR_DCHECK_EQ(a, b) CKR_DCHECK((a) == (b))
+#define CKR_DCHECK_NE(a, b) CKR_DCHECK((a) != (b))
+#define CKR_DCHECK_LT(a, b) CKR_DCHECK((a) < (b))
+#define CKR_DCHECK_LE(a, b) CKR_DCHECK((a) <= (b))
+#define CKR_DCHECK_GT(a, b) CKR_DCHECK((a) > (b))
+#define CKR_DCHECK_GE(a, b) CKR_DCHECK((a) >= (b))
+
+namespace ckr {
+
+/// A non-owning view over `size` contiguous elements. The CSR hot paths
+/// (flat automaton transitions, per-term posting slots, matrix rows) hand
+/// these out instead of raw pointer arithmetic so every element access is
+/// bounds-checked wherever CKR_DCHECK is live.
+template <typename T>
+class Span {
+ public:
+  constexpr Span() = default;
+  constexpr Span(T* data, size_t size) : data_(data), size_(size) {}
+
+  /// Span<T> converts to Span<const T>; never the other way.
+  template <typename U,
+            typename = std::enable_if_t<std::is_same_v<const U, T>>>
+  constexpr Span(const Span<U>& other)  // NOLINT(runtime/explicit)
+      : data_(other.data()), size_(other.size()) {}
+
+  constexpr T* data() const { return data_; }
+  constexpr size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+
+  constexpr T& operator[](size_t i) const {
+    CKR_DCHECK_LT(i, size_);
+    return data_[i];
+  }
+  constexpr T& front() const {
+    CKR_DCHECK(!empty());
+    return data_[0];
+  }
+  constexpr T& back() const {
+    CKR_DCHECK(!empty());
+    return data_[size_ - 1];
+  }
+
+  constexpr T* begin() const { return data_; }
+  constexpr T* end() const { return data_ + size_; }
+
+  /// The half-open sub-range [offset, offset + count).
+  constexpr Span subspan(size_t offset, size_t count) const {
+    CKR_DCHECK_LE(offset, size_);
+    CKR_DCHECK_LE(count, size_ - offset);
+    return Span(data_ + offset, count);
+  }
+
+ private:
+  T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+/// Span over a whole vector.
+template <typename T>
+Span<T> MakeSpan(std::vector<T>& v) {
+  return Span<T>(v.data(), v.size());
+}
+template <typename T>
+Span<const T> MakeSpan(const std::vector<T>& v) {
+  return Span<const T>(v.data(), v.size());
+}
+
+/// CSR slice helper: the elements of `pool` in [offsets[i], offsets[i+1]).
+/// DCHECKs the offset pair is monotone and inside the pool.
+template <typename T, typename Offset>
+Span<const T> CsrRow(const std::vector<T>& pool,
+                     const std::vector<Offset>& offsets, size_t i) {
+  CKR_DCHECK_LT(i + 1, offsets.size());
+  const size_t begin = static_cast<size_t>(offsets[i]);
+  const size_t end = static_cast<size_t>(offsets[i + 1]);
+  CKR_DCHECK_LE(begin, end);
+  CKR_DCHECK_LE(end, pool.size());
+  return Span<const T>(pool.data() + begin, end - begin);
+}
+
+}  // namespace ckr
+
+#endif  // CKR_COMMON_CHECK_H_

@@ -9,10 +9,47 @@
 
 #include <atomic>
 #include <cstddef>
+#include <memory>
 #include <thread>
 #include <vector>
 
+#include "common/check.h"
+
 namespace ckr {
+
+namespace internal {
+
+/// Debug-only tripwire for the per-index-slot discipline: every index in
+/// [0, n) must be dispatched to exactly one worker. The atomic dispenser
+/// guarantees this by construction, so a second claim of the same index
+/// means the dispenser (or a future refactor of it) is broken — exactly
+/// the kind of silent determinism loss this layer exists to catch.
+class DispatchLedger {
+ public:
+  explicit DispatchLedger(size_t n) {
+#if CKR_DEBUG_CHECKS
+    claimed_ = std::make_unique<std::atomic<uint8_t>[]>(n);
+    for (size_t i = 0; i < n; ++i) claimed_[i].store(0);
+#else
+    (void)n;
+#endif
+  }
+
+  void Claim(size_t i) {
+#if CKR_DEBUG_CHECKS
+    CKR_CHECK(claimed_[i].exchange(1) == 0);
+#else
+    (void)i;
+#endif
+  }
+
+ private:
+#if CKR_DEBUG_CHECKS
+  std::unique_ptr<std::atomic<uint8_t>[]> claimed_;
+#endif
+};
+
+}  // namespace internal
 
 /// Runs fn(i) for every i in [0, n) using up to `num_threads` workers
 /// (0 or 1 = run inline on the calling thread). Blocks until done.
@@ -26,10 +63,12 @@ void ParallelFor(size_t n, unsigned num_threads, Fn&& fn) {
   unsigned workers = num_threads;
   if (workers > n) workers = static_cast<unsigned>(n);
   std::atomic<size_t> next{0};
+  internal::DispatchLedger ledger(n);
   auto body = [&]() {
     while (true) {
       size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) break;
+      ledger.Claim(i);
       fn(i);
     }
   };
@@ -56,10 +95,13 @@ void ParallelForWorkers(size_t n, unsigned num_threads, Fn&& fn) {
   unsigned workers = num_threads;
   if (workers > n) workers = static_cast<unsigned>(n);
   std::atomic<size_t> next{0};
+  internal::DispatchLedger ledger(n);
   auto body = [&](unsigned worker) {
+    CKR_DCHECK_LT(worker, workers);
     while (true) {
       size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) break;
+      ledger.Claim(i);
       fn(worker, i);
     }
   };

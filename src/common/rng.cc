@@ -1,8 +1,9 @@
 #include "common/rng.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "common/check.h"
 
 namespace ckr {
 
@@ -45,7 +46,7 @@ double Rng::NextDouble() {
 }
 
 uint64_t Rng::NextBounded(uint64_t bound) {
-  assert(bound > 0);
+  CKR_DCHECK(bound > 0);
   // Lemire's nearly-divisionless method.
   uint64_t x = Next();
   __uint128_t m = static_cast<__uint128_t>(x) * bound;
@@ -62,7 +63,7 @@ uint64_t Rng::NextBounded(uint64_t bound) {
 }
 
 int64_t Rng::NextInt(int64_t lo, int64_t hi) {
-  assert(lo <= hi);
+  CKR_DCHECK(lo <= hi);
   return lo + static_cast<int64_t>(
                   NextBounded(static_cast<uint64_t>(hi - lo) + 1));
 }
@@ -90,13 +91,13 @@ bool Rng::NextBernoulli(double p) {
 }
 
 size_t Rng::NextCategorical(const std::vector<double>& weights) {
-  assert(!weights.empty());
+  CKR_DCHECK(!weights.empty());
   double total = 0.0;
   for (double w : weights) {
-    assert(w >= 0.0);
+    CKR_DCHECK(w >= 0.0);
     total += w;
   }
-  assert(total > 0.0);
+  CKR_DCHECK(total > 0.0);
   double x = NextDouble() * total;
   double acc = 0.0;
   for (size_t i = 0; i < weights.size(); ++i) {
@@ -124,7 +125,7 @@ Rng Rng::Fork(uint64_t stream) {
 }
 
 ZipfSampler::ZipfSampler(size_t n, double exponent) {
-  assert(n > 0);
+  CKR_DCHECK(n > 0);
   pmf_.resize(n);
   cdf_.resize(n);
   double total = 0.0;
@@ -148,7 +149,7 @@ size_t ZipfSampler::Sample(Rng& rng) const {
 }
 
 double ZipfSampler::Pmf(size_t rank) const {
-  assert(rank >= 1 && rank <= pmf_.size());
+  CKR_DCHECK(rank >= 1 && rank <= pmf_.size());
   return pmf_[rank - 1];
 }
 

@@ -5,10 +5,11 @@
 #ifndef CKR_COMMON_STATUS_H_
 #define CKR_COMMON_STATUS_H_
 
-#include <cassert>
 #include <optional>
 #include <string>
 #include <utility>
+
+#include "common/check.h"
 
 namespace ckr {
 
@@ -26,31 +27,34 @@ enum class StatusCode {
 };
 
 /// A lightweight success/error result. Copyable and cheap when OK (no
-/// allocation on the success path).
-class Status {
+/// allocation on the success path). The class-level [[nodiscard]] makes
+/// the compiler reject silently dropped Status values anywhere in the
+/// tree; ckr_lint's R3 additionally requires the per-declaration
+/// attribute on public APIs so headers document the contract locally.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
 
-  static Status OK() { return Status(); }
-  static Status InvalidArgument(std::string msg) {
+  [[nodiscard]] static Status OK() { return Status(); }
+  [[nodiscard]] static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
   }
-  static Status NotFound(std::string msg) {
+  [[nodiscard]] static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
-  static Status AlreadyExists(std::string msg) {
+  [[nodiscard]] static Status AlreadyExists(std::string msg) {
     return Status(StatusCode::kAlreadyExists, std::move(msg));
   }
-  static Status OutOfRange(std::string msg) {
+  [[nodiscard]] static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
   }
-  static Status FailedPrecondition(std::string msg) {
+  [[nodiscard]] static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
-  static Status Internal(std::string msg) {
+  [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
-  static Status IOError(std::string msg) {
+  [[nodiscard]] static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
   }
 
@@ -74,12 +78,12 @@ class Status {
 };
 
 /// A Status or a value of type T. Accessing the value of a non-OK result
-/// is a programming error (asserts in debug builds).
+/// is a programming error (CKR_DCHECKs in debug/sanitizer builds).
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
-    assert(!status_.ok());
+    CKR_DCHECK(!status_.ok());
   }
   StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
 
@@ -87,15 +91,15 @@ class StatusOr {
   const Status& status() const { return status_; }
 
   const T& value() const& {
-    assert(ok());
+    CKR_DCHECK(ok());
     return *value_;
   }
   T& value() & {
-    assert(ok());
+    CKR_DCHECK(ok());
     return *value_;
   }
   T&& value() && {
-    assert(ok());
+    CKR_DCHECK(ok());
     return std::move(*value_);
   }
 

@@ -1,8 +1,8 @@
 #include "conceptvec/concept_vector.h"
 
 #include <algorithm>
-#include <cassert>
 
+#include "common/check.h"
 #include "common/string_util.h"
 #include "text/stopwords.h"
 #include "text/tokenizer.h"
@@ -42,7 +42,7 @@ ConceptVectorGenerator::ConceptVectorGenerator(const TermDictionary& term_dict,
   for (const UnitInfo& u : units_.units()) {
     Status s = unit_matcher_.AddPhrase(
         u.phrase, static_cast<uint32_t>(matcher_payloads_.size()));
-    assert(s.ok());
+    CKR_DCHECK(s.ok());
     (void)s;
     matcher_payloads_.push_back(&u);
   }

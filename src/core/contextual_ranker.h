@@ -41,7 +41,7 @@ class ContextualRanker {
  public:
   /// Builds + trains the whole system (offline phase). Minutes at paper
   /// scale, seconds at test scale.
-  static StatusOr<std::unique_ptr<ContextualRanker>> Train(
+  [[nodiscard]] static StatusOr<std::unique_ptr<ContextualRanker>> Train(
       const ContextualRankerOptions& options);
 
   /// Ranks the key concepts of a document, best first. `top_n` == 0 means

@@ -80,7 +80,7 @@ class DatasetBuilder {
  public:
   DatasetBuilder(const Pipeline& pipeline, const DatasetConfig& config = {});
 
-  StatusOr<ClickDataset> Build() const;
+  [[nodiscard]] StatusOr<ClickDataset> Build() const;
 
  private:
   const Pipeline& pipeline_;

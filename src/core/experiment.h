@@ -63,11 +63,11 @@ class ExperimentRunner {
 
   /// Cross-validated ranking SVM per the ModelSpec. Trains fold models on
   /// the training stories and scores each window exactly once.
-  StatusOr<EvalResult> EvaluateModelCV(const ModelSpec& spec) const;
+  [[nodiscard]] StatusOr<EvalResult> EvaluateModelCV(const ModelSpec& spec) const;
 
   /// Trains one model on the full dataset (for deployment / the runtime
   /// framework).
-  StatusOr<RankSvmModel> TrainFullModel(const ModelSpec& spec) const;
+  [[nodiscard]] StatusOr<RankSvmModel> TrainFullModel(const ModelSpec& spec) const;
 
   /// Assembles the feature vector of one instance under a spec (shared
   /// with the runtime framework and tests).

@@ -50,7 +50,7 @@ struct PipelineConfig {
 class Pipeline {
  public:
   /// Builds the full laboratory. Deterministic in the config seeds.
-  static StatusOr<std::unique_ptr<Pipeline>> Build(const PipelineConfig& config);
+  [[nodiscard]] static StatusOr<std::unique_ptr<Pipeline>> Build(const PipelineConfig& config);
 
   const PipelineConfig& config() const { return config_; }
   const World& world() const { return *world_; }

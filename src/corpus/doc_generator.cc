@@ -1,7 +1,6 @@
 #include "corpus/doc_generator.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cctype>
 #include <cmath>
 

@@ -1,6 +1,5 @@
 #include "corpus/taxonomy.h"
 
-#include <cassert>
 
 namespace ckr {
 

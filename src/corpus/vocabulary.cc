@@ -1,8 +1,8 @@
 #include "corpus/vocabulary.h"
 
-#include <cassert>
 #include <cctype>
 
+#include "common/check.h"
 #include "text/stopwords.h"
 
 namespace ckr {
@@ -105,7 +105,7 @@ WordId Vocabulary::SampleBackground(Rng& rng) const {
 
 WordId Vocabulary::SampleForTopic(size_t topic, double topic_prob,
                                   Rng& rng) const {
-  assert(topic < num_topics_);
+  CKR_DCHECK(topic < num_topics_);
   if (rng.NextBernoulli(topic_prob)) {
     const auto& tw = topic_words_[topic];
     return tw[rng.NextBounded(tw.size())];

@@ -1,7 +1,6 @@
 #include "corpus/world.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
 #include "common/string_util.h"

@@ -65,7 +65,7 @@ struct WorldConfig {
   size_t off_topic_entities_max = 3;
   double generic_concept_prob = 0.35;  ///< P(doc contains >=1 junk unit).
 
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 };
 
 /// One entity or concept of the world.
@@ -104,7 +104,7 @@ struct Entity {
 class World {
  public:
   /// Builds the world; returns InvalidArgument on nonsensical configs.
-  static StatusOr<std::unique_ptr<World>> Create(const WorldConfig& config);
+  [[nodiscard]] static StatusOr<std::unique_ptr<World>> Create(const WorldConfig& config);
 
   const WorldConfig& config() const { return config_; }
   const Vocabulary& vocabulary() const { return *vocab_; }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 
+#include "common/check.h"
 #include "common/string_util.h"
 
 namespace ckr {
@@ -110,26 +111,44 @@ void PhraseMatcher::Build() {
   }
   nodes_.clear();
   nodes_.shrink_to_fit();
+#if CKR_DEBUG_CHECKS
+  // Frozen-automaton invariants: node spans are monotone half-open ranges
+  // inside the flat arrays, and every fail link / transition target is a
+  // valid node index.
+  for (const FlatNode& f : flat_) {
+    CKR_DCHECK_LE(f.trans_begin, f.trans_end);
+    CKR_DCHECK_LE(static_cast<size_t>(f.trans_end), trans_terms_.size());
+    CKR_DCHECK_LE(f.out_begin, f.out_end);
+    CKR_DCHECK_LE(static_cast<size_t>(f.out_end), outputs_.size());
+    CKR_DCHECK_GE(f.fail, 0);
+    CKR_DCHECK_LT(static_cast<size_t>(f.fail), flat_.size());
+  }
+  for (int32_t target : trans_targets_) {
+    CKR_DCHECK_GT(target, 0);
+    CKR_DCHECK_LT(static_cast<size_t>(target), flat_.size());
+  }
+#endif
   built_ = true;
 }
 
 int32_t PhraseMatcher::FlatStep(int32_t node, uint32_t tid) const {
+  CKR_DCHECK_LT(static_cast<size_t>(node), flat_.size());
   const FlatNode& f = flat_[static_cast<size_t>(node)];
-  uint32_t lo = f.trans_begin;
-  uint32_t hi = f.trans_end;
+  const size_t lo = f.trans_begin;
+  const Span<const uint32_t> terms(trans_terms_.data() + lo,
+                                   f.trans_end - f.trans_begin);
+  const Span<const int32_t> targets(trans_targets_.data() + lo, terms.size());
   // Short spans (the overwhelming majority outside the root) probe
   // linearly; the root's wide fan-out binary-searches.
-  if (hi - lo <= 8) {
-    for (uint32_t i = lo; i < hi; ++i) {
-      if (trans_terms_[i] == tid) return trans_targets_[i];
+  if (terms.size() <= 8) {
+    for (size_t i = 0; i < terms.size(); ++i) {
+      if (terms[i] == tid) return targets[i];
     }
     return -1;
   }
-  const uint32_t* first = trans_terms_.data() + lo;
-  const uint32_t* last = trans_terms_.data() + hi;
-  const uint32_t* it = std::lower_bound(first, last, tid);
-  if (it == last || *it != tid) return -1;
-  return trans_targets_[static_cast<size_t>(it - trans_terms_.data())];
+  const uint32_t* it = std::lower_bound(terms.begin(), terms.end(), tid);
+  if (it == terms.end() || *it != tid) return -1;
+  return targets[static_cast<size_t>(it - terms.begin())];
 }
 
 void PhraseMatcher::FindAllTids(const uint32_t* tids, size_t n,
@@ -149,8 +168,10 @@ void PhraseMatcher::FindAllTids(const uint32_t* tids, size_t n,
     }
     node = next < 0 ? kRoot : next;
     const FlatNode& f = flat_[static_cast<size_t>(node)];
-    for (uint32_t o = f.out_begin; o < f.out_end; ++o) {
-      const auto& [payload, len] = outputs_[o];
+    const Span<const std::pair<uint32_t, uint32_t>> outs(
+        outputs_.data() + f.out_begin, f.out_end - f.out_begin);
+    for (const auto& [payload, len] : outs) {
+      CKR_DCHECK_GE(static_cast<uint32_t>(i) + 1, len);
       PhraseMatch m;
       m.token_begin = static_cast<uint32_t>(i) + 1 - len;
       m.token_count = len;

@@ -45,7 +45,7 @@ class PhraseMatcher {
   /// Registers a phrase (whitespace-separated normalized tokens) with a
   /// caller-defined payload. Duplicate phrases keep the first payload.
   /// Must be called before Build().
-  Status AddPhrase(std::string_view phrase, uint32_t payload);
+  [[nodiscard]] Status AddPhrase(std::string_view phrase, uint32_t payload);
 
   /// Constructs goto/fail links and freezes the flat automaton.
   /// Idempotent.

@@ -1,8 +1,8 @@
 #include "detect/entity_detector.h"
 
 #include <algorithm>
-#include <cassert>
 
+#include "common/check.h"
 #include "text/stopwords.h"
 #include "text/tokenizer.h"
 
@@ -48,7 +48,7 @@ EntityDetector::EntityDetector(const std::vector<DictionaryEntry>& dictionary,
   }
   for (uint32_t i = 0; i < entries_.size(); ++i) {
     Status s = matcher_.AddPhrase(entries_[i].key, i);
-    assert(s.ok());
+    CKR_DCHECK(s.ok());
     (void)s;
   }
   matcher_.Build();

@@ -1,13 +1,13 @@
 #include "eval/cross_validation.h"
 
-#include <cassert>
 
+#include "common/check.h"
 #include "common/rng.h"
 
 namespace ckr {
 
 std::vector<int> KFoldAssignment(size_t n, int k, uint64_t seed) {
-  assert(k > 0);
+  CKR_DCHECK(k > 0);
   Rng rng(seed);
   std::vector<size_t> perm = rng.Permutation(n);
   std::vector<int> folds(n, 0);

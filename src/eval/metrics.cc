@@ -1,11 +1,11 @@
 #include "eval/metrics.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <numeric>
 #include <utility>
 
+#include "common/check.h"
 #include "common/parallel.h"
 #include "common/rng.h"
 
@@ -14,7 +14,7 @@ namespace ckr {
 void AccumulatePairwiseError(const std::vector<double>& pred,
                              const std::vector<double>& ctr, bool weighted,
                              PairwiseErrorAccumulator* acc) {
-  assert(pred.size() == ctr.size());
+  CKR_DCHECK(pred.size() == ctr.size());
   const size_t n = pred.size();
   for (size_t i = 0; i < n; ++i) {
     for (size_t j = i + 1; j < n; ++j) {
@@ -59,7 +59,7 @@ int CtrBucketizer::BucketNo(double ctr) const {
 
 double NdcgAtK(const std::vector<double>& pred, const std::vector<double>& ctr,
                const CtrBucketizer& buckets, size_t k) {
-  assert(pred.size() == ctr.size());
+  CKR_DCHECK(pred.size() == ctr.size());
   const size_t n = pred.size();
   if (n == 0) return 1.0;
 

@@ -8,7 +8,7 @@ namespace ckr {
 namespace {
 
 double WallSeconds(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -  // ckr-lint: allow(R1) wall-clock stats
                                        start)
       .count();
 }
@@ -29,10 +29,10 @@ std::vector<MinedConcept> OfflineConceptMiner::MineAll(
   std::vector<double> busy(workers, 0.0);
   std::vector<uint64_t> mined(workers, 0);
 
-  auto t0 = std::chrono::steady_clock::now();
+  auto t0 = std::chrono::steady_clock::now();  // ckr-lint: allow(R1) wall-clock stats
   ParallelForWorkers(concepts.size(), workers, [&](unsigned worker,
                                                    size_t c) {
-    auto item_start = std::chrono::steady_clock::now();
+    auto item_start = std::chrono::steady_clock::now();  // ckr-lint: allow(R1) wall-clock stats
     const ConceptKey& item = concepts[c];
     MinedConcept& slot = out[c];
     slot.interestingness = interestingness_.Extract(item.key, item.type);

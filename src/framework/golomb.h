@@ -28,25 +28,25 @@ uint64_t OptimalGolombParameter(double mean_gap);
 /// all Golomb-coded with a parameter derived from the list density over
 /// `universe`. Returns the byte buffer (self-contained: stores count and
 /// parameter in a small header).
-StatusOr<std::vector<uint8_t>> EncodeSortedIds(
+[[nodiscard]] StatusOr<std::vector<uint8_t>> EncodeSortedIds(
     const std::vector<uint32_t>& ids, uint32_t universe);
 
 /// Inverse of EncodeSortedIds.
-StatusOr<std::vector<uint32_t>> DecodeSortedIds(
+[[nodiscard]] StatusOr<std::vector<uint32_t>> DecodeSortedIds(
     const std::vector<uint8_t>& bytes);
 
 /// Appends one EncodeSortedIds-format blob to `pool` and returns the byte
 /// offset of its start. Blobs are byte-aligned and self-contained, so a
 /// pool of concatenated blobs plus per-blob offsets serves as a compressed
 /// positions store (the inverted index keeps one blob per posting entry).
-StatusOr<size_t> AppendEncodedSortedIds(const std::vector<uint32_t>& ids,
+[[nodiscard]] StatusOr<size_t> AppendEncodedSortedIds(const std::vector<uint32_t>& ids,
                                         uint32_t universe,
                                         std::vector<uint8_t>* pool);
 
 /// Decodes one blob from a raw byte span into `*out` (cleared first,
 /// capacity reused). Span-based so hot decode loops neither copy the blob
 /// nor allocate a fresh result vector per call.
-Status DecodeSortedIdsInto(const uint8_t* data, size_t size,
+[[nodiscard]] Status DecodeSortedIdsInto(const uint8_t* data, size_t size,
                            std::vector<uint32_t>* out);
 
 }  // namespace ckr

@@ -14,7 +14,7 @@ namespace ckr {
 namespace {
 
 double SecondsSince(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -  // ckr-lint: allow(R1) wall-clock stats
                                        start)
       .count();
 }
@@ -433,7 +433,7 @@ std::vector<RankedAnnotation> RuntimeRanker::ProcessDocument(
     std::string_view text, RankerScratch* scratch, RuntimeStats* stats) const {
   // Stemmer component: tokenize once (shared with detection below) and
   // stem every non-stopword token into the context TID set.
-  auto t0 = std::chrono::steady_clock::now();
+  auto t0 = std::chrono::steady_clock::now();  // ckr-lint: allow(R1) wall-clock stats
   TokenizeInto(text, &scratch->detect.tokens);
   scratch->context.Reset(tids_.size());
   for (const Token& tok : scratch->detect.tokens) {
@@ -445,13 +445,13 @@ std::vector<RankedAnnotation> RuntimeRanker::ProcessDocument(
   double stem_s = SecondsSince(t0);
 
   // Ranker component, stage 1: candidate detection on the flat automaton.
-  auto t1 = std::chrono::steady_clock::now();
+  auto t1 = std::chrono::steady_clock::now();  // ckr-lint: allow(R1) wall-clock stats
   const std::vector<RawDetection>& raw =
       detector_.DetectRawPreTokenized(text, &scratch->detect);
   double match_s = SecondsSince(t1);
 
   // Ranker component, stage 2: id-keyed feature assembly + model scoring.
-  auto t2 = std::chrono::steady_clock::now();
+  auto t2 = std::chrono::steady_clock::now();  // ckr-lint: allow(R1) wall-clock stats
   std::vector<RankedAnnotation> ranked;
   scratch->seen_entries.Reset(detector_.NumEntries());
   for (const RawDetection& d : raw) {
@@ -513,11 +513,11 @@ std::vector<std::vector<RankedAnnotation>> RuntimeRanker::ProcessBatch(
 
 std::vector<RankedAnnotation> RuntimeRanker::ProcessDocumentLegacy(
     std::string_view text, RuntimeStats* stats) const {
-  auto t0 = std::chrono::steady_clock::now();
+  auto t0 = std::chrono::steady_clock::now();  // ckr-lint: allow(R1) wall-clock stats
   std::unordered_set<uint32_t> context = StemToTids(text);
   double stem_s = SecondsSince(t0);
 
-  auto t1 = std::chrono::steady_clock::now();
+  auto t1 = std::chrono::steady_clock::now();  // ckr-lint: allow(R1) wall-clock stats
   std::vector<Detection> detections = detector_.Detect(text);
   std::vector<RankedAnnotation> ranked;
   std::vector<double> features;

@@ -86,7 +86,7 @@ class QuantizedInterestingnessStore {
   void SaveTo(BinaryWriter* writer) const;
 
   /// Restores a store saved by SaveTo.
-  static StatusOr<QuantizedInterestingnessStore> LoadFrom(BinaryReader* reader);
+  [[nodiscard]] static StatusOr<QuantizedInterestingnessStore> LoadFrom(BinaryReader* reader);
 
  private:
   std::unordered_map<std::string, std::vector<double>> raw_;
@@ -127,7 +127,7 @@ class GlobalTidTable {
   void SaveTo(BinaryWriter* writer) const;
 
   /// Restores a table saved by SaveTo (TIDs preserved exactly).
-  static StatusOr<GlobalTidTable> LoadFrom(BinaryReader* reader);
+  [[nodiscard]] static StatusOr<GlobalTidTable> LoadFrom(BinaryReader* reader);
 
  private:
   std::unordered_map<std::string, uint32_t, StringViewHash, std::equal_to<>>
@@ -181,7 +181,7 @@ class PackedRelevanceStore {
 
   /// Restores a store saved by SaveTo; `tids` must be the matching table
   /// (same numbering) and outlive the store.
-  static StatusOr<PackedRelevanceStore> LoadFrom(BinaryReader* reader,
+  [[nodiscard]] static StatusOr<PackedRelevanceStore> LoadFrom(BinaryReader* reader,
                                                  GlobalTidTable* tids);
 
  private:

@@ -29,11 +29,11 @@ struct StorePack {
   std::string Serialize() const;
 
   /// Parses a blob produced by Serialize().
-  static StatusOr<StorePack> Deserialize(std::string_view blob);
+  [[nodiscard]] static StatusOr<StorePack> Deserialize(std::string_view blob);
 
   /// Convenience file I/O.
-  Status SaveToFile(const std::string& path) const;
-  static StatusOr<StorePack> LoadFromFile(const std::string& path);
+  [[nodiscard]] Status SaveToFile(const std::string& path) const;
+  [[nodiscard]] static StatusOr<StorePack> LoadFromFile(const std::string& path);
 };
 
 /// Serializes components that live outside a StorePack (e.g. inside a

@@ -1,9 +1,9 @@
 #include "index/inverted_index.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
+#include "common/check.h"
 #include "framework/golomb.h"
 #include "text/tokenizer.h"
 
@@ -63,7 +63,7 @@ uint32_t InvertedIndex::LookupTerm(std::string_view term) const {
 }
 
 void InvertedIndex::Add(const Document& doc) {
-  assert(!finalized_);
+  CKR_DCHECK(!finalized_);
   if (doc_tok_offset_.empty()) doc_tok_offset_.push_back(0);
   std::vector<Token> toks = Tokenize(doc.text);
   for (const Token& t : toks) {
@@ -89,7 +89,9 @@ void InvertedIndex::Finalize() {
     total_len += doc_len_[d];
   }
   avg_doc_len_ =
-      num_docs == 0 ? 0.0 : static_cast<double>(total_len) / num_docs;
+      num_docs == 0
+          ? 0.0
+          : static_cast<double>(total_len) / static_cast<double>(num_docs);
 
   const Bm25Params defaults;
   default_norm_.resize(num_docs);
@@ -152,13 +154,32 @@ void InvertedIndex::Finalize() {
       post_doc_[slot] = static_cast<uint32_t>(d);
       post_tf_[slot] = static_cast<uint32_t>(positions.size());
       auto offset_or = AppendEncodedSortedIds(positions, universe, &pos_pool_);
-      assert(offset_or.ok());
+      CKR_DCHECK(offset_or.ok());
       pos_offset_[slot] = *offset_or;
       pos_len_[slot] = static_cast<uint32_t>(pos_pool_.size() - *offset_or);
       pos_first_[slot] = positions.front();
     }
   }
   pos_pool_.shrink_to_fit();
+#if CKR_DEBUG_CHECKS
+  // Frozen-layout invariants: the slot offset table is monotone and fully
+  // consumed, every slot's doc index is in range and strictly ascending
+  // within its term (pass 2 emits doc-major), and every positions blob
+  // lies inside the shared pool.
+  CKR_DCHECK_EQ(post_offset_.size(), num_terms + 1);
+  for (size_t t = 0; t < num_terms; ++t) {
+    CKR_DCHECK_LE(post_offset_[t], post_offset_[t + 1]);
+    CKR_DCHECK_EQ(cursor[t], post_offset_[t + 1]);
+    for (size_t slot = post_offset_[t]; slot < post_offset_[t + 1]; ++slot) {
+      CKR_DCHECK_LT(post_doc_[slot], num_docs);
+      if (slot > post_offset_[t]) {
+        CKR_DCHECK_LT(post_doc_[slot - 1], post_doc_[slot]);
+      }
+      CKR_DCHECK_LE(pos_offset_[slot] + pos_len_[slot], pos_pool_.size());
+    }
+  }
+  for (uint32_t tid : tok_tid_) CKR_DCHECK_LT(tid, num_terms);
+#endif
   finalized_ = true;
 }
 
@@ -171,7 +192,7 @@ uint32_t InvertedIndex::DocFreq(std::string_view term) const {
 std::vector<SearchResult> InvertedIndex::Search(std::string_view query,
                                                 size_t k,
                                                 const Bm25Params& params) const {
-  assert(finalized_);
+  CKR_DCHECK(finalized_);
   std::vector<std::string> terms = TokenizeToStrings(query);
   // Deduplicate query terms (same sorted accumulation order as the legacy
   // path, so per-doc floating-point sums are bit-identical).
@@ -187,13 +208,13 @@ std::vector<SearchResult> InvertedIndex::Search(std::string_view query,
   for (const std::string& term : terms) {
     uint32_t tid = LookupTerm(term);
     if (tid == kInvalidTid) continue;
-    const size_t begin = post_offset_[tid];
-    const size_t end = post_offset_[tid + 1];
-    const double dfd = static_cast<double>(end - begin);
+    const Span<const uint32_t> slot_docs = CsrRow(post_doc_, post_offset_, tid);
+    const Span<const uint32_t> slot_tfs = CsrRow(post_tf_, post_offset_, tid);
+    const double dfd = static_cast<double>(slot_docs.size());
     double idf = std::log(1.0 + (n - dfd + 0.5) / (dfd + 0.5));
-    for (size_t slot = begin; slot < end; ++slot) {
-      uint32_t d = post_doc_[slot];
-      double tf = static_cast<double>(post_tf_[slot]);
+    for (size_t slot = 0; slot < slot_docs.size(); ++slot) {
+      uint32_t d = slot_docs[slot];
+      double tf = static_cast<double>(slot_tfs[slot]);
       double norm =
           default_params
               ? default_norm_[d]
@@ -213,7 +234,7 @@ std::vector<SearchResult> InvertedIndex::Search(std::string_view query,
 }
 
 uint64_t InvertedIndex::RegularResultCount(std::string_view query) const {
-  assert(finalized_);
+  CKR_DCHECK(finalized_);
   std::vector<std::string> terms = TokenizeToStrings(query);
   std::sort(terms.begin(), terms.end());
   terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
@@ -226,9 +247,7 @@ uint64_t InvertedIndex::RegularResultCount(std::string_view query) const {
   for (const std::string& term : terms) {
     uint32_t tid = LookupTerm(term);
     if (tid == kInvalidTid) continue;
-    for (size_t slot = post_offset_[tid]; slot < post_offset_[tid + 1];
-         ++slot) {
-      uint32_t d = post_doc_[slot];
+    for (uint32_t d : CsrRow(post_doc_, post_offset_, tid)) {
       if (!seen[d]) {
         seen[d] = 1;
         ++count;
@@ -243,7 +262,7 @@ void InvertedIndex::DecodePositions(size_t slot,
   Status s = DecodeSortedIdsInto(pos_pool_.data() + pos_offset_[slot],
                                  pos_len_[slot], out);
   (void)s;
-  assert(s.ok());
+  CKR_DCHECK(s.ok());
 }
 
 bool InvertedIndex::ResolvePhrase(std::string_view phrase,
@@ -275,12 +294,12 @@ namespace {
 /// equals term t, which holds iff term t has a position at p+t (positions
 /// come from the same token stream) — so witnesses are exactly the legacy
 /// ones.
-inline bool WindowMatches(const uint32_t* toks, uint32_t len, uint32_t q,
+inline bool WindowMatches(Span<const uint32_t> toks, uint32_t q,
                           size_t rarest, const std::vector<uint32_t>& tids) {
   if (q < rarest) return false;
   const uint32_t p = q - static_cast<uint32_t>(rarest);
   const uint32_t width = static_cast<uint32_t>(tids.size());
-  if (p + width > len) return false;
+  if (p + width > toks.size()) return false;
   for (uint32_t t = 0; t < width; ++t) {
     if (t == rarest) continue;  // q is a known occurrence.
     if (toks[p + t] != tids[t]) return false;
@@ -294,11 +313,11 @@ bool InvertedIndex::PhraseInDoc(uint32_t d, const std::vector<uint32_t>& tids,
                                 size_t rarest, size_t rarest_slot,
                                 std::vector<uint32_t>* pos_buf,
                                 uint32_t* num_starts) const {
-  const uint32_t* toks = tok_tid_.data() + doc_tok_offset_[d];
-  const uint32_t len = doc_len_[d];
+  const Span<const uint32_t> toks = CsrRow(tok_tid_, doc_tok_offset_, d);
+  CKR_DCHECK_EQ(toks.size(), doc_len_[d]);
   const uint32_t tf = post_tf_[rarest_slot];
   const bool first_hits =
-      WindowMatches(toks, len, pos_first_[rarest_slot], rarest, tids);
+      WindowMatches(toks, pos_first_[rarest_slot], rarest, tids);
 
   if (num_starts == nullptr) {
     // Existence only: the stored first position answers most docs without
@@ -307,7 +326,7 @@ bool InvertedIndex::PhraseInDoc(uint32_t d, const std::vector<uint32_t>& tids,
     if (tf == 1) return false;
     DecodePositions(rarest_slot, pos_buf);
     for (size_t i = 1; i < pos_buf->size(); ++i) {
-      if (WindowMatches(toks, len, (*pos_buf)[i], rarest, tids)) return true;
+      if (WindowMatches(toks, (*pos_buf)[i], rarest, tids)) return true;
     }
     return false;
   }
@@ -318,7 +337,7 @@ bool InvertedIndex::PhraseInDoc(uint32_t d, const std::vector<uint32_t>& tids,
   } else {
     DecodePositions(rarest_slot, pos_buf);
     for (uint32_t q : *pos_buf) {
-      if (WindowMatches(toks, len, q, rarest, tids)) ++starts;
+      if (WindowMatches(toks, q, rarest, tids)) ++starts;
     }
   }
   *num_starts = starts;
@@ -326,7 +345,7 @@ bool InvertedIndex::PhraseInDoc(uint32_t d, const std::vector<uint32_t>& tids,
 }
 
 uint64_t InvertedIndex::PhraseResultCount(std::string_view phrase) const {
-  assert(finalized_);
+  CKR_DCHECK(finalized_);
   std::vector<uint32_t> tids;
   size_t rarest = 0;
   if (!ResolvePhrase(phrase, &tids, &rarest)) return 0;
@@ -349,7 +368,7 @@ uint64_t InvertedIndex::PhraseResultCount(std::string_view phrase) const {
 
 std::vector<SearchResult> InvertedIndex::PhraseSearch(std::string_view phrase,
                                                       size_t k) const {
-  assert(finalized_);
+  CKR_DCHECK(finalized_);
   std::vector<uint32_t> tids;
   size_t rarest = 0;
   if (!ResolvePhrase(phrase, &tids, &rarest)) return {};

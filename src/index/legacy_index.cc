@@ -1,17 +1,17 @@
 #include "index/legacy_index.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <unordered_set>
 
+#include "common/check.h"
 #include "common/string_util.h"
 #include "text/tokenizer.h"
 
 namespace ckr {
 
 void LegacyInvertedIndex::Add(const Document& doc) {
-  assert(!finalized_);
+  CKR_DCHECK(!finalized_);
   StoredDoc stored;
   stored.id = doc.id;
   stored.text = doc.text;
@@ -44,7 +44,8 @@ void LegacyInvertedIndex::Finalize() {
   }
   avg_doc_len_ = docs_.empty()
                      ? 0.0
-                     : static_cast<double>(total_len) / docs_.size();
+                     : static_cast<double>(total_len) /
+                           static_cast<double>(docs_.size());
   finalized_ = true;
 }
 
@@ -56,7 +57,7 @@ uint32_t LegacyInvertedIndex::DocFreq(std::string_view term) const {
 
 std::vector<SearchResult> LegacyInvertedIndex::Search(
     std::string_view query, size_t k, const Bm25Params& params) const {
-  assert(finalized_);
+  CKR_DCHECK(finalized_);
   std::vector<std::string> terms = TokenizeToStrings(query);
   // Deduplicate query terms.
   std::sort(terms.begin(), terms.end());
@@ -68,8 +69,8 @@ std::vector<SearchResult> LegacyInvertedIndex::Search(
     auto it = postings_.find(term);
     if (it == postings_.end()) continue;
     const auto& plist = it->second;
-    double idf = std::log(1.0 + (n - plist.size() + 0.5) /
-                                    (plist.size() + 0.5));
+    const double df = static_cast<double>(plist.size());
+    double idf = std::log(1.0 + (n - df + 0.5) / (df + 0.5));
     for (const Posting& p : plist) {
       double tf = static_cast<double>(p.positions.size());
       double dl = static_cast<double>(docs_[p.doc_index].tokens.size());
@@ -122,7 +123,7 @@ uint64_t LegacyInvertedIndex::RegularResultCount(std::string_view query) const {
 
 std::vector<SearchResult> LegacyInvertedIndex::PhraseSearch(
     std::string_view phrase, size_t k) const {
-  assert(finalized_);
+  CKR_DCHECK(finalized_);
   std::vector<std::string> terms = TokenizeToStrings(phrase);
   std::vector<SearchResult> results;
   if (terms.empty()) return results;
@@ -160,7 +161,8 @@ std::vector<SearchResult> LegacyInvertedIndex::PhraseSearch(
     if (starts.empty()) continue;
     // Score: phrase tf * idf of the rarest term, normalized by length.
     double idf = std::log(
-        1.0 + (n - lists[rarest]->size() + 0.5) / (lists[rarest]->size() + 0.5));
+        1.0 + (n - static_cast<double>(lists[rarest]->size()) + 0.5) /
+                  (static_cast<double>(lists[rarest]->size()) + 0.5));
     double dl = static_cast<double>(docs_[d].tokens.size());
     double score = idf * static_cast<double>(starts.size()) /
                    (1.0 + 0.002 * dl);

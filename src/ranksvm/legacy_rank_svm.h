@@ -25,7 +25,7 @@ class LegacyRankSvmTrainer {
   explicit LegacyRankSvmTrainer(const RankSvmConfig& config = {});
 
   /// Fails when no valid preference pair exists or dimensions disagree.
-  StatusOr<RankSvmModel> Train(
+  [[nodiscard]] StatusOr<RankSvmModel> Train(
       const std::vector<RankingInstance>& data) const;
 
  private:

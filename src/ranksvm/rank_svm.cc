@@ -8,6 +8,7 @@
 #include <string>
 
 #include "common/binary_io.h"
+#include "common/check.h"
 #include "common/log.h"
 #include "common/parallel.h"
 #include "common/string_util.h"
@@ -31,6 +32,15 @@ constexpr size_t kPairDiffBudgetBytes = 32u << 20;
 /// latency-bound SGD chain. Ring size must be a power of two > ahead.
 constexpr size_t kPickRing = 16;
 constexpr size_t kPickAhead = 8;
+
+/// Row `p` of a row-major (rows x dim) matrix backed by `pool`. Bounds-
+/// checked under CKR_DCHECK; identical codegen to raw pointer arithmetic
+/// in release.
+inline Span<const double> RowSpan(const std::vector<double>& pool, size_t p,
+                                  size_t dim) {
+  CKR_DCHECK_LE((p + 1) * dim, pool.size());
+  return Span<const double>(pool.data() + p * dim, dim);
+}
 
 }  // namespace
 
@@ -76,6 +86,7 @@ std::vector<double> RankSvmModel::TransformBatch(
       std::max(1u, workers),
       std::vector<double>(kernel_ == SvmKernel::kLinear ? 0 : mean_.size()));
   ParallelForWorkers(rows.size(), workers, [&](unsigned worker, size_t i) {
+    CKR_DCHECK_EQ(rows[i].size(), mean_.size());
     TransformRowInto(rows[i].data(), out.data() + i * feat_dim,
                      scratch[worker].data());
   });
@@ -412,8 +423,8 @@ StatusOr<RankSvmModel> RankSvmTrainer::Train(
   if (use_diff) {
     diff.resize(num_pairs * feat_dim);
     ParallelForWorkers(num_pairs, workers, [&](unsigned, size_t p) {
-      const double* xw = phi.data() + size_t{winners[p]} * feat_dim;
-      const double* xl = phi.data() + size_t{losers[p]} * feat_dim;
+      const Span<const double> xw = RowSpan(phi, winners[p], feat_dim);
+      const Span<const double> xl = RowSpan(phi, losers[p], feat_dim);
       double* out = diff.data() + p * feat_dim;
       for (size_t d = 0; d < feat_dim; ++d) out[d] = xw[d] - xl[d];
     });
@@ -502,7 +513,7 @@ StatusOr<RankSvmModel> RankSvmTrainer::Train(
         ring[draw & (kPickRing - 1)] = next;
         __builtin_prefetch(diff.data() + size_t{next} * sgd_dim);
       }
-      const double* d_row = diff.data() + size_t{pick} * sgd_dim;
+      const Span<const double> d_row = RowSpan(diff, pick, sgd_dim);
       double margin = 0.0;
       for (size_t d = 0; d < sgd_dim; ++d) margin += w[d] * d_row[d];
       const double eta = 1.0 / (lambda * static_cast<double>(s + 1));
@@ -524,8 +535,8 @@ StatusOr<RankSvmModel> RankSvmTrainer::Train(
         __builtin_prefetch(phi.data() + size_t{winners[next]} * feat_dim);
         __builtin_prefetch(phi.data() + size_t{losers[next]} * feat_dim);
       }
-      const double* xw = phi.data() + size_t{winners[pick]} * feat_dim;
-      const double* xl = phi.data() + size_t{losers[pick]} * feat_dim;
+      const Span<const double> xw = RowSpan(phi, winners[pick], feat_dim);
+      const Span<const double> xl = RowSpan(phi, losers[pick], feat_dim);
       // Same fused subtraction as the legacy trainer — the update's
       // second pass over xw/xl hits rows the margin pass just loaded.
       double margin = 0.0;

@@ -74,7 +74,7 @@ class RankSvmModel {
 
   /// Like Score, but a feature-dimension mismatch is an InvalidArgument
   /// error instead of a silent 0.0.
-  StatusOr<double> ScoreChecked(const std::vector<double>& features) const;
+  [[nodiscard]] StatusOr<double> ScoreChecked(const std::vector<double>& features) const;
 
   /// Dimensionality of raw input vectors.
   size_t InputDim() const { return mean_.size(); }
@@ -102,7 +102,7 @@ class RankSvmModel {
 
   /// Parses a blob produced by Serialize() or SerializeBinary(); the
   /// format is sniffed from the header.
-  static StatusOr<RankSvmModel> Deserialize(const std::string& blob);
+  [[nodiscard]] static StatusOr<RankSvmModel> Deserialize(const std::string& blob);
 
   /// Linear weights in standardized space (linear kernel only; empty for
   /// RFF models). Useful for inspecting feature contributions.
@@ -114,8 +114,8 @@ class RankSvmModel {
 
   std::vector<double> Transform(const std::vector<double>& features) const;
 
-  static StatusOr<RankSvmModel> DeserializeText(const std::string& blob);
-  static StatusOr<RankSvmModel> DeserializeBinary(const std::string& blob);
+  [[nodiscard]] static StatusOr<RankSvmModel> DeserializeText(const std::string& blob);
+  [[nodiscard]] static StatusOr<RankSvmModel> DeserializeBinary(const std::string& blob);
 
   /// Transforms one raw row of InputDim() doubles into `out`
   /// (FeatureDim() doubles). `scratch` must hold InputDim() doubles when
@@ -139,7 +139,7 @@ class RankSvmTrainer {
   explicit RankSvmTrainer(const RankSvmConfig& config = {});
 
   /// Fails when no valid preference pair exists or dimensions disagree.
-  StatusOr<RankSvmModel> Train(
+  [[nodiscard]] StatusOr<RankSvmModel> Train(
       const std::vector<RankingInstance>& data) const;
 
  private:

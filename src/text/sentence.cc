@@ -1,9 +1,9 @@
 #include "text/sentence.h"
 
-#include <cassert>
 #include <cctype>
 #include <string>
 
+#include "common/check.h"
 #include "common/string_util.h"
 
 namespace ckr {
@@ -134,8 +134,8 @@ std::vector<TextSpan> DetectParagraphs(std::string_view text) {
 std::vector<TextSpan> PartitionIntoWindows(size_t text_size,
                                            size_t window_size,
                                            size_t overlap) {
-  assert(window_size > 0);
-  assert(overlap < window_size);
+  CKR_DCHECK(window_size > 0);
+  CKR_DCHECK(overlap < window_size);
   std::vector<TextSpan> windows;
   if (text_size == 0) return windows;
   if (text_size <= window_size) {

@@ -122,8 +122,10 @@ StatusOr<UnitDictionary> UnitExtractor::Extract(const QueryLog& log) const {
           continue;
         }
         has_split = true;
-        double p_left = log.PhraseContainedFreq(left) / total;
-        double p_right = log.PhraseContainedFreq(right) / total;
+        double p_left =
+            static_cast<double>(log.PhraseContainedFreq(left)) / total;
+        double p_right =
+            static_cast<double>(log.PhraseContainedFreq(right)) / total;
         double p_joint = static_cast<double>(freq) / total;
         if (p_left <= 0 || p_right <= 0 || p_joint <= 0) continue;
         best_mi = std::max(best_mi, std::log(p_joint / (p_left * p_right)));

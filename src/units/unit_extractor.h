@@ -78,7 +78,7 @@ class UnitExtractor {
   explicit UnitExtractor(const UnitExtractorConfig& config = {});
 
   /// Returns the unit dictionary; fails if the log is not finalized.
-  StatusOr<UnitDictionary> Extract(const QueryLog& log) const;
+  [[nodiscard]] StatusOr<UnitDictionary> Extract(const QueryLog& log) const;
 
  private:
   UnitExtractorConfig config_;

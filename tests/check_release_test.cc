@@ -1,0 +1,68 @@
+// Release-mode contract for check.h: with dchecks compiled out,
+// CKR_DCHECK must expand to nothing observable — its operand is never
+// evaluated, it is valid in constant expressions, and Span stays a
+// trivially copyable pointer+size pair. CKR_CHECK, by contrast, stays
+// armed in every build. CKR_FORCE_NO_DCHECKS is the per-TU hook that
+// pins the release configuration regardless of how the build defines
+// NDEBUG / CKR_ENABLE_DCHECKS.
+#define CKR_FORCE_NO_DCHECKS
+#include "common/check.h"
+
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace ckr {
+namespace {
+
+static_assert(CKR_DEBUG_CHECKS == 0,
+              "CKR_FORCE_NO_DCHECKS must compile dchecks out");
+
+// Zero-overhead in the strongest sense the language can state: the
+// macro's operand is an unevaluated context, so a falsy condition — even
+// a non-constant one — is legal inside constexpr evaluation.
+constexpr int ConstexprWithDisabledDcheck(int x) {
+  CKR_DCHECK(x > 1000);
+  CKR_DCHECK_EQ(x, -1);
+  return x + 1;
+}
+static_assert(ConstexprWithDisabledDcheck(1) == 2);
+
+// Span must stay a raw pointer + size with no hidden state so that
+// passing one by value costs exactly two registers.
+static_assert(sizeof(Span<const uint32_t>) == sizeof(const uint32_t*) +
+                                                  sizeof(size_t));
+static_assert(std::is_trivially_copyable_v<Span<const uint32_t>>);
+static_assert(std::is_trivially_destructible_v<Span<double>>);
+
+TEST(CkrCheckReleaseTest, DcheckOperandIsNeverEvaluated) {
+  int n = 0;
+  CKR_DCHECK(++n > 0);
+  CKR_DCHECK_EQ(++n, 123);
+  CKR_DCHECK_LT(++n, -5);
+  EXPECT_EQ(n, 0);
+}
+
+TEST(CkrCheckReleaseTest, DisabledDcheckDoesNotAbort) {
+  CKR_DCHECK(false);
+  CKR_DCHECK_EQ(1, 2);
+  CKR_DCHECK_LT(5, 3);
+}
+
+TEST(CkrCheckReleaseTest, SpanAccessCompilesToUncheckedReads) {
+  std::vector<uint32_t> v{4, 5, 6};
+  Span<const uint32_t> s = MakeSpan(v);
+  EXPECT_EQ(s[0], 4u);
+  EXPECT_EQ(s.back(), 6u);
+  EXPECT_EQ(CsrRow(v, std::vector<size_t>{0, 3}, 0).size(), 3u);
+}
+
+TEST(CkrCheckReleaseDeathTest, CkrCheckStaysArmedInRelease) {
+  EXPECT_DEATH(CKR_CHECK(false), "CKR_CHECK failed");
+  EXPECT_DEATH(CKR_CHECK_EQ(1, 2), "CKR_CHECK failed");
+}
+
+}  // namespace
+}  // namespace ckr

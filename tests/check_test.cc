@@ -1,0 +1,109 @@
+// Death-test coverage for the debug-invariant layer. This TU is compiled
+// with CKR_ENABLE_DCHECKS (see CMakeLists) so CKR_DCHECK and the Span
+// bounds checks are live even though the build type defines NDEBUG —
+// exactly the configuration the sanitizer presets use.
+#include "common/check.h"
+
+#include <cstdint>
+#include <vector>
+
+#include "common/parallel.h"
+#include "gtest/gtest.h"
+
+namespace ckr {
+namespace {
+
+static_assert(CKR_DEBUG_CHECKS == 1,
+              "check_test must build with dchecks enabled");
+
+TEST(CkrCheckTest, PassingChecksAreSilent) {
+  CKR_CHECK(1 + 1 == 2);
+  CKR_CHECK_EQ(4, 4);
+  CKR_CHECK_NE(4, 5);
+  CKR_CHECK_LT(1, 2);
+  CKR_CHECK_LE(2, 2);
+  CKR_CHECK_GT(3, 2);
+  CKR_CHECK_GE(3, 3);
+  CKR_DCHECK(true);
+  CKR_DCHECK_EQ(7, 7);
+}
+
+TEST(CkrCheckDeathTest, FailedCheckAbortsWithFileLineAndExpression) {
+  EXPECT_DEATH(CKR_CHECK(1 == 2),
+               "CKR_CHECK failed at .*check_test\\.cc:[0-9]+: 1 == 2");
+}
+
+TEST(CkrCheckDeathTest, ComparisonMacrosReportTheComparison) {
+  EXPECT_DEATH(CKR_CHECK_LT(5, 3), "\\(5\\) < \\(3\\)");
+  EXPECT_DEATH(CKR_CHECK_EQ(1, 2), "\\(1\\) == \\(2\\)");
+}
+
+TEST(CkrCheckDeathTest, DcheckIsLiveInThisConfiguration) {
+  EXPECT_DEATH(CKR_DCHECK(false), "CKR_CHECK failed");
+}
+
+TEST(CkrSpanTest, ElementAccessAndIteration) {
+  std::vector<uint32_t> v{10, 20, 30};
+  Span<const uint32_t> s = MakeSpan(v);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0], 10u);
+  EXPECT_EQ(s[2], 30u);
+  EXPECT_EQ(s.front(), 10u);
+  EXPECT_EQ(s.back(), 30u);
+  uint32_t sum = 0;
+  for (uint32_t x : s) sum += x;
+  EXPECT_EQ(sum, 60u);
+
+  Span<uint32_t> m = MakeSpan(v);
+  m[1] = 99;
+  EXPECT_EQ(v[1], 99u);
+
+  Span<const uint32_t> sub = s.subspan(1, 2);
+  EXPECT_EQ(sub.size(), 2u);
+  EXPECT_EQ(sub[0], 99u);
+
+  Span<const uint32_t> empty;
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(CkrSpanDeathTest, OutOfRangeAccessIsCaught) {
+  std::vector<uint32_t> v{1, 2, 3};
+  Span<const uint32_t> s = MakeSpan(v);
+  EXPECT_DEATH(s[3], "CKR_CHECK failed");
+  EXPECT_DEATH(s.subspan(2, 2), "CKR_CHECK failed");
+  Span<const uint32_t> empty;
+  EXPECT_DEATH(empty.front(), "CKR_CHECK failed");
+  EXPECT_DEATH(empty.back(), "CKR_CHECK failed");
+}
+
+TEST(CkrSpanTest, CsrRowSlicesBetweenOffsets) {
+  // Two rows: [5, 6] and [7].
+  std::vector<uint32_t> pool{5, 6, 7};
+  std::vector<size_t> offsets{0, 2, 3};
+  Span<const uint32_t> row0 = CsrRow(pool, offsets, 0);
+  ASSERT_EQ(row0.size(), 2u);
+  EXPECT_EQ(row0[0], 5u);
+  EXPECT_EQ(row0[1], 6u);
+  Span<const uint32_t> row1 = CsrRow(pool, offsets, 1);
+  ASSERT_EQ(row1.size(), 1u);
+  EXPECT_EQ(row1[0], 7u);
+}
+
+TEST(CkrSpanDeathTest, CsrRowRejectsBrokenOffsetTables) {
+  std::vector<uint32_t> pool{5, 6, 7};
+  std::vector<size_t> non_monotone{2, 0, 3};
+  EXPECT_DEATH(CsrRow(pool, non_monotone, 0), "CKR_CHECK failed");
+  std::vector<size_t> past_pool{0, 9};
+  EXPECT_DEATH(CsrRow(pool, past_pool, 0), "CKR_CHECK failed");
+  std::vector<size_t> offsets{0, 2, 3};
+  EXPECT_DEATH(CsrRow(pool, offsets, 2), "CKR_CHECK failed");
+}
+
+TEST(CkrCheckDeathTest, DispatchLedgerCatchesDoubleDispatch) {
+  internal::DispatchLedger ledger(4);
+  ledger.Claim(1);
+  EXPECT_DEATH(ledger.Claim(1), "CKR_CHECK failed");
+}
+
+}  // namespace
+}  // namespace ckr

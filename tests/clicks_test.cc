@@ -108,7 +108,8 @@ TEST_F(ClicksTest, RelevantInterestingEntitiesEarnHigherCtr) {
   }
   ASSERT_GT(hi_n, 20u);
   ASSERT_GT(lo_n, 20u);
-  EXPECT_GT(hi_ctr / hi_n, 2.0 * (lo_ctr / lo_n + 1e-4));
+  EXPECT_GT(hi_ctr / static_cast<double>(hi_n),
+            2.0 * (lo_ctr / static_cast<double>(lo_n) + 1e-4));
 }
 
 TEST_F(ClicksTest, PositionBiasReducesClickProbability) {

@@ -208,7 +208,8 @@ TEST(ContextualRankerTest, RankedTopBeatsBottomInLatentQuality) {
     ++n;
   }
   ASSERT_GT(n, 10u);
-  EXPECT_GT(top_quality / n, bottom_quality / n + 0.1);
+  EXPECT_GT(top_quality / static_cast<double>(n),
+            bottom_quality / static_cast<double>(n) + 0.1);
 }
 
 }  // namespace

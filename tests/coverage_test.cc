@@ -198,7 +198,8 @@ TEST(WorldEdgeTest, TypePriorsShiftInterestingness) {
   }
   ASSERT_GT(person_n, 20u);
   ASSERT_GT(animal_n, 5u);
-  EXPECT_GT(person_sum / person_n, animal_sum / animal_n + 0.1);
+  EXPECT_GT(person_sum / static_cast<double>(person_n),
+            animal_sum / static_cast<double>(animal_n) + 0.1);
 }
 
 }  // namespace

@@ -342,7 +342,8 @@ TEST(DetectorWorldTest, FromWorldDetectsPlantedMentions) {
   ASSERT_GT(planted_dict, 30u);
   // Nearly all planted dictionary mentions are recovered (a few are lost
   // to longest-match collisions with overlapping entities).
-  EXPECT_GT(static_cast<double>(found) / planted_dict, 0.9);
+  EXPECT_GT(static_cast<double>(found) / static_cast<double>(planted_dict),
+            0.9);
 }
 
 }  // namespace

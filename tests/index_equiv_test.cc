@@ -63,7 +63,7 @@ class IndexEquivalenceTest : public ::testing::Test {
   static std::vector<std::string> Queries() {
     std::vector<std::string> queries;
     for (size_t i = 0; i < world_->NumEntities(); i += 7) {
-      queries.push_back(world_->entity(i).key);
+      queries.push_back(world_->entity(static_cast<EntityId>(i)).key);
     }
     queries.push_back("the");
     queries.push_back("zzz unseen qqq");

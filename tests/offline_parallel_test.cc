@@ -28,7 +28,7 @@ class ParallelMiningTest : public ::testing::Test {
     std::vector<ConceptKey> concepts;
     const World& world = pipeline_->world();
     for (size_t i = 0; i < world.NumEntities(); i += stride) {
-      const Entity& e = world.entity(i);
+      const Entity& e = world.entity(static_cast<EntityId>(i));
       concepts.push_back({e.key, e.type});
     }
     return concepts;

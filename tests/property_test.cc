@@ -98,7 +98,8 @@ TEST_P(ZipfSweep, PmfNormalizedAndMonotone) {
     }
   }
   EXPECT_NEAR(total, 1.0, 1e-9);
-  Rng rng(static_cast<uint64_t>(n * 1000 + exponent * 10));
+  Rng rng(static_cast<uint64_t>(static_cast<double>(n * 1000) +
+                                 exponent * 10));
   for (int i = 0; i < 1000; ++i) {
     size_t r = zipf.Sample(rng);
     ASSERT_GE(r, 1u);
@@ -320,7 +321,7 @@ TEST_P(RankSvmSweep, LearnsAcrossShapes) {
     }
   }
   ASSERT_GT(total, 50u);
-  EXPECT_GT(static_cast<double>(correct) / total, 0.92)
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(total), 0.92)
       << "dim=" << dim << " group=" << group_size;
 }
 

@@ -51,7 +51,8 @@ double PairAccuracy(const RankSvmModel& model,
       if ((si > sj) == (data[i].label > data[j].label)) ++correct;
     }
   }
-  return total == 0 ? 0.0 : static_cast<double>(correct) / total;
+  return total == 0 ? 0.0
+                    : static_cast<double>(correct) / static_cast<double>(total);
 }
 
 TEST(RankSvmTest, RejectsDegenerateInput) {

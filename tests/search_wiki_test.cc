@@ -163,7 +163,8 @@ TEST(WikiTest, CoverageAndLengthCorrelateWithNotability) {
   }
   ASSERT_GT(hi_n, 5u);
   ASSERT_GT(lo_n, 5u);
-  EXPECT_GT(hi_sum / hi_n, 2.0 * (lo_sum / lo_n + 1.0));
+  EXPECT_GT(hi_sum / static_cast<double>(hi_n),
+            2.0 * (lo_sum / static_cast<double>(lo_n) + 1.0));
 }
 
 TEST(WikiTest, DeterministicInSeed) {

@@ -1,0 +1,470 @@
+#include "tools/ckr_lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace ckr {
+namespace lint {
+namespace {
+
+// ---------------------------------------------------------------------
+// Token stream. Comments, string literals, and character literals are
+// stripped during scanning (their content can never violate a rule), but
+// comment text is inspected for ckr-lint suppression directives before
+// being dropped.
+// ---------------------------------------------------------------------
+
+enum class TokKind { kIdent, kPunct };
+
+struct Tok {
+  TokKind kind;
+  std::string text;
+  int line;
+};
+
+/// Per-file suppression state gathered from ckr-lint comments.
+struct Suppressions {
+  std::set<std::string> file_rules;                ///< allow-file(...)
+  std::map<int, std::set<std::string>> line_rules; ///< line -> rules
+
+  bool Allows(const std::string& rule, int line) const {
+    if (file_rules.count(rule) != 0) return true;
+    auto it = line_rules.find(line);
+    return it != line_rules.end() && it->second.count(rule) != 0;
+  }
+};
+
+/// Parses one comment body for a ckr-lint directive. `standalone` is true
+/// when the comment is the first thing on its line, in which case the
+/// suppression also covers the following line (annotation-above style).
+void ParseDirective(std::string_view comment, int line, bool standalone,
+                    Suppressions* sup) {
+  size_t at = comment.find("ckr-lint:");
+  if (at == std::string_view::npos) return;
+  std::string_view rest = comment.substr(at + 9);
+
+  auto add_rules = [&](std::string_view list, bool whole_file) {
+    for (const std::string& rule : SplitString(list, ", \t")) {
+      if (whole_file) {
+        sup->file_rules.insert(rule);
+      } else {
+        sup->line_rules[line].insert(rule);
+        if (standalone) sup->line_rules[line + 1].insert(rule);
+      }
+    }
+  };
+
+  size_t open;
+  if ((open = rest.find("allow-file(")) != std::string_view::npos) {
+    size_t close = rest.find(')', open);
+    if (close != std::string_view::npos) {
+      add_rules(rest.substr(open + 11, close - open - 11), true);
+    }
+  } else if ((open = rest.find("allow(")) != std::string_view::npos) {
+    size_t close = rest.find(')', open);
+    if (close != std::string_view::npos) {
+      add_rules(rest.substr(open + 6, close - open - 6), false);
+    }
+  } else if (rest.find("ordered") != std::string_view::npos) {
+    sup->line_rules[line].insert("R4");
+    if (standalone) sup->line_rules[line + 1].insert("R4");
+  }
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Tokenizes C++ source. Multi-char punctuators that matter to the rules
+/// ("::", "->", "[[", "]]") come out as single tokens; everything else is
+/// one punct token per character.
+std::vector<Tok> Tokenize(std::string_view src, Suppressions* sup) {
+  std::vector<Tok> toks;
+  int line = 1;
+  size_t i = 0;
+  const size_t n = src.size();
+  // Tracks whether any token has been emitted on the current line, so a
+  // directive comment knows if it stands alone.
+  int last_tok_line = 0;
+
+  while (i < n) {
+    char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      size_t end = src.find('\n', i);
+      if (end == std::string_view::npos) end = n;
+      ParseDirective(src.substr(i, end - i), line,
+                     /*standalone=*/last_tok_line != line, sup);
+      i = end;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      size_t end = src.find("*/", i + 2);
+      if (end == std::string_view::npos) end = n;
+      ParseDirective(src.substr(i, end - i), line,
+                     /*standalone=*/last_tok_line != line, sup);
+      for (size_t j = i; j < std::min(end + 2, n); ++j) {
+        if (src[j] == '\n') ++line;
+      }
+      i = std::min(end + 2, n);
+      continue;
+    }
+    // Raw string literal (only the R"( form used in this tree).
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      size_t open = src.find('(', i + 2);
+      if (open != std::string_view::npos) {
+        std::string close = ")";
+        close.append(src.substr(i + 2, open - (i + 2)));
+        close.push_back('"');
+        size_t end = src.find(close, open + 1);
+        if (end == std::string_view::npos) end = n;
+        for (size_t j = i; j < std::min(end + close.size(), n); ++j) {
+          if (src[j] == '\n') ++line;
+        }
+        i = std::min(end + close.size(), n);
+        continue;
+      }
+    }
+    // String / character literal.
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      ++i;
+      while (i < n && src[i] != quote) {
+        if (src[i] == '\\' && i + 1 < n) ++i;
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      ++i;  // Closing quote.
+      continue;
+    }
+    // Identifier / keyword / number.
+    if (IsIdentChar(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(src[i])) ++i;
+      toks.push_back({TokKind::kIdent,
+                      std::string(src.substr(start, i - start)), line});
+      last_tok_line = line;
+      continue;
+    }
+    // Multi-char punctuators the rules care about.
+    auto two = src.substr(i, 2);
+    if (two == "::" || two == "->" || two == "[[" || two == "]]") {
+      toks.push_back({TokKind::kPunct, std::string(two), line});
+      last_tok_line = line;
+      i += 2;
+      continue;
+    }
+    toks.push_back({TokKind::kPunct, std::string(1, c), line});
+    last_tok_line = line;
+    ++i;
+  }
+  return toks;
+}
+
+// ---------------------------------------------------------------------
+// Rule checks over the token stream.
+// ---------------------------------------------------------------------
+
+struct Ctx {
+  std::string_view path;
+  FileKind kind;
+  const std::vector<Tok>& toks;
+  const Suppressions& sup;
+  bool includes_binary_io;
+  std::vector<Violation>* out;
+
+  void Report(const std::string& rule, int line,
+              const std::string& message) const {
+    if (sup.Allows(rule, line)) return;
+    out->push_back({std::string(path), line, rule, message});
+  }
+
+  const std::string& Text(size_t i) const { return toks[i].text; }
+  bool Is(size_t i, std::string_view t) const {
+    return i < toks.size() && toks[i].text == t;
+  }
+  bool IsIdent(size_t i) const {
+    return i < toks.size() && toks[i].kind == TokKind::kIdent;
+  }
+};
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+/// R1: nondeterminism sources. rand/srand/random_device are banned
+/// everywhere; <chrono> clock now() is banned outside bench/.
+void CheckR1(const Ctx& ctx) {
+  const auto& toks = ctx.toks;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent) continue;
+    const std::string& t = toks[i].text;
+    const bool member_call =
+        i > 0 && (ctx.Is(i - 1, ".") || ctx.Is(i - 1, "->"));
+    if ((t == "rand" || t == "srand") && ctx.Is(i + 1, "(") &&
+        !member_call) {
+      ctx.Report("R1", toks[i].line,
+                 t + "() draws from hidden global state; all randomness "
+                     "must flow from a seeded ckr::Rng");
+      continue;
+    }
+    if (t == "random_device") {
+      ctx.Report("R1", toks[i].line,
+                 "std::random_device is nondeterministic by design; seed a "
+                 "ckr::Rng explicitly");
+      continue;
+    }
+    if (t == "now" && ctx.Is(i + 1, "(") && i >= 2 && ctx.Is(i - 1, "::") &&
+        ctx.IsIdent(i - 2) && EndsWith(ctx.Text(i - 2), "clock")) {
+      if (ctx.kind == FileKind::kBench) continue;  // Measuring is its job.
+      ctx.Report("R1", toks[i].line,
+                 ctx.Text(i - 2) + "::now() reads the wall clock; outside "
+                 "bench/ it needs an explicit ckr-lint allow(R1)");
+    }
+  }
+}
+
+/// R2: exceptions in src/. Status/StatusOr is the only error channel
+/// across library boundaries.
+void CheckR2(const Ctx& ctx) {
+  if (ctx.kind != FileKind::kSrc) return;
+  for (const Tok& tok : ctx.toks) {
+    if (tok.kind != TokKind::kIdent) continue;
+    if (tok.text == "throw" || tok.text == "try" || tok.text == "catch") {
+      ctx.Report("R2", tok.line,
+                 "'" + tok.text + "' in src/: error paths must return "
+                 "Status/StatusOr, never unwind");
+    }
+  }
+}
+
+/// R3: [[nodiscard]] on Status/StatusOr-returning declarations in src/
+/// headers. The class-level attribute already makes the compiler reject
+/// discards; the per-declaration attribute keeps the contract visible at
+/// every API site, so its absence is a lint error.
+void CheckR3(const Ctx& ctx) {
+  if (ctx.kind != FileKind::kSrc || !EndsWith(ctx.path, ".h")) return;
+  const auto& toks = ctx.toks;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent) continue;
+    const std::string& t = toks[i].text;
+    if (t != "Status" && t != "StatusOr") continue;
+
+    // Start of the return type, absorbing a ckr:: qualifier.
+    size_t anchor = i;
+    if (i >= 2 && ctx.Is(i - 1, "::") && ctx.Is(i - 2, "ckr")) anchor = i - 2;
+
+    // Skip StatusOr template arguments to the closing '>'.
+    size_t j = i + 1;
+    if (t == "StatusOr") {
+      if (!ctx.Is(j, "<")) continue;
+      int depth = 0;
+      for (; j < toks.size(); ++j) {
+        if (ctx.Is(j, "<")) ++depth;
+        if (ctx.Is(j, ">") && --depth == 0) break;
+      }
+      ++j;
+    }
+    // A declaration looks like: [qualifiers] Status Name ( ...
+    if (!ctx.IsIdent(j) || !ctx.Is(j + 1, "(")) continue;
+
+    // Walk back through declaration qualifiers looking for [[nodiscard]]
+    // and for evidence this is a declaration rather than an expression.
+    bool has_nodiscard = false;
+    size_t k = anchor;
+    bool declaration = true;
+    while (k > 0) {
+      const std::string& prev = toks[k - 1].text;
+      if (prev == "virtual" || prev == "static" || prev == "inline" ||
+          prev == "explicit" || prev == "constexpr" || prev == "friend") {
+        --k;
+        continue;
+      }
+      if (prev == "]]") {
+        // Scan the attribute block for "nodiscard".
+        size_t a = k - 1;
+        while (a > 0 && !ctx.Is(a - 1, "[[")) {
+          if (toks[a - 1].text == "nodiscard") has_nodiscard = true;
+          --a;
+        }
+        k = a > 0 ? a - 1 : 0;
+        continue;
+      }
+      declaration = prev == ";" || prev == "{" || prev == "}" ||
+                    prev == ":" || prev == "public" || prev == "private" ||
+                    prev == "protected";
+      break;
+    }
+    if (declaration && !has_nodiscard) {
+      ctx.Report("R3", toks[i].line,
+                 "'" + ctx.Text(j) + "' returns " + t +
+                 " but is not [[nodiscard]]; dropped Status values lose "
+                 "errors silently");
+    }
+  }
+}
+
+/// R4: range-for over an unordered container in a file that includes a
+/// binary_io.h. Hash iteration order is implementation-defined, so such a
+/// loop adjacent to serialization machinery is a reproducibility hazard
+/// unless explicitly annotated `ckr-lint: ordered`.
+void CheckR4(const Ctx& ctx) {
+  if (!ctx.includes_binary_io) return;
+  const auto& toks = ctx.toks;
+
+  // Names declared with an unordered_{map,set} type in this file.
+  std::set<std::string> unordered_names;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent) continue;
+    const std::string& t = toks[i].text;
+    if (t != "unordered_map" && t != "unordered_set") continue;
+    size_t j = i + 1;
+    if (ctx.Is(j, "<")) {
+      int depth = 0;
+      for (; j < toks.size(); ++j) {
+        if (ctx.Is(j, "<")) ++depth;
+        if (ctx.Is(j, ">") && --depth == 0) break;
+      }
+      ++j;
+    }
+    if (ctx.IsIdent(j)) unordered_names.insert(ctx.Text(j));
+  }
+
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (!(toks[i].kind == TokKind::kIdent && toks[i].text == "for") ||
+        !ctx.Is(i + 1, "(")) {
+      continue;
+    }
+    // Find the range-for ':' at parenthesis depth 1; a ';' at depth 1
+    // first means a classic for loop.
+    int depth = 0;
+    size_t colon = 0;
+    size_t close = 0;
+    for (size_t j = i + 1; j < toks.size(); ++j) {
+      const std::string& t = toks[j].text;
+      if (t == "(") ++depth;
+      if (t == ")" && --depth == 0) {
+        close = j;
+        break;
+      }
+      if (depth == 1 && t == ";") break;
+      if (depth == 1 && t == ":" && colon == 0) colon = j;
+    }
+    if (colon == 0 || close == 0) continue;
+    for (size_t j = colon + 1; j < close; ++j) {
+      if (toks[j].kind != TokKind::kIdent) continue;
+      const std::string& name = toks[j].text;
+      if (unordered_names.count(name) != 0 ||
+          name.find("unordered_") != std::string::npos) {
+        ctx.Report("R4", toks[i].line,
+                   "range-for over unordered container '" + name +
+                   "' in a serialization TU: hash order is not "
+                   "deterministic (annotate '// ckr-lint: ordered' if the "
+                   "loop provably does not feed serialized bytes)");
+        break;
+      }
+    }
+  }
+}
+
+/// R5: banned C functions (unbounded writes and silent-failure parsing).
+void CheckR5(const Ctx& ctx) {
+  static const std::set<std::string> kBanned = {"strcpy", "sprintf", "atoi",
+                                                "gets"};
+  const auto& toks = ctx.toks;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent || kBanned.count(toks[i].text) == 0) {
+      continue;
+    }
+    const bool member_call =
+        i > 0 && (ctx.Is(i - 1, ".") || ctx.Is(i - 1, "->"));
+    if (ctx.Is(i + 1, "(") && !member_call) {
+      ctx.Report("R5", toks[i].line,
+                 "'" + toks[i].text + "' is banned (unbounded write or "
+                 "silent parse failure); use the std::string/StrTo* "
+                 "equivalents");
+    }
+  }
+}
+
+}  // namespace
+
+std::string FormatViolation(const Violation& v) {
+  std::ostringstream os;
+  os << v.file << ":" << v.line << ": [" << v.rule << "] " << v.message;
+  return os.str();
+}
+
+FileKind ClassifyPath(std::string_view path) {
+  auto in_dir = [&](std::string_view dir) {
+    if (path.substr(0, dir.size() + 1) ==
+        std::string(dir) + "/") {
+      return true;
+    }
+    return path.find("/" + std::string(dir) + "/") != std::string_view::npos;
+  };
+  if (in_dir("src")) return FileKind::kSrc;
+  if (in_dir("bench")) return FileKind::kBench;
+  if (in_dir("tests")) return FileKind::kTests;
+  return FileKind::kOther;
+}
+
+std::vector<Violation> LintContent(std::string_view path,
+                                   std::string_view content) {
+  Suppressions sup;
+  std::vector<Tok> toks = Tokenize(content, &sup);
+
+  // R4's precondition: serialization machinery is in scope. Matches both
+  // common/binary_io.h and framework/binary_io.h.
+  bool includes_binary_io = false;
+  std::istringstream lines{std::string(content)};
+  std::string raw;
+  while (std::getline(lines, raw)) {
+    if (raw.find("#include") != std::string::npos &&
+        raw.find("binary_io.h") != std::string::npos) {
+      includes_binary_io = true;
+      break;
+    }
+  }
+
+  std::vector<Violation> out;
+  Ctx ctx{path, ClassifyPath(path), toks, sup, includes_binary_io, &out};
+  CheckR1(ctx);
+  CheckR2(ctx);
+  CheckR3(ctx);
+  CheckR4(ctx);
+  CheckR5(ctx);
+  std::sort(out.begin(), out.end(), [](const Violation& a, const Violation& b) {
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  return out;
+}
+
+StatusOr<std::vector<Violation>> LintPath(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return LintContent(path, buf.str());
+}
+
+}  // namespace lint
+}  // namespace ckr

@@ -1,0 +1,64 @@
+// ckr_lint: in-repo static analyzer enforcing the contracts the
+// reproduction's bit-for-bit determinism rests on. The compiler enforces
+// what it can see ([[nodiscard]] Status, -Werror); this tool enforces the
+// token-level conventions it cannot:
+//
+//   R1  no nondeterminism sources: rand()/srand(), std::random_device,
+//       and <chrono> clock ::now() calls (wall-clock reads are allowed in
+//       bench/ where they measure, not compute).
+//   R2  no throw/try/catch in src/ — Status/StatusOr is the only error
+//       channel across library boundaries.
+//   R3  every Status/StatusOr-returning function declared in a src/
+//       header carries [[nodiscard]].
+//   R4  no range-for over an unordered_{map,set} in any file that
+//       includes a binary_io.h — hash-order iteration feeding a
+//       serializer silently breaks reproducibility.
+//   R5  banned C functions: strcpy, sprintf, atoi, gets.
+//
+// Suppressions (always scoped and greppable):
+//   // ckr-lint: allow(R1[,R5...])   this line, or the next line when the
+//                                    comment stands alone
+//   // ckr-lint: ordered             alias for allow(R4)
+//   // ckr-lint: allow-file(R2,...)  whole file
+#ifndef CKR_TOOLS_CKR_LINT_H_
+#define CKR_TOOLS_CKR_LINT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ckr {
+namespace lint {
+
+/// One rule violation at a source location.
+struct Violation {
+  std::string file;
+  int line = 0;
+  std::string rule;     ///< "R1".."R5".
+  std::string message;  ///< Human-readable description.
+};
+
+/// "file:line: [RN] message" — the format editors and CI understand.
+std::string FormatViolation(const Violation& v);
+
+/// Which contract set applies, derived from the path ("src/", "bench/",
+/// "tests/"). Files outside those trees get the src rules minus R2/R3.
+enum class FileKind { kSrc, kBench, kTests, kOther };
+
+FileKind ClassifyPath(std::string_view path);
+
+/// Lints one file's content. `path` decides the applicable rules (see
+/// ClassifyPath) and is echoed into the violations; no I/O happens here.
+std::vector<Violation> LintContent(std::string_view path,
+                                   std::string_view content);
+
+/// Reads and lints a file on disk.
+[[nodiscard]] StatusOr<std::vector<Violation>> LintPath(
+    const std::string& path);
+
+}  // namespace lint
+}  // namespace ckr
+
+#endif  // CKR_TOOLS_CKR_LINT_H_

@@ -1,0 +1,76 @@
+// CLI driver: walks the given files/directories (default: src bench
+// tests) and reports contract violations. Exit 0 = clean, 1 = violations,
+// 2 = I/O or usage error. Fixture files under any "testdata" directory
+// and build trees are skipped — fixtures violate rules on purpose.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "tools/ckr_lint.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool IsSourceFile(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cc" || ext == ".h" || ext == ".cpp" || ext == ".hpp";
+}
+
+bool SkipPath(const std::string& p) {
+  return p.find("testdata") != std::string::npos ||
+         p.find("/build") != std::string::npos ||
+         p.rfind("build", 0) == 0;
+}
+
+void Collect(const fs::path& root, std::vector<std::string>* files) {
+  if (fs::is_regular_file(root)) {
+    if (IsSourceFile(root)) files->push_back(root.string());
+    return;
+  }
+  if (!fs::is_directory(root)) return;
+  for (const auto& entry : fs::recursive_directory_iterator(root)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string p = entry.path().string();
+    if (IsSourceFile(entry.path()) && !SkipPath(p)) files->push_back(p);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> files;
+  if (argc > 1) {
+    for (int i = 1; i < argc; ++i) {
+      if (!fs::exists(argv[i])) {
+        std::fprintf(stderr, "ckr_lint: no such path: %s\n", argv[i]);
+        return 2;
+      }
+      Collect(argv[i], &files);
+    }
+  } else {
+    for (const char* dir : {"src", "bench", "tests", "tools"}) {
+      if (fs::exists(dir)) Collect(dir, &files);
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  size_t violations = 0;
+  for (const std::string& file : files) {
+    auto result = ckr::lint::LintPath(file);
+    if (!result.ok()) {
+      std::fprintf(stderr, "ckr_lint: %s\n",
+                   result.status().ToString().c_str());
+      return 2;
+    }
+    for (const auto& v : *result) {
+      std::printf("%s\n", ckr::lint::FormatViolation(v).c_str());
+      ++violations;
+    }
+  }
+  std::fprintf(stderr, "ckr_lint: %zu file(s), %zu violation(s)\n",
+               files.size(), violations);
+  return violations == 0 ? 0 : 1;
+}

@@ -1,0 +1,168 @@
+// Fixture-driven self-tests for ckr_lint: each testdata file carries
+// known violations (or none); the expected (rule, line) pairs here are
+// the linter's contract. Fixtures are linted under virtual src/ paths so
+// path-scoped rules (R2/R3 src-only, R1's bench allowlist) are exercised
+// independently of where testdata lives on disk.
+#include "tools/ckr_lint.h"
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace ckr {
+namespace lint {
+namespace {
+
+std::string ReadFixture(const std::string& name) {
+  const std::string path = std::string(CKR_LINT_TESTDATA_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+using RuleLine = std::pair<std::string, int>;
+
+std::multiset<RuleLine> RuleLines(const std::vector<Violation>& vs) {
+  std::multiset<RuleLine> out;
+  for (const auto& v : vs) out.insert({v.rule, v.line});
+  return out;
+}
+
+TEST(CkrLintTest, R1FlagsEveryNondeterminismSource) {
+  auto vs = LintContent("src/r1_nondeterminism.cc",
+                        ReadFixture("r1_nondeterminism.cc"));
+  EXPECT_EQ(RuleLines(vs), (std::multiset<RuleLine>{{"R1", 8},
+                                                    {"R1", 12},
+                                                    {"R1", 16},
+                                                    {"R1", 20},
+                                                    {"R1", 25},
+                                                    {"R1", 26}}));
+}
+
+TEST(CkrLintTest, R1ClockAllowedInBench) {
+  // The same content under bench/ keeps the rand/srand/random_device
+  // violations but drops the clock ones: measuring is bench's job.
+  auto vs = LintContent("bench/r1_nondeterminism.cc",
+                        ReadFixture("r1_nondeterminism.cc"));
+  EXPECT_EQ(RuleLines(vs), (std::multiset<RuleLine>{
+                               {"R1", 8}, {"R1", 12}, {"R1", 16}, {"R1", 20}}));
+}
+
+TEST(CkrLintTest, R2FlagsExceptionConstructsInSrcOnly) {
+  const std::string content = ReadFixture("r2_exceptions.cc");
+  auto vs = LintContent("src/r2_exceptions.cc", content);
+  EXPECT_EQ(RuleLines(vs),
+            (std::multiset<RuleLine>{{"R2", 7}, {"R2", 9}, {"R2", 11}}));
+  // Outside src/ the Status-only discipline does not apply (tests may
+  // exercise exception behavior of third-party code).
+  EXPECT_TRUE(LintContent("tests/r2_exceptions.cc", content).empty());
+}
+
+TEST(CkrLintTest, R3FlagsMissingNodiscardInSrcHeaders) {
+  const std::string content = ReadFixture("r3_missing_nodiscard.h");
+  auto vs = LintContent("src/r3_missing_nodiscard.h", content);
+  EXPECT_EQ(RuleLines(vs),
+            (std::multiset<RuleLine>{{"R3", 14}, {"R3", 18}, {"R3", 22}}));
+  // Not a header: out of scope.
+  EXPECT_TRUE(LintContent("src/r3_missing_nodiscard.cc", content).empty());
+}
+
+TEST(CkrLintTest, R4FlagsHashOrderIterationInSerializationTu) {
+  auto vs = LintContent("src/r4_unordered_serialization.cc",
+                        ReadFixture("r4_unordered_serialization.cc"));
+  EXPECT_EQ(RuleLines(vs),
+            (std::multiset<RuleLine>{{"R4", 22}, {"R4", 25}}));
+}
+
+TEST(CkrLintTest, R4RequiresBinaryIoInclude) {
+  // The identical loops without a binary_io.h include are not
+  // serialization-adjacent, so R4 stays quiet.
+  std::string content = ReadFixture("r4_unordered_serialization.cc");
+  const std::string include_line = "#include \"common/binary_io.h\"\n";
+  auto at = content.find(include_line);
+  ASSERT_NE(at, std::string::npos);
+  content.erase(at, include_line.size());
+  EXPECT_TRUE(
+      LintContent("src/r4_unordered_serialization.cc", content).empty());
+}
+
+TEST(CkrLintTest, R5FlagsBannedFunctions) {
+  auto vs = LintContent("src/r5_banned_functions.cc",
+                        ReadFixture("r5_banned_functions.cc"));
+  EXPECT_EQ(RuleLines(vs), (std::multiset<RuleLine>{
+                               {"R5", 8}, {"R5", 12}, {"R5", 16}, {"R5", 20}}));
+}
+
+TEST(CkrLintTest, CleanFixtureHasNoViolations) {
+  auto vs = LintContent("src/clean.cc", ReadFixture("clean.cc"));
+  for (const auto& v : vs) ADD_FAILURE() << FormatViolation(v);
+}
+
+TEST(CkrLintTest, SuppressionsSilenceEachForm) {
+  auto vs = LintContent("src/suppressed.cc", ReadFixture("suppressed.cc"));
+  for (const auto& v : vs) ADD_FAILURE() << FormatViolation(v);
+}
+
+TEST(CkrLintTest, SuppressionIsRuleScoped) {
+  // allow(R1) must not silence an R5 violation on the same line.
+  const std::string content =
+      "int f(const char* s) {\n"
+      "  return atoi(s);  // ckr-lint: allow(R1)\n"
+      "}\n";
+  auto vs = LintContent("src/x.cc", content);
+  EXPECT_EQ(RuleLines(vs), (std::multiset<RuleLine>{{"R5", 2}}));
+}
+
+TEST(CkrLintTest, CommentsAndStringsAreNotCode) {
+  const std::string content =
+      "// rand() in a comment\n"
+      "/* std::random_device in a block\n   comment */\n"
+      "const char* s = \"throw strcpy(\";\n"
+      "const char* r = R\"(try { rand(); })\";\n";
+  EXPECT_TRUE(LintContent("src/x.cc", content).empty());
+}
+
+TEST(CkrLintTest, FormatViolationIsFileLineRuleMessage) {
+  Violation v{"src/a.cc", 12, "R1", "msg"};
+  EXPECT_EQ(FormatViolation(v), "src/a.cc:12: [R1] msg");
+}
+
+TEST(CkrLintTest, ClassifyPathUnderstandsRepoLayout) {
+  EXPECT_EQ(ClassifyPath("src/common/rng.cc"), FileKind::kSrc);
+  EXPECT_EQ(ClassifyPath("/root/repo/src/common/rng.cc"), FileKind::kSrc);
+  EXPECT_EQ(ClassifyPath("bench/bench_offline_perf.cc"), FileKind::kBench);
+  EXPECT_EQ(ClassifyPath("tests/core_test.cc"), FileKind::kTests);
+  EXPECT_EQ(ClassifyPath("examples/quickstart.cpp"), FileKind::kOther);
+}
+
+// The acceptance gate as a test: the real src/ tree must lint clean, so a
+// regression that introduces a violation fails in ctest, not just in the
+// check_all.sh script.
+TEST(CkrLintTest, RepoSrcTreeIsClean) {
+  namespace fs = std::filesystem;
+  const fs::path root = fs::path(CKR_LINT_SOURCE_DIR);
+  ASSERT_TRUE(fs::is_directory(root / "src"));
+  size_t files = 0;
+  for (const auto& entry : fs::recursive_directory_iterator(root / "src")) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext != ".cc" && ext != ".h") continue;
+    auto result = LintPath(entry.path().string());
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    for (const auto& v : *result) ADD_FAILURE() << FormatViolation(v);
+    ++files;
+  }
+  EXPECT_GT(files, 50u);  // Sanity: the walk actually saw the tree.
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace ckr

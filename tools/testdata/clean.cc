@@ -1,0 +1,42 @@
+// Fixture: idiomatic repo code that must produce zero violations,
+// including near-miss identifiers the token-level rules must not trip on.
+// Linted under the virtual path src/clean.cc.
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/binary_io.h"
+#include "common/status.h"
+
+namespace fixture {
+
+// Substrings of banned names inside identifiers are fine.
+int operand(int x) { return x + 1; }
+int strand_count(const std::string& strand) {
+  return static_cast<int>(strand.size());
+}
+
+// "rand(" inside a comment or string must not fire: rand() is text here.
+const char* kDoc = "call rand() never";
+
+class Catalog {
+ public:
+  [[nodiscard]] Status Open(const std::string& path);
+  [[nodiscard]] ckr::StatusOr<uint32_t> Lookup(const std::string& key) const;
+
+  std::vector<uint32_t> DumpSorted() const {
+    std::vector<uint32_t> out;
+    for (const auto& [key, id] : sorted_) {  // ordered map: fine
+      out.push_back(id);
+    }
+    return out;
+  }
+
+ private:
+  std::map<std::string, uint32_t> sorted_;
+  std::unordered_map<std::string, uint32_t> index_;  // lookups only: fine
+};
+
+}  // namespace fixture

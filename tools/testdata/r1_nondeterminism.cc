@@ -1,0 +1,29 @@
+// Fixture: every R1 nondeterminism source the linter must flag.
+// Linted by ckr_lint_test under the virtual path src/r1_nondeterminism.cc.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+int UnseededRand() {
+  return rand();  // line 8: rand()
+}
+
+int QualifiedRand() {
+  return std::rand();  // line 12: std::rand()
+}
+
+void SeedFromTime() {
+  srand(42);  // line 16: srand
+}
+
+unsigned HardwareEntropy() {
+  std::random_device rd;  // line 20: random_device
+  return rd();
+}
+
+double WallClock() {
+  auto t = std::chrono::steady_clock::now();  // line 25: clock now()
+  auto s = std::chrono::system_clock::now();  // line 26: clock now()
+  return std::chrono::duration<double>(t.time_since_epoch()).count() +
+         std::chrono::duration<double>(s.time_since_epoch()).count();
+}

@@ -1,0 +1,14 @@
+// Fixture: exception constructs R2 bans inside src/.
+// Linted under the virtual path src/r2_exceptions.cc.
+#include <stdexcept>
+
+int Parse(int x) {
+  if (x < 0) {
+    throw std::runtime_error("negative");  // line 7: throw
+  }
+  try {  // line 9: try
+    return x + 1;
+  } catch (const std::exception&) {  // line 11: catch
+    return 0;
+  }
+}

@@ -1,0 +1,32 @@
+// Fixture: Status-returning declarations with and without [[nodiscard]].
+// Linted under the virtual path src/r3_missing_nodiscard.h.
+#ifndef CKR_TOOLS_TESTDATA_R3_MISSING_NODISCARD_H_
+#define CKR_TOOLS_TESTDATA_R3_MISSING_NODISCARD_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace fixture {
+
+class Store {
+ public:
+  Status Open(const std::string& path);  // line 14: missing [[nodiscard]]
+
+  [[nodiscard]] Status Close();  // fine
+
+  static StatusOr<Store> Load(const std::string& p);  // line 18: missing
+
+  [[nodiscard]] static ckr::StatusOr<int> Count();  // fine
+
+  virtual ckr::Status Flush();  // line 22: missing (virtual qualifier)
+
+  bool ok() const;  // fine: not a Status return
+
+ private:
+  Status last_;  // fine: member variable, not a function
+};
+
+}  // namespace fixture
+
+#endif  // CKR_TOOLS_TESTDATA_R3_MISSING_NODISCARD_H_

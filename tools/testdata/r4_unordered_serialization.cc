@@ -1,0 +1,34 @@
+// Fixture: hash-order iteration inside a serialization TU.
+// Linted under the virtual path src/r4_unordered_serialization.cc.
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/binary_io.h"
+
+namespace fixture {
+
+struct Table {
+  std::unordered_map<std::string, uint32_t> ids;
+  std::unordered_set<uint32_t> live;
+  std::map<std::string, uint32_t> sorted;
+};
+
+std::vector<uint32_t> Dump(const Table& t) {
+  std::vector<uint32_t> out;
+  for (const auto& [key, id] : t.ids) {  // line 22: hash order
+    out.push_back(id);
+  }
+  for (uint32_t v : t.live) {  // line 25: hash order
+    out.push_back(v);
+  }
+  for (const auto& [key, id] : t.sorted) {  // fine: ordered map
+    out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace fixture

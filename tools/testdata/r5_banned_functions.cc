@@ -1,0 +1,21 @@
+// Fixture: banned C functions.
+// Linted under the virtual path src/r5_banned_functions.cc.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+void Copy(char* dst, const char* src) {
+  strcpy(dst, src);  // line 8: strcpy
+}
+
+void Format(char* buf, int x) {
+  sprintf(buf, "%d", x);  // line 12: sprintf
+}
+
+int ParseInt(const char* s) {
+  return atoi(s);  // line 16: atoi
+}
+
+int QualifiedParse(const char* s) {
+  return std::atoi(s);  // line 20: std::atoi
+}

@@ -1,0 +1,42 @@
+// Fixture: every suppression form silences its rule.
+// Linted under the virtual path src/suppressed.cc.
+// ckr-lint: allow-file(R5)
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/binary_io.h"
+
+namespace fixture {
+
+double StatsClock() {
+  auto t = std::chrono::steady_clock::now();  // ckr-lint: allow(R1) timing
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+double StatsClockAnnotatedAbove() {
+  // ckr-lint: allow(R1) standalone annotation covers the next line
+  auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+std::vector<uint32_t> DumpCounts(
+    const std::unordered_map<std::string, uint32_t>& counts) {
+  std::vector<uint32_t> out;
+  uint64_t total = 0;
+  for (const auto& [key, n] : counts) {  // ckr-lint: ordered
+    total += n;
+  }
+  out.push_back(static_cast<uint32_t>(total));
+  return out;
+}
+
+void LegacyCopy(char* dst, const char* src) {
+  strcpy(dst, src);  // silenced by the file-level allow-file(R5)
+}
+
+}  // namespace fixture
