@@ -25,6 +25,7 @@
 
 #include "core/contextual_ranker.h"
 #include "corpus/doc_generator.h"
+#include "obs/metrics.h"
 
 namespace {
 
@@ -163,13 +164,37 @@ void RunSummary() {
     legacy_out.push_back(runtime.ProcessDocumentLegacy(text, &legacy));
   }
 
-  // Flat layout, single thread, one reused scratch.
+  // Flat layout, single thread, one reused scratch. The ckr_obs stage
+  // histograms are sampled before/after so the deltas cover exactly this
+  // pass (training above already recorded into the same histograms). In
+  // an obs-off build (CKR_OBS_DISABLED) the hooks are compiled out and
+  // every delta is zero — the JSON records that honestly.
+  struct StageProbe {
+    const char* key;
+    obs::Histogram* hist;
+    uint64_t calls0 = 0, calls = 0;
+    double seconds0 = 0.0, seconds = 0.0;
+  };
+  obs::MetricRegistry& reg = obs::MetricRegistry::Global();
+  StageProbe stages[] = {
+      {"stem", reg.GetHistogram("ckr.runtime.stage.stem_seconds")},
+      {"match", reg.GetHistogram("ckr.runtime.stage.match_seconds")},
+      {"score", reg.GetHistogram("ckr.runtime.stage.score_seconds")},
+  };
+  for (StageProbe& s : stages) {
+    s.calls0 = s.hist->Count();
+    s.seconds0 = s.hist->Sum();
+  }
   RuntimeStats flat;
   RankerScratch scratch;
   std::vector<std::vector<RankedAnnotation>> flat_out;
   flat_out.reserve(lab->docs.size());
   for (const std::string& text : lab->docs) {
     flat_out.push_back(runtime.ProcessDocument(text, &scratch, &flat));
+  }
+  for (StageProbe& s : stages) {
+    s.calls = s.hist->Count() - s.calls0;
+    s.seconds = s.hist->Sum() - s.seconds0;
   }
 
   bool identical = true;
@@ -218,6 +243,14 @@ void RunSummary() {
               flat.RankerMBps(), flat.DocsPerSec());
   std::printf("flat ranker split: match %.1f MB/s, score %.1f MB/s\n",
               flat.MatchMBps(), flat.ScoreMBps());
+  std::printf("obs per-stage (flat pass%s):\n",
+              stages[0].calls == 0 ? ", hooks compiled out" : "");
+  for (const StageProbe& s : stages) {
+    std::printf("  %-6s %8llu samples  %.4f s  %8.2f us/doc\n", s.key,
+                static_cast<unsigned long long>(s.calls), s.seconds,
+                s.calls > 0 ? s.seconds / static_cast<double>(s.calls) * 1e6
+                            : 0.0);
+  }
   std::printf("ranker speedup (flat / legacy): %.2fx\n", ranker_speedup);
   std::printf("outputs bit-identical across layouts and batch: %s\n",
               identical ? "yes" : "NO");
@@ -264,6 +297,16 @@ void RunSummary() {
                flat.stemmer_seconds, flat.ranker_seconds, flat.match_seconds,
                flat.score_seconds, flat.StemmerMBps(), flat.RankerMBps(),
                flat.MatchMBps(), flat.ScoreMBps(), flat.DocsPerSec());
+  // Per-stage breakdown from the ckr_obs histograms (deltas over the
+  // flat pass only; all zeros when built with CKR_OBS_DISABLED).
+  std::fprintf(f, "  \"obs_stages\": {");
+  for (size_t i = 0; i < std::size(stages); ++i) {
+    const StageProbe& s = stages[i];
+    std::fprintf(f, "%s\"%s\": {\"samples\": %llu, \"seconds\": %.6f}",
+                 i == 0 ? "" : ", ", s.key,
+                 static_cast<unsigned long long>(s.calls), s.seconds);
+  }
+  std::fprintf(f, "},\n");
   std::fprintf(f, "  \"ranker_speedup_flat_over_legacy\": %.4f,\n",
                ranker_speedup);
   std::fprintf(f, "  \"outputs_bit_identical\": %s,\n",

@@ -24,6 +24,7 @@
 #include "features/offline_miner.h"
 #include "index/inverted_index.h"
 #include "index/legacy_index.h"
+#include "obs/metrics.h"
 
 namespace {
 
@@ -225,6 +226,17 @@ void RunSummary() {
                                          lab->legacy.PhraseSearch(q, 100));
   }
 
+  // ckr_obs probes: the flat index and the offline miner report into the
+  // global registry, so deltas across the timed sections below give the
+  // per-stage breakdown (all zeros when built with CKR_OBS_DISABLED).
+  obs::MetricRegistry& reg = obs::MetricRegistry::Global();
+  obs::Counter* c_searches = reg.GetCounter("ckr.index.searches");
+  obs::Counter* c_docs = reg.GetCounter("ckr.index.search_docs_touched");
+  obs::Counter* c_phrase = reg.GetCounter("ckr.index.phrase_searches");
+  const uint64_t searches0 = c_searches->Value();
+  const uint64_t docs_touched0 = c_docs->Value();
+  const uint64_t phrase0 = c_phrase->Value();
+
   // Timed passes over the full workloads (several repeats so the fast
   // paths get out of the noise).
   constexpr int kRepeats = 3;
@@ -278,8 +290,16 @@ void RunSummary() {
   }
   regular_count.flat_seconds = WallSeconds(t0);
 
+  const uint64_t obs_searches = c_searches->Value() - searches0;
+  const uint64_t obs_docs_touched = c_docs->Value() - docs_touched0;
+  const uint64_t obs_phrase = c_phrase->Value() - phrase0;
+
   // Mining fan-out scaling: same concepts, 1/2/4/8 workers; outputs must
   // be identical for every worker count.
+  obs::Histogram* mine_hist =
+      reg.GetHistogram("ckr.offline.stage.mine_all_seconds");
+  const uint64_t mine_calls0 = mine_hist->Count();
+  const double mine_seconds0 = mine_hist->Sum();
   OfflineConceptMiner miner(lab->pipeline->interestingness(),
                             lab->pipeline->relevance_miner());
   constexpr size_t kRelevanceTerms = 50;
@@ -297,6 +317,9 @@ void RunSummary() {
     }
     mining.push_back({workers, stats.wall_seconds});
   }
+
+  const uint64_t obs_mine_calls = mine_hist->Count() - mine_calls0;
+  const double obs_mine_seconds = mine_hist->Sum() - mine_seconds0;
 
   size_t legacy_bytes = lab->legacy.MemoryBytes();
   size_t flat_bytes = lab->flat.MemoryBytes();
@@ -338,6 +361,14 @@ void RunSummary() {
                     ? mining.front().wall_seconds / p.wall_seconds
                     : 0.0);
   }
+  std::printf("obs%s: %llu searches touching %llu postings docs, "
+              "%llu phrase searches; mine_all %llu samples %.3f s\n",
+              obs_searches == 0 ? " (hooks compiled out)" : "",
+              static_cast<unsigned long long>(obs_searches),
+              static_cast<unsigned long long>(obs_docs_touched),
+              static_cast<unsigned long long>(obs_phrase),
+              static_cast<unsigned long long>(obs_mine_calls),
+              obs_mine_seconds);
   std::printf("\n");
 
   std::FILE* f = std::fopen("BENCH_offline.json", "wb");
@@ -375,6 +406,17 @@ void RunSummary() {
                    ? static_cast<double>(legacy_bytes) /
                         static_cast<double>(flat_bytes)
                    : 0.0);
+  // Per-stage breakdown from the ckr_obs registry (deltas over the timed
+  // flat passes / the mining loop; all zeros under CKR_OBS_DISABLED).
+  std::fprintf(f,
+               "  \"obs\": {\"index_searches\": %llu, "
+               "\"index_docs_touched\": %llu, \"phrase_searches\": %llu, "
+               "\"mine_all\": {\"samples\": %llu, \"seconds\": %.6f}},\n",
+               static_cast<unsigned long long>(obs_searches),
+               static_cast<unsigned long long>(obs_docs_touched),
+               static_cast<unsigned long long>(obs_phrase),
+               static_cast<unsigned long long>(obs_mine_calls),
+               obs_mine_seconds);
   std::fprintf(f, "  \"mining_concepts\": %zu,\n", lab->concepts.size());
   // Mining scaling is bounded by the physical cores available; record them
   // so consumers can judge the speedup_vs_1 column.

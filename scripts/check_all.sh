@@ -16,6 +16,25 @@ ctest --preset default -j "$(nproc)"
 echo "== ckr_lint: contract rules over src/ bench/ tests/ tools/ =="
 ./build/tools/ckr_lint
 
+echo "== obs kill switch: CKR_OBS_DISABLED build + rank-fingerprint diff =="
+# Build with every CKR_OBS_* hook compiled out, run the kill-switch suite,
+# then prove observability never changes ranking: obs_disabled_test writes
+# an FNV-1a fingerprint of its ranked output, and the fingerprint from the
+# instrumented build must be byte-identical to the obs-off one.
+cmake --preset obs-off
+cmake --build --preset obs-off -j "$(nproc)"
+ctest --preset obs-off -j "$(nproc)"
+fp_dir="$(mktemp -d)"
+trap 'rm -rf "$fp_dir"' EXIT
+CKR_RANK_FINGERPRINT_FILE="$fp_dir/default.fp" \
+  ./build/tests/obs_disabled_test \
+  --gtest_filter='ObsDisabledTest.RankerOutputFingerprint' > /dev/null
+CKR_RANK_FINGERPRINT_FILE="$fp_dir/obs_off.fp" \
+  ./build-obs-off/tests/obs_disabled_test \
+  --gtest_filter='ObsDisabledTest.RankerOutputFingerprint' > /dev/null
+diff "$fp_dir/default.fp" "$fp_dir/obs_off.fp"
+echo "rank fingerprint identical across obs-on/obs-off: $(cat "$fp_dir/default.fp")"
+
 echo "== asan =="
 scripts/asan_check.sh
 echo "== tsan =="

@@ -46,6 +46,8 @@ class BinaryReader {
   bool ok() const { return ok_; }
   /// True when the whole buffer was consumed exactly.
   bool AtEnd() const { return ok_ && pos_ == data_.size(); }
+  /// Bytes left to read (0 once the reader has over-read).
+  size_t remaining() const { return ok_ ? data_.size() - pos_ : 0; }
 
  private:
   bool Raw(void* out, size_t size);

@@ -69,10 +69,18 @@ std::string StrFormat(const char* fmt, ...) {
   va_copy(args_copy, args);
   int needed = std::vsnprintf(nullptr, 0, fmt, args);
   va_end(args);
+  if (needed < 0) {
+    // Encoding error (e.g. an invalid multibyte sequence under %ls).
+    // Return a distinguishable sentinel rather than silently formatting
+    // nothing — callers embed the result in logs and JSON.
+    va_end(args_copy);
+    return "<format-error>";
+  }
   std::string out;
   if (needed > 0) {
     out.resize(static_cast<size_t>(needed));
-    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+    int written = std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+    if (written < 0) out = "<format-error>";
   }
   va_end(args_copy);
   return out;

@@ -6,6 +6,7 @@
 
 #include "common/parallel.h"
 #include "features/offline_miner.h"
+#include "obs/hooks.h"
 
 namespace ckr {
 
@@ -38,9 +39,12 @@ DatasetBuilder::DatasetBuilder(const Pipeline& pipeline,
     : pipeline_(pipeline), config_(config) {}
 
 StatusOr<ClickDataset> DatasetBuilder::Build() const {
+  CKR_OBS_SCOPED_TIMER("ckr.offline.stage.dataset_build_seconds");
+  CKR_OBS_COUNTER_INC("ckr.offline.dataset_builds");
   const auto& stories = pipeline_.news_stories();
   const unsigned workers =
       config_.num_threads == 0 ? DefaultWorkerCount() : config_.num_threads;
+  CKR_OBS_COUNTER_ADD("ckr.offline.stories_in", stories.size());
 
   // Stage 1 (parallel over stories): annotate, apply the production
   // annotation cut, simulate traffic. Each story writes only its own slot,
@@ -86,6 +90,7 @@ StatusOr<ClickDataset> DatasetBuilder::Build() const {
 
   // Stage 2: the cleaning rules of Section V-A.1.
   std::vector<StoryReport> kept = FilterReports(reports, config_.filter);
+  CKR_OBS_COUNTER_ADD("ckr.offline.stories_kept", kept.size());
   if (kept.empty()) {
     return Status::FailedPrecondition(
         "no stories survive the cleaning rules; scale up the world");
@@ -174,6 +179,9 @@ StatusOr<ClickDataset> DatasetBuilder::Build() const {
   }
   ds.num_windows = next_window_group;
   ds.num_distinct_concepts = concepts.size();
+  CKR_OBS_COUNTER_ADD("ckr.offline.windows", ds.num_windows);
+  CKR_OBS_COUNTER_ADD("ckr.offline.instances", ds.instances.size());
+  CKR_OBS_COUNTER_ADD("ckr.offline.distinct_concepts", concepts.size());
   ds.story_fold = KFoldAssignment(ds.surviving_stories.size(),
                                   config_.cv_folds, config_.cv_seed);
   return ds;

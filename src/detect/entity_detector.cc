@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/hooks.h"
 #include "text/stopwords.h"
 #include "text/tokenizer.h"
 
@@ -207,6 +208,11 @@ const std::vector<RawDetection>& EntityDetector::DetectRawPreTokenized(
               if (a.begin != b.begin) return a.begin < b.begin;
               return a.end > b.end;
             });
+  CKR_OBS_COUNTER_INC("ckr.detect.documents");
+  CKR_OBS_COUNTER_ADD("ckr.detect.tokens", tokens.size());
+  CKR_OBS_COUNTER_ADD("ckr.detect.pattern_matches", scratch->patterns.size());
+  CKR_OBS_COUNTER_ADD("ckr.detect.phrase_matches", scratch->matches.size());
+  CKR_OBS_COUNTER_ADD("ckr.detect.raw_detections", scratch->raw.size());
   return scratch->raw;
 }
 

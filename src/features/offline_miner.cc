@@ -1,19 +1,9 @@
 #include "features/offline_miner.h"
 
-#include <chrono>
-
 #include "common/parallel.h"
+#include "obs/hooks.h"
 
 namespace ckr {
-namespace {
-
-double WallSeconds(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -  // ckr-lint: allow(R1) wall-clock stats
-                                       start)
-      .count();
-}
-
-}  // namespace
 
 OfflineConceptMiner::OfflineConceptMiner(
     const InterestingnessExtractor& interestingness,
@@ -29,10 +19,10 @@ std::vector<MinedConcept> OfflineConceptMiner::MineAll(
   std::vector<double> busy(workers, 0.0);
   std::vector<uint64_t> mined(workers, 0);
 
-  auto t0 = std::chrono::steady_clock::now();  // ckr-lint: allow(R1) wall-clock stats
+  const int64_t t0 = clock_->NowNanos();
   ParallelForWorkers(concepts.size(), workers, [&](unsigned worker,
                                                    size_t c) {
-    auto item_start = std::chrono::steady_clock::now();  // ckr-lint: allow(R1) wall-clock stats
+    const int64_t item_start = clock_->NowNanos();
     const ConceptKey& item = concepts[c];
     MinedConcept& slot = out[c];
     slot.interestingness = interestingness_.Extract(item.key, item.type);
@@ -40,13 +30,19 @@ std::vector<MinedConcept> OfflineConceptMiner::MineAll(
       slot.relevance[r] = miner_.Mine(
           item.key, static_cast<RelevanceResource>(r), relevance_terms);
     }
-    busy[worker] += WallSeconds(item_start);
+    busy[worker] += clock_->SecondsSince(item_start);
     ++mined[worker];
   });
+  const double wall_s = clock_->SecondsSince(t0);
+
+  CKR_OBS_COUNTER_INC("ckr.offline.mine_all_calls");
+  CKR_OBS_COUNTER_ADD("ckr.offline.concepts_mined", concepts.size());
+  CKR_OBS_GAUGE_SET("ckr.offline.mine_workers", static_cast<double>(workers));
+  CKR_OBS_HISTOGRAM_RECORD("ckr.offline.stage.mine_all_seconds", wall_s);
 
   if (stats != nullptr) {
     stats->workers = workers;
-    stats->wall_seconds = WallSeconds(t0);
+    stats->wall_seconds = wall_s;
     stats->worker_busy_seconds = std::move(busy);
     stats->worker_concepts = std::move(mined);
   }

@@ -16,6 +16,7 @@
 #include "corpus/taxonomy.h"
 #include "features/interestingness.h"
 #include "features/relevance.h"
+#include "obs/clock.h"
 
 namespace ckr {
 
@@ -60,9 +61,13 @@ class OfflineConceptMiner {
                                     unsigned num_threads,
                                     OfflineMiningStats* stats = nullptr) const;
 
+  /// Swaps the stats clock (wall/busy accounting only; never the output).
+  void SetClockForTesting(const Clock* clock) { clock_ = clock; }
+
  private:
   const InterestingnessExtractor& interestingness_;
   const RelevanceMiner& miner_;
+  const Clock* clock_ = &RealClock();
 };
 
 }  // namespace ckr

@@ -1,23 +1,17 @@
 #include "framework/runtime_ranker.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 
 #include "common/parallel.h"
 #include "framework/golomb.h"
+#include "obs/hooks.h"
 #include "text/porter_stemmer.h"
 #include "text/stopwords.h"
 #include "text/tokenizer.h"
 
 namespace ckr {
 namespace {
-
-double SecondsSince(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -  // ckr-lint: allow(R1) wall-clock stats
-                                       start)
-      .count();
-}
 
 double SafeRate(uint64_t bytes, double seconds) {
   return seconds > 0 ? static_cast<double>(bytes) / 1e6 / seconds : 0.0;
@@ -130,6 +124,14 @@ StatusOr<QuantizedInterestingnessStore> QuantizedInterestingnessStore::LoadFrom(
   for (double& v : store.field_min_) v = reader->F64();
   for (double& v : store.field_max_) v = reader->F64();
   uint32_t n = reader->U32();
+  // Every record is at least its key's 4-byte length prefix plus dim
+  // quantized values; a declared count that cannot fit the remaining
+  // bytes is a corrupted size field and must fail before any reserve.
+  const size_t min_record_bytes = sizeof(uint32_t) + dim * sizeof(uint16_t);
+  if (n > reader->remaining() / min_record_bytes) {
+    return Status::InvalidArgument(
+        "interestingness store count exceeds blob size");
+  }
   // Records may come from any writer order (the current SaveTo emits
   // sorted keys; pre-flat packs used hash order): collect, then freeze in
   // sorted-key order so loaded ids match a freshly finalized store.
@@ -190,6 +192,11 @@ StatusOr<GlobalTidTable> GlobalTidTable::LoadFrom(BinaryReader* reader) {
   }
   GlobalTidTable table;
   uint32_t n = reader->U32();
+  // Each entry is at least a 4-byte key length prefix plus its 4-byte tid.
+  if (n > reader->remaining() / (2 * sizeof(uint32_t))) {
+    return Status::InvalidArgument("TID-table count exceeds blob size");
+  }
+  table.tids_.reserve(n);
   for (uint32_t i = 0; i < n && reader->ok(); ++i) {
     std::string term = reader->Str();
     uint32_t tid = reader->U32();
@@ -333,6 +340,11 @@ StatusOr<PackedRelevanceStore> PackedRelevanceStore::LoadFrom(
   PackedRelevanceStore store(tids);
   store.score_scale_ = reader->F64();
   uint32_t n = reader->U32();
+  // Each record is at least a 4-byte key length prefix plus its 4-byte
+  // term count.
+  if (n > reader->remaining() / (2 * sizeof(uint32_t))) {
+    return Status::InvalidArgument("relevance store count exceeds blob size");
+  }
   std::vector<std::pair<std::string, std::vector<uint32_t>>> records;
   records.reserve(n);
   for (uint32_t i = 0; i < n && reader->ok(); ++i) {
@@ -433,7 +445,7 @@ std::vector<RankedAnnotation> RuntimeRanker::ProcessDocument(
     std::string_view text, RankerScratch* scratch, RuntimeStats* stats) const {
   // Stemmer component: tokenize once (shared with detection below) and
   // stem every non-stopword token into the context TID set.
-  auto t0 = std::chrono::steady_clock::now();  // ckr-lint: allow(R1) wall-clock stats
+  int64_t t0 = clock_->NowNanos();
   TokenizeInto(text, &scratch->detect.tokens);
   scratch->context.Reset(tids_.size());
   for (const Token& tok : scratch->detect.tokens) {
@@ -442,16 +454,16 @@ std::vector<RankedAnnotation> RuntimeRanker::ProcessDocument(
     uint32_t tid = tids_.Lookup(scratch->stem_buf);
     if (tid != GlobalTidTable::kMaxTid) scratch->context.Insert(tid);
   }
-  double stem_s = SecondsSince(t0);
+  double stem_s = clock_->SecondsSince(t0);
 
   // Ranker component, stage 1: candidate detection on the flat automaton.
-  auto t1 = std::chrono::steady_clock::now();  // ckr-lint: allow(R1) wall-clock stats
+  int64_t t1 = clock_->NowNanos();
   const std::vector<RawDetection>& raw =
       detector_.DetectRawPreTokenized(text, &scratch->detect);
-  double match_s = SecondsSince(t1);
+  double match_s = clock_->SecondsSince(t1);
 
   // Ranker component, stage 2: id-keyed feature assembly + model scoring.
-  auto t2 = std::chrono::steady_clock::now();  // ckr-lint: allow(R1) wall-clock stats
+  int64_t t2 = clock_->NowNanos();
   std::vector<RankedAnnotation> ranked;
   scratch->seen_entries.Reset(detector_.NumEntries());
   for (const RawDetection& d : raw) {
@@ -462,6 +474,10 @@ std::vector<RankedAnnotation> RuntimeRanker::ProcessDocument(
     if (!scratch->seen_entries.Insert(d.entry_id)) continue;  // First only.
     uint32_t interest_id = entry_interest_[d.entry_id];
     if (!interestingness_.LookupById(interest_id, &scratch->features)) {
+      // Degraded path: detected but missing a feature vector (store and
+      // dictionary out of sync); the annotation is silently dropped, so
+      // count it — drift here is otherwise invisible.
+      CKR_OBS_COUNTER_INC("ckr.runtime.missing_feature_vector");
       continue;
     }
     // Log-scaled to match ExperimentRunner::Features' model layout.
@@ -473,11 +489,21 @@ std::vector<RankedAnnotation> RuntimeRanker::ProcessDocument(
     a.end = d.end;
     a.type = d.type;
     a.score = model_.Score(scratch->features);
-    if (tracker_ != nullptr) a.score += tracker_->Adjustment(a.key);
+    if (tracker_ != nullptr) {
+      a.score += tracker_->Adjustment(a.key);
+      CKR_OBS_COUNTER_INC("ckr.runtime.ctr_adjustments");
+    }
     ranked.push_back(std::move(a));
   }
   SortRanked(&ranked);
-  double score_s = SecondsSince(t2);
+  double score_s = clock_->SecondsSince(t2);
+
+  CKR_OBS_HISTOGRAM_RECORD("ckr.runtime.stage.stem_seconds", stem_s);
+  CKR_OBS_HISTOGRAM_RECORD("ckr.runtime.stage.match_seconds", match_s);
+  CKR_OBS_HISTOGRAM_RECORD("ckr.runtime.stage.score_seconds", score_s);
+  CKR_OBS_COUNTER_INC("ckr.runtime.documents");
+  CKR_OBS_COUNTER_ADD("ckr.runtime.detections", ranked.size());
+  CKR_OBS_COUNTER_ADD("ckr.runtime.bytes_processed", text.size());
 
   if (stats != nullptr) {
     stats->stemmer_seconds += stem_s;
@@ -499,6 +525,10 @@ std::vector<std::vector<RankedAnnotation>> RuntimeRanker::ProcessBatch(
   if (workers > docs.size() && !docs.empty()) {
     workers = static_cast<unsigned>(docs.size());
   }
+  CKR_OBS_SCOPED_TIMER("ckr.runtime.batch_seconds");
+  CKR_OBS_COUNTER_INC("ckr.runtime.batches");
+  CKR_OBS_COUNTER_ADD("ckr.runtime.batch_docs", docs.size());
+  CKR_OBS_GAUGE_SET("ckr.runtime.batch_workers", workers);
   std::vector<RankerScratch> scratches(workers);
   std::vector<RuntimeStats> worker_stats(workers);
   ParallelForWorkers(docs.size(), workers, [&](unsigned worker, size_t i) {
@@ -513,11 +543,11 @@ std::vector<std::vector<RankedAnnotation>> RuntimeRanker::ProcessBatch(
 
 std::vector<RankedAnnotation> RuntimeRanker::ProcessDocumentLegacy(
     std::string_view text, RuntimeStats* stats) const {
-  auto t0 = std::chrono::steady_clock::now();  // ckr-lint: allow(R1) wall-clock stats
+  int64_t t0 = clock_->NowNanos();
   std::unordered_set<uint32_t> context = StemToTids(text);
-  double stem_s = SecondsSince(t0);
+  double stem_s = clock_->SecondsSince(t0);
 
-  auto t1 = std::chrono::steady_clock::now();  // ckr-lint: allow(R1) wall-clock stats
+  int64_t t1 = clock_->NowNanos();
   std::vector<Detection> detections = detector_.Detect(text);
   std::vector<RankedAnnotation> ranked;
   std::vector<double> features;
@@ -538,7 +568,7 @@ std::vector<RankedAnnotation> RuntimeRanker::ProcessDocumentLegacy(
     ranked.push_back(std::move(a));
   }
   SortRanked(&ranked);
-  double rank_s = SecondsSince(t1);
+  double rank_s = clock_->SecondsSince(t1);
 
   if (stats != nullptr) {
     stats->stemmer_seconds += stem_s;

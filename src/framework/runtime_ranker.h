@@ -41,6 +41,7 @@
 #include "framework/binary_io.h"
 #include "features/interestingness.h"
 #include "features/relevance.h"
+#include "obs/clock.h"
 #include "online/ctr_tracker.h"
 #include "ranksvm/rank_svm.h"
 
@@ -258,6 +259,12 @@ class RuntimeRanker {
   /// of the paper's Section VIII. The tracker must outlive the ranker.
   void SetOnlineTracker(const CtrTracker* tracker) { tracker_ = tracker; }
 
+  /// Swaps the time source behind RuntimeStats and the obs stage timers
+  /// (default: the process steady clock). With a FakeClock the reported
+  /// stage durations are deterministic; ranked output never depends on
+  /// the clock. The clock must outlive the ranker.
+  void SetClockForTesting(const Clock* clock) { clock_ = clock; }
+
   /// Detects, scores and ranks the concepts of one document. Pattern
   /// entities are excluded (they bypass ranking). Accumulates timing into
   /// `stats` when non-null. Uses a thread-local scratch.
@@ -298,6 +305,7 @@ class RuntimeRanker {
   const GlobalTidTable& tids_;
   RankSvmModel model_;
   const CtrTracker* tracker_ = nullptr;
+  const Clock* clock_ = &RealClock();
 
   /// Detector entry id -> dense store ids, resolved once at construction
   /// so the document path never hashes a concept key.

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "framework/golomb.h"
+#include "obs/hooks.h"
 #include "text/tokenizer.h"
 
 namespace ckr {
@@ -230,6 +231,9 @@ std::vector<SearchResult> InvertedIndex::Search(std::string_view query,
   }
   TopKHeap heap(k);
   for (uint32_t d : touched) heap.Push({docs_[d].id, acc[d]});
+  CKR_OBS_COUNTER_INC("ckr.index.searches");
+  CKR_OBS_COUNTER_ADD("ckr.index.search_terms", terms.size());
+  CKR_OBS_COUNTER_ADD("ckr.index.search_docs_touched", touched.size());
   return heap.Take();
 }
 
@@ -369,6 +373,7 @@ uint64_t InvertedIndex::PhraseResultCount(std::string_view phrase) const {
 std::vector<SearchResult> InvertedIndex::PhraseSearch(std::string_view phrase,
                                                       size_t k) const {
   CKR_DCHECK(finalized_);
+  CKR_OBS_COUNTER_INC("ckr.index.phrase_searches");
   std::vector<uint32_t> tids;
   size_t rarest = 0;
   if (!ResolvePhrase(phrase, &tids, &rarest)) return {};

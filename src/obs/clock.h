@@ -1,0 +1,57 @@
+// Injectable time source for the observability layer (and for every
+// component that reports durations).
+//
+// The repo's determinism contract (ckr_lint rule R1) bans wall-clock
+// reads outside bench/. Observability needs durations, so time enters
+// the library through exactly one seam: the ckr::Clock interface. Tests
+// inject a FakeClock and get bit-stable metric snapshots; production
+// uses RealClock(), whose steady_clock read lives in
+// src/obs/real_clock.cc behind a rule-scoped ckr-lint suppression — the
+// single sanctioned wall-clock read in src/.
+#ifndef CKR_OBS_CLOCK_H_
+#define CKR_OBS_CLOCK_H_
+
+#include <cstdint>
+
+namespace ckr {
+
+/// Monotonic time source. Implementations must be thread-safe.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Nanoseconds since an arbitrary fixed origin; never decreases.
+  virtual int64_t NowNanos() const = 0;
+
+  /// Convenience: seconds elapsed since an earlier NowNanos() reading.
+  double SecondsSince(int64_t start_nanos) const {
+    return static_cast<double>(NowNanos() - start_nanos) / 1e9;
+  }
+};
+
+/// Deterministic clock for tests: time moves only when advanced.
+/// Thread-compatible (callers serialize advances against readers).
+class FakeClock final : public Clock {
+ public:
+  explicit FakeClock(int64_t start_nanos = 0) : now_nanos_(start_nanos) {}
+
+  int64_t NowNanos() const override { return now_nanos_; }
+
+  void AdvanceNanos(int64_t nanos) { now_nanos_ += nanos; }
+  void AdvanceSeconds(double seconds) {
+    now_nanos_ += static_cast<int64_t>(seconds * 1e9);
+  }
+  void SetNanos(int64_t nanos) { now_nanos_ = nanos; }
+
+ private:
+  int64_t now_nanos_ = 0;
+};
+
+/// The process-wide monotonic clock (std::chrono::steady_clock).
+/// Defined in real_clock.cc — the only translation unit in src/ allowed
+/// to read the wall clock.
+const Clock& RealClock();
+
+}  // namespace ckr
+
+#endif  // CKR_OBS_CLOCK_H_

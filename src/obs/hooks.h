@@ -1,0 +1,91 @@
+// The instrumentation hooks library code actually calls.
+//
+// Every hook targets the global MetricRegistry and caches its metric
+// pointer in a function-local static, so the steady-state cost is one
+// relaxed atomic add. Defining CKR_OBS_DISABLED (the CMake option of the
+// same name, or a per-TU #define as in tests/obs_disabled_test.cc) turns
+// every hook into a true no-op with unevaluated operands — the same
+// zero-codegen contract CKR_DCHECK honors in release builds, proven the
+// same way.
+#ifndef CKR_OBS_HOOKS_H_
+#define CKR_OBS_HOOKS_H_
+
+#include "obs/metrics.h"
+#include "obs/stage_timer.h"
+
+#if defined(CKR_OBS_DISABLED)
+#define CKR_OBS_ENABLED 0
+#else
+#define CKR_OBS_ENABLED 1
+#endif
+
+#define CKR_OBS_CONCAT_INNER(a, b) a##b
+#define CKR_OBS_CONCAT(a, b) CKR_OBS_CONCAT_INNER(a, b)
+
+namespace ckr {
+namespace obs {
+
+/// What CKR_OBS_SCOPED_TIMER declares when obs is disabled: an empty,
+/// trivially destructible object — the "zero-size hook" the disabled
+/// build's test pins with static_asserts.
+struct NullStageTimer {};
+
+}  // namespace obs
+}  // namespace ckr
+
+#if CKR_OBS_ENABLED
+
+/// Adds 1 to the named global counter.
+#define CKR_OBS_COUNTER_INC(name) CKR_OBS_COUNTER_ADD(name, 1)
+
+/// Adds `delta` (converted to uint64_t) to the named global counter.
+#define CKR_OBS_COUNTER_ADD(name, delta)                            \
+  do {                                                              \
+    static ::ckr::obs::Counter* ckr_obs_counter_ =                  \
+        ::ckr::obs::MetricRegistry::Global().GetCounter(name);      \
+    ckr_obs_counter_->Add(static_cast<uint64_t>(delta));            \
+  } while (0)
+
+/// Sets the named global gauge.
+#define CKR_OBS_GAUGE_SET(name, value)                              \
+  do {                                                              \
+    static ::ckr::obs::Gauge* ckr_obs_gauge_ =                      \
+        ::ckr::obs::MetricRegistry::Global().GetGauge(name);        \
+    ckr_obs_gauge_->Set(static_cast<double>(value));                \
+  } while (0)
+
+/// Records `value` into the named global histogram (default latency
+/// buckets on first use).
+#define CKR_OBS_HISTOGRAM_RECORD(name, value)                       \
+  do {                                                              \
+    static ::ckr::obs::Histogram* ckr_obs_hist_ =                   \
+        ::ckr::obs::MetricRegistry::Global().GetHistogram(name);    \
+    ckr_obs_hist_->Record(static_cast<double>(value));              \
+  } while (0)
+
+/// Declares an RAII timer recording this scope's duration into the named
+/// global histogram via the registry's clock.
+#define CKR_OBS_SCOPED_TIMER(name)                                  \
+  ::ckr::obs::StageTimer CKR_OBS_CONCAT(ckr_obs_scoped_timer_,      \
+                                        __COUNTER__)(               \
+      &::ckr::obs::MetricRegistry::Global(), name)
+
+#else  // !CKR_OBS_ENABLED
+
+// Unevaluated operands (the CKR_DCHECK release pattern): no codegen, no
+// side effects, no "unused variable" warnings for operands only used
+// here.
+#define CKR_OBS_COUNTER_INC(name) ((void)sizeof(name))
+#define CKR_OBS_COUNTER_ADD(name, delta) \
+  ((void)sizeof(((void)(name), (void)(delta), 0)))
+#define CKR_OBS_GAUGE_SET(name, value) \
+  ((void)sizeof(((void)(name), (void)(value), 0)))
+#define CKR_OBS_HISTOGRAM_RECORD(name, value) \
+  ((void)sizeof(((void)(name), (void)(value), 0)))
+#define CKR_OBS_SCOPED_TIMER(name)                                  \
+  [[maybe_unused]] ::ckr::obs::NullStageTimer CKR_OBS_CONCAT(       \
+      ckr_obs_scoped_timer_, __COUNTER__) {}
+
+#endif  // CKR_OBS_ENABLED
+
+#endif  // CKR_OBS_HOOKS_H_

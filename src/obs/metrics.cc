@@ -1,0 +1,132 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace ckr {
+namespace obs {
+namespace {
+
+/// Round-trip double rendering; fixed format keeps snapshots byte-stable.
+std::string Num(double v) { return StrFormat("%.17g", v); }
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {
+  CKR_DCHECK(std::is_sorted(bounds_.begin(), bounds_.end()));
+}
+
+void Histogram::Record(double value) {
+  size_t i = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  counts_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+void Histogram::Reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+const std::vector<double>& DefaultLatencyBoundsSeconds() {
+  static const std::vector<double> kBounds = {1e-6, 1e-5, 1e-4, 1e-3,
+                                              1e-2, 1e-1, 1.0,  10.0};
+  return kBounds;
+}
+
+Counter* MetricRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string key(name);
+  if (gauges_.count(key) != 0 || histograms_.count(key) != 0) {
+    key += "!counter";
+  }
+  auto& slot = counters_[key];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string key(name);
+  if (counters_.count(key) != 0 || histograms_.count(key) != 0) {
+    key += "!gauge";
+  }
+  auto& slot = gauges_[key];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricRegistry::GetHistogram(std::string_view name,
+                                        const std::vector<double>& bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string key(name);
+  if (counters_.count(key) != 0 || gauges_.count(key) != 0) {
+    key += "!histogram";
+  }
+  auto& slot = histograms_[key];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(bounds);
+  return slot.get();
+}
+
+std::string MetricRegistry::SnapshotJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    out += StrFormat("%s\n    \"%s\": %llu", first ? "" : ",", name.c_str(),
+                     static_cast<unsigned long long>(counter->Value()));
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    out += StrFormat("%s\n    \"%s\": %s", first ? "" : ",", name.c_str(),
+                     Num(gauge->Value()).c_str());
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : histograms_) {
+    out += StrFormat("%s\n    \"%s\": {\"count\": %llu, \"sum\": %s, "
+                     "\"buckets\": [",
+                     first ? "" : ",", name.c_str(),
+                     static_cast<unsigned long long>(hist->Count()),
+                     Num(hist->Sum()).c_str());
+    for (size_t i = 0; i < hist->NumBuckets(); ++i) {
+      std::string le = i < hist->bounds().size()
+                           ? "\"le\": " + Num(hist->bounds()[i])
+                           : std::string("\"le\": \"+Inf\"");
+      out += StrFormat("%s{%s, \"count\": %llu}", i == 0 ? "" : ", ",
+                       le.c_str(),
+                       static_cast<unsigned long long>(hist->BucketCount(i)));
+    }
+    out += "]}";
+    first = false;
+  }
+  out += first ? "}\n}\n" : "\n  }\n}\n";
+  return out;
+}
+
+void MetricRegistry::ResetAllForTesting() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+MetricRegistry& MetricRegistry::Global() {
+  // Leaked: hooks may fire from static destructors after main().
+  static MetricRegistry* registry = new MetricRegistry();
+  return *registry;
+}
+
+}  // namespace obs
+}  // namespace ckr

@@ -1,0 +1,140 @@
+// ckr_obs — the low-overhead observability layer.
+//
+// A MetricRegistry owns named counters, gauges and fixed-bucket
+// histograms. Metric objects are created once (mutex-protected) and then
+// updated lock-free with relaxed atomics, so hot paths pay one atomic
+// add per event; call sites cache the metric pointer in a function-local
+// static (see hooks.h). SnapshotJson() renders the whole registry as
+// JSON with sorted keys and fixed number formatting — byte-stable given
+// the same metric values, which the FakeClock tests rely on.
+//
+// Durations flow through the registry's injected ckr::Clock (clock.h),
+// keeping the determinism contract: tests swap in a FakeClock and the
+// snapshot is bit-identical run to run.
+#ifndef CKR_OBS_METRICS_H_
+#define CKR_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/clock.h"
+
+namespace ckr {
+namespace obs {
+
+/// Monotonically increasing event count. Thread-safe.
+class Counter {
+ public:
+  void Increment() { Add(1); }
+  void Add(uint64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value. Thread-safe.
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. A value lands in the first bucket whose upper
+/// bound it does not exceed (v <= bounds[i]); values above the last
+/// bound land in the overflow bucket, so there are bounds.size() + 1
+/// buckets. Bounds are fixed at construction — no rebinning, no
+/// allocation on Record(). Thread-safe.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Record(double value);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  size_t NumBuckets() const { return counts_.size(); }
+  uint64_t BucketCount(size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;  ///< Sorted ascending upper bounds.
+  std::vector<std::atomic<uint64_t>> counts_;  ///< bounds_.size() + 1.
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Default histogram bounds for stage latencies, in seconds (1us..10s,
+/// decade steps). Fixed so snapshots from different processes line up.
+const std::vector<double>& DefaultLatencyBoundsSeconds();
+
+/// Owns metrics by name. Creation locks; updates through the returned
+/// pointers are lock-free. Metric pointers stay valid for the registry's
+/// lifetime (the global registry is never destroyed).
+class MetricRegistry {
+ public:
+  explicit MetricRegistry(const Clock* clock = &RealClock())
+      : clock_(clock) {}
+
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// Finds or creates. A name maps to one metric kind: requesting an
+  /// existing name as a different kind returns that name with a
+  /// "!kind" suffix instead (observability must never abort serving).
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  /// `bounds` applies only on first creation of `name`.
+  Histogram* GetHistogram(std::string_view name,
+                          const std::vector<double>& bounds =
+                              DefaultLatencyBoundsSeconds());
+
+  const Clock& clock() const {
+    return *clock_.load(std::memory_order_acquire);
+  }
+  /// Swaps the time source (tests only; callers serialize against
+  /// concurrent timer use).
+  void SetClockForTesting(const Clock* clock) {
+    clock_.store(clock, std::memory_order_release);
+  }
+
+  /// Deterministic JSON: object keys sorted bytewise, doubles printed
+  /// with round-trip precision. Counters under "counters", gauges under
+  /// "gauges", histograms under "histograms" with per-bucket counts.
+  std::string SnapshotJson() const;
+
+  /// Zeroes every metric (names and bucket layouts survive). Tests only.
+  void ResetAllForTesting();
+
+  /// The process-wide registry every CKR_OBS_* hook reports into.
+  /// Intentionally leaked so hooks in static destructors stay safe.
+  static MetricRegistry& Global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::atomic<const Clock*> clock_;
+};
+
+}  // namespace obs
+}  // namespace ckr
+
+#endif  // CKR_OBS_METRICS_H_

@@ -1,0 +1,57 @@
+// RAII stage timing over the injectable clock. A StageTimer reads the
+// clock once at construction and once at Stop() (or destruction) and
+// records the elapsed seconds into a histogram. With a FakeClock the
+// recorded value is exactly the injected advance, so snapshot tests are
+// bit-stable.
+#ifndef CKR_OBS_STAGE_TIMER_H_
+#define CKR_OBS_STAGE_TIMER_H_
+
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace ckr {
+namespace obs {
+
+/// Times one scope; records into `histogram` using `clock`. Movable-from
+/// never, copyable never — one measurement per object.
+class StageTimer {
+ public:
+  StageTimer(Histogram* histogram, const Clock* clock)
+      : histogram_(histogram),
+        clock_(clock),
+        start_nanos_(clock->NowNanos()) {}
+
+  /// Resolves the histogram (default latency buckets) and clock from a
+  /// registry.
+  StageTimer(MetricRegistry* registry, std::string_view name)
+      : StageTimer(registry->GetHistogram(name), &registry->clock()) {}
+
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+  ~StageTimer() { Stop(); }
+
+  /// Records once and returns the elapsed seconds; later calls (and the
+  /// destructor) are no-ops returning the same elapsed value.
+  double Stop() {
+    if (!stopped_) {
+      stopped_ = true;
+      elapsed_seconds_ = clock_->SecondsSince(start_nanos_);
+      histogram_->Record(elapsed_seconds_);
+    }
+    return elapsed_seconds_;
+  }
+
+ private:
+  Histogram* histogram_;
+  const Clock* clock_;
+  int64_t start_nanos_;
+  double elapsed_seconds_ = 0.0;
+  bool stopped_ = false;
+};
+
+}  // namespace obs
+}  // namespace ckr
+
+#endif  // CKR_OBS_STAGE_TIMER_H_

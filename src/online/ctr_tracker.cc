@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/hooks.h"
+
 namespace ckr {
 
 CtrTracker::CtrTracker(const CtrTrackerConfig& config) : config_(config) {}
@@ -14,6 +16,9 @@ void CtrTracker::Record(std::string_view key, uint64_t views,
   s.fresh_clicks += static_cast<double>(clicks);
   total_views_ += static_cast<double>(views);
   total_clicks_ += static_cast<double>(clicks);
+  CKR_OBS_COUNTER_INC("ckr.online.ctr_records");
+  CKR_OBS_COUNTER_ADD("ckr.online.ctr_views", views);
+  CKR_OBS_COUNTER_ADD("ckr.online.ctr_clicks", clicks);
 }
 
 void CtrTracker::Tick() {
@@ -25,10 +30,15 @@ void CtrTracker::Tick() {
   }
   total_views_ *= config_.decay;
   total_clicks_ *= config_.decay;
+  CKR_OBS_COUNTER_INC("ckr.online.ctr_ticks");
+  CKR_OBS_GAUGE_SET("ckr.online.ctr_tracked_concepts",
+                    static_cast<double>(stats_.size()));
 }
 
 double CtrTracker::SystemCtr() const {
-  // A weak global prior keeps the estimate sane before any traffic.
+  // A weak global prior keeps the estimate sane (and the denominator
+  // nonzero) before any traffic: with zero observations this is exactly
+  // the prior CTR of 0.01, never 0/0.
   return (total_clicks_ + 1.0) / (total_views_ + 100.0);
 }
 
@@ -39,15 +49,33 @@ double CtrTracker::SmoothedCtr(std::string_view key) const {
   const ConceptStats& s = it->second;
   double views = s.hist_views + s.fresh_views;
   double clicks = s.hist_clicks + s.fresh_clicks;
-  return (clicks + config_.prior_views * system) /
-         (views + config_.prior_views);
+  double denom = views + config_.prior_views;
+  if (denom <= 0.0) {
+    // Zero observations under a zero prior would be 0/0; a tracked-but-
+    // unseen concept gets the same answer as an untracked one.
+    CKR_OBS_COUNTER_INC("ckr.online.ctr_cold_start_neutral");
+    return system;
+  }
+  return (clicks + config_.prior_views * system) / denom;
 }
 
 double CtrTracker::Adjustment(std::string_view key) const {
   auto it = stats_.find(key);
   if (it == stats_.end()) return 0.0;
-  double ratio = SmoothedCtr(key) / std::max(1e-12, SystemCtr());
-  double log_ratio = std::log(std::max(1e-12, ratio));
+  const double system = SystemCtr();
+  const double smoothed = SmoothedCtr(key);
+  if (!(smoothed > 0.0) || !(system > 0.0)) {
+    // A smoothed CTR of exactly 0 (clicks=0 with a zero/tiny prior) is a
+    // cold-start artifact, not evidence: ln(0) would slam the concept to
+    // the full -max_adjustment. No evidence means neutral.
+    CKR_OBS_COUNTER_INC("ckr.online.ctr_adjustment_neutralized");
+    return 0.0;
+  }
+  double log_ratio = std::log(smoothed / system);
+  if (log_ratio < -config_.max_adjustment ||
+      log_ratio > config_.max_adjustment) {
+    CKR_OBS_COUNTER_INC("ckr.online.ctr_adjustment_clamped");
+  }
   log_ratio = std::clamp(log_ratio, -config_.max_adjustment,
                          config_.max_adjustment);
   return config_.adjustment_weight * log_ratio;
@@ -55,8 +83,16 @@ double CtrTracker::Adjustment(std::string_view key) const {
 
 double CtrTracker::SpikeStrength(const ConceptStats& s) const {
   if (s.fresh_views < config_.spike_min_views) return 0.0;
+  if (s.hist_views <= 0.0) {
+    // First period for this concept — no decayed history exists yet, so
+    // there is nothing to spike against. Without this gate any new
+    // concept whose first-period CTR beats the system prior would
+    // "spike" before a single Tick().
+    CKR_OBS_COUNTER_INC("ckr.online.ctr_spike_no_history");
+    return 0.0;
+  }
   double fresh_ctr = s.fresh_clicks / s.fresh_views;
-  double hist_ctr = s.hist_views > 0 ? s.hist_clicks / s.hist_views : 0.0;
+  double hist_ctr = s.hist_clicks / s.hist_views;
   double reference = std::max(hist_ctr, SystemCtr());
   if (reference <= 0) return 0.0;
   return fresh_ctr / reference;
@@ -65,7 +101,9 @@ double CtrTracker::SpikeStrength(const ConceptStats& s) const {
 bool CtrTracker::IsSpiking(std::string_view key) const {
   auto it = stats_.find(key);
   if (it == stats_.end()) return false;
-  return SpikeStrength(it->second) >= config_.spike_ratio;
+  bool spiking = SpikeStrength(it->second) >= config_.spike_ratio;
+  if (spiking) CKR_OBS_COUNTER_INC("ckr.online.ctr_spikes_detected");
+  return spiking;
 }
 
 std::vector<std::string> CtrTracker::SpikingConcepts() const {

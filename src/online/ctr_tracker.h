@@ -66,11 +66,15 @@ class CtrTracker {
 
   /// Additive score adjustment in [-max_adjustment, max_adjustment] *
   /// adjustment_weight: ln(smoothed / system), clamped. Unobserved
-  /// concepts get 0.
+  /// concepts get 0, and so does any concept whose smoothed or system
+  /// CTR is degenerate (<= 0, e.g. zero clicks under a zero prior):
+  /// cold-start noise must never hand a concept the full punishment band.
   double Adjustment(std::string_view key) const;
 
   /// True if the concept's fresh-period CTR spikes above its decayed
-  /// historical rate (a "world event" signal).
+  /// historical rate (a "world event" signal). A concept with no decayed
+  /// history yet (nothing folded in by Tick()) never spikes — there is
+  /// no baseline to spike against.
   bool IsSpiking(std::string_view key) const;
 
   /// Concepts currently spiking, most extreme first.

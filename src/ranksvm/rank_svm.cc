@@ -12,6 +12,7 @@
 #include "common/log.h"
 #include "common/parallel.h"
 #include "common/string_util.h"
+#include "obs/hooks.h"
 
 namespace ckr {
 
@@ -229,10 +230,29 @@ StatusOr<RankSvmModel> RankSvmModel::DeserializeBinary(
   const size_t dim = reader.U32();
   const size_t weights = reader.U32();
   const size_t rff_dim = reader.U32();
+  if (!reader.ok()) {
+    return Status::InvalidArgument("truncated model header");
+  }
   const size_t expected_weights =
       m.kernel_ == SvmKernel::kLinear ? dim : rff_dim;
   if (weights != expected_weights) {
     return Status::InvalidArgument("weight count does not match kernel");
+  }
+  // Validate the declared counts against the bytes actually present
+  // before any allocation: a corrupted size field must fail cleanly, not
+  // resize vectors to bogus lengths. Each count is bounded by the doubles
+  // remaining, which also keeps rff_dim * dim free of overflow.
+  const uint64_t max_doubles = reader.remaining() / sizeof(double);
+  if (dim > max_doubles || weights > max_doubles || rff_dim > max_doubles ||
+      (rff_dim != 0 && dim > max_doubles / rff_dim)) {
+    CKR_OBS_COUNTER_INC("ckr.ranksvm.deserialize_rejected");
+    return Status::InvalidArgument("model size fields exceed blob size");
+  }
+  const uint64_t need = 2 * static_cast<uint64_t>(dim) + weights +
+                        static_cast<uint64_t>(rff_dim) * dim + rff_dim;
+  if (need > max_doubles) {
+    CKR_OBS_COUNTER_INC("ckr.ranksvm.deserialize_rejected");
+    return Status::InvalidArgument("truncated model blob");
   }
   auto load = [&reader](std::vector<double>* v, size_t n) {
     v->resize(n);
@@ -244,6 +264,7 @@ StatusOr<RankSvmModel> RankSvmModel::DeserializeBinary(
   load(&m.rff_w_, rff_dim * dim);
   load(&m.rff_b_, rff_dim);
   if (!reader.AtEnd()) {
+    CKR_OBS_COUNTER_INC("ckr.ranksvm.deserialize_rejected");
     return Status::InvalidArgument("truncated or oversized model blob");
   }
   return m;
@@ -272,6 +293,9 @@ StatusOr<RankSvmModel> RankSvmTrainer::Train(
   if (data.size() > UINT32_MAX) {
     return Status::InvalidArgument("too many instances");
   }
+  CKR_OBS_SCOPED_TIMER("ckr.ranksvm.stage.train_seconds");
+  CKR_OBS_COUNTER_INC("ckr.ranksvm.train_calls");
+  CKR_OBS_COUNTER_ADD("ckr.ranksvm.train_instances", data.size());
 
   RankSvmModel model;
   model.kernel_ = config_.kernel;
@@ -404,10 +428,12 @@ StatusOr<RankSvmModel> RankSvmTrainer::Train(
             std::to_string(groups_total) +
             " groups; training is biased toward early groups");
   }
+  if (truncated) CKR_OBS_COUNTER_INC("ckr.ranksvm.pair_cap_truncations");
   if (winners.empty()) {
     return Status::FailedPrecondition("no preference pairs (all labels tied)");
   }
   const size_t num_pairs = winners.size();
+  CKR_OBS_COUNTER_ADD("ckr.ranksvm.train_pairs", num_pairs);
 
   // Precompute each pair's difference row when the whole matrix fits a
   // last-level-cache-sized budget: the SGD step then streams one short,
@@ -551,6 +577,9 @@ StatusOr<RankSvmModel> RankSvmTrainer::Train(
       }
     }
   }
+  CKR_OBS_COUNTER_ADD("ckr.ranksvm.sgd_steps", total_steps);
+  CKR_OBS_COUNTER_ADD("ckr.ranksvm.dead_columns_compacted",
+                      feat_dim - sgd_dim);
   model.weights_.assign(feat_dim, 0.0);
   if (live_cols.empty()) {
     model.weights_ = std::move(sgd_w);

@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cwchar>
 #include <map>
 #include <set>
 
@@ -288,6 +289,17 @@ TEST(ParallelTest, MoreThreadsThanWork) {
 TEST(StringUtilTest, StrFormat) {
   EXPECT_EQ(StrFormat("%d-%s-%.2f", 3, "x", 1.5), "3-x-1.50");
   EXPECT_EQ(StrFormat("plain"), "plain");
+}
+
+TEST(StringUtilTest, StrFormatEncodingErrorReturnsSentinel) {
+  // A wide character outside the encodable range makes vsnprintf return
+  // a negative count (EILSEQ). The result must be the distinguishable
+  // sentinel, never a silently empty string or a (size_t)-1 resize.
+  EXPECT_EQ(StrFormat("%lc", static_cast<wint_t>(0x110000)), "<format-error>");
+  const wchar_t bad[2] = {static_cast<wchar_t>(0x110000), L'\0'};
+  EXPECT_EQ(StrFormat("before %ls after", bad), "<format-error>");
+  // A legitimately empty expansion stays "", not the sentinel.
+  EXPECT_EQ(StrFormat("%s", ""), "");
 }
 
 TEST(ParallelWorkersTest, CoversAllIndicesOnceWithValidWorkerIds) {

@@ -1,0 +1,275 @@
+// Tests for the ckr_obs observability layer: metric semantics (histogram
+// bucket boundaries above all), deterministic sorted-key snapshots, and
+// FakeClock-driven stage timers. Every duration here flows through a
+// FakeClock, so the expected snapshots are exact strings, not ranges.
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/clock.h"
+#include "obs/hooks.h"
+#include "obs/metrics.h"
+#include "obs/stage_timer.h"
+
+namespace ckr {
+namespace obs {
+namespace {
+
+TEST(ObsCounterTest, IncrementAddResetValue) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  c.Add(41);
+  EXPECT_EQ(c.Value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+}
+
+TEST(ObsGaugeTest, LastWriteWins) {
+  Gauge g;
+  EXPECT_EQ(g.Value(), 0.0);
+  g.Set(3.5);
+  g.Set(-1.25);
+  EXPECT_EQ(g.Value(), -1.25);
+  g.Reset();
+  EXPECT_EQ(g.Value(), 0.0);
+}
+
+TEST(ObsHistogramTest, BucketBoundariesAreInclusiveUpperBounds) {
+  Histogram h({1.0, 2.0});
+  ASSERT_EQ(h.NumBuckets(), 3u);  // two bounds + overflow
+
+  h.Record(0.5);   // <= 1.0     -> bucket 0
+  h.Record(1.0);   // == bound   -> bucket 0 (v <= bounds[i])
+  h.Record(1.5);   // <= 2.0     -> bucket 1
+  h.Record(2.0);   // == bound   -> bucket 1
+  h.Record(3.0);   // above last -> overflow bucket
+
+  EXPECT_EQ(h.BucketCount(0), 2u);
+  EXPECT_EQ(h.BucketCount(1), 2u);
+  EXPECT_EQ(h.BucketCount(2), 1u);
+  EXPECT_EQ(h.Count(), 5u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 8.0);
+}
+
+TEST(ObsHistogramTest, ResetZeroesCountsButKeepsBounds) {
+  Histogram h({1.0});
+  h.Record(0.5);
+  h.Record(5.0);
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_EQ(h.Sum(), 0.0);
+  EXPECT_EQ(h.BucketCount(0), 0u);
+  EXPECT_EQ(h.BucketCount(1), 0u);
+  ASSERT_EQ(h.bounds().size(), 1u);
+  EXPECT_EQ(h.bounds()[0], 1.0);
+}
+
+TEST(ObsHistogramTest, DefaultLatencyBoundsAreDecades) {
+  const std::vector<double>& b = DefaultLatencyBoundsSeconds();
+  ASSERT_EQ(b.size(), 8u);
+  EXPECT_EQ(b.front(), 1e-6);
+  EXPECT_EQ(b.back(), 10.0);
+  for (size_t i = 1; i < b.size(); ++i) EXPECT_LT(b[i - 1], b[i]);
+}
+
+TEST(ObsRegistryTest, FindOrCreateReturnsStablePointers) {
+  MetricRegistry reg;
+  Counter* c1 = reg.GetCounter("reqs");
+  Counter* c2 = reg.GetCounter("reqs");
+  EXPECT_EQ(c1, c2);
+  Gauge* g1 = reg.GetGauge("depth");
+  EXPECT_EQ(g1, reg.GetGauge("depth"));
+  Histogram* h1 = reg.GetHistogram("lat");
+  EXPECT_EQ(h1, reg.GetHistogram("lat"));
+}
+
+TEST(ObsRegistryTest, CrossKindNameCollisionNeverAborts) {
+  MetricRegistry reg;
+  reg.GetCounter("x");
+  // Same name as a different kind: served under a "!kind" suffix so the
+  // caller still gets a live metric and serving never aborts.
+  Gauge* g = reg.GetGauge("x");
+  ASSERT_NE(g, nullptr);
+  g->Set(7.0);
+  std::string json = reg.SnapshotJson();
+  EXPECT_NE(json.find("\"x!gauge\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"x\": 0"), std::string::npos);
+}
+
+TEST(ObsRegistryTest, SnapshotKeysAreSorted) {
+  MetricRegistry reg;
+  // Created out of order; the snapshot must render bytewise-sorted.
+  reg.GetCounter("zebra")->Add(1);
+  reg.GetCounter("alpha")->Add(2);
+  reg.GetCounter("mango")->Add(3);
+  std::string json = reg.SnapshotJson();
+  size_t a = json.find("\"alpha\"");
+  size_t m = json.find("\"mango\"");
+  size_t z = json.find("\"zebra\"");
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(m, std::string::npos);
+  ASSERT_NE(z, std::string::npos);
+  EXPECT_LT(a, m);
+  EXPECT_LT(m, z);
+}
+
+TEST(ObsRegistryTest, EmptySnapshotIsStable) {
+  MetricRegistry reg;
+  const std::string expected =
+      "{\n  \"counters\": {},\n  \"gauges\": {},\n  \"histograms\": {}\n}\n";
+  EXPECT_EQ(reg.SnapshotJson(), expected);
+}
+
+TEST(ObsRegistryTest, SnapshotIsByteStableAcrossCalls) {
+  MetricRegistry reg;
+  reg.GetCounter("docs")->Add(12);
+  reg.GetGauge("workers")->Set(4.0);
+  reg.GetHistogram("stage", {0.5, 1.0})->Record(0.25);
+  std::string first = reg.SnapshotJson();
+  std::string second = reg.SnapshotJson();
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find("\"docs\": 12"), std::string::npos);
+  EXPECT_NE(first.find("\"workers\": 4"), std::string::npos);
+  EXPECT_NE(first.find("\"le\": \"+Inf\""), std::string::npos);
+}
+
+TEST(ObsRegistryTest, ResetAllForTestingZeroesEverything) {
+  MetricRegistry reg;
+  reg.GetCounter("c")->Add(5);
+  reg.GetGauge("g")->Set(5.0);
+  reg.GetHistogram("h")->Record(0.5);
+  reg.ResetAllForTesting();
+  EXPECT_EQ(reg.GetCounter("c")->Value(), 0u);
+  EXPECT_EQ(reg.GetGauge("g")->Value(), 0.0);
+  EXPECT_EQ(reg.GetHistogram("h")->Count(), 0u);
+}
+
+TEST(ObsRegistryTest, ConcurrentUpdatesAreLossless) {
+  MetricRegistry reg;
+  Counter* c = reg.GetCounter("hits");
+  Histogram* h = reg.GetHistogram("lat", {1.0});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c->Increment();
+        h->Record(0.5);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c->Value(), uint64_t{kThreads} * kPerThread);
+  EXPECT_EQ(h->Count(), uint64_t{kThreads} * kPerThread);
+  EXPECT_EQ(h->BucketCount(0), uint64_t{kThreads} * kPerThread);
+}
+
+TEST(ObsClockTest, FakeClockAdvancesExactly) {
+  FakeClock clock(1000);
+  EXPECT_EQ(clock.NowNanos(), 1000);
+  clock.AdvanceNanos(500);
+  EXPECT_EQ(clock.NowNanos(), 1500);
+  clock.AdvanceSeconds(2.0);
+  EXPECT_EQ(clock.NowNanos(), 1500 + 2000000000);
+  EXPECT_DOUBLE_EQ(clock.SecondsSince(1500), 2.0);
+  clock.SetNanos(0);
+  EXPECT_EQ(clock.NowNanos(), 0);
+}
+
+TEST(ObsClockTest, RealClockIsMonotonic) {
+  const Clock& clock = RealClock();
+  int64_t a = clock.NowNanos();
+  int64_t b = clock.NowNanos();
+  EXPECT_LE(a, b);
+}
+
+TEST(ObsStageTimerTest, RecordsExactFakeClockAdvance) {
+  FakeClock clock;
+  Histogram h({1e-3, 1.0});
+  {
+    StageTimer timer(&h, &clock);
+    clock.AdvanceSeconds(0.5);
+  }
+  ASSERT_EQ(h.Count(), 1u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 0.5);
+  EXPECT_EQ(h.BucketCount(1), 1u);  // 1e-3 < 0.5 <= 1.0
+}
+
+TEST(ObsStageTimerTest, StopRecordsOnceAndReturnsElapsed) {
+  FakeClock clock;
+  Histogram h({1.0});
+  StageTimer timer(&h, &clock);
+  clock.AdvanceSeconds(0.25);
+  EXPECT_DOUBLE_EQ(timer.Stop(), 0.25);
+  clock.AdvanceSeconds(10.0);
+  EXPECT_DOUBLE_EQ(timer.Stop(), 0.25);  // Second Stop is a no-op.
+  EXPECT_EQ(h.Count(), 1u);              // Destructor must not re-record.
+}
+
+TEST(ObsStageTimerTest, RegistryTimerUsesInjectedClock) {
+  MetricRegistry reg;
+  FakeClock clock;
+  reg.SetClockForTesting(&clock);
+  {
+    StageTimer timer(&reg, "stage.lat");
+    clock.AdvanceSeconds(0.003);
+  }
+  Histogram* h = reg.GetHistogram("stage.lat");
+  ASSERT_EQ(h->Count(), 1u);
+  EXPECT_DOUBLE_EQ(h->Sum(), 0.003);
+}
+
+TEST(ObsStageTimerTest, SnapshotWithFakeClockIsExact) {
+  MetricRegistry reg;
+  FakeClock clock;
+  reg.SetClockForTesting(&clock);
+  {
+    StageTimer timer(&reg, "t");
+    clock.AdvanceSeconds(0.01);
+  }
+  const std::string expected =
+      "{\n  \"counters\": {},\n  \"gauges\": {},\n  \"histograms\": {\n"
+      "    \"t\": {\"count\": 1, \"sum\": 0.01, \"buckets\": "
+      "[{\"le\": 9.9999999999999995e-07, \"count\": 0}, "
+      "{\"le\": 1.0000000000000001e-05, \"count\": 0}, "
+      "{\"le\": 0.0001, \"count\": 0}, "
+      "{\"le\": 0.001, \"count\": 0}, "
+      "{\"le\": 0.01, \"count\": 1}, "
+      "{\"le\": 0.10000000000000001, \"count\": 0}, "
+      "{\"le\": 1, \"count\": 0}, "
+      "{\"le\": 10, \"count\": 0}, "
+      "{\"le\": \"+Inf\", \"count\": 0}]}\n  }\n}\n";
+  EXPECT_EQ(reg.SnapshotJson(), expected);
+}
+
+TEST(ObsHooksTest, MacrosReportIntoGlobalRegistry) {
+  MetricRegistry& reg = MetricRegistry::Global();
+  uint64_t before = reg.GetCounter("obs_test.hook_events")->Value();
+  CKR_OBS_COUNTER_INC("obs_test.hook_events");
+  CKR_OBS_COUNTER_ADD("obs_test.hook_events", 2);
+  EXPECT_EQ(reg.GetCounter("obs_test.hook_events")->Value(), before + 3);
+
+  CKR_OBS_GAUGE_SET("obs_test.hook_gauge", 12.5);
+  EXPECT_EQ(reg.GetGauge("obs_test.hook_gauge")->Value(), 12.5);
+
+  uint64_t hist_before = reg.GetHistogram("obs_test.hook_hist")->Count();
+  CKR_OBS_HISTOGRAM_RECORD("obs_test.hook_hist", 0.5);
+  EXPECT_EQ(reg.GetHistogram("obs_test.hook_hist")->Count(), hist_before + 1);
+}
+
+TEST(ObsHooksTest, ScopedTimerMacroRecords) {
+  MetricRegistry& reg = MetricRegistry::Global();
+  uint64_t before = reg.GetHistogram("obs_test.scoped")->Count();
+  {
+    CKR_OBS_SCOPED_TIMER("obs_test.scoped");
+  }
+  EXPECT_EQ(reg.GetHistogram("obs_test.scoped")->Count(), before + 1);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace ckr

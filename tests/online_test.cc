@@ -95,6 +95,52 @@ TEST(CtrTrackerTest, SpikeNeedsFreshVolume) {
   EXPECT_FALSE(tracker.IsSpiking("thin"));
 }
 
+// --- Cold-start regressions: the intended behavior is neutrality. A
+// concept with no usable evidence gets adjustment 0 (never the full
+// punishment band) and never spikes before Tick() has folded at least
+// one period into its history.
+
+TEST(CtrTrackerTest, ZeroPriorZeroViewsStaysFiniteAndNeutral) {
+  CtrTrackerConfig cfg;
+  cfg.prior_views = 0.0;  // Degenerate prior: the 0/0 case.
+  CtrTracker tracker(cfg);
+  tracker.Record("cold", 0, 0);  // Tracked, but zero observations.
+  double smoothed = tracker.SmoothedCtr("cold");
+  EXPECT_FALSE(std::isnan(smoothed));
+  EXPECT_DOUBLE_EQ(smoothed, tracker.SystemCtr());
+  EXPECT_DOUBLE_EQ(tracker.Adjustment("cold"), 0.0);
+}
+
+TEST(CtrTrackerTest, ZeroClickColdConceptIsNeutralNotPunished) {
+  CtrTrackerConfig cfg;
+  cfg.prior_views = 0.0;  // Smoothed CTR is exactly 0 with no clicks.
+  CtrTracker tracker(cfg);
+  tracker.Record("bulk", 100000, 2000);
+  tracker.Record("cold", 3, 0);  // Three views, no clicks: not evidence.
+  // ln(0) used to clamp this to the full -max_adjustment.
+  EXPECT_DOUBLE_EQ(tracker.Adjustment("cold"), 0.0);
+}
+
+TEST(CtrTrackerTest, NoSpikeBeforeFirstTick) {
+  CtrTracker tracker;  // Default spike_ratio 3, spike_min_views 50.
+  tracker.Record("bulk", 100000, 1000);  // System CTR ~1%.
+  // Hot first-period concept (50% CTR, 100 views) with no history at
+  // all: its fresh CTR dwarfs the system rate, and before the
+  // history gate this spiked on the very first period.
+  tracker.Record("brand_new", 100, 50);
+  EXPECT_FALSE(tracker.IsSpiking("brand_new"));
+  EXPECT_TRUE(tracker.SpikingConcepts().empty());
+}
+
+TEST(CtrTrackerTest, SpikesStillFireOnceHistoryExists) {
+  CtrTracker tracker;
+  tracker.Record("bulk", 100000, 2000);
+  tracker.Record("concept", 1000, 20);  // 2%, in line with the system.
+  tracker.Tick();
+  tracker.Record("concept", 1000, 200);  // Jumps to 20%.
+  EXPECT_TRUE(tracker.IsSpiking("concept"));
+}
+
 TEST(CtrTrackerTest, RecordAccumulatesWithinPeriod) {
   CtrTracker tracker;
   tracker.Record("x", 100, 10);

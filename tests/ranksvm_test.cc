@@ -318,6 +318,41 @@ TEST(RankSvmTest, BinaryDeserializeRejectsCorruption) {
   EXPECT_FALSE(RankSvmModel::Deserialize(bad_kernel).ok());
 }
 
+TEST(RankSvmTest, BinaryDeserializeRejectsEveryTruncatedPrefix) {
+  auto data = LinearProblem(50, 3, 5, 0.1, 29);
+  auto model = RankSvmTrainer().Train(data);
+  ASSERT_TRUE(model.ok());
+  std::string blob = model->SerializeBinary();
+  for (size_t len = 0; len < blob.size(); len += 7) {
+    auto truncated = RankSvmModel::Deserialize(blob.substr(0, len));
+    EXPECT_FALSE(truncated.ok()) << "prefix of " << len << " bytes parsed";
+  }
+}
+
+TEST(RankSvmTest, BinaryDeserializeRejectsCorruptSizeFields) {
+  auto data = LinearProblem(50, 3, 5, 0.1, 31);
+  auto model = RankSvmTrainer().Train(data);
+  ASSERT_TRUE(model.ok());
+  std::string blob = model->SerializeBinary();
+  // Layout: u32 magic length + 14 magic bytes + u16 kernel, then the
+  // three u32 size fields (dim, weights, rff_dim) at offset 20.
+  const size_t sizes_at = 4 + 14 + 2;
+  std::string corrupt = blob;
+  for (size_t i = 0; i < 12; ++i) corrupt[sizes_at + i] = '\xFF';
+  // The declared counts exceed the blob by orders of magnitude; the
+  // loader must reject before allocating, not abort or overread.
+  auto res = RankSvmModel::Deserialize(corrupt);
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kInvalidArgument);
+
+  // A single inflated dimension (weights kept consistent for the linear
+  // kernel) must also be caught by the byte-budget check.
+  std::string inflated = blob;
+  inflated[sizes_at + 3] = '\x7F';      // dim high byte
+  inflated[sizes_at + 4 + 3] = '\x7F';  // weights high byte, same value
+  EXPECT_FALSE(RankSvmModel::Deserialize(inflated).ok());
+}
+
 // --- Golden equivalence: flat trainer vs the preserved scalar trainer ---
 
 void ExpectBitIdentical(const RankSvmModel& a, const RankSvmModel& b) {

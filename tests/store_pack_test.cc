@@ -3,6 +3,7 @@
 
 #include <cstdio>
 
+#include "common/check.h"
 #include "core/contextual_ranker.h"
 #include "corpus/doc_generator.h"
 #include "framework/binary_io.h"
@@ -113,6 +114,77 @@ TEST(StoreComponentTest, PackedRelevanceRoundTrip) {
 TEST(StorePackTest, DeserializeRejectsGarbage) {
   EXPECT_FALSE(StorePack::Deserialize("garbage").ok());
   EXPECT_FALSE(StorePack::Deserialize("").ok());
+}
+
+// A tiny but complete pack, cheap enough to deserialize hundreds of
+// mutated copies of.
+std::string SmallPackBlob() {
+  GlobalTidTable tids;
+  QuantizedInterestingnessStore interest;
+  InterestingnessVector v;
+  v.freq_exact = 1.5;
+  interest.Add("concept x", v);
+  interest.Add("concept y", {});
+  interest.Finalize();
+  PackedRelevanceStore relevance(&tids);
+  relevance.Add("concept x", {{"ta", 10.0}, {"tb", 5.0}});
+  relevance.Add("concept y", {{"tb", 8.0}});
+  relevance.Finalize();
+  auto model = RankSvmModel::Deserialize(
+      "ranksvm v1\n"
+      "kernel linear\n"
+      "mean 2 0 0\n"
+      "inv_sd 2 1 1\n"
+      "weights 2 1 2\n"
+      "rff 0\n");
+  CKR_CHECK(model.ok());
+  return SerializeStorePack(tids, interest, relevance, *model);
+}
+
+TEST(StorePackTest, EveryTruncatedPrefixIsRejected) {
+  std::string blob = SmallPackBlob();
+  ASSERT_TRUE(StorePack::Deserialize(blob).ok());
+  // Chop the valid pack at every 7th byte: every strict prefix must be
+  // rejected with a Status — no abort, no overread, no false accept.
+  for (size_t len = 0; len < blob.size(); len += 7) {
+    auto truncated = StorePack::Deserialize(blob.substr(0, len));
+    EXPECT_FALSE(truncated.ok()) << "prefix of " << len << " bytes parsed";
+  }
+}
+
+TEST(StoreComponentTest, TidTableRejectsCorruptCount) {
+  BinaryWriter w;
+  w.U32(0x54493031);  // 'TI01'
+  w.U32(0xFFFFFFFF);  // Claims 4 billion entries in an empty payload.
+  BinaryReader r(w.buffer());
+  auto table = GlobalTidTable::LoadFrom(&r);
+  ASSERT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StoreComponentTest, QuantizedStoreRejectsCorruptCount) {
+  BinaryWriter w;
+  w.U32(0x51493031);  // 'QI01'
+  const size_t dim = InterestingnessVector::Dim();
+  w.U32(static_cast<uint32_t>(dim));
+  for (size_t i = 0; i < 2 * dim; ++i) w.F64(0.0);  // min/max tables.
+  w.U32(0xFFFFFFFF);  // Corrupt record count.
+  BinaryReader r(w.buffer());
+  auto store = QuantizedInterestingnessStore::LoadFrom(&r);
+  ASSERT_FALSE(store.ok());
+  EXPECT_EQ(store.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StoreComponentTest, PackedRelevanceRejectsCorruptCount) {
+  BinaryWriter w;
+  w.U32(0x50523031);  // 'PR01'
+  w.F64(1.0);         // score_scale
+  w.U32(0xFFFFFFFF);  // Corrupt record count.
+  BinaryReader r(w.buffer());
+  GlobalTidTable tids;
+  auto store = PackedRelevanceStore::LoadFrom(&r, &tids);
+  ASSERT_FALSE(store.ok());
+  EXPECT_EQ(store.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(StorePackTest, EndToEndRoundTripPreservesRanking) {

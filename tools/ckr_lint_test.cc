@@ -163,6 +163,32 @@ TEST(CkrLintTest, RepoSrcTreeIsClean) {
   EXPECT_GT(files, 50u);  // Sanity: the walk actually saw the tree.
 }
 
+TEST(CkrLintTest, RealClockUsesLineScopedSuppressionNotAnExemption) {
+  // src/obs/real_clock.cc is the one sanctioned steady_clock::now call
+  // site in src/. It must lint clean via a single line-scoped allow(R1)
+  // comment — and the same content with that comment stripped must be
+  // flagged, proving the linter gained no hidden path exemption for obs.
+  namespace fs = std::filesystem;
+  const fs::path path =
+      fs::path(CKR_LINT_SOURCE_DIR) / "src" / "obs" / "real_clock.cc";
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string content = buf.str();
+  EXPECT_TRUE(LintContent("src/obs/real_clock.cc", content).empty());
+
+  const std::string suppression = "// ckr-lint: allow(R1)";
+  const auto at = content.find(suppression);
+  ASSERT_NE(at, std::string::npos);
+  EXPECT_EQ(content.find(suppression, at + 1), std::string::npos)
+      << "real_clock.cc should need exactly one suppression";
+  content.erase(at, suppression.size());
+  auto vs = LintContent("src/obs/real_clock.cc", content);
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, "R1");
+}
+
 }  // namespace
 }  // namespace lint
 }  // namespace ckr
