@@ -13,6 +13,7 @@
 // to BENCH_offline.json.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <memory>
@@ -137,6 +138,30 @@ void BM_SearchTop50Flat(benchmark::State& state) {
 }
 BENCHMARK(BM_SearchTop50Flat)->Unit(benchmark::kMicrosecond);
 
+void BM_SearchTop50MaxScore(benchmark::State& state) {
+  OfflineLab* lab = GetLab();
+  size_t i = 0;
+  for (auto _ : state) {
+    auto r = lab->flat.Search(lab->regular_queries[i], 50, Bm25Params{},
+                              QueryEvaluator::kMaxScore);
+    benchmark::DoNotOptimize(r);
+    i = (i + 1) % lab->regular_queries.size();
+  }
+}
+BENCHMARK(BM_SearchTop50MaxScore)->Unit(benchmark::kMicrosecond);
+
+void BM_SearchTop50BlockMaxWand(benchmark::State& state) {
+  OfflineLab* lab = GetLab();
+  size_t i = 0;
+  for (auto _ : state) {
+    auto r = lab->flat.Search(lab->regular_queries[i], 50, Bm25Params{},
+                              QueryEvaluator::kBlockMaxWand);
+    benchmark::DoNotOptimize(r);
+    i = (i + 1) % lab->regular_queries.size();
+  }
+}
+BENCHMARK(BM_SearchTop50BlockMaxWand)->Unit(benchmark::kMicrosecond);
+
 void BM_PhraseCountLegacy(benchmark::State& state) {
   OfflineLab* lab = GetLab();
   size_t i = 0;
@@ -206,6 +231,54 @@ struct MiningPoint {
   unsigned workers = 0;
   double wall_seconds = 0.0;
 };
+
+// One top-50 evaluator pass over the regular workload: per-query latency
+// quantiles plus the pruning counters the block index reports.
+struct EvaluatorLeg {
+  const char* name = "";
+  double total_seconds = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  uint64_t postings_scored = 0;
+  uint64_t blocks_decoded = 0;
+  uint64_t blocks_skipped = 0;
+};
+
+EvaluatorLeg TimeEvaluator(OfflineLab* lab, const char* name,
+                           QueryEvaluator evaluator) {
+  obs::MetricRegistry& reg = obs::MetricRegistry::Global();
+  obs::Counter* c_scored = reg.GetCounter("ckr.index.postings_scored");
+  obs::Counter* c_decoded = reg.GetCounter("ckr.index.blocks_decoded");
+  obs::Counter* c_skipped = reg.GetCounter("ckr.index.blocks_skipped");
+  const uint64_t scored0 = c_scored->Value();
+  const uint64_t decoded0 = c_decoded->Value();
+  const uint64_t skipped0 = c_skipped->Value();
+
+  constexpr int kRepeats = 3;
+  std::vector<double> lat_us;
+  lat_us.reserve(lab->regular_queries.size() * kRepeats);
+  const auto t_all = std::chrono::steady_clock::now();
+  for (int r = 0; r < kRepeats; ++r) {
+    for (const std::string& q : lab->regular_queries) {
+      const auto t0 = std::chrono::steady_clock::now();
+      benchmark::DoNotOptimize(lab->flat.Search(q, 50, Bm25Params{},
+                                                evaluator));
+      lat_us.push_back(WallSeconds(t0) * 1e6);
+    }
+  }
+  EvaluatorLeg leg;
+  leg.name = name;
+  leg.total_seconds = WallSeconds(t_all);
+  std::sort(lat_us.begin(), lat_us.end());
+  if (!lat_us.empty()) {
+    leg.p50_us = lat_us[lat_us.size() / 2];
+    leg.p99_us = lat_us[lat_us.size() * 99 / 100];
+  }
+  leg.postings_scored = c_scored->Value() - scored0;
+  leg.blocks_decoded = c_decoded->Value() - decoded0;
+  leg.blocks_skipped = c_skipped->Value() - skipped0;
+  return leg;
+}
 
 void RunSummary() {
   OfflineLab* lab = GetLab();
@@ -294,6 +367,53 @@ void RunSummary() {
   const uint64_t obs_docs_touched = c_docs->Value() - docs_touched0;
   const uint64_t obs_phrase = c_phrase->Value() - phrase0;
 
+  // ---- block-index legs: pruned top-50 vs the exhaustive oracle ----
+
+  // Equivalence first (the latency table is void if any evaluator strays),
+  // for both codecs: VarintGB is the Finalize() default; Simple8b gets the
+  // same sweep after a rebuild, which also yields its compressed size.
+  bool pruned_identical = true;
+  for (const std::string& q : lab->regular_queries) {
+    const auto oracle = lab->flat.Search(q, 50);
+    pruned_identical =
+        pruned_identical &&
+        SameResults(oracle, lab->flat.Search(q, 50, Bm25Params{},
+                                             QueryEvaluator::kMaxScore)) &&
+        SameResults(oracle, lab->flat.Search(q, 50, Bm25Params{},
+                                             QueryEvaluator::kBlockMaxWand));
+  }
+  const uint64_t block_postings = lab->flat.block_index().store().NumPostings();
+  // The uncompressed baseline: the flat index's CSR doc + tf columns at
+  // 4 bytes each.
+  const uint64_t csr_posting_bytes = block_postings * 8;
+  const size_t varint_bytes =
+      lab->flat.block_index().store().CompressedPostingBytes();
+  lab->flat.RebuildBlockIndex(BlockCodec::kSimple8b);
+  const size_t simple8b_bytes =
+      lab->flat.block_index().store().CompressedPostingBytes();
+  for (const std::string& q : lab->regular_queries) {
+    const auto oracle = lab->flat.Search(q, 50);
+    pruned_identical =
+        pruned_identical &&
+        SameResults(oracle, lab->flat.Search(q, 50, Bm25Params{},
+                                             QueryEvaluator::kMaxScore)) &&
+        SameResults(oracle, lab->flat.Search(q, 50, Bm25Params{},
+                                             QueryEvaluator::kBlockMaxWand));
+  }
+  lab->flat.RebuildBlockIndex(BlockCodec::kVarintGB);
+
+  const EvaluatorLeg legs[] = {
+      TimeEvaluator(lab, "exhaustive", QueryEvaluator::kExhaustive),
+      TimeEvaluator(lab, "maxscore", QueryEvaluator::kMaxScore),
+      TimeEvaluator(lab, "block_max_wand", QueryEvaluator::kBlockMaxWand),
+  };
+  auto scored_reduction = [&legs](const EvaluatorLeg& leg) {
+    return legs[0].postings_scored > 0
+               ? 1.0 - static_cast<double>(leg.postings_scored) /
+                           static_cast<double>(legs[0].postings_scored)
+               : 0.0;
+  };
+
   // Mining fan-out scaling: same concepts, 1/2/4/8 workers; outputs must
   // be identical for every worker count.
   obs::Histogram* mine_hist =
@@ -350,6 +470,30 @@ void RunSummary() {
                         static_cast<double>(flat_bytes)
                   : 0.0,
               static_cast<double>(lab->flat.PositionPoolBytes()) / 1e6);
+  std::printf("block index: pruned top-50 bit-identical to exhaustive "
+              "(both codecs): %s\n",
+              pruned_identical ? "yes" : "NO");
+  std::printf("posting bytes: csr %.2f MB, varint-gb %.2f MB (%.2fx), "
+              "simple8b %.2f MB (%.2fx)\n",
+              static_cast<double>(csr_posting_bytes) / 1e6,
+              static_cast<double>(varint_bytes) / 1e6,
+              varint_bytes > 0 ? static_cast<double>(csr_posting_bytes) /
+                                     static_cast<double>(varint_bytes)
+                               : 0.0,
+              static_cast<double>(simple8b_bytes) / 1e6,
+              simple8b_bytes > 0 ? static_cast<double>(csr_posting_bytes) /
+                                       static_cast<double>(simple8b_bytes)
+                                 : 0.0);
+  std::printf("evaluator          p50 us    p99 us   postings scored  "
+              "reduction   blocks dec/skip\n");
+  for (const EvaluatorLeg& leg : legs) {
+    std::printf("%-15s  %8.1f  %8.1f  %16llu  %8.1f%%  %8llu/%llu\n",
+                leg.name, leg.p50_us, leg.p99_us,
+                static_cast<unsigned long long>(leg.postings_scored),
+                scored_reduction(leg) * 100.0,
+                static_cast<unsigned long long>(leg.blocks_decoded),
+                static_cast<unsigned long long>(leg.blocks_skipped));
+  }
   std::printf("mining fan-out (%zu concepts, %u hardware threads), outputs "
               "identical across worker counts: %s\n",
               lab->concepts.size(), std::thread::hardware_concurrency(),
@@ -417,6 +561,42 @@ void RunSummary() {
                static_cast<unsigned long long>(obs_phrase),
                static_cast<unsigned long long>(obs_mine_calls),
                obs_mine_seconds);
+  // Block-index legs: compressed posting sizes against the 8 B/posting CSR
+  // baseline, and per-evaluator top-50 latency quantiles + pruning
+  // counters (counter fields are zero under CKR_OBS_DISABLED).
+  std::fprintf(f,
+               "  \"block_index\": {\n"
+               "    \"pruned_results_bit_identical\": %s,\n"
+               "    \"postings\": %llu,\n"
+               "    \"posting_bytes\": {\"csr_baseline\": %llu, "
+               "\"varint_gb\": %zu, \"simple8b\": %zu, "
+               "\"csr_over_varint_gb\": %.4f, \"csr_over_simple8b\": %.4f},\n",
+               pruned_identical ? "true" : "false",
+               static_cast<unsigned long long>(block_postings),
+               static_cast<unsigned long long>(csr_posting_bytes),
+               varint_bytes, simple8b_bytes,
+               varint_bytes > 0 ? static_cast<double>(csr_posting_bytes) /
+                                      static_cast<double>(varint_bytes)
+                                : 0.0,
+               simple8b_bytes > 0 ? static_cast<double>(csr_posting_bytes) /
+                                        static_cast<double>(simple8b_bytes)
+                                  : 0.0);
+  std::fprintf(f, "    \"evaluators\": [\n");
+  for (size_t i = 0; i < 3; ++i) {
+    const EvaluatorLeg& leg = legs[i];
+    std::fprintf(f,
+                 "      {\"name\": \"%s\", \"p50_us\": %.2f, \"p99_us\": "
+                 "%.2f, \"total_seconds\": %.6f, \"postings_scored\": %llu, "
+                 "\"postings_scored_reduction\": %.4f, \"blocks_decoded\": "
+                 "%llu, \"blocks_skipped\": %llu}%s\n",
+                 leg.name, leg.p50_us, leg.p99_us, leg.total_seconds,
+                 static_cast<unsigned long long>(leg.postings_scored),
+                 scored_reduction(leg),
+                 static_cast<unsigned long long>(leg.blocks_decoded),
+                 static_cast<unsigned long long>(leg.blocks_skipped),
+                 i + 1 < 3 ? "," : "");
+  }
+  std::fprintf(f, "    ]\n  },\n");
   std::fprintf(f, "  \"mining_concepts\": %zu,\n", lab->concepts.size());
   // Mining scaling is bounded by the physical cores available; record them
   // so consumers can judge the speedup_vs_1 column.

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Builds the index + offline-mining test suites under AddressSanitizer and
 # runs them. The flat index hand-manages CSR offsets and a shared Golomb
-# byte pool, so a clean run here is the memory-safety gate for the term-id
-# layout (and for the equivalence suite that compares it to the legacy
-# index byte for byte).
+# byte pool, and the block-compressed postings layer decodes untrusted
+# codec blobs into fixed stack arrays through hand-rolled cursors, so a
+# clean run here is the memory-safety gate for the term-id layout, the
+# block index, and the equivalence suites that compare them to the legacy
+# index byte for byte.
 #
 # Usage: scripts/asan_check.sh [extra ctest args]
 set -euo pipefail
@@ -11,6 +13,6 @@ cd "$(dirname "$0")/.."
 
 cmake --preset asan
 cmake --build --preset asan -j "$(nproc)" --target \
-  index_test index_equiv_test offline_parallel_test
+  index_test index_equiv_test block_index_test offline_parallel_test
 ctest --test-dir build-asan --output-on-failure "$@" \
-  -R '(Index|Snippet|ParallelMining)'
+  -R '(Index|Snippet|ParallelMining|Codec|Store|BlockIndex|BlockMax)'

@@ -19,7 +19,10 @@ echo "== ckr_lint: contract rules over src/ bench/ tests/ tools/ =="
 echo "== obs kill switch: CKR_OBS_DISABLED build + rank-fingerprint diff =="
 # Build with every CKR_OBS_* hook compiled out, run the kill-switch suite,
 # then prove observability never changes ranking: obs_disabled_test writes
-# an FNV-1a fingerprint of its ranked output, and the fingerprint from the
+# an FNV-1a fingerprint of its ranked output — which also folds in the
+# block-index top-50 results of every query evaluator (exhaustive,
+# MaxScore, Block-Max-WAND), so the diff covers the block postings build
+# and the pruned search paths too — and the fingerprint from the
 # instrumented build must be byte-identical to the obs-off one.
 cmake --preset obs-off
 cmake --build --preset obs-off -j "$(nproc)"

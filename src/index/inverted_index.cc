@@ -9,46 +9,6 @@
 #include "text/tokenizer.h"
 
 namespace ckr {
-namespace {
-
-// The deterministic total order shared with the legacy index: descending
-// score, ascending doc id.
-inline bool RankBefore(const SearchResult& a, const SearchResult& b) {
-  if (a.score != b.score) return a.score > b.score;
-  return a.doc < b.doc;
-}
-
-// Bounded top-k selection. With RankBefore as the heap comparator the
-// front is the worst-ranked of the kept k, so a candidate enters iff it
-// ranks before the current worst — the same k results, in the same order,
-// as sort-everything-then-truncate.
-class TopKHeap {
- public:
-  explicit TopKHeap(size_t k) : k_(k) {}
-
-  void Push(const SearchResult& r) {
-    if (k_ == 0) return;
-    if (heap_.size() < k_) {
-      heap_.push_back(r);
-      std::push_heap(heap_.begin(), heap_.end(), RankBefore);
-    } else if (RankBefore(r, heap_.front())) {
-      std::pop_heap(heap_.begin(), heap_.end(), RankBefore);
-      heap_.back() = r;
-      std::push_heap(heap_.begin(), heap_.end(), RankBefore);
-    }
-  }
-
-  std::vector<SearchResult> Take() {
-    std::sort(heap_.begin(), heap_.end(), RankBefore);
-    return std::move(heap_);
-  }
-
- private:
-  size_t k_;
-  std::vector<SearchResult> heap_;
-};
-
-}  // namespace
 
 uint32_t InvertedIndex::InternTerm(std::string_view token) {
   auto it = term_ids_.find(token);
@@ -182,6 +142,48 @@ void InvertedIndex::Finalize() {
   for (uint32_t tid : tok_tid_) CKR_DCHECK_LT(tid, num_terms);
 #endif
   finalized_ = true;
+  RebuildBlockIndex(BlockCodec::kVarintGB);
+}
+
+void InvertedIndex::RebuildBlockIndex(BlockCodec codec) {
+  CKR_DCHECK(finalized_);
+  std::vector<DocId> ext_ids;
+  ext_ids.reserve(docs_.size());
+  for (const StoredDoc& d : docs_) ext_ids.push_back(d.id);
+  BlockMaxIndex::Builder builder(codec, std::move(ext_ids), default_norm_);
+  const size_t num_terms = term_ids_.size();
+  for (size_t t = 0; t < num_terms; ++t) {
+    builder.AddTerm(CsrRow(post_doc_, post_offset_, t),
+                    CsrRow(post_tf_, post_offset_, t));
+  }
+  block_index_ = builder.Finish();
+}
+
+Status InvertedIndex::LoadBlockIndex(std::string_view blob) {
+  CKR_DCHECK(finalized_);
+  StatusOr<BlockMaxIndex> loaded = BlockMaxIndex::Deserialize(blob);
+  if (!loaded.ok()) return loaded.status();
+  if (loaded->NumDocs() != docs_.size()) {
+    return Status::InvalidArgument("block index blob: doc count mismatch");
+  }
+  if (loaded->NumTerms() != term_ids_.size()) {
+    return Status::InvalidArgument("block index blob: term count mismatch");
+  }
+  for (size_t d = 0; d < docs_.size(); ++d) {
+    if (loaded->ExternalId(static_cast<uint32_t>(d)) != docs_[d].id) {
+      return Status::InvalidArgument("block index blob: doc id mismatch");
+    }
+  }
+  for (size_t t = 0; t < term_ids_.size(); ++t) {
+    const uint32_t df =
+        static_cast<uint32_t>(post_offset_[t + 1] - post_offset_[t]);
+    if (loaded->store().TermPostings(static_cast<uint32_t>(t)) != df) {
+      return Status::InvalidArgument(
+          "block index blob: document frequency mismatch");
+    }
+  }
+  block_index_ = std::move(loaded).value();
+  return Status::OK();
 }
 
 uint32_t InvertedIndex::DocFreq(std::string_view term) const {
@@ -190,9 +192,9 @@ uint32_t InvertedIndex::DocFreq(std::string_view term) const {
   return static_cast<uint32_t>(post_offset_[tid + 1] - post_offset_[tid]);
 }
 
-std::vector<SearchResult> InvertedIndex::Search(std::string_view query,
-                                                size_t k,
-                                                const Bm25Params& params) const {
+std::vector<SearchResult> InvertedIndex::Search(
+    std::string_view query, size_t k, const Bm25Params& params,
+    QueryEvaluator evaluator) const {
   CKR_DCHECK(finalized_);
   std::vector<std::string> terms = TokenizeToStrings(query);
   // Deduplicate query terms (same sorted accumulation order as the legacy
@@ -202,6 +204,20 @@ std::vector<SearchResult> InvertedIndex::Search(std::string_view query,
 
   const bool default_params =
       params.k1 == Bm25Params{}.k1 && params.b == Bm25Params{}.b;
+  if (evaluator != QueryEvaluator::kExhaustive && default_params) {
+    // Pruned evaluation on the block index. Term ids are passed in the
+    // sorted-term order used below, so the pruned score sums replay the
+    // exhaustive accumulation order addend by addend (bit-identical).
+    std::vector<uint32_t> tids;
+    tids.reserve(terms.size());
+    for (const std::string& term : terms) {
+      uint32_t tid = LookupTerm(term);
+      if (tid != kInvalidTid) tids.push_back(tid);
+    }
+    CKR_OBS_COUNTER_INC("ckr.index.searches");
+    CKR_OBS_COUNTER_ADD("ckr.index.search_terms", terms.size());
+    return block_index_.TopK(MakeSpan(tids), k, evaluator);
+  }
   const double n = static_cast<double>(docs_.size());
   std::vector<double> acc(docs_.size(), 0.0);
   std::vector<uint8_t> seen(docs_.size(), 0);
@@ -211,6 +227,7 @@ std::vector<SearchResult> InvertedIndex::Search(std::string_view query,
     if (tid == kInvalidTid) continue;
     const Span<const uint32_t> slot_docs = CsrRow(post_doc_, post_offset_, tid);
     const Span<const uint32_t> slot_tfs = CsrRow(post_tf_, post_offset_, tid);
+    CKR_OBS_COUNTER_ADD("ckr.index.postings_scored", slot_docs.size());
     const double dfd = static_cast<double>(slot_docs.size());
     double idf = std::log(1.0 + (n - dfd + 0.5) / (dfd + 0.5));
     for (size_t slot = 0; slot < slot_docs.size(); ++slot) {
@@ -502,6 +519,7 @@ size_t InvertedIndex::MemoryBytes() const {
   bytes += pos_pool_.capacity();
   bytes += doc_len_.capacity() * sizeof(uint32_t);
   bytes += default_norm_.capacity() * sizeof(double);
+  bytes += block_index_.MemoryBytes();
   return bytes;
 }
 

@@ -31,20 +31,10 @@
 #include "common/hash.h"
 #include "common/status.h"
 #include "corpus/document.h"
+#include "index/block_max_index.h"
+#include "index/top_k.h"
 
 namespace ckr {
-
-/// One ranked hit.
-struct SearchResult {
-  DocId doc = 0;
-  double score = 0.0;
-};
-
-/// BM25 parameters (standard defaults).
-struct Bm25Params {
-  double k1 = 1.2;
-  double b = 0.75;
-};
 
 /// Immutable after Finalize(); thread-safe for concurrent reads.
 class InvertedIndex {
@@ -65,8 +55,20 @@ class InvertedIndex {
   uint32_t DocFreq(std::string_view term) const;
 
   /// BM25 disjunctive retrieval over the query's normalized terms.
-  std::vector<SearchResult> Search(std::string_view query, size_t k,
-                                   const Bm25Params& params = {}) const;
+  ///
+  /// Ranking contract (every evaluator): results are ordered by
+  /// descending score; equal-score documents by ascending external doc
+  /// id. The order is total, so the returned top-k is unique.
+  ///
+  /// `evaluator` selects the top-k algorithm (top_k.h). The pruned
+  /// evaluators (MaxScore, Block-Max-WAND) run on the block-compressed
+  /// index and return the exact exhaustive result — same documents,
+  /// bit-identical scores — but their max-score metadata is precomputed
+  /// for the default Bm25Params, so a query with non-default parameters
+  /// silently falls back to the exhaustive scorer.
+  std::vector<SearchResult> Search(
+      std::string_view query, size_t k, const Bm25Params& params = {},
+      QueryEvaluator evaluator = QueryEvaluator::kExhaustive) const;
 
   /// Number of documents matching the disjunctive query. Count-only fast
   /// path: marks the posting union in a doc bitmap, no scoring/sorting.
@@ -97,6 +99,22 @@ class InvertedIndex {
 
   /// Bytes of the Golomb-compressed positions pool (diagnostics).
   size_t PositionPoolBytes() const { return pos_pool_.size(); }
+
+  /// The block-compressed pruning index backing the MaxScore /
+  /// Block-Max-WAND evaluators. Finalize() builds it with varint-GB.
+  const BlockMaxIndex& block_index() const { return block_index_; }
+
+  /// Rebuilds the block index under a different codec (the evaluators and
+  /// results are codec-independent; only the compressed size changes).
+  void RebuildBlockIndex(BlockCodec codec);
+
+  /// Serialized block index (current format version).
+  std::string SerializeBlockIndex() const { return block_index_.Serialize(); }
+
+  /// Replaces the block index with a deserialized blob after validating it
+  /// agrees with this index (same doc count, external ids, and term
+  /// count). The blob is fully validated before anything is replaced.
+  [[nodiscard]] Status LoadBlockIndex(std::string_view blob);
 
  private:
   static constexpr uint32_t kInvalidTid = 0xffffffffu;
@@ -158,6 +176,9 @@ class InvertedIndex {
   std::vector<double> default_norm_;     ///< k1*(1-b+b*dl/avg), default params.
   double avg_doc_len_ = 0.0;
   bool finalized_ = false;
+
+  // ---- Block-compressed pruning index (built by Finalize) ----
+  BlockMaxIndex block_index_;
 };
 
 }  // namespace ckr

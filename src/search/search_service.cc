@@ -47,7 +47,8 @@ std::vector<std::string> SearchService::PrismaFeedbackTerms(
   // disjunctive top-50 - on loosely-matching queries it mixes senses,
   // which is why the paper finds its keywords noisier than phrase-query
   // snippets.
-  std::vector<SearchResult> hits = index_.Search(concept_phrase, feedback_docs);
+  std::vector<SearchResult> hits =
+      index_.Search(concept_phrase, feedback_docs, Bm25Params{}, evaluator_);
 
   std::vector<std::string> concept_terms = TokenizeToStrings(concept_phrase);
   std::unordered_set<std::string> exclude(concept_terms.begin(),

@@ -57,10 +57,18 @@ class SearchService {
   const InvertedIndex& index() const { return index_; }
   const TermDictionary& term_dictionary() const { return term_dict_; }
 
+  /// Top-k algorithm used for the service's disjunctive retrieval (the
+  /// Prisma feedback pool). Every evaluator returns identical results
+  /// (index/top_k.h); the pruned ones skip postings that cannot reach the
+  /// top-k. Default: exhaustive.
+  QueryEvaluator evaluator() const { return evaluator_; }
+  void set_evaluator(QueryEvaluator evaluator) { evaluator_ = evaluator; }
+
  private:
   const InvertedIndex& index_;
   const QueryLog& log_;
   const TermDictionary& term_dict_;
+  QueryEvaluator evaluator_ = QueryEvaluator::kExhaustive;
 };
 
 }  // namespace ckr

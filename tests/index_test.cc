@@ -131,16 +131,32 @@ TEST(IndexLargeTest, Bm25PrefersRareTerms) {
 }
 
 TEST(IndexLargeTest, DeterministicTieBreak) {
+  // Ranking contract (inverted_index.h): descending score, equal scores
+  // broken by ascending external doc id — a total order every evaluator
+  // (exhaustive, MaxScore, Block-Max-WAND) must honor, including when the
+  // tie straddles the k-th slot.
   InvertedIndex index;
   index.Add(MakeDoc(5, "same text here"));
   index.Add(MakeDoc(2, "same text here"));
   index.Add(MakeDoc(9, "same text here"));
   index.Finalize();
-  auto results = index.Search("same text", 3);
-  ASSERT_EQ(results.size(), 3u);
-  EXPECT_EQ(results[0].doc, 2u);  // Equal scores: ordered by doc id.
-  EXPECT_EQ(results[1].doc, 5u);
-  EXPECT_EQ(results[2].doc, 9u);
+  for (QueryEvaluator evaluator :
+       {QueryEvaluator::kExhaustive, QueryEvaluator::kMaxScore,
+        QueryEvaluator::kBlockMaxWand}) {
+    auto results = index.Search("same text", 3, Bm25Params{}, evaluator);
+    ASSERT_EQ(results.size(), 3u);
+    EXPECT_EQ(results[0].doc, 2u);  // Equal scores: ordered by doc id.
+    EXPECT_EQ(results[1].doc, 5u);
+    EXPECT_EQ(results[2].doc, 9u);
+    EXPECT_EQ(results[0].score, results[2].score);
+
+    // k below the tie width: the heap must keep the *smallest* doc ids of
+    // the tied band, not whichever arrived first.
+    auto top2 = index.Search("same text", 2, Bm25Params{}, evaluator);
+    ASSERT_EQ(top2.size(), 2u);
+    EXPECT_EQ(top2[0].doc, 2u);
+    EXPECT_EQ(top2[1].doc, 5u);
+  }
 }
 
 }  // namespace

@@ -135,6 +135,29 @@ TEST(ObsDisabledTest, RankerOutputFingerprint) {
   EXPECT_EQ(flat_fp, legacy_fp);
   EXPECT_GT(nonempty, docs.size() / 2);  // Not vacuous.
 
+  // Fold the block-index evaluators' top-50 output into the same
+  // fingerprint: the cross-build diff then also proves the block postings
+  // build and the pruned MaxScore / Block-Max-WAND paths are untouched by
+  // observability (every obs hook they emit must be behavior-free).
+  const InvertedIndex& index = ranker.pipeline().index();
+  size_t block_hits = 0;
+  for (const QueryEntry& q : ranker.pipeline().query_log().entries()) {
+    for (QueryEvaluator evaluator :
+         {QueryEvaluator::kExhaustive, QueryEvaluator::kMaxScore,
+          QueryEvaluator::kBlockMaxWand}) {
+      const auto hits = index.Search(q.text, 50, Bm25Params{}, evaluator);
+      block_hits += hits.size();
+      for (const SearchResult& r : hits) {
+        uint64_t doc = r.doc;
+        flat_fp = Fnv1a(flat_fp, &doc, sizeof(doc));
+        uint64_t score_bits = 0;
+        std::memcpy(&score_bits, &r.score, sizeof(score_bits));
+        flat_fp = Fnv1a(flat_fp, &score_bits, sizeof(score_bits));
+      }
+    }
+  }
+  EXPECT_GT(block_hits, 0u);  // Not vacuous either.
+
   RecordProperty("rank_fingerprint", std::to_string(flat_fp));
   if (const char* path = std::getenv("CKR_RANK_FINGERPRINT_FILE")) {
     std::ofstream out(path);

@@ -9,7 +9,10 @@
 #include <tuple>
 
 #include "common/rng.h"
+#include "corpus/document.h"
 #include "detect/aho_corasick.h"
+#include "index/block_codecs.h"
+#include "index/inverted_index.h"
 #include "eval/metrics.h"
 #include "framework/bitstream.h"
 #include "framework/golomb.h"
@@ -329,6 +332,79 @@ INSTANTIATE_TEST_SUITE_P(
     Shapes, RankSvmSweep,
     ::testing::Combine(::testing::Values(1u, 3u, 8u, 17u),
                        ::testing::Values(2u, 5u, 10u)));
+
+// ---------- Top-k evaluator equivalence over (seed, codec) ----------
+//
+// MaxScore and Block-Max-WAND prune with bounds that dominate the exact
+// scores with zero slack (index/block_max_index.h), so on ANY corpus and
+// query they must return exactly the exhaustive top-k — same docs, same
+// order, bit-identical doubles. This sweep hammers that claim with random
+// Zipf-ish corpora and random multi-term queries for both codecs.
+
+class EvaluatorSweep
+    : public ::testing::TestWithParam<std::tuple<uint64_t, BlockCodec>> {};
+
+TEST_P(EvaluatorSweep, PrunedTopKIsBitIdenticalToExhaustive) {
+  auto [seed, codec] = GetParam();
+  Rng rng(seed);
+  InvertedIndex index;
+  const size_t num_docs = 150 + rng.NextBounded(250);
+  for (size_t d = 0; d < num_docs; ++d) {
+    std::string text;
+    const size_t len = 3 + rng.NextBounded(50);
+    for (size_t i = 0; i < len; ++i) {
+      // Zipf-ish: skewed list lengths exercise skipping; a small head
+      // vocabulary forces frequent score ties.
+      const uint64_t u = rng.NextBounded(100);
+      const uint64_t term = u < 55   ? rng.NextBounded(6)
+                            : u < 85 ? 6 + rng.NextBounded(30)
+                                     : 36 + rng.NextBounded(300);
+      text += "w" + std::to_string(term) + " ";
+    }
+    Document doc;
+    doc.id = static_cast<DocId>(d * 3 + 1);
+    doc.text = std::move(text);
+    index.Add(std::move(doc));
+  }
+  index.Finalize();
+  index.RebuildBlockIndex(codec);
+
+  for (int q = 0; q < 40; ++q) {
+    std::string query;
+    const size_t terms = 1 + rng.NextBounded(6);
+    for (size_t t = 0; t < terms; ++t) {
+      query += "w" + std::to_string(rng.NextBounded(340)) + " ";
+    }
+    for (size_t k : {1u, 10u, 50u}) {
+      const auto oracle = index.Search(query, k);
+      for (QueryEvaluator evaluator :
+           {QueryEvaluator::kMaxScore, QueryEvaluator::kBlockMaxWand}) {
+        const auto got = index.Search(query, k, Bm25Params{}, evaluator);
+        ASSERT_EQ(oracle.size(), got.size())
+            << "query=" << query << " k=" << k;
+        for (size_t i = 0; i < oracle.size(); ++i) {
+          ASSERT_EQ(oracle[i].doc, got[i].doc)
+              << "query=" << query << " k=" << k << " rank=" << i;
+          // Bit-identity, not tolerance: the pruned evaluators sum the
+          // same doubles in the same order as the exhaustive scorer.
+          ASSERT_EQ(oracle[i].score, got[i].score)
+              << "query=" << query << " k=" << k << " rank=" << i;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndCodecs, EvaluatorSweep,
+    ::testing::Combine(::testing::Values(11u, 23u, 37u, 51u),
+                       ::testing::Values(BlockCodec::kVarintGB,
+                                         BlockCodec::kSimple8b)),
+    [](const auto& pinfo) {
+      return "Seed" + std::to_string(std::get<0>(pinfo.param)) +
+             (std::get<1>(pinfo.param) == BlockCodec::kVarintGB ? "VarintGB"
+                                                                : "Simple8b");
+    });
 
 }  // namespace
 }  // namespace ckr

@@ -432,13 +432,17 @@ std::vector<Violation> LintContent(std::string_view path,
   std::vector<Tok> toks = Tokenize(content, &sup);
 
   // R4's precondition: serialization machinery is in scope. Matches both
-  // common/binary_io.h and framework/binary_io.h.
+  // common/binary_io.h and framework/binary_io.h, plus the block-index
+  // serialization headers (block_postings.h / block_max_index.h expose
+  // AppendTo/Serialize, so TUs including them can feed writers too).
   bool includes_binary_io = false;
   std::istringstream lines{std::string(content)};
   std::string raw;
   while (std::getline(lines, raw)) {
-    if (raw.find("#include") != std::string::npos &&
-        raw.find("binary_io.h") != std::string::npos) {
+    if (raw.find("#include") == std::string::npos) continue;
+    if (raw.find("binary_io.h") != std::string::npos ||
+        raw.find("block_postings.h") != std::string::npos ||
+        raw.find("block_max_index.h") != std::string::npos) {
       includes_binary_io = true;
       break;
     }

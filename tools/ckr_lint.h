@@ -11,8 +11,10 @@
 //   R3  every Status/StatusOr-returning function declared in a src/
 //       header carries [[nodiscard]].
 //   R4  no range-for over an unordered_{map,set} in any file that
-//       includes a binary_io.h — hash-order iteration feeding a
-//       serializer silently breaks reproducibility.
+//       includes serialization machinery (a binary_io.h, or the
+//       block-index headers block_postings.h / block_max_index.h) —
+//       hash-order iteration feeding a serializer silently breaks
+//       reproducibility.
 //   R5  banned C functions: strcpy, sprintf, atoi, gets.
 //
 // Suppressions (always scoped and greppable):

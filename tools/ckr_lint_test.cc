@@ -94,6 +94,25 @@ TEST(CkrLintTest, R4RequiresBinaryIoInclude) {
       LintContent("src/r4_unordered_serialization.cc", content).empty());
 }
 
+TEST(CkrLintTest, R4CoversBlockIndexSerializationHeaders) {
+  // The block-index headers expose AppendTo/Serialize, so including them
+  // arms R4 exactly like a binary_io.h include does.
+  const std::string fixture = ReadFixture("r4_unordered_serialization.cc");
+  const std::string include_line = "#include \"common/binary_io.h\"\n";
+  for (const char* header :
+       {"index/block_postings.h", "index/block_max_index.h"}) {
+    std::string content = fixture;
+    auto at = content.find(include_line);
+    ASSERT_NE(at, std::string::npos);
+    content.replace(at, include_line.size(),
+                    std::string("#include \"") + header + "\"\n");
+    auto vs = LintContent("src/r4_unordered_serialization.cc", content);
+    EXPECT_EQ(RuleLines(vs),
+              (std::multiset<RuleLine>{{"R4", 22}, {"R4", 25}}))
+        << header;
+  }
+}
+
 TEST(CkrLintTest, R5FlagsBannedFunctions) {
   auto vs = LintContent("src/r5_banned_functions.cc",
                         ReadFixture("r5_banned_functions.cc"));
