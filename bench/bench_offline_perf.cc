@@ -16,12 +16,15 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "clicks/click_log.h"
 #include "core/pipeline.h"
+#include "corpus/corpus_stream.h"
 #include "features/offline_miner.h"
 #include "index/inverted_index.h"
 #include "index/legacy_index.h"
@@ -280,6 +283,160 @@ EvaluatorLeg TimeEvaluator(OfflineLab* lab, const char* name,
   return leg;
 }
 
+// ---- corpus-scale legs: streaming build, docid reorder, click log ----
+
+struct ScaleLeg {
+  size_t target_docs = 0;
+  size_t docs = 0;
+  size_t terms = 0;
+  uint64_t postings = 0;
+  double stream_build_seconds = 0.0;   ///< Generate + Add, both indexes.
+  double finalize_seconds = 0.0;       ///< Add-order Finalize.
+  double reorder_finalize_seconds = 0.0;  ///< Bisection Finalize.
+  size_t posting_bytes_add_order = 0;
+  size_t posting_bytes_bisection = 0;
+  ClickLogStats clicks;
+  double click_seconds = 0.0;
+  bool bit_identical = true;
+  size_t queries = 0;
+  int repeats = 0;
+  double evaluator_seconds[3] = {0.0, 0.0, 0.0};  // exhaustive, ms, bmw.
+};
+
+constexpr const char* kScaleEvaluatorNames[3] = {"exhaustive", "maxscore",
+                                                 "block_max_wand"};
+
+/// Serving depth for the timed scale legs (bit-identity is also checked at
+/// top-50).
+constexpr size_t kScaleTopK = 10;
+
+/// One leg of the 100x sweep: stream-generate `target_docs` web documents
+/// once into two out-of-core index builds (Add order vs bisection
+/// reorder), compare compressed posting bytes, assert every evaluator on
+/// the reordered index returns the add-order exhaustive results
+/// bit-identically (external ids make the comparison layout-free), then
+/// time the three evaluators over an entity-key query workload and stream
+/// an ORCAS-shaped click log over the same corpus.
+ScaleLeg RunScaleLeg(size_t target_docs) {
+  ScaleLeg leg;
+  leg.target_docs = target_docs;
+  auto world_or = World::Create(ScaledWorldConfig(target_docs, 20090331));
+  if (!world_or.ok()) {
+    std::fprintf(stderr, "scale leg %zu: %s\n", target_docs,
+                 world_or.status().ToString().c_str());
+    std::exit(1);
+  }
+  const World& world = *world_or.value();
+  CorpusStreamer streamer(world);
+
+  IndexBuildOptions stream_opts;
+  stream_opts.store_text = false;
+  stream_opts.build_block_index = false;
+  InvertedIndex add_order(stream_opts);
+  IndexBuildOptions reorder_opts = stream_opts;
+  reorder_opts.docid_order = DocidOrder::kBisection;
+  InvertedIndex reordered(reorder_opts);
+
+  auto t0 = std::chrono::steady_clock::now();
+  Status s = streamer.Stream(Document::Kind::kWeb, target_docs,
+                             CorpusStreamConfig{}, [&](Document&& doc) {
+                               add_order.Add(doc);
+                               reordered.Add(doc);
+                             });
+  if (!s.ok()) {
+    std::fprintf(stderr, "scale leg %zu: %s\n", target_docs,
+                 s.ToString().c_str());
+    std::exit(1);
+  }
+  leg.stream_build_seconds = WallSeconds(t0);
+
+  t0 = std::chrono::steady_clock::now();
+  add_order.Finalize();
+  leg.finalize_seconds = WallSeconds(t0);
+  t0 = std::chrono::steady_clock::now();
+  reordered.Finalize();
+  leg.reorder_finalize_seconds = WallSeconds(t0);
+
+  add_order.RebuildBlockIndex(BlockCodec::kVarintGB);
+  reordered.RebuildBlockIndex(BlockCodec::kVarintGB);
+  leg.docs = add_order.NumDocs();
+  leg.terms = add_order.NumTerms();
+  leg.postings = add_order.block_index().store().NumPostings();
+  leg.posting_bytes_add_order =
+      add_order.block_index().store().CompressedPostingBytes();
+  leg.posting_bytes_bisection =
+      reordered.block_index().store().CompressedPostingBytes();
+
+  // Entity-key workload, ~250 queries regardless of scale.
+  std::vector<std::string> queries;
+  const size_t step = std::max<size_t>(1, world.NumEntities() / 250);
+  for (size_t i = 0; i < world.NumEntities(); i += step) {
+    queries.push_back(world.entity(static_cast<EntityId>(i)).key);
+  }
+  leg.queries = queries.size();
+
+  // Bit-identity across layout and evaluator for every workload query, at
+  // both the deep (top-50) and serving (top-10) depths.
+  for (const std::string& q : queries) {
+    for (size_t k : {size_t{50}, kScaleTopK}) {
+      const auto oracle = add_order.Search(q, k);
+      for (QueryEvaluator evaluator :
+           {QueryEvaluator::kExhaustive, QueryEvaluator::kMaxScore,
+            QueryEvaluator::kBlockMaxWand}) {
+        leg.bit_identical =
+            leg.bit_identical &&
+            SameResults(oracle,
+                        reordered.Search(q, k, Bm25Params{}, evaluator));
+      }
+    }
+  }
+
+  // Timed legs run at the serving depth: top-10 fills the heap early, so
+  // the pruning thresholds bite — the crossover where MaxScore overtakes
+  // the CSR exhaustive scan is exactly what these legs exist to record.
+  leg.repeats = target_docs <= 10000 ? 10 : target_docs <= 200000 ? 3 : 1;
+  const QueryEvaluator evaluators[3] = {QueryEvaluator::kExhaustive,
+                                        QueryEvaluator::kMaxScore,
+                                        QueryEvaluator::kBlockMaxWand};
+  for (size_t e = 0; e < 3; ++e) {
+    t0 = std::chrono::steady_clock::now();
+    for (int r = 0; r < leg.repeats; ++r) {
+      for (const std::string& q : queries) {
+        benchmark::DoNotOptimize(
+            reordered.Search(q, kScaleTopK, Bm25Params{}, evaluators[e]));
+      }
+    }
+    leg.evaluator_seconds[e] = WallSeconds(t0);
+  }
+
+  // ORCAS-shaped click log over the same corpus (6 pairs/doc default).
+  ClickLogGenerator log(world, Document::Kind::kWeb, target_docs,
+                        ClickLogConfig{});
+  t0 = std::chrono::steady_clock::now();
+  StatusOr<ClickLogStats> stats = CollectClickLogStats(log);
+  leg.click_seconds = WallSeconds(t0);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "scale leg %zu clicks: %s\n", target_docs,
+                 stats.status().ToString().c_str());
+    std::exit(1);
+  }
+  leg.clicks = *stats;
+  return leg;
+}
+
+std::vector<ScaleLeg> RunScaleLegs() {
+  std::vector<size_t> targets = {6000, 100000};
+  if (std::getenv("CKR_BENCH_MILLION") != nullptr) {
+    targets.push_back(1000000);
+  }
+  std::vector<ScaleLeg> legs;
+  for (size_t t : targets) {
+    std::printf("scale leg: %zu docs...\n", t);
+    legs.push_back(RunScaleLeg(t));
+  }
+  return legs;
+}
+
 void RunSummary() {
   OfflineLab* lab = GetLab();
 
@@ -441,6 +598,9 @@ void RunSummary() {
   const uint64_t obs_mine_calls = mine_hist->Count() - mine_calls0;
   const double obs_mine_seconds = mine_hist->Sum() - mine_seconds0;
 
+  // 100x corpus-scale legs (1M docs only under CKR_BENCH_MILLION).
+  const std::vector<ScaleLeg> scale_legs = RunScaleLegs();
+
   size_t legacy_bytes = lab->legacy.MemoryBytes();
   size_t flat_bytes = lab->flat.MemoryBytes();
 
@@ -493,6 +653,45 @@ void RunSummary() {
                 scored_reduction(leg) * 100.0,
                 static_cast<unsigned long long>(leg.blocks_decoded),
                 static_cast<unsigned long long>(leg.blocks_skipped));
+  }
+  std::printf("corpus-scale legs (streamed build, no stored text; bisection "
+              "vs add-order postings; top-%zu evaluator wall-clock):\n",
+              kScaleTopK);
+  for (const ScaleLeg& leg : scale_legs) {
+    std::printf("  %8zu docs  %8zu terms  %10llu postings  "
+                "bit-identical: %s\n",
+                leg.docs, leg.terms,
+                static_cast<unsigned long long>(leg.postings),
+                leg.bit_identical ? "yes" : "NO");
+    std::printf("    build %.1fs, finalize %.1fs, reorder finalize %.1fs; "
+                "postings %.2f MB -> %.2f MB (%.2f%% smaller)\n",
+                leg.stream_build_seconds, leg.finalize_seconds,
+                leg.reorder_finalize_seconds,
+                static_cast<double>(leg.posting_bytes_add_order) / 1e6,
+                static_cast<double>(leg.posting_bytes_bisection) / 1e6,
+                leg.posting_bytes_add_order > 0
+                    ? 100.0 * (1.0 -
+                               static_cast<double>(
+                                   leg.posting_bytes_bisection) /
+                                   static_cast<double>(
+                                       leg.posting_bytes_add_order))
+                    : 0.0);
+    std::printf("    clicks: %llu pairs (%llu distinct q-d, %llu queries, "
+                "%llu docs, %llu users) in %.1fs\n",
+                static_cast<unsigned long long>(leg.clicks.pairs),
+                static_cast<unsigned long long>(
+                    leg.clicks.distinct_query_doc_pairs),
+                static_cast<unsigned long long>(leg.clicks.distinct_queries),
+                static_cast<unsigned long long>(leg.clicks.distinct_docs),
+                static_cast<unsigned long long>(leg.clicks.distinct_users),
+                leg.click_seconds);
+    std::printf("    evaluators (%zu queries x%d):", leg.queries,
+                leg.repeats);
+    for (size_t e = 0; e < 3; ++e) {
+      std::printf("  %s %.3fs", kScaleEvaluatorNames[e],
+                  leg.evaluator_seconds[e]);
+    }
+    std::printf("\n");
   }
   std::printf("mining fan-out (%zu concepts, %u hardware threads), outputs "
               "identical across worker counts: %s\n",
@@ -597,6 +796,58 @@ void RunSummary() {
                  i + 1 < 3 ? "," : "");
   }
   std::fprintf(f, "    ]\n  },\n");
+  // Corpus-scale legs: streamed out-of-core builds at paper scale and
+  // 100x (plus 1M docs under CKR_BENCH_MILLION), with the reordering size
+  // delta and per-evaluator wall-clock at each scale.
+  std::fprintf(f, "  \"scale_legs\": [\n");
+  for (size_t i = 0; i < scale_legs.size(); ++i) {
+    const ScaleLeg& leg = scale_legs[i];
+    std::fprintf(f,
+                 "    {\"target_docs\": %zu, \"documents\": %zu, "
+                 "\"terms\": %zu, \"postings\": %llu,\n",
+                 leg.target_docs, leg.docs, leg.terms,
+                 static_cast<unsigned long long>(leg.postings));
+    std::fprintf(f,
+                 "     \"stream_build_seconds\": %.3f, "
+                 "\"finalize_seconds\": %.3f, "
+                 "\"reorder_finalize_seconds\": %.3f,\n",
+                 leg.stream_build_seconds, leg.finalize_seconds,
+                 leg.reorder_finalize_seconds);
+    std::fprintf(f,
+                 "     \"posting_bytes\": {\"add_order\": %zu, "
+                 "\"bisection\": %zu, \"reorder_saving\": %.4f},\n",
+                 leg.posting_bytes_add_order, leg.posting_bytes_bisection,
+                 leg.posting_bytes_add_order > 0
+                     ? 1.0 - static_cast<double>(leg.posting_bytes_bisection) /
+                                 static_cast<double>(
+                                     leg.posting_bytes_add_order)
+                     : 0.0);
+    std::fprintf(f,
+                 "     \"click_log\": {\"pairs\": %llu, "
+                 "\"distinct_query_doc_pairs\": %llu, "
+                 "\"distinct_queries\": %llu, \"distinct_docs\": %llu, "
+                 "\"distinct_users\": %llu, \"seconds\": %.3f},\n",
+                 static_cast<unsigned long long>(leg.clicks.pairs),
+                 static_cast<unsigned long long>(
+                     leg.clicks.distinct_query_doc_pairs),
+                 static_cast<unsigned long long>(leg.clicks.distinct_queries),
+                 static_cast<unsigned long long>(leg.clicks.distinct_docs),
+                 static_cast<unsigned long long>(leg.clicks.distinct_users),
+                 leg.click_seconds);
+    std::fprintf(f,
+                 "     \"results_bit_identical\": %s, \"queries\": %zu, "
+                 "\"repeats\": %d, \"top_k\": %zu,\n",
+                 leg.bit_identical ? "true" : "false", leg.queries,
+                 leg.repeats, kScaleTopK);
+    std::fprintf(f, "     \"evaluators\": [");
+    for (size_t e = 0; e < 3; ++e) {
+      std::fprintf(f, "{\"name\": \"%s\", \"total_seconds\": %.4f}%s",
+                   kScaleEvaluatorNames[e], leg.evaluator_seconds[e],
+                   e + 1 < 3 ? ", " : "");
+    }
+    std::fprintf(f, "]}%s\n", i + 1 < scale_legs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
   std::fprintf(f, "  \"mining_concepts\": %zu,\n", lab->concepts.size());
   // Mining scaling is bounded by the physical cores available; record them
   // so consumers can judge the speedup_vs_1 column.

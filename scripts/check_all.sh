@@ -13,6 +13,13 @@ cmake --preset default
 cmake --build --preset default -j "$(nproc)"
 ctest --preset default -j "$(nproc)"
 
+echo "== corpus-scale smoke: 50k-doc streamed build + docid reorder =="
+# Streams a ~50k-doc scaled world through the out-of-core index build,
+# checks bisection reordering shrinks the compressed postings while every
+# evaluator stays bit-identical, and sanity-checks the ORCAS-shaped click
+# log. Plain ctest skips this test; the env flag arms it here.
+CKR_SCALE_SMOKE=1 ./build/tests/scale_smoke_test
+
 echo "== ckr_lint: contract rules over src/ bench/ tests/ tools/ =="
 ./build/tools/ckr_lint
 

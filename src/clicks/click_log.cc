@@ -1,0 +1,138 @@
+#include "clicks/click_log.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/parallel.h"
+
+namespace ckr {
+
+Status ClickLogConfig::Validate() const {
+  if (num_users == 0) return Status::InvalidArgument("num_users must be > 0");
+  if (chunk_pairs == 0) {
+    return Status::InvalidArgument("chunk_pairs must be > 0");
+  }
+  if (max_rank == 0) return Status::InvalidArgument("max_rank must be > 0");
+  if (rank_continue < 0.0 || rank_continue >= 1.0) {
+    return Status::InvalidArgument("rank_continue must be in [0,1)");
+  }
+  if (off_topic_prob < 0.0 || off_topic_prob > 1.0) {
+    return Status::InvalidArgument("off_topic_prob must be in [0,1]");
+  }
+  return Status::OK();
+}
+
+ClickLogGenerator::ClickLogGenerator(const World& world, Document::Kind kind,
+                                     size_t num_docs,
+                                     const ClickLogConfig& config)
+    : world_(world),
+      config_(config),
+      num_docs_(num_docs),
+      user_sampler_(static_cast<size_t>(config.num_users), config.user_zipf) {
+  num_pairs_ = config.num_pairs != 0
+                   ? config.num_pairs
+                   : static_cast<uint64_t>(num_docs) * 6;
+  // Latent query demand: the same popularity weights the query-log
+  // generator samples from, folded into a cumulative table so a draw is
+  // one binary search instead of a linear scan over the concept universe.
+  entity_cdf_.reserve(world.NumEntities());
+  double total = 0.0;
+  for (const Entity& e : world.entities()) {
+    total += 0.02 + e.popularity;
+    entity_cdf_.push_back(total);
+  }
+  // Per-topic document pools, replayed from the per-document RNG streams —
+  // no document is ever assembled.
+  DocGenerator gen(world);
+  topic_docs_.resize(world.config().num_topics);
+  for (size_t d = 0; d < num_docs; ++d) {
+    const int topic = gen.DocTopic(kind, static_cast<DocId>(d));
+    topic_docs_[static_cast<size_t>(topic)].push_back(static_cast<DocId>(d));
+  }
+}
+
+ClickRecord ClickLogGenerator::DrawPair(uint64_t pair_index) const {
+  // Counter-seeded per-pair stream: the record is a pure function of
+  // (seed, pair_index), independent of worker count and draw order.
+  Rng rng(Mix64(HashCombine(config_.seed, pair_index)));
+  ClickRecord rec;
+  rec.user = static_cast<uint32_t>(user_sampler_.Sample(rng) - 1);
+  const double u = rng.NextDouble() * entity_cdf_.back();
+  const size_t pick = static_cast<size_t>(
+      std::lower_bound(entity_cdf_.begin(), entity_cdf_.end(), u) -
+      entity_cdf_.begin());
+  rec.query = static_cast<EntityId>(
+      std::min(pick, entity_cdf_.size() - 1));
+  uint32_t rank = 0;
+  while (rank + 1 < config_.max_rank &&
+         rng.NextBernoulli(config_.rank_continue)) {
+    ++rank;
+  }
+  const Entity& entity = world_.entity(rec.query);
+  const bool off_topic =
+      entity.is_generic || rng.NextBernoulli(config_.off_topic_prob);
+  size_t topic = static_cast<size_t>(entity.primary_topic);
+  if (entity.secondary_topic >= 0 && rng.NextBernoulli(0.25)) {
+    topic = static_cast<size_t>(entity.secondary_topic);
+  }
+  const std::vector<DocId>& pool = topic_docs_[topic];
+  if (off_topic || pool.empty()) {
+    rec.doc = static_cast<DocId>(rng.NextBounded(num_docs_));
+  } else {
+    // Rank r of query q always resolves to the same document: the stable
+    // "result list" that concentrates click mass per query on a few URLs.
+    const uint64_t slot = Mix64(HashCombine(
+        config_.seed ^ 0x0cca50cca5ULL,
+        (static_cast<uint64_t>(rec.query) << 8) | rank));
+    rec.doc = pool[static_cast<size_t>(slot % pool.size())];
+  }
+  return rec;
+}
+
+Status ClickLogGenerator::Stream(
+    const std::function<void(Span<const ClickRecord>)>& consume) const {
+  CKR_RETURN_IF_ERROR(config_.Validate());
+  if (num_docs_ == 0) {
+    return Status::InvalidArgument("click log needs a non-empty corpus");
+  }
+  std::vector<ClickRecord> chunk(
+      static_cast<size_t>(std::min<uint64_t>(config_.chunk_pairs, num_pairs_)));
+  for (uint64_t base = 0; base < num_pairs_; base += config_.chunk_pairs) {
+    const size_t n = static_cast<size_t>(
+        std::min<uint64_t>(config_.chunk_pairs, num_pairs_ - base));
+    ParallelForWorkers(n, config_.workers, [&](unsigned worker, size_t i) {
+      (void)worker;
+      chunk[i] = DrawPair(base + static_cast<uint64_t>(i));
+    });
+    consume(Span<const ClickRecord>(chunk.data(), n));
+  }
+  return Status::OK();
+}
+
+StatusOr<ClickLogStats> CollectClickLogStats(const ClickLogGenerator& log) {
+  ClickLogStats stats;
+  std::unordered_set<uint64_t> pairs;
+  std::unordered_set<uint32_t> queries;
+  std::unordered_set<uint32_t> docs;
+  std::unordered_set<uint32_t> users;
+  Status s = log.Stream([&](Span<const ClickRecord> chunk) {
+    for (const ClickRecord& r : chunk) {
+      ++stats.pairs;
+      pairs.insert((static_cast<uint64_t>(r.query) << 32) |
+                   static_cast<uint64_t>(r.doc));
+      queries.insert(r.query);
+      docs.insert(r.doc);
+      users.insert(r.user);
+    }
+  });
+  if (!s.ok()) return s;
+  stats.distinct_query_doc_pairs = pairs.size();
+  stats.distinct_queries = queries.size();
+  stats.distinct_docs = docs.size();
+  stats.distinct_users = users.size();
+  return stats;
+}
+
+}  // namespace ckr

@@ -1,0 +1,112 @@
+// ORCAS-regime click-log synthesis: a streaming, seeded generator of
+// clicked (query, document) pairs at search-engine scale.
+//
+// The paper mined its signals from Yahoo!'s click pipeline; the public
+// analogue is ORCAS (18M clicked query-document pairs for 10M distinct
+// queries over a 3.2M-doc corpus — see PAPERS.md). This module reproduces
+// that *shape* over the synthetic world:
+//
+//  * users are Zipfian — a heavy head of power users issues most clicks;
+//  * queries are entity/concept queries drawn by latent popularity (the
+//    same demand model the query-log generator uses);
+//  * the clicked document follows a geometric position-bias over a stable
+//    per-query "result list": rank r of query q deterministically maps to
+//    one document of q's home topic, so click mass per query concentrates
+//    on a few URLs exactly like ORCAS' clicked-URL histograms;
+//  * a small off-topic mass models misclicks and exploratory traffic.
+//
+// Every pair is derived from its own counter-seeded RNG stream, so the log
+// is bit-identical for any worker count, chunk size, or generation order,
+// and costs O(chunk) memory no matter how many pairs are drawn.
+#ifndef CKR_CLICKS_CLICK_LOG_H_
+#define CKR_CLICKS_CLICK_LOG_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "corpus/doc_generator.h"
+#include "corpus/document.h"
+#include "corpus/world.h"
+
+namespace ckr {
+
+/// Shape knobs of the synthetic click log. Defaults follow the ORCAS
+/// regime scaled by the corpus: ~6 clicked pairs per document.
+struct ClickLogConfig {
+  uint64_t seed = 20201013;      // ORCAS release date-ish.
+  uint64_t num_pairs = 0;        ///< Click events; 0 = 6 * corpus size.
+  uint64_t num_users = 1 << 16;  ///< User population (Zipfian activity).
+  double user_zipf = 1.07;       ///< Exponent of the user activity tail.
+  /// Geometric position bias: P(clicked rank >= r+1 | >= r). ~0.62 puts
+  /// two thirds of clicks on the top three results.
+  double rank_continue = 0.62;
+  uint32_t max_rank = 20;        ///< Deepest clickable rank.
+  double off_topic_prob = 0.06;  ///< Misclick / exploratory mass.
+  size_t chunk_pairs = 8192;     ///< Pairs materialized at once.
+  unsigned workers = 1;          ///< Threads generating within a chunk.
+
+  [[nodiscard]] Status Validate() const;
+};
+
+/// One clicked query-document pair (the ORCAS record shape: the query is
+/// an entity/concept of the world, the document a member of the corpus).
+struct ClickRecord {
+  uint32_t user = 0;
+  EntityId query = kInvalidEntity;
+  DocId doc = 0;
+};
+
+/// Aggregate statistics of a streamed log (the bench scale record).
+struct ClickLogStats {
+  uint64_t pairs = 0;
+  uint64_t distinct_query_doc_pairs = 0;
+  uint64_t distinct_queries = 0;
+  uint64_t distinct_docs = 0;
+  uint64_t distinct_users = 0;
+};
+
+/// Streams a click log over a generated corpus. Immutable after
+/// construction; Stream() is safe to call concurrently.
+class ClickLogGenerator {
+ public:
+  /// `world` must outlive the generator. The corpus is identified by
+  /// (kind, num_docs): per-document topics are replayed through
+  /// DocGenerator::DocTopic, so no document text is ever materialized.
+  ClickLogGenerator(const World& world, Document::Kind kind, size_t num_docs,
+                    const ClickLogConfig& config);
+
+  /// Streams every pair chunk by chunk in ascending pair-index order.
+  /// Within a chunk pairs are drawn in parallel into per-slot outputs;
+  /// the consumed spans are identical for any worker count. Returns
+  /// InvalidArgument on nonsensical configs.
+  [[nodiscard]] Status Stream(
+      const std::function<void(Span<const ClickRecord>)>& consume) const;
+
+  /// Total pairs the configured stream produces.
+  uint64_t NumPairs() const { return num_pairs_; }
+
+  const ClickLogConfig& config() const { return config_; }
+
+ private:
+  ClickRecord DrawPair(uint64_t pair_index) const;
+
+  const World& world_;
+  ClickLogConfig config_;
+  uint64_t num_pairs_ = 0;
+  size_t num_docs_ = 0;
+  ZipfSampler user_sampler_;
+  std::vector<double> entity_cdf_;          ///< Popularity-cumulative.
+  std::vector<std::vector<DocId>> topic_docs_;  ///< Per-topic doc ids.
+};
+
+/// Streams the whole log once and aggregates its statistics.
+[[nodiscard]] StatusOr<ClickLogStats> CollectClickLogStats(
+    const ClickLogGenerator& log);
+
+}  // namespace ckr
+
+#endif  // CKR_CLICKS_CLICK_LOG_H_

@@ -1,0 +1,61 @@
+#include "corpus/corpus_stream.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/parallel.h"
+
+namespace ckr {
+
+WorldConfig ScaledWorldConfig(size_t num_web_docs, uint64_t seed) {
+  WorldConfig cfg;
+  cfg.seed = seed;
+  cfg.num_web_docs = num_web_docs;
+  // Scale factor relative to the paper-scale world. The entity universe
+  // and topic count grow with its cube root: a 100x corpus gets a ~4.6x
+  // concept universe, which keeps per-concept click mass realistic (ORCAS
+  // has ~10M distinct queries over 3M docs, not one query per doc).
+  const double scale =
+      static_cast<double>(num_web_docs) / static_cast<double>(6000);
+  const double growth = std::cbrt(std::max(1.0, scale));
+  auto grow = [growth](size_t base) {
+    return static_cast<size_t>(static_cast<double>(base) * growth);
+  };
+  cfg.num_topics = std::max<size_t>(24, grow(24));
+  cfg.num_named_entities = grow(900);
+  cfg.num_concepts = grow(600);
+  cfg.num_generic_concepts = grow(60);
+  // News/answers corpora are not part of the scaled web world; keep them
+  // small so World validation stays happy without paying for them.
+  cfg.num_news_stories = 0;
+  cfg.num_answers_snippets = 0;
+  if (scale > 1.0) {
+    // Web-page-summary regime: short documents keep a million-doc build
+    // wall-clock-feasible while leaving posting lists long enough for
+    // skipping to matter.
+    cfg.web_doc_min_tokens = 60;
+    cfg.web_doc_max_tokens = 180;
+  }
+  return cfg;
+}
+
+Status CorpusStreamer::Stream(
+    Document::Kind kind, size_t count, const CorpusStreamConfig& config,
+    const std::function<void(Document&&)>& consume) const {
+  if (config.chunk_docs == 0) {
+    return Status::InvalidArgument("chunk_docs must be > 0");
+  }
+  std::vector<Document> chunk(std::min(config.chunk_docs, count));
+  for (size_t base = 0; base < count; base += config.chunk_docs) {
+    const size_t n = std::min(config.chunk_docs, count - base);
+    ParallelForWorkers(n, config.workers, [&](unsigned worker, size_t i) {
+      (void)worker;
+      chunk[i] = generator_.Generate(kind, static_cast<DocId>(base + i));
+    });
+    for (size_t i = 0; i < n; ++i) consume(std::move(chunk[i]));
+  }
+  return Status::OK();
+}
+
+}  // namespace ckr

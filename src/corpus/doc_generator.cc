@@ -29,7 +29,7 @@ struct ScheduledMention {
 DocGenerator::DocGenerator(const World& world) : world_(world) {}
 
 std::vector<DocGenerator::PlannedEntity> DocGenerator::PlanEntities(
-    int topic, Document::Kind kind, Rng& rng) {
+    int topic, Document::Kind kind, Rng& rng) const {
   const WorldConfig& cfg = world_.config();
   std::vector<PlannedEntity> plan;
 
@@ -97,7 +97,7 @@ std::vector<DocGenerator::PlannedEntity> DocGenerator::PlanEntities(
 Document DocGenerator::Assemble(Document::Kind kind, DocId id, int topic,
                                 size_t token_budget,
                                 const std::vector<PlannedEntity>& plan,
-                                Rng& rng) {
+                                Rng& rng) const {
   const WorldConfig& cfg = world_.config();
   Document doc;
   doc.id = id;
@@ -225,12 +225,23 @@ Document DocGenerator::Assemble(Document::Kind kind, DocId id, int topic,
   return doc;
 }
 
-Document DocGenerator::Generate(Document::Kind kind, DocId id) {
-  const WorldConfig& cfg = world_.config();
+Rng DocGenerator::PerDocRng(Document::Kind kind, DocId id) const {
   // Per-document stream: independent of generation order.
-  uint64_t stream = HashCombine(cfg.seed, (static_cast<uint64_t>(kind) << 32) |
-                                              static_cast<uint64_t>(id));
-  Rng rng(Mix64(stream));
+  uint64_t stream =
+      HashCombine(world_.config().seed,
+                  (static_cast<uint64_t>(kind) << 32) |
+                      static_cast<uint64_t>(id));
+  return Rng(Mix64(stream));
+}
+
+int DocGenerator::DocTopic(Document::Kind kind, DocId id) const {
+  Rng rng = PerDocRng(kind, id);
+  return static_cast<int>(rng.NextBounded(world_.config().num_topics));
+}
+
+Document DocGenerator::Generate(Document::Kind kind, DocId id) const {
+  const WorldConfig& cfg = world_.config();
+  Rng rng = PerDocRng(kind, id);
   int topic = static_cast<int>(rng.NextBounded(cfg.num_topics));
   size_t min_tokens = 0;
   size_t max_tokens = 0;
@@ -254,7 +265,7 @@ Document DocGenerator::Generate(Document::Kind kind, DocId id) {
 }
 
 std::vector<Document> DocGenerator::GenerateCorpus(Document::Kind kind,
-                                                   size_t count) {
+                                                   size_t count) const {
   std::vector<Document> docs;
   docs.reserve(count);
   for (size_t i = 0; i < count; ++i) {

@@ -19,7 +19,10 @@
 
 namespace ckr {
 
-/// Generates the three corpora of the world deterministically.
+/// Generates the three corpora of the world deterministically. Stateless
+/// beyond the world reference: every document is derived from a
+/// counter-seeded per-document RNG stream, so Generate() is safe to call
+/// concurrently for distinct ids and corpora are stable under resizing.
 class DocGenerator {
  public:
   /// `world` must outlive the generator.
@@ -28,10 +31,17 @@ class DocGenerator {
   /// Generates one document of the given kind. `id` should be unique per
   /// corpus; it also perturbs the random stream so corpora are stable under
   /// resizing.
-  Document Generate(Document::Kind kind, DocId id);
+  Document Generate(Document::Kind kind, DocId id) const;
 
   /// Generates a whole corpus of `count` documents.
-  std::vector<Document> GenerateCorpus(Document::Kind kind, size_t count);
+  std::vector<Document> GenerateCorpus(Document::Kind kind, size_t count) const;
+
+  /// Topic of document (kind, id) without assembling its text — replays
+  /// only the topic draw of the per-document stream, so it agrees with
+  /// Generate() by construction. Used by the click-log generator to place
+  /// clicks on topically matching documents at corpus scales where
+  /// materializing every document is off the table.
+  int DocTopic(Document::Kind kind, DocId id) const;
 
  private:
   struct PlannedEntity {
@@ -41,11 +51,14 @@ class DocGenerator {
     int mention_count;
   };
 
+  /// The per-document RNG stream both Generate() and DocTopic() replay.
+  Rng PerDocRng(Document::Kind kind, DocId id) const;
+
   std::vector<PlannedEntity> PlanEntities(int topic, Document::Kind kind,
-                                          Rng& rng);
+                                          Rng& rng) const;
   Document Assemble(Document::Kind kind, DocId id, int topic,
                     size_t token_budget,
-                    const std::vector<PlannedEntity>& plan, Rng& rng);
+                    const std::vector<PlannedEntity>& plan, Rng& rng) const;
 
   const World& world_;
 };

@@ -1,0 +1,170 @@
+#include "index/docid_reorder.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ckr {
+namespace {
+
+/// Recursive bisection state shared across levels: the (filtered) forward
+/// index, the evolving order, the per-side degree counters (zeroed via
+/// touch lists so a level only pays for the terms it sees), and a log2
+/// table so the gain inner loop is pure lookups.
+class Bisector {
+ public:
+  Bisector(Span<const uint32_t> tok_tid, Span<const size_t> doc_tok_offset,
+           size_t num_terms, const BisectionParams& params)
+      : params_(params) {
+    const size_t num_docs = doc_tok_offset.size() - 1;
+    // Document frequency per term, to filter the forward index: terms with
+    // one posting have no gap to shrink, and near-ubiquitous terms (df >
+    // docs/4) already have ~unit gaps under any order. Both classes only
+    // slow the gain passes down.
+    std::vector<uint32_t> df(num_terms, 0);
+    std::vector<uint32_t> seen(num_terms, 0xffffffffu);
+    for (size_t d = 0; d < num_docs; ++d) {
+      for (size_t i = doc_tok_offset[d]; i < doc_tok_offset[d + 1]; ++i) {
+        const uint32_t t = tok_tid[i];
+        if (seen[t] != d) {
+          seen[t] = static_cast<uint32_t>(d);
+          ++df[t];
+        }
+      }
+    }
+    const uint32_t df_cap =
+        std::max<uint32_t>(8, static_cast<uint32_t>(num_docs / 4));
+    fwd_offset_.reserve(num_docs + 1);
+    fwd_offset_.push_back(0);
+    std::vector<uint32_t> uniq;
+    for (size_t d = 0; d < num_docs; ++d) {
+      uniq.assign(tok_tid.begin() + static_cast<ptrdiff_t>(doc_tok_offset[d]),
+                  tok_tid.begin() +
+                      static_cast<ptrdiff_t>(doc_tok_offset[d + 1]));
+      std::sort(uniq.begin(), uniq.end());
+      uniq.erase(std::unique(uniq.begin(), uniq.end()), uniq.end());
+      for (uint32_t t : uniq) {
+        if (df[t] >= 2 && df[t] <= df_cap) fwd_terms_.push_back(t);
+      }
+      fwd_offset_.push_back(fwd_terms_.size());
+    }
+    deg_l_.assign(num_terms, 0);
+    deg_r_.assign(num_terms, 0);
+    log2_.resize(num_docs + 2);
+    for (size_t i = 1; i < log2_.size(); ++i) {
+      log2_[i] = std::log2(static_cast<double>(i));
+    }
+    order_.resize(num_docs);
+    for (size_t d = 0; d < num_docs; ++d) {
+      order_[d] = static_cast<uint32_t>(d);
+    }
+  }
+
+  std::vector<uint32_t> Run() {
+    if (order_.size() > params_.min_partition) Bisect(0, order_.size());
+    return std::move(order_);
+  }
+
+ private:
+  Span<const uint32_t> Terms(uint32_t doc) const {
+    return Span<const uint32_t>(fwd_terms_.data() + fwd_offset_[doc],
+                                fwd_offset_[doc + 1] - fwd_offset_[doc]);
+  }
+
+  /// The KDD'16 cost surrogate: encoding deg gaps of one term over an
+  /// n-doc partition costs ~deg * log2(n / (deg + 1)) bits.
+  double Cost(uint32_t deg, double log2_n) const {
+    return deg == 0
+               ? 0.0
+               : static_cast<double>(deg) * (log2_n - log2_[deg + 1]);
+  }
+
+  void Bisect(size_t lo, size_t hi) {
+    const size_t n = hi - lo;
+    if (n <= params_.min_partition) return;
+    const size_t mid = lo + n / 2;
+    const size_t nl = mid - lo;
+    const size_t nr = hi - mid;
+    const double log2_nl = log2_[nl];
+    const double log2_nr = log2_[nr];
+
+    std::vector<std::pair<double, size_t>> gain_l(nl);  // (gain, position)
+    std::vector<std::pair<double, size_t>> gain_r(nr);
+    for (int pass = 0; pass < params_.max_passes; ++pass) {
+      // Degrees of every term within each half, reset via the touch list.
+      for (size_t p = lo; p < hi; ++p) {
+        std::vector<uint32_t>& deg = p < mid ? deg_l_ : deg_r_;
+        for (uint32_t t : Terms(order_[p])) {
+          if (deg_l_[t] == 0 && deg_r_[t] == 0) touched_.push_back(t);
+          ++deg[t];
+        }
+      }
+      // Move gains. For a doc in L, moving it to R takes every one of its
+      // terms from (deg_l, deg_r) to (deg_l - 1, deg_r + 1); the gain is
+      // the cost drop of that transition (symmetrically for R).
+      for (size_t p = lo; p < mid; ++p) {
+        double g = 0.0;
+        for (uint32_t t : Terms(order_[p])) {
+          g += Cost(deg_l_[t], log2_nl) + Cost(deg_r_[t], log2_nr) -
+               Cost(deg_l_[t] - 1, log2_nl) - Cost(deg_r_[t] + 1, log2_nr);
+        }
+        gain_l[p - lo] = {g, p};
+      }
+      for (size_t p = mid; p < hi; ++p) {
+        double g = 0.0;
+        for (uint32_t t : Terms(order_[p])) {
+          g += Cost(deg_l_[t], log2_nl) + Cost(deg_r_[t], log2_nr) -
+               Cost(deg_r_[t] - 1, log2_nr) - Cost(deg_l_[t] + 1, log2_nl);
+        }
+        gain_r[p - mid] = {g, p};
+      }
+      for (uint32_t t : touched_) {
+        deg_l_[t] = 0;
+        deg_r_[t] = 0;
+      }
+      touched_.clear();
+      // Deterministic order: gain descending, then the (unique) old doc id
+      // at the position — no dependence on sort stability.
+      auto rank = [this](const std::pair<double, size_t>& a,
+                         const std::pair<double, size_t>& b) {
+        if (a.first != b.first) return a.first > b.first;
+        return order_[a.second] < order_[b.second];
+      };
+      std::sort(gain_l.begin(), gain_l.end(), rank);
+      std::sort(gain_r.begin(), gain_r.end(), rank);
+      size_t swaps = 0;
+      for (size_t i = 0; i < std::min(nl, nr); ++i) {
+        if (gain_l[i].first + gain_r[i].first <= 0.0) break;
+        std::swap(order_[gain_l[i].second], order_[gain_r[i].second]);
+        ++swaps;
+      }
+      if (swaps == 0) break;
+    }
+    Bisect(lo, mid);
+    Bisect(mid, hi);
+  }
+
+  BisectionParams params_;
+  std::vector<uint32_t> fwd_terms_;
+  std::vector<size_t> fwd_offset_;
+  std::vector<uint32_t> order_;
+  std::vector<uint32_t> deg_l_;
+  std::vector<uint32_t> deg_r_;
+  std::vector<uint32_t> touched_;
+  std::vector<double> log2_;
+};
+
+}  // namespace
+
+std::vector<uint32_t> ComputeBisectionOrder(Span<const uint32_t> tok_tid,
+                                            Span<const size_t> doc_tok_offset,
+                                            size_t num_terms,
+                                            const BisectionParams& params) {
+  CKR_CHECK(!doc_tok_offset.empty());
+  const size_t num_docs = doc_tok_offset.size() - 1;
+  if (num_docs == 0) return {};
+  CKR_CHECK(params.min_partition >= 1);
+  Bisector bisector(tok_tid, doc_tok_offset, num_terms, params);
+  return bisector.Run();
+}
+
+}  // namespace ckr

@@ -1,0 +1,53 @@
+// Docid reordering for index locality: recursive graph bisection over the
+// term-document graph.
+//
+// Delta-coded posting lists shrink (and skip pointers skip more) when
+// documents that share vocabulary sit on nearby internal ids: gaps inside
+// a topical term's list collapse from corpus-spanning to cluster-local.
+// This module computes such an ordering with the standard
+// minimize-log-gaps recursive bisection (Dhulipala et al., "Compressing
+// Graphs and Indexes with Recursive Graph Bisection", KDD'16 — the
+// algorithm behind PISA's reorder-docids tool):
+//
+//  * recursively split the current doc range into halves L and R;
+//  * per pass, score every document by the change in total log2(gap) cost
+//    its move to the other half would cause, using the per-term posting
+//    degrees within L and R (the standard ΔB(deg, n) = deg*log2(n/(deg+1))
+//    surrogate), then swap the highest positive-gain pairs;
+//  * stop a level when no swap helps, recurse until ranges are small.
+//
+// Everything is integer/table arithmetic over a flat forward index, so the
+// ordering is deterministic: same corpus, same permutation, every run and
+// worker count. The permutation is applied by InvertedIndex::Finalize();
+// external doc ids ride along, so ranked results are unchanged.
+#ifndef CKR_INDEX_DOCID_REORDER_H_
+#define CKR_INDEX_DOCID_REORDER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+namespace ckr {
+
+/// Tuning knobs of the bisection. Defaults follow the KDD'16 / PISA
+/// settings scaled for a single-core build pass.
+struct BisectionParams {
+  size_t min_partition = 32;  ///< Stop recursing below this many docs.
+  int max_passes = 8;         ///< Swap passes per level (early exit on 0 swaps).
+};
+
+/// Computes a locality-maximizing document order from a CSR forward index:
+/// `tok_tid[doc_tok_offset[d] .. doc_tok_offset[d+1])` are the (possibly
+/// repeated) term ids of document d, exactly the columns InvertedIndex
+/// holds before Finalize. Returns `order` with `order[i]` = old internal
+/// doc index placed at new position i — a permutation of [0, num_docs).
+std::vector<uint32_t> ComputeBisectionOrder(Span<const uint32_t> tok_tid,
+                                            Span<const size_t> doc_tok_offset,
+                                            size_t num_terms,
+                                            const BisectionParams& params = {});
+
+}  // namespace ckr
+
+#endif  // CKR_INDEX_DOCID_REORDER_H_

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/check.h"
 #include "framework/golomb.h"
+#include "index/docid_reorder.h"
 #include "obs/hooks.h"
 #include "text/tokenizer.h"
 
@@ -29,18 +31,81 @@ void InvertedIndex::Add(const Document& doc) {
   std::vector<Token> toks = Tokenize(doc.text);
   for (const Token& t : toks) {
     tok_tid_.push_back(InternTerm(t.text));
-    tok_begin_.push_back(static_cast<uint32_t>(t.begin));
-    tok_end_.push_back(static_cast<uint32_t>(t.end));
+    if (options_.store_text) {
+      tok_begin_.push_back(static_cast<uint32_t>(t.begin));
+      tok_end_.push_back(static_cast<uint32_t>(t.end));
+    }
   }
   doc_tok_offset_.push_back(tok_tid_.size());
   doc_index_[doc.id] = static_cast<uint32_t>(docs_.size());
-  docs_.push_back({doc.id, doc.text});
+  docs_.push_back({doc.id, options_.store_text ? doc.text : std::string()});
+}
+
+void InvertedIndex::ApplyDocidOrder() {
+  const size_t num_docs = docs_.size();
+  std::vector<uint32_t> order;
+  if (options_.docid_order == DocidOrder::kBisection) {
+    order = ComputeBisectionOrder(MakeSpan(tok_tid_), MakeSpan(doc_tok_offset_),
+                                  term_ids_.size());
+  } else if (options_.docid_order == DocidOrder::kExplicit) {
+    order = options_.explicit_order;
+    CKR_CHECK_EQ(order.size(), num_docs);
+    std::vector<uint8_t> hit(num_docs, 0);
+    for (uint32_t o : order) {
+      CKR_CHECK_LT(o, num_docs);
+      CKR_CHECK(!hit[o]);
+      hit[o] = 1;
+    }
+  }
+  bool identity = true;
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (order[i] != i) {
+      identity = false;
+      break;
+    }
+  }
+  if (order.empty() || identity) return;
+
+  std::vector<StoredDoc> new_docs(num_docs);
+  std::vector<size_t> new_offset;
+  new_offset.reserve(num_docs + 1);
+  new_offset.push_back(0);
+  std::vector<uint32_t> new_tid;
+  new_tid.reserve(tok_tid_.size());
+  std::vector<uint32_t> new_begin;
+  std::vector<uint32_t> new_end;
+  const bool has_offsets = !tok_begin_.empty();
+  if (has_offsets) {
+    new_begin.reserve(tok_begin_.size());
+    new_end.reserve(tok_end_.size());
+  }
+  for (size_t i = 0; i < num_docs; ++i) {
+    const uint32_t od = order[i];
+    new_docs[i] = std::move(docs_[od]);
+    for (size_t j = doc_tok_offset_[od]; j < doc_tok_offset_[od + 1]; ++j) {
+      new_tid.push_back(tok_tid_[j]);
+      if (has_offsets) {
+        new_begin.push_back(tok_begin_[j]);
+        new_end.push_back(tok_end_[j]);
+      }
+    }
+    new_offset.push_back(new_tid.size());
+  }
+  docs_ = std::move(new_docs);
+  doc_tok_offset_ = std::move(new_offset);
+  tok_tid_ = std::move(new_tid);
+  tok_begin_ = std::move(new_begin);
+  tok_end_ = std::move(new_end);
+  for (size_t d = 0; d < num_docs; ++d) {
+    doc_index_[docs_[d].id] = static_cast<uint32_t>(d);
+  }
 }
 
 void InvertedIndex::Finalize() {
   const size_t num_docs = docs_.size();
   const size_t num_terms = term_ids_.size();
   if (doc_tok_offset_.empty()) doc_tok_offset_.push_back(0);
+  ApplyDocidOrder();
 
   doc_len_.resize(num_docs);
   uint64_t total_len = 0;
@@ -142,7 +207,7 @@ void InvertedIndex::Finalize() {
   for (uint32_t tid : tok_tid_) CKR_DCHECK_LT(tid, num_terms);
 #endif
   finalized_ = true;
-  RebuildBlockIndex(BlockCodec::kVarintGB);
+  if (options_.build_block_index) RebuildBlockIndex(options_.block_codec);
 }
 
 void InvertedIndex::RebuildBlockIndex(BlockCodec codec) {
@@ -157,6 +222,7 @@ void InvertedIndex::RebuildBlockIndex(BlockCodec codec) {
                     CsrRow(post_tf_, post_offset_, t));
   }
   block_index_ = builder.Finish();
+  has_block_index_ = true;
 }
 
 Status InvertedIndex::LoadBlockIndex(std::string_view blob) {
@@ -183,6 +249,7 @@ Status InvertedIndex::LoadBlockIndex(std::string_view blob) {
     }
   }
   block_index_ = std::move(loaded).value();
+  has_block_index_ = true;
   return Status::OK();
 }
 
@@ -204,7 +271,8 @@ std::vector<SearchResult> InvertedIndex::Search(
 
   const bool default_params =
       params.k1 == Bm25Params{}.k1 && params.b == Bm25Params{}.b;
-  if (evaluator != QueryEvaluator::kExhaustive && default_params) {
+  if (evaluator != QueryEvaluator::kExhaustive && default_params &&
+      has_block_index_) {
     // Pruned evaluation on the block index. Term ids are passed in the
     // sorted-term order used below, so the pruned score sums replay the
     // exhaustive accumulation order addend by addend (bit-identical).
@@ -433,6 +501,7 @@ const std::string& InvertedIndex::DocText(DocId doc) const {
 
 std::string InvertedIndex::Snippet(DocId doc, std::string_view query,
                                    size_t context_tokens) const {
+  if (!options_.store_text) return "";  // No text/offsets to slice.
   int32_t di = FindDocIndex(doc);
   if (di < 0) return "";
   const size_t d = static_cast<size_t>(di);

@@ -36,15 +36,50 @@
 
 namespace ckr {
 
+/// How Finalize() assigns internal doc ids. External ids always ride
+/// along, so ranked results are identical under every order; only the
+/// compressed layout (delta gaps, block composition) changes.
+enum class DocidOrder : uint8_t {
+  kAddOrder = 0,   ///< Internal ids follow Add() order (the default).
+  kBisection = 1,  ///< Recursive graph bisection (docid_reorder.h).
+  kExplicit = 2,   ///< Caller-supplied permutation (tests, cluster hints).
+};
+
+/// Build-time knobs for million-doc, out-of-core-friendly index builds.
+/// Must be fixed at construction (Add() consults store_text). The default
+/// state is byte-for-byte the historical behaviour.
+struct IndexBuildOptions {
+  /// Keep raw document text and per-token byte offsets. Required by
+  /// Snippet()/DocText(); at corpus scale the text dominates peak memory,
+  /// so streaming builds switch it off (Snippet/DocText then return "").
+  bool store_text = true;
+  /// Build the BlockMaxIndex eagerly inside Finalize(). Switching it off
+  /// avoids doubling peak memory during million-doc builds; call
+  /// RebuildBlockIndex() later, or leave it off — pruned evaluators fall
+  /// back to the exhaustive scorer (identical results) until it exists.
+  bool build_block_index = true;
+  BlockCodec block_codec = BlockCodec::kVarintGB;
+  DocidOrder docid_order = DocidOrder::kAddOrder;
+  /// For kExplicit: `explicit_order[i]` = Add()-order doc index placed at
+  /// internal position i. Must be a permutation of [0, NumDocs()).
+  std::vector<uint32_t> explicit_order;
+};
+
 /// Immutable after Finalize(); thread-safe for concurrent reads.
 class InvertedIndex {
  public:
   InvertedIndex() = default;
+  explicit InvertedIndex(IndexBuildOptions options)
+      : options_(std::move(options)) {}
 
   /// Indexes a document; `doc.id` must be unique within the index.
   void Add(const Document& doc);
 
   /// Builds postings and collection statistics; call once after all Add()s.
+  /// Applies the configured docid order first (the permutation/remap
+  /// contract: every Search/count result is identical under any order
+  /// because scores depend only on per-doc statistics and ties break on
+  /// external ids — property-tested in tests/property_test.cc).
   void Finalize();
 
   bool finalized() const { return finalized_; }
@@ -101,8 +136,17 @@ class InvertedIndex {
   size_t PositionPoolBytes() const { return pos_pool_.size(); }
 
   /// The block-compressed pruning index backing the MaxScore /
-  /// Block-Max-WAND evaluators. Finalize() builds it with varint-GB.
+  /// Block-Max-WAND evaluators. Finalize() builds it (with the configured
+  /// codec) unless options.build_block_index is false.
   const BlockMaxIndex& block_index() const { return block_index_; }
+
+  /// True once a block index exists (eager Finalize build, explicit
+  /// RebuildBlockIndex, or LoadBlockIndex). While false, Search() routes
+  /// pruned evaluators through the exhaustive scorer.
+  bool has_block_index() const { return has_block_index_; }
+
+  /// Build options this index was constructed with.
+  const IndexBuildOptions& build_options() const { return options_; }
 
   /// Rebuilds the block index under a different codec (the evaluators and
   /// results are codec-independent; only the compressed size changes).
@@ -123,6 +167,11 @@ class InvertedIndex {
     DocId id = 0;
     std::string text;
   };
+
+  /// Permutes docs_ and the CSR token streams into the configured docid
+  /// order (no-op for kAddOrder / identity orders). Runs first in
+  /// Finalize(), so every downstream structure sees the final order.
+  void ApplyDocidOrder();
 
   /// Interns `token`, assigning the next dense id on first sight.
   uint32_t InternTerm(std::string_view token);
@@ -179,6 +228,9 @@ class InvertedIndex {
 
   // ---- Block-compressed pruning index (built by Finalize) ----
   BlockMaxIndex block_index_;
+  bool has_block_index_ = false;
+
+  IndexBuildOptions options_;
 };
 
 }  // namespace ckr

@@ -357,6 +357,57 @@ TEST(BlockMaxIndexTest, EvaluatorsMatchExhaustive) {
   }
 }
 
+TEST(BlockMaxIndexTest, DeferredBuildMatchesEagerExactly) {
+  // build_block_index=false defers the eager Finalize() build (the
+  // out-of-core path): pruned evaluators must fall back to the exhaustive
+  // scorer until RebuildBlockIndex(), after which the block index must be
+  // byte-for-byte the one the eager path would have built.
+  Rng rng(99);
+  std::vector<Document> docs;
+  for (size_t d = 0; d < 300; ++d) {
+    std::string text;
+    const size_t len = 5 + rng.NextBounded(60);
+    for (size_t i = 0; i < len; ++i) {
+      text += "w" + std::to_string(rng.NextBounded(120)) + " ";
+    }
+    docs.push_back(MakeDoc(static_cast<DocId>(d * 7 + 3), std::move(text)));
+  }
+  InvertedIndex eager;
+  IndexBuildOptions deferred_opts;
+  deferred_opts.build_block_index = false;
+  InvertedIndex deferred(deferred_opts);
+  for (const Document& d : docs) {
+    eager.Add(d);
+    deferred.Add(d);
+  }
+  eager.Finalize();
+  deferred.Finalize();
+  EXPECT_TRUE(eager.has_block_index());
+  EXPECT_FALSE(deferred.has_block_index());
+
+  const char* queries[] = {"w0 w1", "w3 w17 w99", "w1 w2 w3 w4 w5",
+                           "absentterm"};
+  for (const char* q : queries) {
+    auto oracle = eager.Search(q, 10);
+    for (QueryEvaluator evaluator :
+         {QueryEvaluator::kExhaustive, QueryEvaluator::kMaxScore,
+          QueryEvaluator::kBlockMaxWand}) {
+      ExpectIdenticalResults(
+          oracle, deferred.Search(q, 10, Bm25Params{}, evaluator),
+          std::string("deferred q=") + q);
+    }
+  }
+  deferred.RebuildBlockIndex(BlockCodec::kVarintGB);
+  EXPECT_TRUE(deferred.has_block_index());
+  EXPECT_EQ(eager.SerializeBlockIndex(), deferred.SerializeBlockIndex());
+  for (const char* q : queries) {
+    ExpectIdenticalResults(
+        eager.Search(q, 10, Bm25Params{}, QueryEvaluator::kBlockMaxWand),
+        deferred.Search(q, 10, Bm25Params{}, QueryEvaluator::kBlockMaxWand),
+        std::string("rebuilt q=") + q);
+  }
+}
+
 TEST(BlockMaxIndexTest, DirectBuilderArbitraryQueryOrder) {
   // Drive BlockMaxIndex without an InvertedIndex: queries pass term ids in
   // arbitrary (not sorted) order, and all evaluators must agree anyway —

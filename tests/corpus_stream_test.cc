@@ -1,0 +1,246 @@
+// Tests for the streaming corpus generator and the ORCAS-regime click
+// log: worker-count/chunk-size independence (the counter-seeded RNG
+// discipline), run-to-run determinism, scaled-world shapes, and the
+// aggregate statistics the bench scale legs record.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "clicks/click_log.h"
+#include "corpus/corpus_stream.h"
+#include "corpus/doc_generator.h"
+#include "corpus/document.h"
+#include "corpus/world.h"
+
+namespace ckr {
+namespace {
+
+WorldConfig SmallStreamConfig() {
+  WorldConfig cfg;
+  cfg.num_topics = 6;
+  cfg.background_vocab = 600;
+  cfg.words_per_topic = 40;
+  cfg.num_named_entities = 120;
+  cfg.num_concepts = 80;
+  cfg.num_generic_concepts = 12;
+  cfg.num_web_docs = 60;
+  cfg.num_news_stories = 0;
+  cfg.num_answers_snippets = 0;
+  return cfg;
+}
+
+std::vector<Document> Collect(const CorpusStreamer& streamer, size_t count,
+                              size_t chunk_docs, unsigned workers) {
+  CorpusStreamConfig cfg;
+  cfg.chunk_docs = chunk_docs;
+  cfg.workers = workers;
+  std::vector<Document> out;
+  Status s = streamer.Stream(Document::Kind::kWeb, count, cfg,
+                             [&](Document&& d) { out.push_back(std::move(d)); });
+  EXPECT_TRUE(s.ok()) << s.message();
+  return out;
+}
+
+void ExpectSameCorpus(const std::vector<Document>& a,
+                      const std::vector<Document>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].id, b[i].id) << i;
+    ASSERT_EQ(a[i].topic, b[i].topic) << i;
+    ASSERT_EQ(a[i].text, b[i].text) << i;
+    ASSERT_EQ(a[i].mentions.size(), b[i].mentions.size()) << i;
+  }
+}
+
+TEST(CorpusStreamTest, MatchesDirectGenerationInIdOrder) {
+  auto world_or = World::Create(SmallStreamConfig());
+  ASSERT_TRUE(world_or.ok()) << world_or.status().message();
+  const World& world = *world_or.value();
+  CorpusStreamer streamer(world);
+  const size_t count = 150;
+  std::vector<Document> streamed = Collect(streamer, count, 64, 1);
+  ASSERT_EQ(streamed.size(), count);
+  DocGenerator gen(world);
+  for (size_t i = 0; i < count; ++i) {
+    Document direct = gen.Generate(Document::Kind::kWeb,
+                                   static_cast<DocId>(i));
+    EXPECT_EQ(streamed[i].id, direct.id);
+    EXPECT_EQ(streamed[i].text, direct.text);
+    EXPECT_EQ(streamed[i].topic, direct.topic);
+  }
+}
+
+TEST(CorpusStreamTest, ByteIdenticalAcrossWorkersChunksAndRuns) {
+  auto world_or = World::Create(SmallStreamConfig());
+  ASSERT_TRUE(world_or.ok()) << world_or.status().message();
+  const World& world = *world_or.value();
+  CorpusStreamer streamer(world);
+  const size_t count = 200;
+  std::vector<Document> base = Collect(streamer, count, 64, 1);
+  ExpectSameCorpus(base, Collect(streamer, count, 64, 2));
+  ExpectSameCorpus(base, Collect(streamer, count, 64, 4));
+  ExpectSameCorpus(base, Collect(streamer, count, 17, 4));   // Ragged chunks.
+  ExpectSameCorpus(base, Collect(streamer, count, 1024, 3)); // One chunk.
+  ExpectSameCorpus(base, Collect(streamer, count, 64, 1));   // Second run.
+}
+
+TEST(CorpusStreamTest, ZeroChunkIsInvalidArgument) {
+  auto world_or = World::Create(SmallStreamConfig());
+  ASSERT_TRUE(world_or.ok()) << world_or.status().message();
+  const World& world = *world_or.value();
+  CorpusStreamer streamer(world);
+  CorpusStreamConfig cfg;
+  cfg.chunk_docs = 0;
+  Status s = streamer.Stream(Document::Kind::kWeb, 10, cfg,
+                             [](Document&&) {});
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CorpusStreamTest, DocTopicAgreesWithGenerate) {
+  auto world_or = World::Create(SmallStreamConfig());
+  ASSERT_TRUE(world_or.ok()) << world_or.status().message();
+  const World& world = *world_or.value();
+  DocGenerator gen(world);
+  for (DocId id = 0; id < 120; ++id) {
+    Document doc = gen.Generate(Document::Kind::kWeb, id);
+    EXPECT_EQ(gen.DocTopic(Document::Kind::kWeb, id), doc.topic) << id;
+  }
+}
+
+TEST(ScaledWorldConfigTest, PaperScaleKeepsBaseUniverse) {
+  WorldConfig cfg = ScaledWorldConfig(6000, 42);
+  EXPECT_EQ(cfg.seed, 42u);
+  EXPECT_EQ(cfg.num_web_docs, 6000u);
+  EXPECT_EQ(cfg.num_news_stories, 0u);
+  EXPECT_EQ(cfg.num_answers_snippets, 0u);
+  EXPECT_EQ(cfg.num_topics, WorldConfig{}.num_topics);
+  EXPECT_EQ(cfg.num_named_entities, WorldConfig{}.num_named_entities);
+}
+
+TEST(ScaledWorldConfigTest, UniverseGrowsSublinearly) {
+  WorldConfig small = ScaledWorldConfig(6000, 1);
+  WorldConfig big = ScaledWorldConfig(600000, 1);
+  // 100x the docs grows the universe, but far less than 100x (cube root).
+  EXPECT_GT(big.num_topics, small.num_topics);
+  EXPECT_GT(big.num_named_entities, small.num_named_entities);
+  EXPECT_GT(big.num_concepts, small.num_concepts);
+  EXPECT_LT(big.num_named_entities, small.num_named_entities * 10);
+  // Web docs shorten to the snippet regime at scale.
+  EXPECT_LE(big.web_doc_max_tokens, 180u);
+}
+
+// ---------- Click log ----------
+
+std::vector<ClickRecord> CollectClicks(const ClickLogGenerator& log) {
+  std::vector<ClickRecord> out;
+  Status s = log.Stream([&](Span<const ClickRecord> chunk) {
+    out.insert(out.end(), chunk.begin(), chunk.end());
+  });
+  EXPECT_TRUE(s.ok()) << s.message();
+  return out;
+}
+
+void ExpectSameLog(const std::vector<ClickRecord>& a,
+                   const std::vector<ClickRecord>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].user, b[i].user) << i;
+    ASSERT_EQ(a[i].query, b[i].query) << i;
+    ASSERT_EQ(a[i].doc, b[i].doc) << i;
+  }
+}
+
+TEST(ClickLogTest, IdenticalAcrossWorkersChunksAndRuns) {
+  auto world_or = World::Create(SmallStreamConfig());
+  ASSERT_TRUE(world_or.ok()) << world_or.status().message();
+  const World& world = *world_or.value();
+  ClickLogConfig cfg;
+  cfg.num_pairs = 5000;
+  cfg.num_users = 512;
+  ClickLogConfig cfg2 = cfg;
+  cfg2.workers = 2;
+  cfg2.chunk_pairs = 777;
+  ClickLogConfig cfg4 = cfg;
+  cfg4.workers = 4;
+  cfg4.chunk_pairs = 100000;  // Single chunk.
+  const size_t docs = 400;
+  ClickLogGenerator log1(world, Document::Kind::kWeb, docs, cfg);
+  ClickLogGenerator log2(world, Document::Kind::kWeb, docs, cfg2);
+  ClickLogGenerator log4(world, Document::Kind::kWeb, docs, cfg4);
+  std::vector<ClickRecord> base = CollectClicks(log1);
+  ASSERT_EQ(base.size(), 5000u);
+  ExpectSameLog(base, CollectClicks(log2));
+  ExpectSameLog(base, CollectClicks(log4));
+  ExpectSameLog(base, CollectClicks(log1));  // Second run, same generator.
+}
+
+TEST(ClickLogTest, RecordsAreInRange) {
+  auto world_or = World::Create(SmallStreamConfig());
+  ASSERT_TRUE(world_or.ok()) << world_or.status().message();
+  const World& world = *world_or.value();
+  ClickLogConfig cfg;
+  cfg.num_pairs = 2000;
+  cfg.num_users = 64;
+  const size_t docs = 300;
+  ClickLogGenerator log(world, Document::Kind::kWeb, docs, cfg);
+  for (const ClickRecord& r : CollectClicks(log)) {
+    EXPECT_LT(r.user, cfg.num_users);
+    EXPECT_LT(r.doc, docs);
+    EXPECT_LT(r.query, world.NumEntities());
+  }
+}
+
+TEST(ClickLogTest, DefaultPairBudgetScalesWithCorpus) {
+  auto world_or = World::Create(SmallStreamConfig());
+  ASSERT_TRUE(world_or.ok()) << world_or.status().message();
+  const World& world = *world_or.value();
+  ClickLogConfig cfg;  // num_pairs = 0 -> 6x docs.
+  ClickLogGenerator log(world, Document::Kind::kWeb, 500, cfg);
+  EXPECT_EQ(log.NumPairs(), 3000u);
+}
+
+TEST(ClickLogTest, StatsShowOrcasShape) {
+  auto world_or = World::Create(SmallStreamConfig());
+  ASSERT_TRUE(world_or.ok()) << world_or.status().message();
+  const World& world = *world_or.value();
+  ClickLogConfig cfg;
+  cfg.num_pairs = 20000;
+  cfg.num_users = 1024;
+  const size_t docs = 400;
+  ClickLogGenerator log(world, Document::Kind::kWeb, docs, cfg);
+  StatusOr<ClickLogStats> stats = CollectClickLogStats(log);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->pairs, 20000u);
+  // Click mass repeats on a stable head: far fewer distinct pairs than
+  // events, and rank bias concentrates each query on a few documents.
+  EXPECT_LT(stats->distinct_query_doc_pairs, stats->pairs);
+  EXPECT_GT(stats->distinct_queries, 20u);
+  EXPECT_GT(stats->distinct_docs, docs / 10);
+  EXPECT_LE(stats->distinct_docs, docs);
+  // Zipfian users: the population is far from fully represented per log.
+  EXPECT_GT(stats->distinct_users, 100u);
+  EXPECT_LE(stats->distinct_users, cfg.num_users);
+}
+
+TEST(ClickLogTest, ValidateRejectsNonsense) {
+  ClickLogConfig cfg;
+  cfg.rank_continue = 1.5;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = ClickLogConfig();
+  cfg.num_users = 0;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = ClickLogConfig();
+  cfg.off_topic_prob = -0.5;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = ClickLogConfig();
+  cfg.chunk_pairs = 0;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = ClickLogConfig();
+  cfg.max_rank = 0;
+  EXPECT_FALSE(cfg.Validate().ok());
+  EXPECT_TRUE(ClickLogConfig().Validate().ok());
+}
+
+}  // namespace
+}  // namespace ckr

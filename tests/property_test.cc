@@ -406,5 +406,123 @@ INSTANTIATE_TEST_SUITE_P(
                                                                 : "Simple8b");
     });
 
+// ---------- Docid-order invariance (the permutation/remap contract) ------
+//
+// Internal docid assignment is a private layout choice: BM25 depends only
+// on per-document statistics (tf, df, doc length, average length), all of
+// which are permutation-invariant, and the ranking order is total (score
+// descending, external id ascending). So every public read — ranked
+// search under all three evaluators, disjunctive result counts, phrase
+// counts — must be bit-identical under ANY permutation of the internal
+// order, under every codec. This contract is what makes bisection
+// reordering safe to apply inside Finalize().
+
+class DocidOrderSweep
+    : public ::testing::TestWithParam<std::tuple<uint64_t, BlockCodec>> {};
+
+TEST_P(DocidOrderSweep, PublicReadsInvariantUnderPermutation) {
+  auto [seed, codec] = GetParam();
+  Rng rng(seed);
+  std::vector<Document> corpus;
+  const size_t num_docs = 120 + rng.NextBounded(180);
+  for (size_t d = 0; d < num_docs; ++d) {
+    std::string text;
+    const size_t len = 3 + rng.NextBounded(50);
+    for (size_t i = 0; i < len; ++i) {
+      const uint64_t u = rng.NextBounded(100);
+      const uint64_t term = u < 55   ? rng.NextBounded(6)
+                            : u < 85 ? 6 + rng.NextBounded(30)
+                                     : 36 + rng.NextBounded(300);
+      text += "w" + std::to_string(term) + " ";
+    }
+    Document doc;
+    doc.id = static_cast<DocId>(d * 3 + 1);
+    doc.text = std::move(text);
+    corpus.push_back(std::move(doc));
+  }
+
+  auto build = [&corpus](IndexBuildOptions opts) {
+    InvertedIndex idx(std::move(opts));
+    for (const Document& d : corpus) idx.Add(d);
+    idx.Finalize();
+    return idx;
+  };
+  IndexBuildOptions base_opts;
+  base_opts.block_codec = codec;
+  const InvertedIndex base = build(base_opts);
+
+  // A uniformly random permutation (Fisher-Yates off the sweep's rng) and
+  // the bisection order — one adversarial layout, one production layout.
+  std::vector<uint32_t> perm(corpus.size());
+  for (size_t i = 0; i < perm.size(); ++i) perm[i] = static_cast<uint32_t>(i);
+  for (size_t i = perm.size(); i > 1; --i) {
+    std::swap(perm[i - 1], perm[static_cast<size_t>(rng.NextBounded(i))]);
+  }
+  IndexBuildOptions perm_opts = base_opts;
+  perm_opts.docid_order = DocidOrder::kExplicit;
+  perm_opts.explicit_order = perm;
+  const InvertedIndex shuffled = build(std::move(perm_opts));
+  IndexBuildOptions bis_opts = base_opts;
+  bis_opts.docid_order = DocidOrder::kBisection;
+  const InvertedIndex clustered = build(std::move(bis_opts));
+  const InvertedIndex* variants[] = {&shuffled, &clustered};
+
+  auto expect_same = [](const std::vector<SearchResult>& a,
+                        const std::vector<SearchResult>& b,
+                        const std::string& query) {
+    ASSERT_EQ(a.size(), b.size()) << "query=" << query;
+    for (size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(a[i].doc, b[i].doc) << "query=" << query << " rank=" << i;
+      ASSERT_EQ(a[i].score, b[i].score) << "query=" << query << " rank=" << i;
+    }
+  };
+  for (int q = 0; q < 30; ++q) {
+    std::string query;
+    const size_t terms = 1 + rng.NextBounded(5);
+    for (size_t t = 0; t < terms; ++t) {
+      query += "w" + std::to_string(rng.NextBounded(340)) + " ";
+    }
+    for (const InvertedIndex* other : variants) {
+      ASSERT_EQ(base.RegularResultCount(query),
+                other->RegularResultCount(query))
+          << "query=" << query;
+      for (QueryEvaluator evaluator :
+           {QueryEvaluator::kExhaustive, QueryEvaluator::kMaxScore,
+            QueryEvaluator::kBlockMaxWand}) {
+        expect_same(base.Search(query, 15, Bm25Params{}, evaluator),
+                    other->Search(query, 15, Bm25Params{}, evaluator), query);
+      }
+    }
+  }
+  // Phrases sampled as adjacent token pairs of real documents, so a good
+  // fraction actually match somewhere.
+  for (int p = 0; p < 20; ++p) {
+    const Document& d =
+        corpus[static_cast<size_t>(rng.NextBounded(corpus.size()))];
+    std::vector<Token> toks = Tokenize(d.text);
+    if (toks.size() < 2) continue;
+    const size_t at = static_cast<size_t>(rng.NextBounded(toks.size() - 1));
+    const std::string phrase =
+        std::string(toks[at].text) + " " + std::string(toks[at + 1].text);
+    for (const InvertedIndex* other : variants) {
+      ASSERT_EQ(base.PhraseResultCount(phrase), other->PhraseResultCount(phrase))
+          << "phrase=" << phrase;
+      expect_same(base.PhraseSearch(phrase, 10), other->PhraseSearch(phrase, 10),
+                  phrase);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndCodecs, DocidOrderSweep,
+    ::testing::Combine(::testing::Values(5u, 19u, 43u),
+                       ::testing::Values(BlockCodec::kVarintGB,
+                                         BlockCodec::kSimple8b)),
+    [](const auto& pinfo) {
+      return "Seed" + std::to_string(std::get<0>(pinfo.param)) +
+             (std::get<1>(pinfo.param) == BlockCodec::kVarintGB ? "VarintGB"
+                                                                : "Simple8b");
+    });
+
 }  // namespace
 }  // namespace ckr
