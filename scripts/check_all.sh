@@ -20,6 +20,11 @@ echo "== corpus-scale smoke: 50k-doc streamed build + docid reorder =="
 # log. Plain ctest skips this test; the env flag arms it here.
 CKR_SCALE_SMOKE=1 ./build/tests/scale_smoke_test
 
+echo "== serving smoke: sharded oracle bit-identity, hot swap, shedding =="
+# Ungated (also part of plain ctest); re-run standalone here so a serving
+# regression is named in the gate output instead of buried in the suite.
+./build/tests/serve_smoke_test
+
 echo "== ckr_lint: contract rules over src/ bench/ tests/ tools/ =="
 ./build/tools/ckr_lint
 

@@ -63,10 +63,24 @@ BlockMaxIndex::Builder::Builder(BlockCodec codec, std::vector<DocId> ext_ids,
 
 void BlockMaxIndex::Builder::AddTerm(Span<const uint32_t> docs,
                                      Span<const uint32_t> tfs) {
-  const Bm25Params defaults;
+  CKR_CHECK(explicit_idf_.empty());  // One AddTerm flavour per builder.
   const double n = static_cast<double>(index_.ext_id_.size());
   const double dfd = static_cast<double>(docs.size());
   const double idf = std::log(1.0 + (n - dfd + 0.5) / (dfd + 0.5));
+  AddTermScored(docs, tfs, idf);
+}
+
+void BlockMaxIndex::Builder::AddTerm(Span<const uint32_t> docs,
+                                     Span<const uint32_t> tfs, double idf) {
+  CKR_CHECK_EQ(explicit_idf_.size(), terms_added_);
+  explicit_idf_.push_back(idf);
+  AddTermScored(docs, tfs, idf);
+}
+
+void BlockMaxIndex::Builder::AddTermScored(Span<const uint32_t> docs,
+                                           Span<const uint32_t> tfs,
+                                           double idf) {
+  const Bm25Params defaults;
   scores_.resize(docs.size());
   for (size_t i = 0; i < docs.size(); ++i) {
     const double tf = static_cast<double>(tfs[i]);
@@ -74,11 +88,17 @@ void BlockMaxIndex::Builder::AddTerm(Span<const uint32_t> docs,
                  (tf + index_.default_norm_[docs[i]]);
   }
   store_builder_.AddTerm(docs, tfs, MakeSpan(scores_));
+  ++terms_added_;
 }
 
 BlockMaxIndex BlockMaxIndex::Builder::Finish() {
   index_.store_ = store_builder_.Finish();
-  index_.RecomputeIdf();
+  if (explicit_idf_.empty()) {
+    index_.RecomputeIdf();
+  } else {
+    CKR_CHECK_EQ(explicit_idf_.size(), index_.store_.NumTerms());
+    index_.term_idf_ = std::move(explicit_idf_);
+  }
   return std::move(index_);
 }
 

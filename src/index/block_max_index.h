@@ -131,12 +131,28 @@ class BlockMaxIndex::Builder {
   /// into the store's block/term maxima.
   void AddTerm(Span<const uint32_t> docs, Span<const uint32_t> tfs);
 
+  /// Same, with an explicit idf instead of one derived from the local
+  /// (df, n) — the collection-stats-override path: a sharded index scores
+  /// with the whole collection's idf (inverted_index.h CollectionStats).
+  /// A builder must use one AddTerm flavour for every term; Finish()
+  /// keeps the explicit idfs instead of recomputing local ones. Note a
+  /// Serialize()d index never stores idf, so deserializing one built this
+  /// way reverts to local idf — callers rebuild instead (the
+  /// InvertedIndex::LoadBlockIndex guard).
+  void AddTerm(Span<const uint32_t> docs, Span<const uint32_t> tfs,
+               double idf);
+
   BlockMaxIndex Finish();
 
  private:
+  void AddTermScored(Span<const uint32_t> docs, Span<const uint32_t> tfs,
+                     double idf);
+
   BlockMaxIndex index_;
   BlockPostingsStore::Builder store_builder_;
   std::vector<double> scores_;
+  std::vector<double> explicit_idf_;
+  size_t terms_added_ = 0;
 };
 
 }  // namespace ckr

@@ -12,6 +12,14 @@
 
 namespace ckr {
 
+void CollectionStats::Absorb(const CollectionStats& other) {
+  num_docs += other.num_docs;
+  total_tokens += other.total_tokens;
+  for (const auto& [term, df] : other.doc_freq) {
+    doc_freq[term] += df;
+  }
+}
+
 uint32_t InvertedIndex::InternTerm(std::string_view token) {
   auto it = term_ids_.find(token);
   if (it != term_ids_.end()) return it->second;
@@ -118,6 +126,7 @@ void InvertedIndex::Finalize() {
       num_docs == 0
           ? 0.0
           : static_cast<double>(total_len) / static_cast<double>(num_docs);
+  score_num_docs_ = static_cast<double>(num_docs);
 
   const Bm25Params defaults;
   default_norm_.resize(num_docs);
@@ -218,8 +227,19 @@ void InvertedIndex::RebuildBlockIndex(BlockCodec codec) {
   BlockMaxIndex::Builder builder(codec, std::move(ext_ids), default_norm_);
   const size_t num_terms = term_ids_.size();
   for (size_t t = 0; t < num_terms; ++t) {
-    builder.AddTerm(CsrRow(post_doc_, post_offset_, t),
-                    CsrRow(post_tf_, post_offset_, t));
+    if (stats_overridden_) {
+      // Same idf expression as the exhaustive scorer above, fed with the
+      // overridden (n, df) so the block maxima and per-posting scores stay
+      // bit-identical to the single-index oracle.
+      const double dfd = score_df_[t];
+      const double idf =
+          std::log(1.0 + (score_num_docs_ - dfd + 0.5) / (dfd + 0.5));
+      builder.AddTerm(CsrRow(post_doc_, post_offset_, t),
+                      CsrRow(post_tf_, post_offset_, t), idf);
+    } else {
+      builder.AddTerm(CsrRow(post_doc_, post_offset_, t),
+                      CsrRow(post_tf_, post_offset_, t));
+    }
   }
   block_index_ = builder.Finish();
   has_block_index_ = true;
@@ -227,6 +247,13 @@ void InvertedIndex::RebuildBlockIndex(BlockCodec codec) {
 
 Status InvertedIndex::LoadBlockIndex(std::string_view blob) {
   CKR_DCHECK(finalized_);
+  if (stats_overridden_) {
+    // Serialized blobs recompute idf from their *local* (df, n); loading
+    // one here would silently drop the collection-wide statistics.
+    return Status::FailedPrecondition(
+        "cannot load a serialized block index while collection stats are "
+        "overridden; RebuildBlockIndex instead");
+  }
   StatusOr<BlockMaxIndex> loaded = BlockMaxIndex::Deserialize(blob);
   if (!loaded.ok()) return loaded.status();
   if (loaded->NumDocs() != docs_.size()) {
@@ -259,6 +286,69 @@ uint32_t InvertedIndex::DocFreq(std::string_view term) const {
   return static_cast<uint32_t>(post_offset_[tid + 1] - post_offset_[tid]);
 }
 
+CollectionStats InvertedIndex::LocalCollectionStats() const {
+  CKR_DCHECK(finalized_);
+  CollectionStats stats;
+  stats.num_docs = docs_.size();
+  stats.total_tokens = tok_tid_.size();
+  stats.doc_freq.reserve(term_ids_.size());
+  for (const auto& [term, tid] : term_ids_) {
+    stats.doc_freq.emplace(
+        term, static_cast<uint64_t>(post_offset_[tid + 1] - post_offset_[tid]));
+  }
+  return stats;
+}
+
+Status InvertedIndex::OverrideCollectionStats(const CollectionStats& stats) {
+  if (!finalized_) {
+    return Status::FailedPrecondition(
+        "OverrideCollectionStats requires a finalized index");
+  }
+  if (stats.num_docs < docs_.size()) {
+    return Status::InvalidArgument(
+        "collection stats: num_docs below this index's document count");
+  }
+  if (stats.total_tokens < tok_tid_.size()) {
+    return Status::InvalidArgument(
+        "collection stats: total_tokens below this index's token count");
+  }
+  // Validate and gather per-tid df before mutating anything.
+  std::vector<double> df(term_ids_.size(), 0.0);
+  for (const auto& [term, tid] : term_ids_) {
+    auto it = stats.doc_freq.find(term);
+    if (it == stats.doc_freq.end()) {
+      return Status::InvalidArgument(
+          "collection stats: missing document frequency for term '" + term +
+          "'");
+    }
+    const uint64_t local = post_offset_[tid + 1] - post_offset_[tid];
+    if (it->second < local) {
+      return Status::InvalidArgument(
+          "collection stats: document frequency of term '" + term +
+          "' below this index's local df");
+    }
+    df[tid] = static_cast<double>(it->second);
+  }
+  score_df_ = std::move(df);
+  score_num_docs_ = static_cast<double>(stats.num_docs);
+  avg_doc_len_ = stats.num_docs == 0
+                     ? 0.0
+                     : static_cast<double>(stats.total_tokens) /
+                           static_cast<double>(stats.num_docs);
+  stats_overridden_ = true;
+  // Same expression, in the same operation order, as Finalize() — the
+  // oracle index computes its norms with this exact arithmetic, so each
+  // shard's norms are bit-identical to the oracle's for shared documents.
+  const Bm25Params defaults;
+  for (size_t d = 0; d < docs_.size(); ++d) {
+    const double dl = static_cast<double>(doc_len_[d]);
+    default_norm_[d] =
+        defaults.k1 * (1.0 - defaults.b + defaults.b * dl / avg_doc_len_);
+  }
+  if (has_block_index_) RebuildBlockIndex(block_index_.codec());
+  return Status::OK();
+}
+
 std::vector<SearchResult> InvertedIndex::Search(
     std::string_view query, size_t k, const Bm25Params& params,
     QueryEvaluator evaluator) const {
@@ -286,7 +376,7 @@ std::vector<SearchResult> InvertedIndex::Search(
     CKR_OBS_COUNTER_ADD("ckr.index.search_terms", terms.size());
     return block_index_.TopK(MakeSpan(tids), k, evaluator);
   }
-  const double n = static_cast<double>(docs_.size());
+  const double n = score_num_docs_;
   std::vector<double> acc(docs_.size(), 0.0);
   std::vector<uint8_t> seen(docs_.size(), 0);
   std::vector<uint32_t> touched;
@@ -296,7 +386,9 @@ std::vector<SearchResult> InvertedIndex::Search(
     const Span<const uint32_t> slot_docs = CsrRow(post_doc_, post_offset_, tid);
     const Span<const uint32_t> slot_tfs = CsrRow(post_tf_, post_offset_, tid);
     CKR_OBS_COUNTER_ADD("ckr.index.postings_scored", slot_docs.size());
-    const double dfd = static_cast<double>(slot_docs.size());
+    const double dfd = stats_overridden_
+                           ? score_df_[tid]
+                           : static_cast<double>(slot_docs.size());
     double idf = std::log(1.0 + (n - dfd + 0.5) / (dfd + 0.5));
     for (size_t slot = 0; slot < slot_docs.size(); ++slot) {
       uint32_t d = slot_docs[slot];
@@ -366,12 +458,19 @@ bool InvertedIndex::ResolvePhrase(std::string_view phrase,
     if (tid == kInvalidTid) return false;
     tids->push_back(tid);
   }
+  // Rarest-term selection drives both the seeding posting list and the
+  // PhraseSearch idf. Under a collection-stats override the comparison
+  // uses the global df so every shard (and the oracle) picks the same
+  // term — any term is a correct positional seed, but the idf must match.
+  auto eff_df = [this](uint32_t tid) {
+    return stats_overridden_
+               ? score_df_[tid]
+               : static_cast<double>(post_offset_[tid + 1] -
+                                     post_offset_[tid]);
+  };
   *rarest = 0;
   for (size_t i = 1; i < tids->size(); ++i) {
-    size_t df_i = post_offset_[(*tids)[i] + 1] - post_offset_[(*tids)[i]];
-    size_t df_r =
-        post_offset_[(*tids)[*rarest] + 1] - post_offset_[(*tids)[*rarest]];
-    if (df_i < df_r) *rarest = i;
+    if (eff_df((*tids)[i]) < eff_df((*tids)[*rarest])) *rarest = i;
   }
   return true;
 }
@@ -463,10 +562,11 @@ std::vector<SearchResult> InvertedIndex::PhraseSearch(std::string_view phrase,
   size_t rarest = 0;
   if (!ResolvePhrase(phrase, &tids, &rarest)) return {};
 
-  const double n = static_cast<double>(docs_.size());
+  const double n = score_num_docs_;
   const size_t rb = post_offset_[tids[rarest]];
   const size_t re = post_offset_[tids[rarest] + 1];
-  const double dfr = static_cast<double>(re - rb);
+  const double dfr = stats_overridden_ ? score_df_[tids[rarest]]
+                                       : static_cast<double>(re - rb);
   // Loop-invariant in the legacy code; identical expression, same bits.
   const double idf = std::log(1.0 + (n - dfr + 0.5) / (dfr + 0.5));
 
@@ -588,6 +688,7 @@ size_t InvertedIndex::MemoryBytes() const {
   bytes += pos_pool_.capacity();
   bytes += doc_len_.capacity() * sizeof(uint32_t);
   bytes += default_norm_.capacity() * sizeof(double);
+  bytes += score_df_.capacity() * sizeof(double);
   bytes += block_index_.MemoryBytes();
   return bytes;
 }

@@ -45,6 +45,26 @@ enum class DocidOrder : uint8_t {
   kExplicit = 2,   ///< Caller-supplied permutation (tests, cluster hints).
 };
 
+/// Collection-level scoring statistics: everything BM25 takes from the
+/// corpus as a whole rather than from one document. A sharded deployment
+/// computes each shard's LocalCollectionStats(), folds them together with
+/// Absorb(), and pushes the merged totals back into every shard via
+/// InvertedIndex::OverrideCollectionStats() — after which each shard
+/// scores with the *union's* n / df / avg_doc_len, so per-document BM25
+/// contributions are bit-identical to a single index over all documents
+/// (the sharded-serving exactness contract, see src/serve/).
+struct CollectionStats {
+  uint64_t num_docs = 0;
+  uint64_t total_tokens = 0;
+  /// Term -> number of documents containing it, collection-wide.
+  std::unordered_map<std::string, uint64_t> doc_freq;
+
+  /// Folds `other` into this: counts add, term frequencies union+add.
+  /// Commutative and associative over integers, so any merge order yields
+  /// the same stats.
+  void Absorb(const CollectionStats& other);
+};
+
 /// Build-time knobs for million-doc, out-of-core-friendly index builds.
 /// Must be fixed at construction (Add() consults store_text). The default
 /// state is byte-for-byte the historical behaviour.
@@ -86,8 +106,31 @@ class InvertedIndex {
   size_t NumDocs() const { return docs_.size(); }
   size_t NumTerms() const { return term_ids_.size(); }
 
+  /// External id of internal document `d` (requires d < NumDocs()). The
+  /// serving layer uses this to validate that shards hold disjoint
+  /// document sets.
+  DocId ExternalDocId(uint32_t d) const { return docs_[d].id; }
+
   /// Document frequency of a term (heterogeneous lookup — no allocation).
   uint32_t DocFreq(std::string_view term) const;
+
+  /// This index's own collection statistics (requires finalized()).
+  CollectionStats LocalCollectionStats() const;
+
+  /// Replaces the statistics BM25 scores with (n, per-term df,
+  /// avg_doc_len) by collection-wide values — the sharded-serving seam.
+  /// Validates first (`stats` must dominate the local statistics: at
+  /// least as many docs/tokens, and every local term present with df >=
+  /// its local df); nothing is mutated on failure. On success the
+  /// default-parameter norms are recomputed and, when a block index
+  /// exists, it is rebuilt under the same codec so the pruned evaluators
+  /// score with the same statistics. Serialized block indexes do not
+  /// carry the override: LoadBlockIndex() refuses while one is active
+  /// (rebuild instead).
+  [[nodiscard]] Status OverrideCollectionStats(const CollectionStats& stats);
+
+  /// True after a successful OverrideCollectionStats().
+  bool collection_stats_overridden() const { return stats_overridden_; }
 
   /// BM25 disjunctive retrieval over the query's normalized terms.
   ///
@@ -223,7 +266,11 @@ class InvertedIndex {
   // ---- Collection statistics ----
   std::vector<uint32_t> doc_len_;        ///< Tokens per doc.
   std::vector<double> default_norm_;     ///< k1*(1-b+b*dl/avg), default params.
-  double avg_doc_len_ = 0.0;
+  double avg_doc_len_ = 0.0;             ///< Scoring avg (global if overridden).
+  double score_num_docs_ = 0.0;          ///< n used by idf (global if overridden).
+  std::vector<double> score_df_;         ///< Per-tid df override (empty unless
+                                         ///< stats_overridden_).
+  bool stats_overridden_ = false;
   bool finalized_ = false;
 
   // ---- Block-compressed pruning index (built by Finalize) ----

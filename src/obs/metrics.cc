@@ -28,6 +28,30 @@ void Histogram::Record(double value) {
   sum_.fetch_add(value, std::memory_order_relaxed);
 }
 
+double Histogram::Percentile(double q) const {
+  q = std::min(1.0, std::max(0.0, q));
+  // Total from the bucket counts (not count_): bucket-consistent even if
+  // a concurrent Record() sits between its two increments.
+  uint64_t total = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) total += BucketCount(i);
+  if (total == 0) return 0.0;
+  const double target = q * static_cast<double>(total);
+  double cumulative = 0.0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const double in_bucket = static_cast<double>(BucketCount(i));
+    if (in_bucket == 0.0) continue;
+    if (cumulative + in_bucket >= target) {
+      if (i >= bounds_.size()) return bounds_.empty() ? 0.0 : bounds_.back();
+      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      const double hi = bounds_[i];
+      const double fraction = (target - cumulative) / in_bucket;
+      return lo + fraction * (hi - lo);
+    }
+    cumulative += in_bucket;
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
 void Histogram::Reset() {
   for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);

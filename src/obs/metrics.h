@@ -73,6 +73,19 @@ class Histogram {
   double Sum() const { return sum_.load(std::memory_order_relaxed); }
   void Reset();
 
+  /// Estimated q-quantile (q in [0, 1]) from the bucket counts, with
+  /// deterministic linear interpolation inside the covering bucket:
+  /// the target rank is q * total; the covering bucket is the first whose
+  /// cumulative count reaches it, and the estimate interpolates between
+  /// the bucket's lower and upper bound by the rank's fractional position
+  /// within the bucket. The first bucket's lower bound is 0 (latencies);
+  /// ranks landing in the overflow bucket report the last finite bound —
+  /// the histogram cannot resolve beyond it. Returns 0.0 when empty.
+  /// The counts are read bucket-by-bucket with relaxed loads, so under
+  /// concurrent Record() the estimate is approximate; quiescent
+  /// histograms give exact, reproducible values (the bench/test regime).
+  double Percentile(double q) const;
+
  private:
   std::vector<double> bounds_;  ///< Sorted ascending upper bounds.
   std::vector<std::atomic<uint64_t>> counts_;  ///< bounds_.size() + 1.

@@ -10,9 +10,18 @@
 
 namespace ckr {
 
+QueryEvaluator ChooseEvaluator(size_t num_docs, bool has_block_index) {
+  return has_block_index && num_docs >= kEvaluatorCrossoverDocs
+             ? QueryEvaluator::kMaxScore
+             : QueryEvaluator::kExhaustive;
+}
+
 SearchService::SearchService(const InvertedIndex& index, const QueryLog& log,
                              const TermDictionary& term_dict)
-    : index_(index), log_(log), term_dict_(term_dict) {}
+    : index_(index),
+      log_(log),
+      term_dict_(term_dict),
+      evaluator_(ChooseEvaluator(index.NumDocs(), index.has_block_index())) {}
 
 std::vector<std::string> SearchService::Snippets(std::string_view concept_phrase,
                                                  size_t k) const {

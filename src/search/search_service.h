@@ -24,6 +24,21 @@ struct Suggestion {
   uint64_t freq = 0;
 };
 
+/// Corpus size at which the pruned evaluators start beating the
+/// exhaustive scorer wall-clock: below it posting lists are too short
+/// for skipping to pay for its bookkeeping (BENCH_offline.json
+/// scale_legs — exhaustive wins at 6k docs, MaxScore wins by ~7.6x at
+/// 1M; the crossover sits near 100k).
+inline constexpr size_t kEvaluatorCrossoverDocs = 100000;
+
+/// Evaluator policy for a corpus of `num_docs` documents: MaxScore once
+/// the corpus crosses kEvaluatorCrossoverDocs *and* a block index exists
+/// to run it on; the exhaustive scorer otherwise. Every evaluator
+/// returns bit-identical results (index/top_k.h), so this is purely a
+/// latency policy. SearchService and the serving snapshot loader both
+/// apply it; set_evaluator overrides.
+QueryEvaluator ChooseEvaluator(size_t num_docs, bool has_block_index);
+
 /// Read-only facade over the index, the query log and the term dictionary.
 /// All referenced objects must outlive the service.
 class SearchService {
@@ -60,7 +75,9 @@ class SearchService {
   /// Top-k algorithm used for the service's disjunctive retrieval (the
   /// Prisma feedback pool). Every evaluator returns identical results
   /// (index/top_k.h); the pruned ones skip postings that cannot reach the
-  /// top-k. Default: exhaustive.
+  /// top-k. Default: auto-selected from the corpus size at construction
+  /// (ChooseEvaluator) — exhaustive at paper scale, MaxScore past the
+  /// ~100k-doc crossover.
   QueryEvaluator evaluator() const { return evaluator_; }
   void set_evaluator(QueryEvaluator evaluator) { evaluator_ = evaluator; }
 
@@ -68,7 +85,7 @@ class SearchService {
   const InvertedIndex& index_;
   const QueryLog& log_;
   const TermDictionary& term_dict_;
-  QueryEvaluator evaluator_ = QueryEvaluator::kExhaustive;
+  QueryEvaluator evaluator_;
 };
 
 }  // namespace ckr

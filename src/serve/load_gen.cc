@@ -1,0 +1,110 @@
+#include "serve/load_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/hash.h"
+
+namespace ckr {
+namespace {
+
+// Stream tags keeping the per-request, hot-set, and arrival draws on
+// disjoint counter-seeded streams of the same workload seed.
+constexpr uint64_t kRequestStream = 0x10adc0de00000001ULL;
+constexpr uint64_t kHotSetStream = 0x10adc0de00000002ULL;
+constexpr uint64_t kArrivalStream = 0x10adc0de00000003ULL;
+
+}  // namespace
+
+Status LoadGenConfig::Validate() const {
+  if (num_users == 0) return Status::InvalidArgument("num_users must be > 0");
+  if (user_zipf <= 0.0) {
+    return Status::InvalidArgument("user_zipf must be > 0");
+  }
+  if (hot_entity_prob < 0.0 || hot_entity_prob > 1.0) {
+    return Status::InvalidArgument("hot_entity_prob must be in [0,1]");
+  }
+  if (hot_entity_prob > 0.0 && hot_set_size == 0) {
+    return Status::InvalidArgument(
+        "hot_set_size must be > 0 when hot_entity_prob > 0");
+  }
+  if (burst_period == 0) {
+    return Status::InvalidArgument("burst_period must be > 0");
+  }
+  if (top_k == 0) return Status::InvalidArgument("top_k must be > 0");
+  return Status::OK();
+}
+
+LoadGenerator::LoadGenerator(const World& world, const LoadGenConfig& config)
+    : world_(world),
+      config_(config),
+      user_sampler_(static_cast<size_t>(config.num_users), config.user_zipf) {
+  CKR_CHECK(config.Validate().ok());
+  CKR_CHECK_GT(world.NumEntities(), 0u);
+  // Same latent query demand as the click-log generator: popularity plus
+  // a floor so every entity has non-zero mass.
+  entity_cdf_.reserve(world.NumEntities());
+  double total = 0.0;
+  for (const Entity& e : world.entities()) {
+    total += 0.02 + e.popularity;
+    entity_cdf_.push_back(total);
+  }
+}
+
+EntityId LoadGenerator::DrawEntity(Rng& rng) const {
+  const double u = rng.NextDouble() * entity_cdf_.back();
+  const size_t pick = static_cast<size_t>(
+      std::lower_bound(entity_cdf_.begin(), entity_cdf_.end(), u) -
+      entity_cdf_.begin());
+  return static_cast<EntityId>(std::min(pick, entity_cdf_.size() - 1));
+}
+
+EntityId LoadGenerator::HotEntity(uint64_t epoch, size_t member) const {
+  // Counter-seeded per (epoch, member): the hot set is a pure function of
+  // the seed, shared by every request in the epoch without coordination.
+  Rng rng(Mix64(HashCombine(
+      config_.seed ^ kHotSetStream,
+      epoch * config_.hot_set_size + static_cast<uint64_t>(member))));
+  return DrawEntity(rng);
+}
+
+LoadRequest LoadGenerator::Request(uint64_t i) const {
+  Rng rng(Mix64(HashCombine(config_.seed ^ kRequestStream, i)));
+  LoadRequest req;
+  req.index = i;
+  req.user = static_cast<uint32_t>(user_sampler_.Sample(rng) - 1);
+  req.hot = rng.NextBernoulli(config_.hot_entity_prob);
+  if (req.hot) {
+    const uint64_t epoch = i / config_.burst_period;
+    const size_t member =
+        static_cast<size_t>(rng.NextBounded(config_.hot_set_size));
+    req.entity = HotEntity(epoch, member);
+  } else {
+    req.entity = DrawEntity(rng);
+  }
+  req.query = world_.entity(req.entity).key;
+  return req;
+}
+
+std::vector<int64_t> LoadGenerator::ArrivalNanos(size_t n,
+                                                 double offered_qps) const {
+  CKR_CHECK(offered_qps > 0.0);
+  std::vector<int64_t> arrivals;
+  arrivals.reserve(n);
+  // Interarrival gaps are independent counter-seeded draws; only the
+  // cumulative sum is sequential. Accumulate in double seconds (the bench
+  // horizon is far below the 2^53 precision cliff) and convert once.
+  double seconds = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    Rng rng(Mix64(HashCombine(config_.seed ^ kArrivalStream,
+                              static_cast<uint64_t>(i))));
+    // Exponential with rate offered_qps; 1-u keeps the log argument > 0.
+    const double gap = -std::log(1.0 - rng.NextDouble()) / offered_qps;
+    seconds += gap;
+    arrivals.push_back(static_cast<int64_t>(seconds * 1e9));
+  }
+  return arrivals;
+}
+
+}  // namespace ckr

@@ -1,0 +1,95 @@
+// Deterministic million-user load generator for the serving bench.
+//
+// Traffic is a pure function of (seed, request index): every request is
+// drawn from its own counter-seeded RNG stream (the click_log DrawPair
+// idiom), so a workload replays bit-identically regardless of how many
+// client threads submit it or in which order the draws happen. The shape
+// mirrors the repo's click-log model:
+//
+//  * users follow a Zipf(num_users, user_zipf) popularity law;
+//  * queries are entity keys drawn from the World's latent popularity
+//    CDF — the same demand distribution the click-log generator uses;
+//  * a rotating "hot set" injects bursts: each epoch of `burst_period`
+//    requests shares a small set of hot entities that a configurable
+//    fraction of traffic hits, modeling breaking-news query spikes.
+//
+// For open-loop runs, ArrivalNanos() lays out a Poisson arrival schedule
+// (exponential interarrivals at a target QPS) on the bench's clock; the
+// offered load is independent of service times, which is what makes
+// queueing delay and shedding visible under overload.
+#ifndef CKR_SERVE_LOAD_GEN_H_
+#define CKR_SERVE_LOAD_GEN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "corpus/world.h"
+
+namespace ckr {
+
+struct LoadGenConfig {
+  uint64_t seed = 20260808;
+  /// Distinct simulated users (Zipf-ranked).
+  uint32_t num_users = 1u << 20;
+  double user_zipf = 1.07;
+  /// Fraction of requests redirected to the current hot set.
+  double hot_entity_prob = 0.25;
+  /// Entities per hot set.
+  size_t hot_set_size = 16;
+  /// Requests per hot-set rotation (epoch length).
+  uint64_t burst_period = 4096;
+  /// Top-k requested from the daemon.
+  size_t top_k = 10;
+
+  [[nodiscard]] Status Validate() const;
+};
+
+/// One generated request (before submission to the daemon).
+struct LoadRequest {
+  uint64_t index = 0;
+  uint32_t user = 0;
+  EntityId entity = 0;
+  /// Entity key — the query text handed to the daemon.
+  std::string query;
+  /// True when the request was redirected to the epoch's hot set.
+  bool hot = false;
+};
+
+class LoadGenerator {
+ public:
+  /// The world must outlive the generator. CHECK-fails on an invalid
+  /// config or an entity-less world (use Validate() to pre-flight).
+  LoadGenerator(const World& world, const LoadGenConfig& config);
+
+  /// Request `i` of the workload — a pure function of (seed, i).
+  LoadRequest Request(uint64_t i) const;
+
+  /// Hot-set member `member` of epoch `epoch` (what Request() draws from
+  /// with probability hot_entity_prob). Exposed for determinism tests.
+  EntityId HotEntity(uint64_t epoch, size_t member) const;
+
+  /// Absolute Poisson arrival offsets (nanoseconds from schedule start)
+  /// for `n` requests at `offered_qps`; non-decreasing, deterministic in
+  /// the config seed. Requires offered_qps > 0.
+  std::vector<int64_t> ArrivalNanos(size_t n, double offered_qps) const;
+
+  const LoadGenConfig& config() const { return config_; }
+
+ private:
+  /// Maps a uniform draw through the entity-popularity CDF.
+  EntityId DrawEntity(Rng& rng) const;
+
+  const World& world_;
+  LoadGenConfig config_;
+  ZipfSampler user_sampler_;
+  /// Cumulative popularity weights over world_.entities().
+  std::vector<double> entity_cdf_;
+};
+
+}  // namespace ckr
+
+#endif  // CKR_SERVE_LOAD_GEN_H_

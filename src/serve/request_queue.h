@@ -1,0 +1,91 @@
+// Bounded MPMC queue with admission control — the daemon's front door.
+//
+// Producers never block: TryPush() either enqueues or reports the queue
+// full, and the caller sheds the request (admission control: under
+// overload the daemon answers "shed" in microseconds instead of letting
+// the backlog, and therefore every queued request's latency, grow without
+// bound). Consumers block on a condition variable; Shutdown() wakes them
+// all, and Pop() drains the remaining backlog before reporting closed —
+// so every admitted request is still answered during a graceful stop.
+//
+// Mutex+condvar rather than a lock-free ring: the critical sections are
+// O(1) pointer shuffles, contention is bounded by the worker count, and
+// the queue is exercised under tsan (scripts/tsan_check.sh) where simple
+// synchronization is an asset, not a cost.
+#ifndef CKR_SERVE_REQUEST_QUEUE_H_
+#define CKR_SERVE_REQUEST_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace ckr {
+
+template <typename T>
+class BoundedMpmcQueue {
+ public:
+  explicit BoundedMpmcQueue(size_t capacity) : capacity_(capacity) {}
+
+  BoundedMpmcQueue(const BoundedMpmcQueue&) = delete;
+  BoundedMpmcQueue& operator=(const BoundedMpmcQueue&) = delete;
+
+  /// Enqueues unless the queue is full or shut down; never blocks.
+  /// Returns false when the item was rejected (the shed signal) — then
+  /// `*item` is left untouched, so the caller can still answer it.
+  [[nodiscard]] bool TryPush(T* item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (shutdown_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(*item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is shut down *and*
+  /// drained; returns false only in the latter case.
+  [[nodiscard]] bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return shutdown_ || !items_.empty(); });
+    if (items_.empty()) return false;  // Shut down and drained.
+    *out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// Closes admission and wakes every blocked consumer. Items already
+  /// queued are still Pop()ed (graceful drain). Idempotent.
+  void Shutdown() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    not_empty_.notify_all();
+  }
+
+  /// Instantaneous depth (the queue-depth gauge's sample).
+  size_t Size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+  bool shut_down() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return shutdown_;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool shutdown_ = false;
+};
+
+}  // namespace ckr
+
+#endif  // CKR_SERVE_REQUEST_QUEUE_H_

@@ -1,0 +1,71 @@
+#include "serve/snapshot.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace ckr {
+namespace internal {
+
+void ReleaseSnapshotNode(SnapshotNode* node) {
+  // acq_rel: the releaser that hits zero must observe every prior
+  // release's writes before freeing (the classic shared_ptr discipline).
+  const int64_t prev = node->refs.fetch_sub(1, std::memory_order_acq_rel);
+  CKR_DCHECK_GE(prev, 1);
+  if (prev == 1) {
+    node->live_nodes->fetch_sub(1, std::memory_order_acq_rel);
+    delete node;
+  }
+}
+
+}  // namespace internal
+
+SnapshotRegistry::~SnapshotRegistry() {
+  internal::SnapshotNode* current = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    current = current_;
+    current_ = nullptr;
+  }
+  // Drop the publisher reference. Outstanding handles (if any) keep the
+  // node alive past the registry — they only need the node, not us.
+  if (current != nullptr) internal::ReleaseSnapshotNode(current);
+}
+
+uint64_t SnapshotRegistry::Publish(std::unique_ptr<ServingSnapshot> snapshot) {
+  CKR_CHECK(snapshot != nullptr);
+  auto* node = new internal::SnapshotNode();
+  node->live_nodes = live_nodes_;
+  live_nodes_->fetch_add(1, std::memory_order_acq_rel);
+
+  internal::SnapshotNode* retired = nullptr;
+  uint64_t generation = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    generation = next_generation_++;
+    snapshot->generation = generation;
+    node->snapshot = std::move(snapshot);
+    retired = current_;
+    current_ = node;
+  }
+  // Retire outside the lock: dropping the publisher reference may destroy
+  // a whole index generation, which must never stall Acquire().
+  if (retired != nullptr) internal::ReleaseSnapshotNode(retired);
+  return generation;
+}
+
+SnapshotHandle SnapshotRegistry::Acquire() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (current_ == nullptr) return SnapshotHandle();
+  // Inside the mutex the publisher reference is still held, so the count
+  // is >= 1 and can never resurrect from zero.
+  current_->refs.fetch_add(1, std::memory_order_relaxed);
+  return SnapshotHandle(current_);
+}
+
+uint64_t SnapshotRegistry::CurrentGeneration() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_ == nullptr ? 0 : current_->snapshot->generation;
+}
+
+}  // namespace ckr

@@ -1,0 +1,151 @@
+// Hot snapshot swap: RCU-style generation pointers for zero-downtime
+// republish of a freshly built index / retrained model.
+//
+// A ServingSnapshot is an immutable serving generation. The registry
+// holds the current generation behind a pointer that Publish() swaps
+// atomically (under a microscopic critical section — O(1), no allocation,
+// never blocked by request execution). Readers take a refcounted
+// SnapshotHandle: in-flight requests keep scoring against the generation
+// they acquired while new requests see the new one, and a retired
+// generation is destroyed exactly when its last handle is released.
+//
+// Memory-ordering contract (exercised under tsan by serve_test):
+//  * Acquire() loads the current node and increments its refcount inside
+//    the registry mutex — the same mutex Publish() swaps under — so a
+//    node's count can never tick up after it was retired with zero
+//    readers;
+//  * Release() decrements with memory_order_acq_rel; the thread that
+//    drops the count to zero (reader or publisher, whichever is last)
+//    observes every write made by other releasing threads before it
+//    frees, which makes the delete race-free;
+//  * the publisher's own reference keeps the *current* generation's
+//    count >= 1, so only retired generations can reach zero.
+#ifndef CKR_SERVE_SNAPSHOT_H_
+#define CKR_SERVE_SNAPSHOT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "index/top_k.h"
+#include "serve/sharded_index.h"
+
+namespace ckr {
+
+/// One immutable serving generation: the sharded index plus the policy
+/// chosen when it was loaded. Requests never see a half-swapped mix.
+struct ServingSnapshot {
+  /// Assigned by SnapshotRegistry::Publish (1, 2, ...).
+  uint64_t generation = 0;
+  ShardedIndex index;
+  /// Evaluator policy fixed at load time from the per-shard corpus size
+  /// (ChooseEvaluator in search/search_service.h).
+  QueryEvaluator evaluator = QueryEvaluator::kExhaustive;
+
+  explicit ServingSnapshot(ShardedIndex idx) : index(std::move(idx)) {}
+};
+
+namespace internal {
+
+/// Refcounted holder of one generation. `refs` counts the publisher's
+/// reference (exactly one, dropped when the generation is retired) plus
+/// one per outstanding SnapshotHandle. Whoever drops the count to zero
+/// frees the node; `live_nodes` lets tests assert retired generations
+/// actually die.
+struct SnapshotNode {
+  std::unique_ptr<const ServingSnapshot> snapshot;
+  std::atomic<int64_t> refs{1};
+  /// Shared with the registry (a handle may legitimately outlive it).
+  std::shared_ptr<std::atomic<int64_t>> live_nodes;
+};
+
+/// Drops one reference; frees the node when it was the last.
+void ReleaseSnapshotNode(SnapshotNode* node);
+
+}  // namespace internal
+
+/// RAII reference to one generation. Movable, not copyable; the snapshot
+/// stays valid (and immutable) for the handle's lifetime even if newer
+/// generations are published meanwhile.
+class SnapshotHandle {
+ public:
+  SnapshotHandle() = default;
+  ~SnapshotHandle() { Reset(); }
+
+  SnapshotHandle(SnapshotHandle&& other) noexcept : node_(other.node_) {
+    other.node_ = nullptr;
+  }
+  SnapshotHandle& operator=(SnapshotHandle&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      node_ = other.node_;
+      other.node_ = nullptr;
+    }
+    return *this;
+  }
+  SnapshotHandle(const SnapshotHandle&) = delete;
+  SnapshotHandle& operator=(const SnapshotHandle&) = delete;
+
+  /// Null when acquired before the first Publish().
+  explicit operator bool() const { return node_ != nullptr; }
+  const ServingSnapshot* get() const {
+    return node_ == nullptr ? nullptr : node_->snapshot.get();
+  }
+  const ServingSnapshot& operator*() const { return *get(); }
+  const ServingSnapshot* operator->() const { return get(); }
+
+  /// Releases the reference early (idempotent).
+  void Reset() {
+    if (node_ != nullptr) {
+      internal::ReleaseSnapshotNode(node_);
+      node_ = nullptr;
+    }
+  }
+
+ private:
+  friend class SnapshotRegistry;
+  explicit SnapshotHandle(internal::SnapshotNode* node) : node_(node) {}
+
+  internal::SnapshotNode* node_ = nullptr;
+};
+
+/// The generation slot. Thread-safe; Publish and Acquire may race freely.
+class SnapshotRegistry {
+ public:
+  SnapshotRegistry() = default;
+  ~SnapshotRegistry();
+
+  SnapshotRegistry(const SnapshotRegistry&) = delete;
+  SnapshotRegistry& operator=(const SnapshotRegistry&) = delete;
+
+  /// Installs `snapshot` as the current generation, stamps its generation
+  /// number, and retires the previous one (freed once its last in-flight
+  /// handle releases). Returns the new generation number.
+  uint64_t Publish(std::unique_ptr<ServingSnapshot> snapshot);
+
+  /// Refcounted reference to the current generation; null handle before
+  /// the first Publish().
+  SnapshotHandle Acquire() const;
+
+  /// Generation number of the current snapshot (0 before first Publish).
+  uint64_t CurrentGeneration() const;
+
+  /// Generations still alive (current + retired-but-referenced). The
+  /// zero-downtime swap tests assert this returns to 1 after in-flight
+  /// handles drain.
+  int64_t LiveGenerations() const {
+    return live_nodes_->load(std::memory_order_acquire);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  internal::SnapshotNode* current_ = nullptr;  ///< Guarded by mu_.
+  uint64_t next_generation_ = 1;               ///< Guarded by mu_.
+  std::shared_ptr<std::atomic<int64_t>> live_nodes_ =
+      std::make_shared<std::atomic<int64_t>>(0);
+};
+
+}  // namespace ckr
+
+#endif  // CKR_SERVE_SNAPSHOT_H_

@@ -66,6 +66,57 @@ TEST(ObsHistogramTest, ResetZeroesCountsButKeepsBounds) {
   EXPECT_EQ(h.bounds()[0], 1.0);
 }
 
+TEST(ObsHistogramTest, PercentileInterpolatesWithinTheCoveringBucket) {
+  Histogram h({1.0, 2.0, 4.0});
+  EXPECT_EQ(h.Percentile(0.5), 0.0);  // Empty histogram.
+  for (int i = 0; i < 10; ++i) h.Record(1.5);  // All in bucket (1, 2].
+  // Rank q*10 sits at fraction q inside the covering bucket [1, 2].
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 1.5);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.1), 1.1);
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 2.0);
+  // Out-of-range q values clamp.
+  EXPECT_DOUBLE_EQ(h.Percentile(-0.5), h.Percentile(0.0));
+  EXPECT_DOUBLE_EQ(h.Percentile(2.0), 2.0);
+}
+
+TEST(ObsHistogramTest, PercentileTailsOfASkewedDistribution) {
+  // The serving-latency shape: 90 fast, 9 slow, 1 very slow.
+  Histogram h({0.001, 0.01, 0.1, 1.0});
+  for (int i = 0; i < 90; ++i) h.Record(0.0005);
+  for (int i = 0; i < 9; ++i) h.Record(0.005);
+  h.Record(0.05);
+  // p50: rank 50 of 90 in [0, 0.001].
+  EXPECT_DOUBLE_EQ(h.Percentile(0.50), 50.0 / 90.0 * 0.001);
+  // p99: rank 99 is exactly the last of the 9 in (0.001, 0.01].
+  EXPECT_DOUBLE_EQ(h.Percentile(0.99), 0.01);
+  // p999: rank 99.9 interpolates 90% into (0.01, 0.1]. NEAR, not
+  // DOUBLE_EQ: 0.999 * 100 rounds a few ulps above 99.9.
+  EXPECT_NEAR(h.Percentile(0.999), 0.01 + 0.9 * 0.09, 1e-12);
+}
+
+TEST(ObsHistogramTest, PercentileInOverflowReportsLastFiniteBound) {
+  Histogram h({1.0, 2.0});
+  h.Record(0.5);
+  h.Record(50.0);  // Overflow bucket.
+  // Any rank landing in overflow cannot be resolved beyond the last
+  // finite bound.
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.9), 2.0);
+}
+
+TEST(ObsHistogramTest, PercentileIsDeterministicOnQuiescentData) {
+  Histogram a(DefaultLatencyBoundsSeconds());
+  Histogram b(DefaultLatencyBoundsSeconds());
+  for (int i = 0; i < 1000; ++i) {
+    const double v = 1e-6 * static_cast<double>((i * 37) % 997);
+    a.Record(v);
+    b.Record(v);
+  }
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_EQ(a.Percentile(q), b.Percentile(q)) << q;  // Bit-identical.
+  }
+}
+
 TEST(ObsHistogramTest, DefaultLatencyBoundsAreDecades) {
   const std::vector<double>& b = DefaultLatencyBoundsSeconds();
   ASSERT_EQ(b.size(), 8u);

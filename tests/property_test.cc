@@ -5,8 +5,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <set>
+#include <string>
 #include <tuple>
+#include <vector>
 
 #include "common/rng.h"
 #include "corpus/document.h"
@@ -17,6 +20,7 @@
 #include "framework/bitstream.h"
 #include "framework/golomb.h"
 #include "ranksvm/rank_svm.h"
+#include "serve/sharded_index.h"
 #include "text/porter_stemmer.h"
 #include "text/sentence.h"
 #include "text/tokenizer.h"
@@ -523,6 +527,150 @@ INSTANTIATE_TEST_SUITE_P(
              (std::get<1>(pinfo.param) == BlockCodec::kVarintGB ? "VarintGB"
                                                                 : "Simple8b");
     });
+
+// ---------- Sharded scatter/gather exactness (the serving contract) -----
+//
+// Doc-partitioned sharding with merged collection stats must be
+// *bit-identical* to the single-index oracle: every document carries the
+// same tf/length/norm/idf in its shard as in the union (the stats
+// override), each shard's local top-k is exact under the total ranking
+// order, and the merge uses the same comparator — so the global top-k is
+// reproduced score-bit for score-bit at ANY shard count, under every
+// evaluator.
+
+class ShardedSweep
+    : public ::testing::TestWithParam<std::tuple<uint64_t, size_t>> {};
+
+TEST_P(ShardedSweep, TopKIsBitIdenticalToSingleIndexOracle) {
+  auto [seed, num_shards] = GetParam();
+  Rng rng(seed);
+  const size_t num_docs = 180 + rng.NextBounded(200);
+
+  // Oracle over the union, plus one shard per contiguous range. The
+  // skewed vocabulary (as in EvaluatorSweep) forces long postings and
+  // frequent cross-shard score ties.
+  InvertedIndex oracle;
+  std::vector<std::unique_ptr<InvertedIndex>> shards;
+  for (size_t s = 0; s < num_shards; ++s) {
+    shards.push_back(std::make_unique<InvertedIndex>());
+  }
+  for (size_t d = 0; d < num_docs; ++d) {
+    std::string text;
+    const size_t len = 3 + rng.NextBounded(40);
+    for (size_t i = 0; i < len; ++i) {
+      const uint64_t u = rng.NextBounded(100);
+      const uint64_t term = u < 55   ? rng.NextBounded(6)
+                            : u < 85 ? 6 + rng.NextBounded(25)
+                                     : 31 + rng.NextBounded(200);
+      text += "w" + std::to_string(term) + " ";
+    }
+    Document doc;
+    doc.id = static_cast<DocId>(d * 7 + 3);
+    doc.text = text;
+    oracle.Add(doc);
+    for (size_t s = 0; s < num_shards; ++s) {
+      const ShardRange range = ShardRangeOf(s, num_shards, num_docs);
+      if (d >= range.begin && d < range.end) {
+        shards[s]->Add(std::move(doc));
+        break;
+      }
+    }
+  }
+  oracle.Finalize();
+  oracle.RebuildBlockIndex(BlockCodec::kVarintGB);
+  for (auto& shard : shards) {
+    shard->Finalize();
+    // Built BEFORE the stats override: FromShards must rebuild it with
+    // the merged (global) idf, or the pruned evaluators' maxima would
+    // reflect shard-local stats and the sweep below would diverge.
+    shard->RebuildBlockIndex(BlockCodec::kVarintGB);
+  }
+  auto sharded_or = ShardedIndex::FromShards(std::move(shards));
+  ASSERT_TRUE(sharded_or.ok()) << sharded_or.status().message();
+  const ShardedIndex& sharded = sharded_or.value();
+
+  for (int q = 0; q < 30; ++q) {
+    std::string query;
+    const size_t terms = 1 + rng.NextBounded(5);
+    for (size_t t = 0; t < terms; ++t) {
+      query += "w" + std::to_string(rng.NextBounded(240)) + " ";
+    }
+    ASSERT_EQ(sharded.RegularResultCount(query),
+              oracle.RegularResultCount(query))
+        << query;
+    // k=1 sits far below the tie width of the head terms: the merge must
+    // resolve cross-shard ties exactly as the oracle's heap does.
+    for (size_t k : {1u, 7u, 40u}) {
+      const auto expected = oracle.Search(query, k);
+      for (QueryEvaluator evaluator :
+           {QueryEvaluator::kExhaustive, QueryEvaluator::kMaxScore,
+            QueryEvaluator::kBlockMaxWand}) {
+        const auto got = sharded.Search(query, k, Bm25Params{}, evaluator);
+        ASSERT_EQ(got.size(), expected.size())
+            << "query=" << query << " k=" << k << " shards=" << num_shards;
+        for (size_t i = 0; i < got.size(); ++i) {
+          ASSERT_EQ(got[i].doc, expected[i].doc)
+              << "query=" << query << " k=" << k << " rank=" << i;
+          ASSERT_EQ(got[i].score, expected[i].score)
+              << "query=" << query << " k=" << k << " rank=" << i;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndShardCounts, ShardedSweep,
+    ::testing::Combine(::testing::Values(13u, 29u, 61u),
+                       ::testing::Values(1u, 2u, 4u, 8u)),
+    [](const auto& pinfo) {
+      return "Seed" + std::to_string(std::get<0>(pinfo.param)) + "Shards" +
+             std::to_string(std::get<1>(pinfo.param));
+    });
+
+TEST(ShardedEdgeCases, EmptyShardsAreValidAndInvisible) {
+  // Shards 1 and 3 hold no documents at all; search behaves as if they
+  // did not exist, and FromShards accepts them.
+  std::vector<std::unique_ptr<InvertedIndex>> shards;
+  for (int s = 0; s < 4; ++s) {
+    shards.push_back(std::make_unique<InvertedIndex>());
+  }
+  InvertedIndex oracle;
+  for (size_t d = 0; d < 12; ++d) {
+    Document doc;
+    doc.id = static_cast<DocId>(d);
+    doc.text = "alpha beta gamma w" + std::to_string(d % 3);
+    oracle.Add(doc);
+    shards[d % 2 == 0 ? 0 : 2]->Add(std::move(doc));
+  }
+  oracle.Finalize();
+  for (auto& shard : shards) shard->Finalize();
+  auto sharded_or = ShardedIndex::FromShards(std::move(shards));
+  ASSERT_TRUE(sharded_or.ok()) << sharded_or.status().message();
+  const ShardedIndex& sharded = sharded_or.value();
+  EXPECT_EQ(sharded.NumDocs(), 12u);
+  const auto expected = oracle.Search("alpha w1", 20);
+  const auto got = sharded.Search("alpha w1", 20);
+  ASSERT_EQ(got.size(), expected.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].doc, expected[i].doc);
+    EXPECT_EQ(got[i].score, expected[i].score);
+  }
+}
+
+TEST(ShardedEdgeCases, DuplicateExternalIdsAcrossShardsAreRejected) {
+  std::vector<std::unique_ptr<InvertedIndex>> shards;
+  for (int s = 0; s < 2; ++s) {
+    auto shard = std::make_unique<InvertedIndex>();
+    Document doc;
+    doc.id = 42;  // Same external id in both shards.
+    doc.text = "duplicate";
+    shard->Add(std::move(doc));
+    shard->Finalize();
+    shards.push_back(std::move(shard));
+  }
+  EXPECT_FALSE(ShardedIndex::FromShards(std::move(shards)).ok());
+}
 
 }  // namespace
 }  // namespace ckr

@@ -75,6 +75,29 @@ InvertedIndex* SearchTest::index_ = nullptr;
 QueryLog* SearchTest::log_ = nullptr;
 SearchService* SearchTest::search_ = nullptr;
 
+TEST(ChooseEvaluatorTest, CrossoverPolicyIsPinned) {
+  // Regression pin of the evaluator auto-selection: MaxScore exactly at
+  // the crossover and above, and only when a block index exists.
+  EXPECT_EQ(ChooseEvaluator(kEvaluatorCrossoverDocs - 1, true),
+            QueryEvaluator::kExhaustive);
+  EXPECT_EQ(ChooseEvaluator(kEvaluatorCrossoverDocs, true),
+            QueryEvaluator::kMaxScore);
+  EXPECT_EQ(ChooseEvaluator(10 * kEvaluatorCrossoverDocs, true),
+            QueryEvaluator::kMaxScore);
+  // No block index -> nothing to prune with, regardless of size.
+  EXPECT_EQ(ChooseEvaluator(10 * kEvaluatorCrossoverDocs, false),
+            QueryEvaluator::kExhaustive);
+  EXPECT_EQ(ChooseEvaluator(0, true), QueryEvaluator::kExhaustive);
+}
+
+TEST_F(SearchTest, EvaluatorAutoSelectedFromCorpusSizeAndOverridable) {
+  // Paper-scale corpus (400 docs, below the crossover): exhaustive.
+  EXPECT_EQ(search_->evaluator(), QueryEvaluator::kExhaustive);
+  SearchService overridden(*index_, *log_, *dict_);
+  overridden.set_evaluator(QueryEvaluator::kMaxScore);
+  EXPECT_EQ(overridden.evaluator(), QueryEvaluator::kMaxScore);
+}
+
 TEST_F(SearchTest, SnippetsMentionTheConcept) {
   const Entity& e = PopularEntity();
   auto snippets = search_->Snippets(e.key, 50);

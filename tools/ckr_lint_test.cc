@@ -56,6 +56,15 @@ TEST(CkrLintTest, R1ClockAllowedInBench) {
                                {"R1", 8}, {"R1", 12}, {"R1", 16}, {"R1", 20}}));
 }
 
+TEST(CkrLintTest, R1FlagsRawClockOnServingPath) {
+  // The serving daemon's deadlines ride the injected ckr::Clock; a raw
+  // steady_clock::now() under src/serve must be flagged so deadline and
+  // latency logic stays drivable by a fake clock in tests.
+  const std::string content = ReadFixture("r1_serve_clock.cc");
+  auto vs = LintContent("src/serve/r1_serve_clock.cc", content);
+  EXPECT_EQ(RuleLines(vs), (std::multiset<RuleLine>{{"R1", 9}}));
+}
+
 TEST(CkrLintTest, R2FlagsExceptionConstructsInSrcOnly) {
   const std::string content = ReadFixture("r2_exceptions.cc");
   auto vs = LintContent("src/r2_exceptions.cc", content);

@@ -1,0 +1,14 @@
+// Fixture: a serving-path file that reads the wall clock directly instead
+// of going through the injected ckr::Clock. Deadlines and latency
+// accounting in src/serve must be testable with a fake clock, so a raw
+// steady_clock::now() there is an R1 violation like anywhere else in src/.
+#include <chrono>
+#include <cstdint>
+
+int64_t DeadlineFromNow(int64_t budget_nanos) {
+  const auto now = std::chrono::steady_clock::now();  // line 9: R1
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             now.time_since_epoch())
+             .count() +
+         budget_nanos;
+}
