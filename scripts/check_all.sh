@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # The one gate: tier-1 tests, the three sanitizer suites (with
-# CKR_DCHECK invariants live — the presets set CKR_ENABLE_DCHECKS), the
-# ckr_lint contract linter over the tree, and clang-tidy when available.
+# CKR_DCHECK invariants live — the presets set CKR_ENABLE_DCHECKS, which
+# also arms the runtime lock-order registry), the ckr_lint contract
+# linter over the tree, and the clang thread-safety-analysis build plus
+# clang-tidy when clang is available.
 # Exits non-zero if anything fails; CI runs exactly this script.
 #
 # Usage: scripts/check_all.sh
@@ -26,7 +28,8 @@ echo "== serving smoke: sharded oracle bit-identity, hot swap, shedding =="
 ./build/tests/serve_smoke_test
 
 echo "== ckr_lint: contract rules over src/ bench/ tests/ tools/ =="
-./build/tools/ckr_lint
+# Also writes the machine-readable report CI archives as an artifact.
+./build/tools/ckr_lint --json build/ckr_lint.json
 
 echo "== obs kill switch: CKR_OBS_DISABLED build + rank-fingerprint diff =="
 # Build with every CKR_OBS_* hook compiled out, run the kill-switch suite,
@@ -56,6 +59,9 @@ echo "== tsan =="
 scripts/tsan_check.sh
 echo "== ubsan =="
 scripts/ubsan_check.sh
+
+echo "== clang -Wthread-safety (skipped gracefully when unavailable) =="
+scripts/clang_tsa_check.sh
 
 echo "== clang-tidy (skipped gracefully when unavailable) =="
 scripts/tidy_check.sh

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Builds the tree with clang so -Wthread-safety (armed only for clang in
+# the root CMakeLists) type-checks the CKR_* capability annotations at
+# -Werror: guarded fields touched without their mutex, CKR_EXCLUDES
+# violations, and unbalanced acquire/release all fail the build.
+#
+# The growth container ships only g++, so absence of clang++ is a skip,
+# not a failure (the tidy_check.sh pattern) — ckr_lint rules R6-R8 still
+# gate the annotations' presence and the declared lock order on every
+# build, and the runtime LockOrderRegistry checks ordering under the
+# sanitizer presets.
+#
+# Usage: scripts/clang_tsa_check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if ! command -v clang++ >/dev/null 2>&1; then
+  echo "clang_tsa_check: clang++ not found; skipping (ckr_lint R6-R8 still gate)"
+  exit 0
+fi
+
+cmake --preset clang-tsa
+cmake --build --preset clang-tsa -j "$(nproc)"
+echo "clang_tsa_check: OK (-Wthread-safety -Werror clean)"

@@ -1,0 +1,109 @@
+// The lock hierarchy — one central registry, checked twice.
+//
+// Statically: the `ckr-lock-order:` comment lines below are the declared
+// hierarchy ckr_lint rule R8 reads (the CLI and the self-test gate merge
+// declarations from every scanned file, so nested lock_guard / MutexLock
+// scopes anywhere in the tree that acquire against this order fail lint).
+// Names are the mutex member identifiers as they appear at lock sites,
+// which is why every ranked mutex in the tree has a distinctive name
+// (`queue_mu_`, not `mu_`).
+//
+// Dynamically: every ckr::Mutex (common/mutex.h) constructed with a
+// LockRank reports acquisitions to the LockOrderRegistry below — a
+// thread-local held-lock stack that CKR_DCHECKs strictly increasing rank
+// on every acquire. Like the rest of check.h's debug layer it is active
+// whenever CKR_DEBUG_CHECKS is on (plain debug builds and the sanitizer
+// presets, which set CKR_ENABLE_DCHECKS) and compiles to a true no-op in
+// release: zero members, zero codegen, proven by check_release_test.
+//
+// The declared hierarchy, lowest-ranked (acquired first) to highest:
+//
+// ckr-lock-order: lifecycle_mu_ < queue_mu_
+// ckr-lock-order: queue_mu_ < registry_mu_
+// ckr-lock-order: registry_mu_ < metrics_mu_
+// ckr-lock-order: metrics_mu_ < log_mu
+//
+// Rationale: the daemon's Stop() holds its lifecycle lock while closing
+// the request queue; workers hold no lock while scattering but touch the
+// snapshot registry, then metrics; anything may log last. Locks that are
+// never held together still get an order so a future nesting has exactly
+// one legal direction.
+#ifndef CKR_COMMON_LOCK_ORDER_H_
+#define CKR_COMMON_LOCK_ORDER_H_
+
+#include <cstddef>
+
+#include "common/check.h"
+
+#if CKR_DEBUG_CHECKS
+#include <vector>
+#endif
+
+namespace ckr {
+
+/// Global acquisition ranks, sparse so layers can grow. A thread may only
+/// acquire a ranked lock whose rank is strictly greater than every ranked
+/// lock it already holds; kUnranked locks opt out (leaf locks with no
+/// nesting, and everything in release builds).
+enum class LockRank : int {
+  kUnranked = 0,
+  kServeLifecycle = 10,   ///< ServeDaemon::lifecycle_mu_
+  kRequestQueue = 20,     ///< BoundedMpmcQueue::queue_mu_
+  kSnapshotRegistry = 30, ///< SnapshotRegistry::registry_mu_
+  kMetricsRegistry = 40,  ///< obs::MetricRegistry::metrics_mu_
+  kLogSink = 50,          ///< log.cc LogState::log_mu
+};
+
+/// Debug-only runtime lock-order checker. All static; the held-lock
+/// stack is thread-local, so threads are independent and there is no
+/// synchronization of its own to order.
+class LockOrderRegistry {
+ public:
+#if CKR_DEBUG_CHECKS
+  /// Called by ckr::Mutex on every successful acquisition of a ranked
+  /// lock. Aborts (CKR_DCHECK) when `rank` does not strictly exceed the
+  /// highest-ranked lock this thread already holds — a lock-order
+  /// inversion, i.e. a potential deadlock, caught on the first
+  /// single-threaded execution instead of the unlucky interleaving.
+  static void OnAcquire(LockRank rank) {
+    if (rank == LockRank::kUnranked) return;
+    std::vector<int>& held = HeldStack();
+    // Strict: also trips on recursive acquisition of the same lock rank
+    // (std::mutex self-deadlock).
+    CKR_DCHECK(held.empty() || held.back() < static_cast<int>(rank));
+    held.push_back(static_cast<int>(rank));
+  }
+
+  /// Called on release. Releases may be out of LIFO order (manual
+  /// Lock/Unlock pairs), so the newest matching entry is removed.
+  static void OnRelease(LockRank rank) {
+    if (rank == LockRank::kUnranked) return;
+    std::vector<int>& held = HeldStack();
+    for (size_t i = held.size(); i > 0; --i) {
+      if (held[i - 1] == static_cast<int>(rank)) {
+        held.erase(held.begin() + static_cast<std::ptrdiff_t>(i) - 1);
+        return;
+      }
+    }
+    CKR_DCHECK(false && "released a ranked lock that was not held");
+  }
+
+  /// Ranked locks the calling thread currently holds (tests).
+  static size_t HeldCountForTesting() { return HeldStack().size(); }
+
+ private:
+  static std::vector<int>& HeldStack() {
+    thread_local std::vector<int> held;
+    return held;
+  }
+#else
+  // Release: unevaluated no-ops, same discipline as CKR_DCHECK itself.
+  static void OnAcquire(LockRank rank) { (void)rank; }
+  static void OnRelease(LockRank rank) { (void)rank; }
+  static size_t HeldCountForTesting() { return 0; }
+#endif
+};
+
+}  // namespace ckr
+
+#endif  // CKR_COMMON_LOCK_ORDER_H_

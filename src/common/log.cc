@@ -1,21 +1,26 @@
 #include "common/log.h"
 
 #include <cstdio>
-#include <mutex>
 #include <utility>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace ckr {
 
 namespace {
 
-std::mutex& SinkMutex() {
-  static std::mutex* m = new std::mutex();
-  return *m;
-}
+/// The sink and the lock that guards it, one leaked instance (hooks may
+/// log from static destructors). log_mu is the highest-ranked lock in
+/// the declared hierarchy: logging is legal under any other lock.
+struct LogState {
+  Mutex log_mu{LockRank::kLogSink};
+  LogSink sink CKR_GUARDED_BY(log_mu);
+};
 
-LogSink& Sink() {
-  static LogSink* sink = new LogSink();
-  return *sink;
+LogState& State() {
+  static LogState* state = new LogState();
+  return *state;
 }
 
 const char* LevelName(LogLevel level) {
@@ -33,10 +38,10 @@ const char* LevelName(LogLevel level) {
 }  // namespace
 
 void LogMessage(LogLevel level, std::string_view message) {
-  std::lock_guard<std::mutex> lock(SinkMutex());
-  const LogSink& sink = Sink();
-  if (sink) {
-    sink(level, message);
+  LogState& state = State();
+  MutexLock lock(&state.log_mu);
+  if (state.sink) {
+    state.sink(level, message);
     return;
   }
   std::fprintf(stderr, "[ckr %s] %.*s\n", LevelName(level),
@@ -44,9 +49,10 @@ void LogMessage(LogLevel level, std::string_view message) {
 }
 
 LogSink SetLogSink(LogSink sink) {
-  std::lock_guard<std::mutex> lock(SinkMutex());
-  LogSink previous = std::move(Sink());
-  Sink() = std::move(sink);
+  LogState& state = State();
+  MutexLock lock(&state.log_mu);
+  LogSink previous = std::move(state.sink);
+  state.sink = std::move(sink);
   return previous;
 }
 

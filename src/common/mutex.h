@@ -1,0 +1,104 @@
+// Annotated mutex wrapper — the capability type the thread-safety
+// analysis tracks.
+//
+// libstdc++'s std::mutex carries no Clang thread-safety attributes, so a
+// raw std::mutex member is invisible to -Wthread-safety and ckr_lint
+// rule R6 rejects it in src/. ckr::Mutex wraps std::mutex one-to-one
+// (same release layout, pinned by check_release_test) and adds:
+//
+//  * CKR_CAPABILITY, so CKR_GUARDED_BY(mu_) fields and CKR_ACQUIRE /
+//    CKR_RELEASE methods type-check under clang's analysis;
+//  * an optional LockRank: ranked mutexes report every acquisition to
+//    LockOrderRegistry (common/lock_order.h), which CKR_DCHECKs the
+//    declared hierarchy at runtime in debug/sanitizer builds;
+//  * BasicLockable lower-case lock()/unlock(), so the wrapper drops
+//    straight into std::condition_variable_any::wait.
+//
+// ckr::MutexLock is the scoped holder (std::lock_guard shape, annotated
+// CKR_SCOPED_CAPABILITY). Prefer it over manual Lock/Unlock pairs —
+// ckr_lint rule R8 reads MutexLock/lock_guard/unique_lock scopes when
+// checking the declared lock order statically.
+#ifndef CKR_COMMON_MUTEX_H_
+#define CKR_COMMON_MUTEX_H_
+
+#include <mutex>
+
+#include "common/check.h"
+#include "common/lock_order.h"
+#include "common/thread_annotations.h"
+
+namespace ckr {
+
+class CKR_LOCKABLE Mutex {
+ public:
+  Mutex() = default;
+  /// A ranked mutex participates in the runtime lock-order check; see
+  /// LockRank for the declared hierarchy. Rank storage exists only when
+  /// CKR_DEBUG_CHECKS is on — in release Mutex is exactly a std::mutex.
+  explicit Mutex(LockRank rank) {
+#if CKR_DEBUG_CHECKS
+    rank_ = rank;
+#else
+    (void)rank;
+#endif
+  }
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() CKR_ACQUIRE() {
+    mu_.lock();
+    LockOrderRegistry::OnAcquire(rank());
+  }
+
+  void Unlock() CKR_RELEASE() {
+    LockOrderRegistry::OnRelease(rank());
+    mu_.unlock();
+  }
+
+  [[nodiscard]] bool TryLock() CKR_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    LockOrderRegistry::OnAcquire(rank());
+    return true;
+  }
+
+  /// BasicLockable aliases for std::condition_variable_any::wait, which
+  /// releases and re-acquires the mutex through these (inside a system
+  /// header, so the analysis does not second-guess the net-zero effect).
+  void lock() CKR_ACQUIRE() { Lock(); }
+  void unlock() CKR_RELEASE() { Unlock(); }
+
+ private:
+  LockRank rank() const {
+#if CKR_DEBUG_CHECKS
+    return rank_;
+#else
+    return LockRank::kUnranked;
+#endif
+  }
+
+  // ckr-lint: unguarded(raw lock inside the annotated capability wrapper)
+  std::mutex mu_;
+#if CKR_DEBUG_CHECKS
+  LockRank rank_ = LockRank::kUnranked;
+#endif
+};
+
+/// Scoped acquisition (std::lock_guard shape). The thread-safety
+/// analysis treats construction as acquiring and destruction as
+/// releasing the passed mutex.
+class CKR_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) CKR_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() CKR_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+}  // namespace ckr
+
+#endif  // CKR_COMMON_MUTEX_H_

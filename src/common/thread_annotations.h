@@ -1,0 +1,106 @@
+// Thread-safety annotation macros — the static half of the concurrency
+// contract (the dynamic half is lock_order.h's runtime registry).
+//
+// Each macro expands to the corresponding Clang thread-safety attribute
+// when the compiler supports it and to nothing otherwise, so GCC builds
+// are byte-identical with or without the annotations while a Clang build
+// with -Wthread-safety (wired into CMake for Clang, and into
+// scripts/clang_tsa_check.sh) turns every guard-discipline violation
+// into a compile error under -Werror.
+//
+// The annotated vocabulary, enforced tree-wide by ckr_lint rule R6
+// (every std::mutex / std::atomic member must declare its discipline):
+//
+//   CKR_CAPABILITY("mutex") / CKR_LOCKABLE   on a lock type
+//   CKR_SCOPED_CAPABILITY                    on an RAII lock holder
+//   CKR_GUARDED_BY(mu)                       on data a lock protects
+//   CKR_PT_GUARDED_BY(mu)                    on a pointer whose pointee
+//                                            the lock protects
+//   CKR_REQUIRES(mu)                         caller must hold mu
+//   CKR_ACQUIRE(mu) / CKR_RELEASE(mu)        lock-taking / -dropping fns
+//   CKR_TRY_ACQUIRE(result, mu)              conditional acquisition
+//   CKR_EXCLUDES(mu)                         caller must NOT hold mu
+//   CKR_ACQUIRED_BEFORE / _AFTER             declared lock ordering
+//   CKR_NO_THREAD_SAFETY_ANALYSIS            per-function opt-out
+//
+// std::mutex under libstdc++ carries none of these attributes, so raw
+// std::mutex members are invisible to the analysis; shared state uses
+// the annotated ckr::Mutex / ckr::MutexLock wrappers (common/mutex.h)
+// instead.
+#ifndef CKR_COMMON_THREAD_ANNOTATIONS_H_
+#define CKR_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define CKR_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define CKR_THREAD_ANNOTATION_ATTRIBUTE__(x)  // GCC: no-op.
+#endif
+
+/// Marks a type as a lock: instances are capabilities the analysis
+/// tracks. `x` names the capability kind in diagnostics ("mutex").
+#define CKR_CAPABILITY(x) CKR_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+
+/// Shorthand for the common case.
+#define CKR_LOCKABLE CKR_CAPABILITY("mutex")
+
+/// Marks an RAII type whose constructor acquires and destructor releases
+/// a capability (ckr::MutexLock).
+#define CKR_SCOPED_CAPABILITY \
+  CKR_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+/// The annotated field may only be read or written while holding `x`.
+#define CKR_GUARDED_BY(x) CKR_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+
+/// The annotated pointer's *pointee* may only be touched while holding
+/// `x` (the pointer itself is unrestricted).
+#define CKR_PT_GUARDED_BY(x) \
+  CKR_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+
+/// Declared acquisition order between locks (the static mirror of the
+/// ckr-lock-order registry in common/lock_order.h).
+#define CKR_ACQUIRED_BEFORE(...) \
+  CKR_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+#define CKR_ACQUIRED_AFTER(...) \
+  CKR_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+
+/// The caller must hold the listed capabilities (exclusively / shared).
+#define CKR_REQUIRES(...) \
+  CKR_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+#define CKR_REQUIRES_SHARED(...) \
+  CKR_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires / releases the listed capabilities (empty
+/// argument list = `this`, the member-lock idiom).
+#define CKR_ACQUIRE(...) \
+  CKR_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+#define CKR_ACQUIRE_SHARED(...) \
+  CKR_THREAD_ANNOTATION_ATTRIBUTE__(acquire_shared_capability(__VA_ARGS__))
+#define CKR_RELEASE(...) \
+  CKR_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+#define CKR_RELEASE_SHARED(...) \
+  CKR_THREAD_ANNOTATION_ATTRIBUTE__(release_shared_capability(__VA_ARGS__))
+
+/// The function acquires the capability iff it returns `result`.
+#define CKR_TRY_ACQUIRE(...) \
+  CKR_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+
+/// The caller must NOT hold the listed capabilities (deadlock guard on
+/// public entry points of self-locking classes).
+#define CKR_EXCLUDES(...) \
+  CKR_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the capability is held (fake-acquire for the
+/// analysis after an out-of-band check).
+#define CKR_ASSERT_CAPABILITY(x) \
+  CKR_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+
+/// The function returns a reference to the named capability.
+#define CKR_RETURN_CAPABILITY(x) \
+  CKR_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+
+/// Opt-out for functions whose locking is deliberately invisible to the
+/// analysis; always pair with a comment saying why.
+#define CKR_NO_THREAD_SAFETY_ANALYSIS \
+  CKR_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)
+
+#endif  // CKR_COMMON_THREAD_ANNOTATIONS_H_

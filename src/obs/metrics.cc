@@ -65,7 +65,7 @@ const std::vector<double>& DefaultLatencyBoundsSeconds() {
 }
 
 Counter* MetricRegistry::GetCounter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&metrics_mu_);
   std::string key(name);
   if (gauges_.count(key) != 0 || histograms_.count(key) != 0) {
     key += "!counter";
@@ -76,7 +76,7 @@ Counter* MetricRegistry::GetCounter(std::string_view name) {
 }
 
 Gauge* MetricRegistry::GetGauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&metrics_mu_);
   std::string key(name);
   if (counters_.count(key) != 0 || histograms_.count(key) != 0) {
     key += "!gauge";
@@ -88,7 +88,7 @@ Gauge* MetricRegistry::GetGauge(std::string_view name) {
 
 Histogram* MetricRegistry::GetHistogram(std::string_view name,
                                         const std::vector<double>& bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&metrics_mu_);
   std::string key(name);
   if (counters_.count(key) != 0 || gauges_.count(key) != 0) {
     key += "!histogram";
@@ -99,7 +99,7 @@ Histogram* MetricRegistry::GetHistogram(std::string_view name,
 }
 
 std::string MetricRegistry::SnapshotJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&metrics_mu_);
   std::string out = "{\n  \"counters\": {";
   bool first = true;
   for (const auto& [name, counter] : counters_) {
@@ -140,7 +140,7 @@ std::string MetricRegistry::SnapshotJson() const {
 }
 
 void MetricRegistry::ResetAllForTesting() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&metrics_mu_);
   for (auto& [name, c] : counters_) c->Reset();
   for (auto& [name, g] : gauges_) g->Reset();
   for (auto& [name, h] : histograms_) h->Reset();

@@ -18,11 +18,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "obs/clock.h"
 
 namespace ckr {
@@ -39,6 +40,7 @@ class Counter {
   void Reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
+  // ckr-lint: unguarded(lock-free relaxed counter cell; Add is the sync)
   std::atomic<uint64_t> value_{0};
 };
 
@@ -50,6 +52,7 @@ class Gauge {
   void Reset() { Set(0.0); }
 
  private:
+  // ckr-lint: unguarded(lock-free last-write-wins cell)
   std::atomic<double> value_{0.0};
 };
 
@@ -88,8 +91,12 @@ class Histogram {
 
  private:
   std::vector<double> bounds_;  ///< Sorted ascending upper bounds.
-  std::vector<std::atomic<uint64_t>> counts_;  ///< bounds_.size() + 1.
+  /// bounds_.size() + 1 buckets.
+  // ckr-lint: unguarded(per-bucket relaxed counters; Record is lock-free)
+  std::vector<std::atomic<uint64_t>> counts_;
+  // ckr-lint: unguarded(relaxed total; approximate under concurrency)
   std::atomic<uint64_t> count_{0};
+  // ckr-lint: unguarded(relaxed sum; approximate under concurrency)
   std::atomic<double> sum_{0.0};
 };
 
@@ -111,12 +118,13 @@ class MetricRegistry {
   /// Finds or creates. A name maps to one metric kind: requesting an
   /// existing name as a different kind returns that name with a
   /// "!kind" suffix instead (observability must never abort serving).
-  Counter* GetCounter(std::string_view name);
-  Gauge* GetGauge(std::string_view name);
+  Counter* GetCounter(std::string_view name) CKR_EXCLUDES(metrics_mu_);
+  Gauge* GetGauge(std::string_view name) CKR_EXCLUDES(metrics_mu_);
   /// `bounds` applies only on first creation of `name`.
   Histogram* GetHistogram(std::string_view name,
                           const std::vector<double>& bounds =
-                              DefaultLatencyBoundsSeconds());
+                              DefaultLatencyBoundsSeconds())
+      CKR_EXCLUDES(metrics_mu_);
 
   const Clock& clock() const {
     return *clock_.load(std::memory_order_acquire);
@@ -130,20 +138,27 @@ class MetricRegistry {
   /// Deterministic JSON: object keys sorted bytewise, doubles printed
   /// with round-trip precision. Counters under "counters", gauges under
   /// "gauges", histograms under "histograms" with per-bucket counts.
-  std::string SnapshotJson() const;
+  std::string SnapshotJson() const CKR_EXCLUDES(metrics_mu_);
 
   /// Zeroes every metric (names and bucket layouts survive). Tests only.
-  void ResetAllForTesting();
+  void ResetAllForTesting() CKR_EXCLUDES(metrics_mu_);
 
   /// The process-wide registry every CKR_OBS_* hook reports into.
   /// Intentionally leaked so hooks in static destructors stay safe.
   static MetricRegistry& Global();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  /// Guards metric creation and snapshots; updates through returned
+  /// pointers stay lock-free. Ranked: a registry lookup may log, never
+  /// the reverse.
+  mutable Mutex metrics_mu_{LockRank::kMetricsRegistry};
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      CKR_GUARDED_BY(metrics_mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      CKR_GUARDED_BY(metrics_mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      CKR_GUARDED_BY(metrics_mu_);
+  // ckr-lint: unguarded(acquire/release swapped test seam; see setter)
   std::atomic<const Clock*> clock_;
 };
 

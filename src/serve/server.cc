@@ -35,8 +35,14 @@ uint64_t ServeDaemon::Publish(std::unique_ptr<ServingSnapshot> snapshot) {
 }
 
 Status ServeDaemon::Start() {
+  // Serializing on lifecycle_mu_ (not just the CAS) keeps workers_ single
+  // -writer: a Stop() racing with Start() can no longer join the vector
+  // while it is being filled.
+  MutexLock lock(&lifecycle_mu_);
   bool expected = false;
-  if (!started_.compare_exchange_strong(expected, true)) {
+  if (!started_.compare_exchange_strong(expected, true,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
     return Status::FailedPrecondition("daemon already started");
   }
   workers_.reserve(config_.num_workers);
@@ -47,6 +53,10 @@ Status ServeDaemon::Start() {
 }
 
 void ServeDaemon::Stop() {
+  // lifecycle_mu_ (kServeLifecycle) is held across queue_.Shutdown()
+  // (kRequestQueue) — ascending in the declared lock order. Workers do
+  // not take lifecycle_mu_, so joining under it cannot deadlock.
+  MutexLock lock(&lifecycle_mu_);
   queue_.Shutdown();
   for (std::thread& t : workers_) t.join();
   workers_.clear();

@@ -33,7 +33,9 @@
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "index/top_k.h"
 #include "obs/clock.h"
 #include "obs/metrics.h"
@@ -115,11 +117,12 @@ class ServeDaemon {
 
   /// Spawns the worker pool. Returns FailedPrecondition if already
   /// started.
-  [[nodiscard]] Status Start();
+  [[nodiscard]] Status Start() CKR_EXCLUDES(lifecycle_mu_);
 
   /// Graceful stop: closes admission, drains the backlog (every admitted
-  /// request is answered), joins the workers. Idempotent.
-  void Stop();
+  /// request is answered), joins the workers. Idempotent, and safe to
+  /// race with Start(): both serialize on lifecycle_mu_.
+  void Stop() CKR_EXCLUDES(lifecycle_mu_);
 
   bool started() const { return started_.load(std::memory_order_acquire); }
 
@@ -138,7 +141,13 @@ class ServeDaemon {
   const Clock* clock_;
   SnapshotRegistry registry_;
   BoundedMpmcQueue<ServeRequest> queue_;
-  std::vector<std::thread> workers_;
+  /// Serializes Start/Stop. Lowest-ranked lock in the hierarchy: Stop()
+  /// calls queue_.Shutdown() (kRequestQueue) while holding it.
+  mutable Mutex lifecycle_mu_{LockRank::kServeLifecycle};
+  std::vector<std::thread> workers_ CKR_GUARDED_BY(lifecycle_mu_);
+  /// Readable from Submit() without the lifecycle lock; Start publishes
+  /// with release, started() reads with acquire.
+  // ckr-lint: unguarded(lock-free running flag; see Start/started)
   std::atomic<bool> started_{false};
 
   // Cached metric pointers (registry lookups lock; lookups happen once).

@@ -23,7 +23,7 @@ void ReleaseSnapshotNode(SnapshotNode* node) {
 SnapshotRegistry::~SnapshotRegistry() {
   internal::SnapshotNode* current = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&registry_mu_);
     current = current_;
     current_ = nullptr;
   }
@@ -41,7 +41,7 @@ uint64_t SnapshotRegistry::Publish(std::unique_ptr<ServingSnapshot> snapshot) {
   internal::SnapshotNode* retired = nullptr;
   uint64_t generation = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&registry_mu_);
     generation = next_generation_++;
     snapshot->generation = generation;
     node->snapshot = std::move(snapshot);
@@ -55,7 +55,7 @@ uint64_t SnapshotRegistry::Publish(std::unique_ptr<ServingSnapshot> snapshot) {
 }
 
 SnapshotHandle SnapshotRegistry::Acquire() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&registry_mu_);
   if (current_ == nullptr) return SnapshotHandle();
   // Inside the mutex the publisher reference is still held, so the count
   // is >= 1 and can never resurrect from zero.
@@ -64,7 +64,7 @@ SnapshotHandle SnapshotRegistry::Acquire() const {
 }
 
 uint64_t SnapshotRegistry::CurrentGeneration() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&registry_mu_);
   return current_ == nullptr ? 0 : current_->snapshot->generation;
 }
 

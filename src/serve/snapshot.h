@@ -26,8 +26,9 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "index/top_k.h"
 #include "serve/sharded_index.h"
 
@@ -55,8 +56,12 @@ namespace internal {
 /// actually die.
 struct SnapshotNode {
   std::unique_ptr<const ServingSnapshot> snapshot;
+  /// The RCU refcount protocol (see file comment): ticks up only inside
+  /// the registry mutex, drops with acq_rel anywhere.
+  // ckr-lint: unguarded(refcount; acq_rel fetch_sub is the sync)
   std::atomic<int64_t> refs{1};
   /// Shared with the registry (a handle may legitimately outlive it).
+  // ckr-lint: unguarded(live-generation gauge; acq_rel adds/subs)
   std::shared_ptr<std::atomic<int64_t>> live_nodes;
 };
 
@@ -122,14 +127,15 @@ class SnapshotRegistry {
   /// Installs `snapshot` as the current generation, stamps its generation
   /// number, and retires the previous one (freed once its last in-flight
   /// handle releases). Returns the new generation number.
-  uint64_t Publish(std::unique_ptr<ServingSnapshot> snapshot);
+  uint64_t Publish(std::unique_ptr<ServingSnapshot> snapshot)
+      CKR_EXCLUDES(registry_mu_);
 
   /// Refcounted reference to the current generation; null handle before
   /// the first Publish().
-  SnapshotHandle Acquire() const;
+  SnapshotHandle Acquire() const CKR_EXCLUDES(registry_mu_);
 
   /// Generation number of the current snapshot (0 before first Publish).
-  uint64_t CurrentGeneration() const;
+  uint64_t CurrentGeneration() const CKR_EXCLUDES(registry_mu_);
 
   /// Generations still alive (current + retired-but-referenced). The
   /// zero-downtime swap tests assert this returns to 1 after in-flight
@@ -139,9 +145,12 @@ class SnapshotRegistry {
   }
 
  private:
-  mutable std::mutex mu_;
-  internal::SnapshotNode* current_ = nullptr;  ///< Guarded by mu_.
-  uint64_t next_generation_ = 1;               ///< Guarded by mu_.
+  /// The generation-swap critical section: microscopic, never blocked by
+  /// request execution. Ranked below metrics_mu_ / log_mu only.
+  mutable Mutex registry_mu_{LockRank::kSnapshotRegistry};
+  internal::SnapshotNode* current_ CKR_GUARDED_BY(registry_mu_) = nullptr;
+  uint64_t next_generation_ CKR_GUARDED_BY(registry_mu_) = 1;
+  // ckr-lint: unguarded(shared gauge; handles outlive the registry)
   std::shared_ptr<std::atomic<int64_t>> live_nodes_ =
       std::make_shared<std::atomic<int64_t>>(0);
 };

@@ -9,9 +9,12 @@
 #include "common/check.h"
 
 #include <cstdint>
+#include <mutex>
 #include <type_traits>
 #include <vector>
 
+#include "common/lock_order.h"
+#include "common/mutex.h"
 #include "gtest/gtest.h"
 
 namespace ckr {
@@ -62,6 +65,21 @@ TEST(CkrCheckReleaseTest, SpanAccessCompilesToUncheckedReads) {
 TEST(CkrCheckReleaseDeathTest, CkrCheckStaysArmedInRelease) {
   EXPECT_DEATH(CKR_CHECK(false), "CKR_CHECK failed");
   EXPECT_DEATH(CKR_CHECK_EQ(1, 2), "CKR_CHECK failed");
+}
+
+// With dchecks compiled out the annotated mutex must be exactly a
+// std::mutex: no rank storage, no registry bookkeeping.
+static_assert(sizeof(Mutex) == sizeof(std::mutex),
+              "release Mutex must add no state over std::mutex");
+
+TEST(CkrCheckReleaseTest, LockOrderRegistryIsCompiledOut) {
+  // A textbook inversion against the declared hierarchy: with the
+  // registry compiled out nothing aborts and nothing is tracked.
+  Mutex low(LockRank::kServeLifecycle);
+  Mutex high(LockRank::kLogSink);
+  MutexLock a(&high);
+  MutexLock b(&low);
+  EXPECT_EQ(LockOrderRegistry::HeldCountForTesting(), 0u);
 }
 
 }  // namespace

@@ -1,0 +1,137 @@
+// Death-test contract for the debug lock-order registry: a ranked
+// acquisition that does not strictly exceed every ranked lock the thread
+// already holds must abort on the first single-threaded execution — the
+// inversion is caught deterministically, not on the unlucky
+// interleaving. This TU pins CKR_ENABLE_DCHECKS (the check_test
+// pattern) so the registry is live regardless of the build type;
+// check_release_test proves the opposite configuration is a no-op.
+#include "common/lock_order.h"
+
+#include <thread>
+
+#include "common/mutex.h"
+#include "gtest/gtest.h"
+
+namespace ckr {
+namespace {
+
+static_assert(CKR_DEBUG_CHECKS == 1,
+              "this TU must build with the registry armed");
+
+TEST(LockOrderRegistryTest, AscendingAcquisitionIsLegal) {
+  Mutex low(LockRank::kServeLifecycle);
+  Mutex mid(LockRank::kSnapshotRegistry);
+  Mutex high(LockRank::kLogSink);
+  {
+    MutexLock a(&low);
+    MutexLock b(&mid);
+    MutexLock c(&high);
+    EXPECT_EQ(LockOrderRegistry::HeldCountForTesting(), 3u);
+  }
+  EXPECT_EQ(LockOrderRegistry::HeldCountForTesting(), 0u);
+}
+
+TEST(LockOrderRegistryTest, SkippingRanksIsLegal) {
+  // The hierarchy is sparse on purpose: lifecycle straight to log.
+  Mutex low(LockRank::kServeLifecycle);
+  Mutex high(LockRank::kLogSink);
+  MutexLock a(&low);
+  MutexLock b(&high);
+  EXPECT_EQ(LockOrderRegistry::HeldCountForTesting(), 2u);
+}
+
+TEST(LockOrderRegistryDeathTest, InversionDies) {
+  Mutex low(LockRank::kServeLifecycle);
+  Mutex high(LockRank::kMetricsRegistry);
+  EXPECT_DEATH(
+      {
+        MutexLock a(&high);
+        MutexLock b(&low);
+      },
+      "CKR_CHECK failed");
+}
+
+TEST(LockOrderRegistryDeathTest, SameRankNestingDies) {
+  // Two distinct locks of equal rank: the strict < also forbids this,
+  // which doubles as the recursive-acquisition (self-deadlock) check.
+  Mutex a(LockRank::kRequestQueue);
+  Mutex b(LockRank::kRequestQueue);
+  EXPECT_DEATH(
+      {
+        MutexLock la(&a);
+        MutexLock lb(&b);
+      },
+      "CKR_CHECK failed");
+}
+
+TEST(LockOrderRegistryDeathTest, TryLockParticipates) {
+  Mutex low(LockRank::kServeLifecycle);
+  Mutex high(LockRank::kLogSink);
+  EXPECT_DEATH(
+      {
+        MutexLock a(&high);
+        bool locked = low.TryLock();
+        if (locked) low.Unlock();
+      },
+      "CKR_CHECK failed");
+}
+
+TEST(LockOrderRegistryDeathTest, ReleasingAnUnheldRankedLockDies) {
+  // OnRelease fires before the underlying unlock, so the misuse aborts
+  // with a message instead of hitting undefined behavior.
+  Mutex m(LockRank::kRequestQueue);
+  EXPECT_DEATH(m.Unlock(), "CKR_CHECK failed");
+}
+
+TEST(LockOrderRegistryTest, UnrankedLocksAreExempt) {
+  Mutex ranked(LockRank::kLogSink);
+  Mutex leaf;  // kUnranked: opts out of the hierarchy.
+  MutexLock a(&ranked);
+  MutexLock b(&leaf);  // "Below" the log sink, but unranked: legal.
+  EXPECT_EQ(LockOrderRegistry::HeldCountForTesting(), 1u);
+}
+
+TEST(LockOrderRegistryTest, OutOfLifoManualReleaseIsTracked) {
+  Mutex low(LockRank::kServeLifecycle);
+  Mutex high(LockRank::kLogSink);
+  low.Lock();
+  high.Lock();
+  low.Unlock();  // Not LIFO; the newest matching entry is removed.
+  EXPECT_EQ(LockOrderRegistry::HeldCountForTesting(), 1u);
+  high.Unlock();
+  EXPECT_EQ(LockOrderRegistry::HeldCountForTesting(), 0u);
+}
+
+TEST(LockOrderRegistryTest, HeldStacksAreThreadLocal) {
+  Mutex low(LockRank::kServeLifecycle);
+  Mutex high(LockRank::kLogSink);
+  MutexLock a(&high);  // This thread holds the highest rank...
+  std::thread t([&] {
+    // ...but another thread starts from an empty stack, so acquiring a
+    // lower rank there is legal and sees only its own holdings.
+    MutexLock b(&low);
+    EXPECT_EQ(LockOrderRegistry::HeldCountForTesting(), 1u);
+  });
+  t.join();
+  EXPECT_EQ(LockOrderRegistry::HeldCountForTesting(), 1u);
+}
+
+TEST(LockOrderRegistryTest, ServeLayerRanksNestInDeclaredOrder) {
+  // The declared hierarchy end-to-end, as the daemon nests it: lifecycle
+  // while shutting the queue, registry under a worker, metrics under a
+  // registry lookup, log under everything.
+  Mutex lifecycle(LockRank::kServeLifecycle);
+  Mutex queue(LockRank::kRequestQueue);
+  Mutex registry(LockRank::kSnapshotRegistry);
+  Mutex metrics(LockRank::kMetricsRegistry);
+  Mutex sink(LockRank::kLogSink);
+  MutexLock a(&lifecycle);
+  MutexLock b(&queue);
+  MutexLock c(&registry);
+  MutexLock d(&metrics);
+  MutexLock e(&sink);
+  EXPECT_EQ(LockOrderRegistry::HeldCountForTesting(), 5u);
+}
+
+}  // namespace
+}  // namespace ckr

@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <cctype>
 #include <fstream>
+#include <iterator>
 #include <map>
 #include <set>
 #include <sstream>
+#include <utility>
 
+#include "common/parallel.h"
 #include "common/string_util.h"
 
 namespace ckr {
@@ -28,10 +31,13 @@ struct Tok {
   int line;
 };
 
-/// Per-file suppression state gathered from ckr-lint comments.
+/// Per-file suppression state gathered from ckr-lint comments, plus the
+/// lock-order declarations found in this file's comments.
 struct Suppressions {
   std::set<std::string> file_rules;                ///< allow-file(...)
   std::map<int, std::set<std::string>> line_rules; ///< line -> rules
+  /// (first, second) pairs from lock-order declaration comments.
+  std::vector<std::pair<std::string, std::string>> lock_edges;
 
   bool Allows(const std::string& rule, int line) const {
     if (file_rules.count(rule) != 0) return true;
@@ -40,11 +46,47 @@ struct Suppressions {
   }
 };
 
-/// Parses one comment body for a ckr-lint directive. `standalone` is true
-/// when the comment is the first thing on its line, in which case the
-/// suppression also covers the following line (annotation-above style).
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Parses an identifier chain "a < b < c" from a lock-order declaration
+/// comment. Identifiers collected before the first malformed position
+/// still count (a trailing rationale is tolerated); a chain needs at
+/// least two names to declare anything.
+void ParseLockOrderChain(std::string_view chain, Suppressions* sup) {
+  std::vector<std::string> names;
+  size_t p = 0;
+  const size_t n = chain.size();
+  auto skip_ws = [&] {
+    while (p < n && (chain[p] == ' ' || chain[p] == '\t')) ++p;
+  };
+  while (true) {
+    skip_ws();
+    size_t s = p;
+    while (p < n && IsIdentChar(chain[p])) ++p;
+    if (p == s) break;
+    names.emplace_back(chain.substr(s, p - s));
+    skip_ws();
+    if (p >= n || chain[p] != '<') break;
+    ++p;
+  }
+  for (size_t i = 0; i + 1 < names.size(); ++i) {
+    sup->lock_edges.emplace_back(names[i], names[i + 1]);
+  }
+}
+
+/// Parses one comment body for a ckr-lint directive or a lock-order
+/// declaration. `standalone` is true when the comment is the first thing
+/// on its line, in which case the suppression also covers the following
+/// line (annotation-above style).
 void ParseDirective(std::string_view comment, int line, bool standalone,
                     Suppressions* sup) {
+  size_t lo = comment.find("ckr-lock-order:");
+  if (lo != std::string_view::npos) {
+    ParseLockOrderChain(comment.substr(lo + 15), sup);
+    return;
+  }
   size_t at = comment.find("ckr-lint:");
   if (at == std::string_view::npos) return;
   std::string_view rest = comment.substr(at + 9);
@@ -59,6 +101,10 @@ void ParseDirective(std::string_view comment, int line, bool standalone,
       }
     }
   };
+  auto allow_one = [&](const char* rule) {
+    sup->line_rules[line].insert(rule);
+    if (standalone) sup->line_rules[line + 1].insert(rule);
+  };
 
   size_t open;
   if ((open = rest.find("allow-file(")) != std::string_view::npos) {
@@ -71,14 +117,22 @@ void ParseDirective(std::string_view comment, int line, bool standalone,
     if (close != std::string_view::npos) {
       add_rules(rest.substr(open + 6, close - open - 6), false);
     }
+  } else if ((open = rest.find("unguarded")) != std::string_view::npos) {
+    // The waiver demands a justification: an absent or empty reason
+    // leaves R6 in force, so "unguarded" can never be cargo-culted.
+    size_t paren = rest.find('(', open);
+    size_t close = rest.rfind(')');
+    if (paren != std::string_view::npos && close != std::string_view::npos &&
+        close > paren) {
+      std::string_view reason = rest.substr(paren + 1, close - paren - 1);
+      size_t a = reason.find_first_not_of(" \t");
+      if (a != std::string_view::npos) allow_one("R6");
+    }
+  } else if (rest.find("seqcst") != std::string_view::npos) {
+    allow_one("R7");
   } else if (rest.find("ordered") != std::string_view::npos) {
-    sup->line_rules[line].insert("R4");
-    if (standalone) sup->line_rules[line + 1].insert("R4");
+    allow_one("R4");
   }
-}
-
-bool IsIdentChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
 }
 
 /// Tokenizes C++ source. Multi-char punctuators that matter to the rules
@@ -404,6 +458,294 @@ void CheckR5(const Ctx& ctx) {
   }
 }
 
+/// R6: synchronization-primitive data members in src/ must declare their
+/// guard discipline — a thread-safety annotation or an explicit,
+/// justified waiver. The walk tracks record scopes (class/struct/union
+/// bodies) with a brace-kind stack; only declarations at record-body
+/// level, outside parameter lists, are members.
+void CheckR6(const Ctx& ctx) {
+  if (ctx.kind != FileKind::kSrc) return;
+  static const std::set<std::string> kSyncTypes = {
+      "mutex",
+      "recursive_mutex",
+      "shared_mutex",
+      "timed_mutex",
+      "recursive_timed_mutex",
+      "shared_timed_mutex",
+      "condition_variable",
+      "condition_variable_any",
+      "atomic",
+      "atomic_flag"};
+  static const std::set<std::string> kAnnotations = {
+      "CKR_GUARDED_BY", "CKR_PT_GUARDED_BY", "CKR_ACQUIRED_BEFORE",
+      "CKR_ACQUIRED_AFTER"};
+  const auto& toks = ctx.toks;
+
+  std::vector<char> scopes;  // One entry per open brace; 1 = record body.
+  bool pending_record = false;
+  int paren_depth = 0;
+  size_t stmt_start = 0;  // First token of the current statement.
+
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const std::string& t = toks[i].text;
+    if (t == "(") {
+      ++paren_depth;
+      pending_record = false;  // Function or template-parameter usage.
+      continue;
+    }
+    if (t == ")") {
+      if (paren_depth > 0) --paren_depth;
+      continue;
+    }
+    if (t == ">") {
+      pending_record = false;  // e.g. the keyword inside template<...>.
+      continue;
+    }
+    if (t == "{") {
+      scopes.push_back(pending_record ? 1 : 0);
+      pending_record = false;
+      stmt_start = i + 1;
+      continue;
+    }
+    if (t == "}") {
+      if (!scopes.empty()) scopes.pop_back();
+      stmt_start = i + 1;
+      continue;
+    }
+    if (t == ";") {
+      pending_record = false;  // Forward declaration.
+      stmt_start = i + 1;
+      continue;
+    }
+    if (toks[i].kind != TokKind::kIdent) continue;
+    if (t == "class" || t == "struct" || t == "union") {
+      // "enum class" opens an enumeration, not a record.
+      if (!(i > 0 && ctx.Is(i - 1, "enum"))) pending_record = true;
+      continue;
+    }
+    if (scopes.empty() || scopes.back() != 1 || paren_depth != 0) continue;
+    if (kSyncTypes.count(t) == 0) continue;
+    if (!(i >= 2 && ctx.Is(i - 1, "::") && ctx.Is(i - 2, "std"))) continue;
+    if (ctx.IsIdent(stmt_start) &&
+        (ctx.Text(stmt_start) == "using" ||
+         ctx.Text(stmt_start) == "typedef" ||
+         ctx.Text(stmt_start) == "friend")) {
+      continue;
+    }
+
+    // Find the declarator name: skip template arguments, then the
+    // pointer/reference/array punctuation and any closing angles of an
+    // enclosing template type (the atomic may sit inside a smart
+    // pointer or container).
+    size_t j = i + 1;
+    if (ctx.Is(j, "<")) {
+      int depth = 0;
+      for (; j < toks.size(); ++j) {
+        if (ctx.Is(j, "<")) ++depth;
+        if (ctx.Is(j, ">") && --depth == 0) break;
+      }
+      ++j;
+    }
+    while (j < toks.size() &&
+           (ctx.Is(j, ">") || ctx.Is(j, "*") || ctx.Is(j, "&") ||
+            ctx.Is(j, "[") || ctx.Is(j, "]"))) {
+      ++j;
+    }
+    if (!ctx.IsIdent(j)) continue;
+    const std::string name = ctx.Text(j);
+    if (ctx.Is(j + 1, "(")) continue;  // A function returning the type.
+
+    // Scan the rest of the declaration (balancing initializer braces)
+    // for an accepted annotation.
+    bool annotated = false;
+    size_t k = j;
+    int bal = 0;
+    for (; k < toks.size(); ++k) {
+      const std::string& s = toks[k].text;
+      if (s == "{") {
+        ++bal;
+      } else if (s == "}") {
+        if (bal == 0) break;  // Record body closing: unterminated decl.
+        --bal;
+      } else if (s == ";" && bal == 0) {
+        break;
+      } else if (toks[k].kind == TokKind::kIdent &&
+                 kAnnotations.count(s) != 0) {
+        annotated = true;
+      }
+    }
+    if (!annotated) {
+      std::string fix =
+          t == "mutex"
+              ? "use the annotated ckr::Mutex (common/mutex.h) so "
+                "-Wthread-safety and the lock-order check can see it"
+              : "annotate it with CKR_GUARDED_BY(...) or a CKR_ACQUIRED_* "
+                "ordering";
+      ctx.Report("R6", toks[i].line,
+                 "std::" + t + " member '" + name +
+                 "' declares no guard discipline; " + fix +
+                 ", or waive it with '// ckr-lint: unguarded(reason)'");
+    }
+    // Re-process the declaration's terminator in the main loop so the
+    // scope stack stays balanced.
+    if (k > i) i = k - 1;
+  }
+}
+
+/// R7: atomic operations in src/ must name an explicit memory order. A
+/// bare call silently defaults to seq_cst — either an unstated cost or
+/// an unstated correctness assumption.
+void CheckR7(const Ctx& ctx) {
+  if (ctx.kind != FileKind::kSrc) return;
+  // Ops whose zero-argument form cannot be atomic (store and the RMWs
+  // always take a value), so an argument-less call is some unrelated
+  // accessor and is skipped.
+  static const std::set<std::string> kNeedsArg = {
+      "store",          "exchange",  "fetch_add",
+      "fetch_sub",      "fetch_and", "fetch_or",
+      "fetch_xor",      "compare_exchange_strong",
+      "compare_exchange_weak"};
+  // Ops whose zero-argument form is exactly the implicit-seq_cst one.
+  static const std::set<std::string> kZeroArgAtomic = {"load",
+                                                      "test_and_set"};
+  const auto& toks = ctx.toks;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent) continue;
+    const std::string& t = toks[i].text;
+    const bool needs_arg = kNeedsArg.count(t) != 0;
+    if (!needs_arg && kZeroArgAtomic.count(t) == 0) continue;
+    const bool member_call =
+        i > 0 && (ctx.Is(i - 1, ".") || ctx.Is(i - 1, "->"));
+    if (!member_call || !ctx.Is(i + 1, "(")) continue;
+    if (needs_arg && ctx.Is(i + 2, ")")) continue;  // Accessor, not atomic.
+
+    bool named_order = false;
+    int depth = 0;
+    for (size_t j = i + 1; j < toks.size(); ++j) {
+      const std::string& s = toks[j].text;
+      if (s == "(") ++depth;
+      if (s == ")" && --depth == 0) break;
+      if (toks[j].kind == TokKind::kIdent &&
+          s.rfind("memory_order", 0) == 0) {
+        named_order = true;
+      }
+    }
+    if (!named_order) {
+      ctx.Report("R7", toks[i].line,
+                 "'" + t + "' names no std::memory_order and silently "
+                 "defaults to seq_cst; spell the order out (or annotate "
+                 "intended sequential consistency with the seqcst waiver)");
+    }
+  }
+}
+
+/// R8: lock-order inversions against the declared hierarchy. Walks
+/// scoped lock sites (MutexLock / lock_guard / unique_lock /
+/// scoped_lock), keeps the stack of locks held per brace scope, and
+/// flags any acquisition of a declared lock while holding one the
+/// hierarchy places after it.
+void CheckR8(const Ctx& ctx, const LockOrderSpec& order) {
+  if (order.empty()) return;
+  static const std::set<std::string> kScopedLocks = {
+      "MutexLock", "lock_guard", "unique_lock", "scoped_lock"};
+  const auto& toks = ctx.toks;
+  struct Held {
+    std::string name;
+    int depth;
+  };
+  std::vector<Held> held;
+  int depth = 0;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const std::string& t = toks[i].text;
+    if (t == "{") {
+      ++depth;
+      continue;
+    }
+    if (t == "}") {
+      --depth;
+      while (!held.empty() && held.back().depth > depth) held.pop_back();
+      continue;
+    }
+    if (toks[i].kind != TokKind::kIdent || kScopedLocks.count(t) == 0) {
+      continue;
+    }
+    size_t j = i + 1;
+    if (ctx.Is(j, "<")) {
+      int d = 0;
+      for (; j < toks.size(); ++j) {
+        if (ctx.Is(j, "<")) ++d;
+        if (ctx.Is(j, ">") && --d == 0) break;
+      }
+      ++j;
+    }
+    if (!ctx.IsIdent(j) || !ctx.Is(j + 1, "(")) continue;  // Not a decl.
+    // The mutex is the last identifier of the first constructor argument
+    // ("&state.log_mu" and "this->mu_" both resolve to the member name).
+    std::string name;
+    size_t k = j + 1;
+    int pd = 0;
+    for (; k < toks.size(); ++k) {
+      const std::string& s = toks[k].text;
+      if (s == "(") {
+        ++pd;
+        continue;
+      }
+      if (s == ")") {
+        if (--pd == 0) break;
+        continue;
+      }
+      if (pd == 1 && s == ",") break;
+      if (toks[k].kind == TokKind::kIdent) name = s;
+    }
+    if (!name.empty() && order.Declared(name)) {
+      for (const Held& h : held) {
+        if (order.Before(name, h.name)) {
+          ctx.Report("R8", toks[i].line,
+                     "acquires '" + name + "' while holding '" + h.name +
+                     "', but the declared lock order puts '" + name +
+                     "' first — inversion (deadlock risk)");
+        }
+      }
+      held.push_back({name, depth});
+    }
+    if (k > i) i = k;
+  }
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* kHex = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xf];
+          out += kHex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 std::string FormatViolation(const Violation& v) {
@@ -426,10 +768,75 @@ FileKind ClassifyPath(std::string_view path) {
   return FileKind::kOther;
 }
 
+void LockOrderSpec::AddEdge(const std::string& first,
+                            const std::string& second) {
+  if (first == second) return;
+  later_[first].insert(second);
+  later_.try_emplace(second);  // So Declared() sees sinks too.
+}
+
+void LockOrderSpec::Finalize() {
+  // Tiny graphs (a handful of locks): iterate to a fixpoint.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto& [name, afters] : later_) {
+      std::set<std::string> add;
+      for (const std::string& mid : afters) {
+        auto it = later_.find(mid);
+        if (it == later_.end()) continue;
+        for (const std::string& far : it->second) {
+          if (far != name && afters.count(far) == 0) add.insert(far);
+        }
+      }
+      if (!add.empty()) {
+        afters.insert(add.begin(), add.end());
+        changed = true;
+      }
+    }
+  }
+}
+
+bool LockOrderSpec::Declared(const std::string& name) const {
+  return later_.count(name) != 0;
+}
+
+bool LockOrderSpec::Before(const std::string& a, const std::string& b) const {
+  auto it = later_.find(a);
+  return it != later_.end() && it->second.count(b) != 0;
+}
+
+void CollectLockOrder(std::string_view content, LockOrderSpec* spec) {
+  // Fast path: no marker anywhere (including in strings) means no
+  // declarations; the tokenizer pass is only paid by files that have it.
+  if (content.find("ckr-lock-order:") == std::string_view::npos) return;
+  Suppressions sup;
+  Tokenize(content, &sup);
+  for (const auto& [first, second] : sup.lock_edges) {
+    spec->AddEdge(first, second);
+  }
+}
+
 std::vector<Violation> LintContent(std::string_view path,
                                    std::string_view content) {
+  return LintContent(path, content, nullptr);
+}
+
+std::vector<Violation> LintContent(std::string_view path,
+                                   std::string_view content,
+                                   const LockOrderSpec* lock_order) {
   Suppressions sup;
   std::vector<Tok> toks = Tokenize(content, &sup);
+
+  // Single-file mode: the file's own declarations are the hierarchy.
+  LockOrderSpec local;
+  if (lock_order == nullptr) {
+    for (const auto& [first, second] : sup.lock_edges) {
+      local.AddEdge(first, second);
+    }
+    local.Finalize();
+    lock_order = &local;
+  }
 
   // R4's precondition: serialization machinery is in scope. Matches both
   // common/binary_io.h and framework/binary_io.h, plus the block-index
@@ -455,6 +862,9 @@ std::vector<Violation> LintContent(std::string_view path,
   CheckR3(ctx);
   CheckR4(ctx);
   CheckR5(ctx);
+  CheckR6(ctx);
+  CheckR7(ctx);
+  CheckR8(ctx, *lock_order);
   std::sort(out.begin(), out.end(), [](const Violation& a, const Violation& b) {
     if (a.line != b.line) return a.line < b.line;
     return a.rule < b.rule;
@@ -468,6 +878,67 @@ StatusOr<std::vector<Violation>> LintPath(const std::string& path) {
   std::ostringstream buf;
   buf << in.rdbuf();
   return LintContent(path, buf.str());
+}
+
+LintRunResult LintFiles(const std::vector<std::string>& paths,
+                        unsigned jobs) {
+  LintRunResult result;
+  const size_t n = paths.size();
+  result.files = n;
+
+  // Pass one (serial; I/O-bound): read everything once and gather the
+  // global lock-order registry, so a hierarchy declared in one header
+  // binds lock sites in every file.
+  std::vector<std::string> contents(n);
+  std::vector<char> readable(n, 0);
+  LockOrderSpec order;
+  for (size_t i = 0; i < n; ++i) {
+    std::ifstream in(paths[i], std::ios::binary);
+    if (!in) {
+      result.errors.push_back(paths[i] + ": cannot open");
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    contents[i] = buf.str();
+    readable[i] = 1;
+    CollectLockOrder(contents[i], &order);
+  }
+  order.Finalize();
+
+  // Pass two (parallel; tokenization-bound): each file lints into its
+  // own slot, and slots merge in input order — the result is
+  // byte-identical to a serial run for any worker count.
+  if (jobs == 0) jobs = DefaultWorkerCount();
+  std::vector<std::vector<Violation>> slots(n);
+  ParallelForWorkers(n, jobs, [&](unsigned, size_t i) {
+    if (readable[i] != 0) slots[i] = LintContent(paths[i], contents[i], &order);
+  });
+  for (std::vector<Violation>& slot : slots) {
+    result.violations.insert(result.violations.end(),
+                             std::make_move_iterator(slot.begin()),
+                             std::make_move_iterator(slot.end()));
+  }
+  return result;
+}
+
+std::string LintReportJson(const LintRunResult& result) {
+  std::ostringstream os;
+  os << "{\"errors\":[";
+  for (size_t i = 0; i < result.errors.size(); ++i) {
+    if (i != 0) os << ",";
+    os << "\"" << JsonEscape(result.errors[i]) << "\"";
+  }
+  os << "],\"files\":" << result.files << ",\"violations\":[";
+  for (size_t i = 0; i < result.violations.size(); ++i) {
+    const Violation& v = result.violations[i];
+    if (i != 0) os << ",";
+    os << "{\"file\":\"" << JsonEscape(v.file) << "\",\"line\":" << v.line
+       << ",\"message\":\"" << JsonEscape(v.message) << "\",\"rule\":\""
+       << JsonEscape(v.rule) << "\"}";
+  }
+  os << "]}\n";
+  return os.str();
 }
 
 }  // namespace lint

@@ -1,10 +1,19 @@
 // CLI driver: walks the given files/directories (default: src bench
-// tests) and reports contract violations. Exit 0 = clean, 1 = violations,
-// 2 = I/O or usage error. Fixture files under any "testdata" directory
-// and build trees are skipped — fixtures violate rules on purpose.
+// tests tools) and reports contract violations. Exit 0 = clean, 1 =
+// violations, 2 = I/O or usage error. Fixture files under any "testdata"
+// directory and build trees are skipped — fixtures violate rules on
+// purpose.
+//
+// Flags (before or between paths):
+//   --jobs N      lint with N worker threads (default: hardware
+//                 concurrency; output is byte-identical for any N)
+//   --json FILE   additionally write the deterministic JSON report to
+//                 FILE ("-" = stdout, suppressing the text report)
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -42,35 +51,69 @@ void Collect(const fs::path& root, std::vector<std::string>* files) {
 
 int main(int argc, char** argv) {
   std::vector<std::string> files;
-  if (argc > 1) {
-    for (int i = 1; i < argc; ++i) {
-      if (!fs::exists(argv[i])) {
-        std::fprintf(stderr, "ckr_lint: no such path: %s\n", argv[i]);
+  std::string json_path;
+  unsigned jobs = 0;  // 0 = hardware concurrency.
+  bool any_path_arg = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--jobs") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "ckr_lint: --jobs needs a count\n");
         return 2;
       }
-      Collect(argv[i], &files);
+      jobs = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+      continue;
     }
-  } else {
+    if (arg == "--json") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "ckr_lint: --json needs a file (or -)\n");
+        return 2;
+      }
+      json_path = argv[++i];
+      continue;
+    }
+    if (!fs::exists(arg)) {
+      std::fprintf(stderr, "ckr_lint: no such path: %s\n", arg.c_str());
+      return 2;
+    }
+    any_path_arg = true;
+    Collect(arg, &files);
+  }
+  if (!any_path_arg) {
     for (const char* dir : {"src", "bench", "tests", "tools"}) {
       if (fs::exists(dir)) Collect(dir, &files);
     }
   }
   std::sort(files.begin(), files.end());
 
-  size_t violations = 0;
-  for (const std::string& file : files) {
-    auto result = ckr::lint::LintPath(file);
-    if (!result.ok()) {
-      std::fprintf(stderr, "ckr_lint: %s\n",
-                   result.status().ToString().c_str());
-      return 2;
-    }
-    for (const auto& v : *result) {
+  const ckr::lint::LintRunResult result = ckr::lint::LintFiles(files, jobs);
+  const bool json_to_stdout = json_path == "-";
+
+  for (const std::string& err : result.errors) {
+    std::fprintf(stderr, "ckr_lint: %s\n", err.c_str());
+  }
+  if (!json_to_stdout) {
+    for (const auto& v : result.violations) {
       std::printf("%s\n", ckr::lint::FormatViolation(v).c_str());
-      ++violations;
+    }
+  }
+  if (!json_path.empty()) {
+    const std::string report = ckr::lint::LintReportJson(result);
+    if (json_to_stdout) {
+      std::fwrite(report.data(), 1, report.size(), stdout);
+    } else {
+      std::ofstream out(json_path, std::ios::binary);
+      if (!out) {
+        std::fprintf(stderr, "ckr_lint: cannot write %s\n",
+                     json_path.c_str());
+        return 2;
+      }
+      out << report;
     }
   }
   std::fprintf(stderr, "ckr_lint: %zu file(s), %zu violation(s)\n",
-               files.size(), violations);
-  return violations == 0 ? 0 : 1;
+               result.files, result.violations.size());
+  if (!result.errors.empty()) return 2;
+  return result.violations.empty() ? 0 : 1;
 }

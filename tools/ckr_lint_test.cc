@@ -129,6 +129,134 @@ TEST(CkrLintTest, R5FlagsBannedFunctions) {
                                {"R5", 8}, {"R5", 12}, {"R5", 16}, {"R5", 20}}));
 }
 
+TEST(CkrLintTest, R6FlagsUndisciplinedSyncMembers) {
+  const std::string content = ReadFixture("r6_unguarded_members.cc");
+  auto vs = LintContent("src/r6_unguarded_members.cc", content);
+  EXPECT_EQ(RuleLines(vs), (std::multiset<RuleLine>{{"R6", 16},
+                                                    {"R6", 17},
+                                                    {"R6", 18},
+                                                    {"R6", 22},
+                                                    {"R6", 24},
+                                                    {"R6", 29}}));
+  // The guard-discipline contract binds library code only; tests and
+  // benches may hold loose state.
+  EXPECT_TRUE(LintContent("tests/r6_unguarded_members.cc", content).empty());
+}
+
+TEST(CkrLintTest, R7FlagsImplicitSeqCstOps) {
+  const std::string content = ReadFixture("r7_memory_order.cc");
+  auto vs = LintContent("src/r7_memory_order.cc", content);
+  EXPECT_EQ(RuleLines(vs), (std::multiset<RuleLine>{
+                               {"R7", 10}, {"R7", 11}, {"R7", 12}, {"R7", 15}}));
+  EXPECT_TRUE(LintContent("bench/r7_memory_order.cc", content).empty());
+}
+
+TEST(CkrLintTest, R8FlagsLockOrderInversions) {
+  const std::string content = ReadFixture("r8_lock_order.cc");
+  auto vs = LintContent("src/r8_lock_order.cc", content);
+  // Line 19 inverts through the transitive closure of the two declared
+  // edges; line 23 inverts a direct edge via the MutexLock form.
+  EXPECT_EQ(RuleLines(vs),
+            (std::multiset<RuleLine>{{"R8", 19}, {"R8", 23}}));
+}
+
+TEST(CkrLintTest, R8OnlyBindsDeclaredLocks) {
+  // Neutralizing the declaration marker (same length, so lines hold)
+  // empties the hierarchy and the identical nesting is no violation:
+  // R8 enforces declared order, it does not guess one.
+  std::string content = ReadFixture("r8_lock_order.cc");
+  size_t at;
+  while ((at = content.find("ckr-lock-order:")) != std::string::npos) {
+    content.replace(at, 15, "ckr-lock-nixed:");
+  }
+  EXPECT_TRUE(LintContent("src/r8_lock_order.cc", content).empty());
+}
+
+TEST(CkrLintTest, LockOrderRegistryIsGlobalAcrossFiles) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / "ckr_lint_xfile" / "src";
+  fs::create_directories(dir);
+  const std::string header = "// ckr-lock-order: fine_mu < coarse_mu\n";
+  const std::string body =
+      "#include <mutex>\n"
+      "void Bad(std::mutex& fine_mu, std::mutex& coarse_mu) {\n"
+      "  std::lock_guard<std::mutex> a(coarse_mu);\n"
+      "  std::lock_guard<std::mutex> b(fine_mu);\n"
+      "}\n";
+  const std::string order_h = (dir / "order.h").string();
+  const std::string use_cc = (dir / "use.cc").string();
+  std::ofstream(order_h, std::ios::binary) << header;
+  std::ofstream(use_cc, std::ios::binary) << body;
+
+  // The declaration lives in one file, the inversion in another: only
+  // the two-pass run can connect them.
+  LintRunResult run = LintFiles({order_h, use_cc}, 1);
+  ASSERT_EQ(run.violations.size(), 1u);
+  EXPECT_EQ(run.violations[0].rule, "R8");
+  EXPECT_EQ(run.violations[0].file, use_cc);
+  EXPECT_EQ(run.violations[0].line, 4);
+  EXPECT_TRUE(run.errors.empty());
+
+  // Single-file mode sees no declarations and stays silent.
+  EXPECT_TRUE(LintContent("src/use.cc", body).empty());
+}
+
+TEST(CkrLintTest, ParallelLintIsByteIdenticalToSerial) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / "ckr_lint_par" / "src";
+  fs::create_directories(dir);
+  std::vector<std::string> paths;
+  for (const char* fixture :
+       {"r1_nondeterminism.cc", "r5_banned_functions.cc",
+        "r6_unguarded_members.cc", "r7_memory_order.cc", "r8_lock_order.cc",
+        "clean.cc", "suppressed.cc"}) {
+    const std::string dst = (dir / fixture).string();
+    std::ofstream(dst, std::ios::binary) << ReadFixture(fixture);
+    paths.push_back(dst);
+  }
+  const LintRunResult serial = LintFiles(paths, 1);
+  EXPECT_FALSE(serial.violations.empty());
+  for (unsigned jobs : {2u, 4u, 8u}) {
+    const LintRunResult parallel = LintFiles(paths, jobs);
+    EXPECT_EQ(LintReportJson(serial), LintReportJson(parallel))
+        << "jobs=" << jobs;
+  }
+}
+
+TEST(CkrLintTest, JsonReportIsDeterministicBytes) {
+  LintRunResult r;
+  r.files = 2;
+  r.violations.push_back({"src/a.cc", 3, "R5", "uses \"atoi\""});
+  r.errors.push_back("src/missing.cc: cannot open");
+  EXPECT_EQ(LintReportJson(r),
+            "{\"errors\":[\"src/missing.cc: cannot open\"],\"files\":2,"
+            "\"violations\":[{\"file\":\"src/a.cc\",\"line\":3,"
+            "\"message\":\"uses \\\"atoi\\\"\",\"rule\":\"R5\"}]}\n");
+}
+
+TEST(CkrLintTest, LintFilesReportsUnreadablePaths) {
+  LintRunResult run = LintFiles({"src/definitely_not_here.cc"}, 1);
+  ASSERT_EQ(run.errors.size(), 1u);
+  EXPECT_NE(run.errors[0].find("definitely_not_here"), std::string::npos);
+  EXPECT_FALSE(run.clean());
+}
+
+TEST(CkrLintTest, LockOrderSpecClosesTransitively) {
+  LockOrderSpec spec;
+  spec.AddEdge("a", "b");
+  spec.AddEdge("b", "c");
+  spec.Finalize();
+  EXPECT_TRUE(spec.Declared("a"));
+  EXPECT_TRUE(spec.Declared("c"));
+  EXPECT_FALSE(spec.Declared("d"));
+  EXPECT_TRUE(spec.Before("a", "b"));
+  EXPECT_TRUE(spec.Before("a", "c"));
+  EXPECT_FALSE(spec.Before("c", "a"));
+  EXPECT_FALSE(spec.Before("b", "a"));
+}
+
 TEST(CkrLintTest, CleanFixtureHasNoViolations) {
   auto vs = LintContent("src/clean.cc", ReadFixture("clean.cc"));
   for (const auto& v : vs) ADD_FAILURE() << FormatViolation(v);
@@ -189,6 +317,32 @@ TEST(CkrLintTest, RepoSrcTreeIsClean) {
     ++files;
   }
   EXPECT_GT(files, 50u);  // Sanity: the walk actually saw the tree.
+}
+
+// The same gate through the two-pass runner: the whole tree (src, bench,
+// tests, tools — what CI lints) must be clean against the *global*
+// lock-order registry, which single-file LintPath cannot see.
+TEST(CkrLintTest, RepoTreeIsCleanUnderGlobalLockOrderRegistry) {
+  namespace fs = std::filesystem;
+  const fs::path root = fs::path(CKR_LINT_SOURCE_DIR);
+  std::vector<std::string> paths;
+  for (const char* dir : {"src", "bench", "tests", "tools"}) {
+    ASSERT_TRUE(fs::is_directory(root / dir)) << dir;
+    for (const auto& entry :
+         fs::recursive_directory_iterator(root / dir)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string p = entry.path().string();
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".cc" && ext != ".h") continue;
+      if (p.find("testdata") != std::string::npos) continue;
+      paths.push_back(p);
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  const LintRunResult run = LintFiles(paths, 2);
+  for (const auto& e : run.errors) ADD_FAILURE() << e;
+  for (const auto& v : run.violations) ADD_FAILURE() << FormatViolation(v);
+  EXPECT_GT(run.files, 100u);
 }
 
 TEST(CkrLintTest, RealClockUsesLineScopedSuppressionNotAnExemption) {

@@ -1,0 +1,42 @@
+// R6 fixture: synchronization-primitive members must declare their guard
+// discipline. Linted under a virtual src/ path.
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+
+namespace fixture {
+
+class Widget {
+ public:
+  int Get() const;
+  void TakesAtomicParam(std::atomic<int>& cell);  // Parameter: clean.
+
+ private:
+  std::mutex mu_;                    // R6: raw mutex, no discipline.
+  std::atomic<int> hits_{0};         // R6: bare atomic member.
+  std::condition_variable_any cv_;   // R6: bare condvar member.
+  // ckr-lint: unguarded(fixture: primed before any reader thread exists)
+  std::atomic<bool> primed_{false};  // Waived with a reason: clean.
+  // ckr-lint: unguarded()
+  std::atomic<int> unexcused_{0};    // R6: empty reason is no waiver.
+  std::atomic<long> count_ CKR_GUARDED_BY(mu_){0};  // Annotated: clean.
+  std::shared_ptr<std::atomic<int>> shared_;        // R6: nested atomic.
+  int plain_ = 0;                    // Not a sync primitive: clean.
+};
+
+struct Pod {
+  std::atomic<unsigned> seen{0};     // R6: structs are records too.
+};
+
+enum class Mode { kAtomic };         // "enum class" is not a record.
+
+// Namespace scope is not a member declaration: clean (R6 is about
+// members, whose guard relationship to a mutex must be stated).
+std::atomic<int> process_wide{0};
+
+using AtomicInt = std::atomic<int>;  // Alias, not a member: clean.
+
+int Uses(Widget&) { return 0; }
+
+}  // namespace fixture

@@ -1,0 +1,38 @@
+// R7 fixture: atomic operations must name an explicit std::memory_order.
+// Linted under a virtual src/ path.
+#include <atomic>
+
+namespace fixture {
+
+// ckr-lint: allow-file(R6)
+std::atomic<int> cell{0};
+
+int BareLoad() { return cell.load(); }           // R7: implicit seq_cst.
+void BareStore(int v) { cell.store(v); }         // R7.
+int BareRmw() { return cell.fetch_add(1); }      // R7.
+bool BareCas(int want) {
+  int expected = 0;
+  return cell.compare_exchange_strong(expected, want);  // R7.
+}
+
+int GoodLoad() { return cell.load(std::memory_order_acquire); }
+void GoodStore(int v) { cell.store(v, std::memory_order_release); }
+int GoodRmw() { return cell.fetch_add(1, std::memory_order_relaxed); }
+bool GoodCas(int want) {
+  int expected = 0;
+  return cell.compare_exchange_strong(expected, want,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire);
+}
+
+// ckr-lint: seqcst
+int IntendedSeqCst() { return cell.load(); }     // Waived: clean.
+
+struct Pantry {
+  int store() const { return 7; }                // Not an atomic op.
+};
+// An argument-less .store() can only be an accessor (the atomic one
+// always takes a value): clean.
+int ViaAccessor(const Pantry& p) { return p.store(); }
+
+}  // namespace fixture

@@ -1,0 +1,47 @@
+// R8 fixture: nested scoped-lock acquisitions against the declared
+// hierarchy. The chain is declared across two comments, so the inversion
+// between its endpoints is only visible through the transitive closure.
+#include <mutex>
+
+// ckr-lock-order: fine_mu < mid_mu
+// ckr-lock-order: mid_mu < coarse_mu
+
+namespace fixture {
+
+class Pair {
+ public:
+  void Ascending() {
+    std::lock_guard<std::mutex> fine(fine_mu);
+    std::lock_guard<std::mutex> coarse(coarse_mu);  // In order: clean.
+  }
+  void Inverted() {
+    std::lock_guard<std::mutex> coarse(coarse_mu);
+    std::lock_guard<std::mutex> fine(fine_mu);      // R8 (transitive).
+  }
+  void InvertedAdjacent() {
+    std::unique_lock<std::mutex> mid(mid_mu);
+    MutexLock fine(&fine_mu);                       // R8 (direct edge).
+  }
+  void Sequential() {
+    {
+      std::lock_guard<std::mutex> coarse(coarse_mu);
+    }
+    std::lock_guard<std::mutex> fine(fine_mu);      // Released: clean.
+  }
+  void OutsideTheHierarchy() {
+    std::lock_guard<std::mutex> other(other_mu);
+    std::lock_guard<std::mutex> fine(fine_mu);      // Undeclared: clean.
+  }
+
+ private:
+  // ckr-lint: unguarded(fixture lock)
+  std::mutex fine_mu;
+  // ckr-lint: unguarded(fixture lock)
+  std::mutex mid_mu;
+  // ckr-lint: unguarded(fixture lock)
+  std::mutex coarse_mu;
+  // ckr-lint: unguarded(fixture lock)
+  std::mutex other_mu;
+};
+
+}  // namespace fixture

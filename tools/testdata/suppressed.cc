@@ -1,6 +1,7 @@
 // Fixture: every suppression form silences its rule.
 // Linted under the virtual path src/suppressed.cc.
 // ckr-lint: allow-file(R5)
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -38,5 +39,16 @@ std::vector<uint32_t> DumpCounts(
 void LegacyCopy(char* dst, const char* src) {
   strcpy(dst, src);  // silenced by the file-level allow-file(R5)
 }
+
+class Guarded {
+ public:
+  int Peek() const { return cell_.load(std::memory_order_relaxed); }
+  // ckr-lint: seqcst
+  int PeekSeqCst() const { return cell_.load(); }
+
+ private:
+  // ckr-lint: unguarded(monotonic stat cell; relaxed reads suffice)
+  std::atomic<int> cell_{0};
+};
 
 }  // namespace fixture
