@@ -25,6 +25,7 @@
 #include "clicks/click_log.h"
 #include "core/pipeline.h"
 #include "corpus/corpus_stream.h"
+#include "detect/pattern_detector.h"
 #include "features/offline_miner.h"
 #include "index/inverted_index.h"
 #include "index/legacy_index.h"
@@ -437,6 +438,189 @@ std::vector<ScaleLeg> RunScaleLegs() {
   return legs;
 }
 
+// ---- signature-prefilter legs: rejection rate + wall-clock delta ----
+
+struct SignatureLeg {
+  size_t target_docs = 0;
+  size_t docs = 0;
+  size_t queries = 0;
+  int repeats = 0;
+  bool bit_identical = true;        ///< Phrase counts + hits, on vs off.
+  double gated_seconds = 0.0;       ///< Phrase-count pass, prefilter on.
+  double ungated_seconds = 0.0;     ///< Same pass, prefilter off.
+  uint64_t docs_tested = 0;         ///< ckr.sig.docs_tested delta.
+  uint64_t docs_rejected = 0;       ///< ckr.sig.docs_rejected delta.
+  bool patterns_identical = true;   ///< Pattern spans, on vs off.
+  double pattern_gated_seconds = 0.0;
+  double pattern_ungated_seconds = 0.0;
+  uint64_t windows_tested = 0;      ///< ckr.sig.windows_tested delta.
+  uint64_t windows_rejected = 0;    ///< ckr.sig.windows_rejected delta.
+  size_t signature_bytes = 0;       ///< SignatureMatrix pool footprint.
+  double DocRejectionRate() const {
+    return docs_tested > 0 ? static_cast<double>(docs_rejected) /
+                                 static_cast<double>(docs_tested)
+                           : 0.0;
+  }
+  double WindowRejectionRate() const {
+    return windows_tested > 0 ? static_cast<double>(windows_rejected) /
+                                    static_cast<double>(windows_tested)
+                              : 0.0;
+  }
+  double Speedup() const {
+    return gated_seconds > 0 ? ungated_seconds / gated_seconds : 0.0;
+  }
+};
+
+/// One signature leg: stream-generate `target_docs` web documents into
+/// twin indexes differing only in build_signature_filter, prove every
+/// phrase count and phrase hit bit-identical across the pair (the
+/// zero-false-negative contract, also property-tested at small scale),
+/// then time the phrase-count workload on both and read the rejection
+/// counters around the gated pass. The pattern-window gate gets the same
+/// treatment inline during streaming: each document's text is scanned
+/// with the window prefilter on and off, timed separately, spans
+/// compared. Counter fields are zero under CKR_OBS_DISABLED; the
+/// wall-clock and bit-identity columns do not depend on obs.
+SignatureLeg RunSignatureLeg(size_t target_docs) {
+  SignatureLeg leg;
+  leg.target_docs = target_docs;
+  auto world_or = World::Create(ScaledWorldConfig(target_docs, 20090331));
+  if (!world_or.ok()) {
+    std::fprintf(stderr, "signature leg %zu: %s\n", target_docs,
+                 world_or.status().ToString().c_str());
+    std::exit(1);
+  }
+  const World& world = *world_or.value();
+  CorpusStreamer streamer(world);
+
+  IndexBuildOptions gated_opts;
+  gated_opts.store_text = false;
+  gated_opts.build_block_index = false;
+  IndexBuildOptions ungated_opts = gated_opts;
+  ungated_opts.build_signature_filter = false;
+  InvertedIndex gated(gated_opts);
+  InvertedIndex ungated(ungated_opts);
+
+  obs::MetricRegistry& reg = obs::MetricRegistry::Global();
+  obs::Counter* c_wtested = reg.GetCounter("ckr.sig.windows_tested");
+  obs::Counter* c_wrejected = reg.GetCounter("ckr.sig.windows_rejected");
+  const uint64_t wtested0 = c_wtested->Value();
+  const uint64_t wrejected0 = c_wrejected->Value();
+
+  std::vector<PatternMatch> pat_on, pat_off;
+  Status s = streamer.Stream(
+      Document::Kind::kWeb, target_docs, CorpusStreamConfig{},
+      [&](Document&& doc) {
+        auto t0 = std::chrono::steady_clock::now();
+        DetectPatternsInto(doc.text, &pat_on, /*signature_prefilter=*/true);
+        leg.pattern_gated_seconds += WallSeconds(t0);
+        t0 = std::chrono::steady_clock::now();
+        DetectPatternsInto(doc.text, &pat_off, /*signature_prefilter=*/false);
+        leg.pattern_ungated_seconds += WallSeconds(t0);
+        if (pat_on.size() != pat_off.size()) {
+          leg.patterns_identical = false;
+        } else {
+          for (size_t i = 0; i < pat_on.size(); ++i) {
+            if (pat_on[i].begin != pat_off[i].begin ||
+                pat_on[i].end != pat_off[i].end) {
+              leg.patterns_identical = false;
+            }
+          }
+        }
+        gated.Add(doc);
+        ungated.Add(doc);
+      });
+  if (!s.ok()) {
+    std::fprintf(stderr, "signature leg %zu: %s\n", target_docs,
+                 s.ToString().c_str());
+    std::exit(1);
+  }
+  leg.windows_tested = c_wtested->Value() - wtested0;
+  leg.windows_rejected = c_wrejected->Value() - wrejected0;
+
+  gated.Finalize();
+  ungated.Finalize();
+  leg.docs = gated.NumDocs();
+  leg.signature_bytes = gated.signatures().MemoryBytes();
+
+  // Entity-key phrase workload (the feature-(4) query shape), ~250
+  // queries regardless of scale.
+  std::vector<std::string> queries;
+  const size_t step = std::max<size_t>(1, world.NumEntities() / 250);
+  for (size_t i = 0; i < world.NumEntities(); i += step) {
+    queries.push_back(world.entity(static_cast<EntityId>(i)).key);
+  }
+  leg.queries = queries.size();
+
+  // Exact-safety before timing: the rejection-rate claim is void if the
+  // prefilter ever changes a count or a hit list.
+  for (const std::string& q : queries) {
+    leg.bit_identical = leg.bit_identical && gated.PhraseResultCount(q) ==
+                                                 ungated.PhraseResultCount(q);
+    leg.bit_identical =
+        leg.bit_identical &&
+        SameResults(gated.PhraseSearch(q, 10), ungated.PhraseSearch(q, 10));
+  }
+
+  obs::Counter* c_tested = reg.GetCounter("ckr.sig.docs_tested");
+  obs::Counter* c_rejected = reg.GetCounter("ckr.sig.docs_rejected");
+  leg.repeats = target_docs <= 10000 ? 10 : 3;
+  const uint64_t tested0 = c_tested->Value();
+  const uint64_t rejected0 = c_rejected->Value();
+  auto t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < leg.repeats; ++r) {
+    for (const std::string& q : queries) {
+      benchmark::DoNotOptimize(gated.PhraseResultCount(q));
+    }
+  }
+  leg.gated_seconds = WallSeconds(t0);
+  leg.docs_tested = c_tested->Value() - tested0;
+  leg.docs_rejected = c_rejected->Value() - rejected0;
+  t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < leg.repeats; ++r) {
+    for (const std::string& q : queries) {
+      benchmark::DoNotOptimize(ungated.PhraseResultCount(q));
+    }
+  }
+  leg.ungated_seconds = WallSeconds(t0);
+  return leg;
+}
+
+std::vector<SignatureLeg> RunSignatureLegs(bool smoke_only) {
+  std::vector<size_t> targets = {6000};
+  if (!smoke_only) targets.push_back(100000);
+  std::vector<SignatureLeg> legs;
+  for (size_t t : targets) {
+    std::printf("signature leg: %zu docs...\n", t);
+    legs.push_back(RunSignatureLeg(t));
+  }
+  return legs;
+}
+
+void PrintSignatureLegs(const std::vector<SignatureLeg>& legs) {
+  std::printf("signature prefilter (phrase-count workload, counts and hits "
+              "bit-identical on/off):\n");
+  for (const SignatureLeg& leg : legs) {
+    std::printf("  %8zu docs  bit-identical: %s  patterns identical: %s\n",
+                leg.docs, leg.bit_identical ? "yes" : "NO",
+                leg.patterns_identical ? "yes" : "NO");
+    std::printf("    phrase pass (%zu queries x%d): gated %.3fs, ungated "
+                "%.3fs (%.2fx); docs rejected %llu/%llu (%.1f%%)\n",
+                leg.queries, leg.repeats, leg.gated_seconds,
+                leg.ungated_seconds, leg.Speedup(),
+                static_cast<unsigned long long>(leg.docs_rejected),
+                static_cast<unsigned long long>(leg.docs_tested),
+                leg.DocRejectionRate() * 100.0);
+    std::printf("    pattern scan: gated %.3fs, ungated %.3fs; windows "
+                "rejected %llu/%llu (%.1f%%); signatures %.2f MB\n",
+                leg.pattern_gated_seconds, leg.pattern_ungated_seconds,
+                static_cast<unsigned long long>(leg.windows_rejected),
+                static_cast<unsigned long long>(leg.windows_tested),
+                leg.WindowRejectionRate() * 100.0,
+                static_cast<double>(leg.signature_bytes) / 1e6);
+  }
+}
+
 void RunSummary() {
   OfflineLab* lab = GetLab();
 
@@ -601,6 +785,10 @@ void RunSummary() {
   // 100x corpus-scale legs (1M docs only under CKR_BENCH_MILLION).
   const std::vector<ScaleLeg> scale_legs = RunScaleLegs();
 
+  // Signature-prefilter legs at the same two scales.
+  const std::vector<SignatureLeg> signature_legs =
+      RunSignatureLegs(/*smoke_only=*/false);
+
   size_t legacy_bytes = lab->legacy.MemoryBytes();
   size_t flat_bytes = lab->flat.MemoryBytes();
 
@@ -693,6 +881,7 @@ void RunSummary() {
     }
     std::printf("\n");
   }
+  PrintSignatureLegs(signature_legs);
   std::printf("mining fan-out (%zu concepts, %u hardware threads), outputs "
               "identical across worker counts: %s\n",
               lab->concepts.size(), std::thread::hardware_concurrency(),
@@ -848,6 +1037,47 @@ void RunSummary() {
     std::fprintf(f, "]}%s\n", i + 1 < scale_legs.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
+  // Signature-prefilter legs: the exact-safety bit (counts and hits
+  // bit-identical with the gate on and off), the rejection rates from the
+  // ckr.sig.* counters (zero under CKR_OBS_DISABLED), and the wall-clock
+  // delta of the phrase-count workload at each scale.
+  std::fprintf(f, "  \"signature\": {\n    \"legs\": [\n");
+  for (size_t i = 0; i < signature_legs.size(); ++i) {
+    const SignatureLeg& leg = signature_legs[i];
+    std::fprintf(f,
+                 "      {\"target_docs\": %zu, \"documents\": %zu, "
+                 "\"queries\": %zu, \"repeats\": %d,\n",
+                 leg.target_docs, leg.docs, leg.queries, leg.repeats);
+    std::fprintf(f,
+                 "       \"results_bit_identical\": %s, "
+                 "\"patterns_bit_identical\": %s,\n",
+                 leg.bit_identical ? "true" : "false",
+                 leg.patterns_identical ? "true" : "false");
+    std::fprintf(f,
+                 "       \"phrase_count\": {\"gated_seconds\": %.6f, "
+                 "\"ungated_seconds\": %.6f, \"speedup\": %.4f},\n",
+                 leg.gated_seconds, leg.ungated_seconds, leg.Speedup());
+    std::fprintf(f,
+                 "       \"docs_tested\": %llu, \"docs_rejected\": %llu, "
+                 "\"doc_rejection_rate\": %.4f,\n",
+                 static_cast<unsigned long long>(leg.docs_tested),
+                 static_cast<unsigned long long>(leg.docs_rejected),
+                 leg.DocRejectionRate());
+    std::fprintf(f,
+                 "       \"pattern_scan\": {\"gated_seconds\": %.6f, "
+                 "\"ungated_seconds\": %.6f},\n",
+                 leg.pattern_gated_seconds, leg.pattern_ungated_seconds);
+    std::fprintf(f,
+                 "       \"windows_tested\": %llu, \"windows_rejected\": "
+                 "%llu, \"window_rejection_rate\": %.4f,\n",
+                 static_cast<unsigned long long>(leg.windows_tested),
+                 static_cast<unsigned long long>(leg.windows_rejected),
+                 leg.WindowRejectionRate());
+    std::fprintf(f, "       \"signature_bytes\": %zu}%s\n",
+                 leg.signature_bytes,
+                 i + 1 < signature_legs.size() ? "," : "");
+  }
+  std::fprintf(f, "    ]\n  },\n");
   std::fprintf(f, "  \"mining_concepts\": %zu,\n", lab->concepts.size());
   // Mining scaling is bounded by the physical cores available; record them
   // so consumers can judge the speedup_vs_1 column.
@@ -876,6 +1106,24 @@ void RunSummary() {
 
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
+  if (std::getenv("CKR_BENCH_SIGNATURE_SMOKE") != nullptr) {
+    // The check_all.sh gate: one paper-scale signature leg, exact-safety
+    // enforced with a hard exit so a prefilter regression fails CI even
+    // though the full bench run is too slow for the gate.
+    const auto legs = RunSignatureLegs(/*smoke_only=*/true);
+    PrintSignatureLegs(legs);
+    for (const SignatureLeg& leg : legs) {
+      if (!leg.bit_identical || !leg.patterns_identical) {
+        std::fprintf(stderr,
+                     "signature smoke: prefilter changed results at %zu "
+                     "docs\n",
+                     leg.target_docs);
+        return 1;
+      }
+    }
+    benchmark::Shutdown();
+    return 0;
+  }
   RunSummary();
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

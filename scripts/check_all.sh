@@ -22,6 +22,14 @@ echo "== corpus-scale smoke: 50k-doc streamed build + docid reorder =="
 # log. Plain ctest skips this test; the env flag arms it here.
 CKR_SCALE_SMOKE=1 ./build/tests/scale_smoke_test
 
+echo "== signature smoke: prefilter exact-safety + rejection rate at 6k docs =="
+# One paper-scale signature-prefilter leg from the offline bench: phrase
+# counts/hits and pattern spans must be bit-identical with the gate on and
+# off (exits non-zero on any divergence) and the rejection-rate/wall-clock
+# numbers are printed for the log. The full two-scale sweep lands in
+# BENCH_offline.json via a plain bench_offline_perf run.
+CKR_BENCH_SIGNATURE_SMOKE=1 ./build/bench/bench_offline_perf
+
 echo "== serving smoke: sharded oracle bit-identity, hot swap, shedding =="
 # Ungated (also part of plain ctest); re-run standalone here so a serving
 # regression is named in the gate output instead of buried in the suite.

@@ -216,6 +216,17 @@ void InvertedIndex::Finalize() {
   for (uint32_t tid : tok_tid_) CKR_DCHECK_LT(tid, num_terms);
 #endif
   finalized_ = true;
+  if (options_.build_signature_filter) {
+    // Term-major over the freshly built CSR postings: each term's probe
+    // bits are hashed once and OR-ed into every posting's doc row.
+    signatures_ = SignatureMatrix(options_.signature);
+    signatures_.Reset(num_docs);
+    for (size_t t = 0; t < num_terms; ++t) {
+      signatures_.AddTermToRows(static_cast<uint32_t>(t),
+                                CsrRow(post_doc_, post_offset_, t));
+    }
+    has_signatures_ = true;
+  }
   if (options_.build_block_index) RebuildBlockIndex(options_.block_codec);
 }
 
@@ -359,6 +370,13 @@ std::vector<SearchResult> InvertedIndex::Search(
   std::sort(terms.begin(), terms.end());
   terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
 
+  // Empty/whitespace-only query: no terms, no results — return before
+  // allocating per-doc accumulators (all evaluators agree on {}).
+  if (terms.empty()) {
+    CKR_OBS_COUNTER_INC("ckr.index.searches");
+    return {};
+  }
+
   const bool default_params =
       params.k1 == Bm25Params{}.k1 && params.b == Bm25Params{}.b;
   if (evaluator != QueryEvaluator::kExhaustive && default_params &&
@@ -420,6 +438,8 @@ uint64_t InvertedIndex::RegularResultCount(std::string_view query) const {
   std::sort(terms.begin(), terms.end());
   terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
 
+  // Empty/whitespace-only query: nothing can match; skip the bitmap.
+  if (terms.empty()) return 0;
   // Single-term fast path: the union is one posting list.
   if (terms.size() == 1) return DocFreq(terms[0]);
 
@@ -542,12 +562,28 @@ uint64_t InvertedIndex::PhraseResultCount(std::string_view phrase) const {
     return post_offset_[tids[0] + 1] - post_offset_[tids[0]];
   }
 
+  // Signature prefilter: a seed document whose signature does not cover
+  // every phrase term provably lacks one of them, so the positional check
+  // cannot succeed — skipping it never changes the count (exact-safe;
+  // duplicate phrase terms just OR the same bits twice).
+  std::vector<uint64_t> qsig;
+  const bool gated = has_signatures_;
+  if (gated) signatures_.BuildSignature(MakeSpan(tids), &qsig);
+
   std::vector<uint32_t> pos_buf;
   uint64_t count = 0;
   const size_t rb = post_offset_[tids[rarest]];
   const size_t re = post_offset_[tids[rarest] + 1];
   for (size_t seed = rb; seed < re; ++seed) {
-    if (PhraseInDoc(post_doc_[seed], tids, rarest, seed, &pos_buf, nullptr)) {
+    const uint32_t d = post_doc_[seed];
+    if (gated) {
+      CKR_OBS_COUNTER_INC("ckr.sig.docs_tested");
+      if (!signatures_.CoversAll(d, MakeSpan(qsig))) {
+        CKR_OBS_COUNTER_INC("ckr.sig.docs_rejected");
+        continue;
+      }
+    }
+    if (PhraseInDoc(d, tids, rarest, seed, &pos_buf, nullptr)) {
       ++count;
     }
   }
@@ -570,10 +606,23 @@ std::vector<SearchResult> InvertedIndex::PhraseSearch(std::string_view phrase,
   // Loop-invariant in the legacy code; identical expression, same bits.
   const double idf = std::log(1.0 + (n - dfr + 0.5) / (dfr + 0.5));
 
+  // Same exact-safe prefilter as PhraseResultCount. Single-term phrases
+  // skip it: every seed trivially covers its own term's bits.
+  std::vector<uint64_t> qsig;
+  const bool gated = has_signatures_ && tids.size() > 1;
+  if (gated) signatures_.BuildSignature(MakeSpan(tids), &qsig);
+
   TopKHeap heap(k);
   std::vector<uint32_t> pos_buf;
   for (size_t seed = rb; seed < re; ++seed) {
     uint32_t d = post_doc_[seed];
+    if (gated) {
+      CKR_OBS_COUNTER_INC("ckr.sig.docs_tested");
+      if (!signatures_.CoversAll(d, MakeSpan(qsig))) {
+        CKR_OBS_COUNTER_INC("ckr.sig.docs_rejected");
+        continue;
+      }
+    }
     uint32_t starts = 0;
     if (tids.size() == 1) {
       starts = post_tf_[seed];  // Every occurrence is a phrase start.
@@ -584,6 +633,28 @@ std::vector<SearchResult> InvertedIndex::PhraseSearch(std::string_view phrase,
     double score =
         idf * static_cast<double>(starts) / (1.0 + 0.002 * dl);
     heap.Push({docs_[d].id, score});
+  }
+  return heap.Take();
+}
+
+std::vector<SearchResult> InvertedIndex::RelatedDocuments(DocId doc,
+                                                          size_t k) const {
+  CKR_DCHECK(finalized_);
+  if (!has_signatures_ || k == 0) return {};
+  const int32_t di = FindDocIndex(doc);
+  if (di < 0) return {};
+  const size_t src = static_cast<size_t>(di);
+  CKR_OBS_COUNTER_INC("ckr.sig.related_queries");
+  // One popcount sweep over the contiguous signature pool; the bounded
+  // heap keeps the Search ranking contract (descending similarity, ties
+  // by ascending external id), so the top-k is unique and docid-order
+  // invariant.
+  TopKHeap heap(k);
+  for (size_t d = 0; d < docs_.size(); ++d) {
+    if (d == src) continue;
+    const uint32_t sim =
+        signatures_.HammingSimilarity(src, d);
+    heap.Push({docs_[d].id, static_cast<double>(sim)});
   }
   return heap.Take();
 }
@@ -690,6 +761,7 @@ size_t InvertedIndex::MemoryBytes() const {
   bytes += default_norm_.capacity() * sizeof(double);
   bytes += score_df_.capacity() * sizeof(double);
   bytes += block_index_.MemoryBytes();
+  bytes += signatures_.MemoryBytes();
   return bytes;
 }
 

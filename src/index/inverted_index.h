@@ -32,6 +32,7 @@
 #include "common/status.h"
 #include "corpus/document.h"
 #include "index/block_max_index.h"
+#include "index/doc_signature.h"
 #include "index/top_k.h"
 
 namespace ckr {
@@ -72,12 +73,29 @@ struct IndexBuildOptions {
   /// Keep raw document text and per-token byte offsets. Required by
   /// Snippet()/DocText(); at corpus scale the text dominates peak memory,
   /// so streaming builds switch it off (Snippet/DocText then return "").
+  ///
+  /// Degraded-path contract: only the *text* surface degrades. The
+  /// per-doc token-id streams and the Golomb position pool are always
+  /// retained, so Search, RegularResultCount, PhraseResultCount and
+  /// PhraseSearch return exactly the same results/counts as a
+  /// store_text=true build (regression-tested in tests/index_test.cc);
+  /// Snippet()/DocText() return "" instead of failing.
   bool store_text = true;
   /// Build the BlockMaxIndex eagerly inside Finalize(). Switching it off
   /// avoids doubling peak memory during million-doc builds; call
   /// RebuildBlockIndex() later, or leave it off — pruned evaluators fall
   /// back to the exhaustive scorer (identical results) until it exists.
   bool build_block_index = true;
+  /// Build the per-document term-signature matrix inside Finalize() and
+  /// gate the multi-term phrase paths (PhraseResultCount, PhraseSearch)
+  /// behind its exact-safe AND-mask prefilter (doc_signature.h). The
+  /// prefilter only ever skips documents that provably lack a phrase
+  /// term, so results are bit-identical with it on or off
+  /// (property-tested); switching it off saves bits()/8 bytes per doc
+  /// and disables RelatedDocuments().
+  bool build_signature_filter = true;
+  /// Shape of the signature matrix (width, probes per term).
+  SignatureConfig signature;
   BlockCodec block_codec = BlockCodec::kVarintGB;
   DocidOrder docid_order = DocidOrder::kAddOrder;
   /// For kExplicit: `explicit_order[i]` = Add()-order doc index placed at
@@ -156,12 +174,33 @@ class InvertedIndex {
   /// "number of result pages returned" for a phrase query. Count-only:
   /// intersects doc lists and stops at the first adjacency witness per
   /// document instead of materializing a ranked result set.
+  ///
+  /// An empty/whitespace-only phrase or one containing an
+  /// out-of-vocabulary term returns 0 (no document can contain it).
+  /// When the index carries signatures, multi-term counting first rejects
+  /// seed documents whose signature cannot cover every phrase term
+  /// (exact-safe: the count is identical with the prefilter on or off).
   uint64_t PhraseResultCount(std::string_view phrase) const;
 
   /// Ranked documents containing the phrase contiguously (BM25 over the
   /// phrase's terms, restricted to phrase matches).
   std::vector<SearchResult> PhraseSearch(std::string_view phrase,
                                          size_t k) const;
+
+  /// Approximate "related documents": the top-k other documents ranked by
+  /// Hamming similarity between term signatures (bits - popcount(XOR) —
+  /// high when the documents share most of their vocabulary). Ranking
+  /// contract matches Search: descending similarity, ties by ascending
+  /// external doc id, so the result is unique and docid-order invariant.
+  /// Returns empty if `doc` is unknown or the index was built with
+  /// build_signature_filter=false.
+  std::vector<SearchResult> RelatedDocuments(DocId doc, size_t k) const;
+
+  /// True once Finalize() built the signature matrix.
+  bool has_signatures() const { return has_signatures_; }
+
+  /// The per-document signature matrix (requires has_signatures()).
+  const SignatureMatrix& signatures() const { return signatures_; }
 
   /// Builds a query-biased snippet for a result: a window of
   /// `context_tokens` tokens centered on the first query-term hit.
@@ -276,6 +315,10 @@ class InvertedIndex {
   // ---- Block-compressed pruning index (built by Finalize) ----
   BlockMaxIndex block_index_;
   bool has_block_index_ = false;
+
+  // ---- Per-document term signatures (built by Finalize) ----
+  SignatureMatrix signatures_;
+  bool has_signatures_ = false;
 
   IndexBuildOptions options_;
 };

@@ -83,7 +83,10 @@ class Histogram {
   /// the bucket's lower and upper bound by the rank's fractional position
   /// within the bucket. The first bucket's lower bound is 0 (latencies);
   /// ranks landing in the overflow bucket report the last finite bound —
-  /// the histogram cannot resolve beyond it. Returns 0.0 when empty.
+  /// the histogram cannot resolve beyond it. A zero-sample histogram
+  /// returns 0.0 for every q — callers need no empty check before
+  /// rendering dashboards or snapshots, and the value is pinned by
+  /// obs_test so it cannot drift to NaN or a sentinel.
   /// The counts are read bucket-by-bucket with relaxed loads, so under
   /// concurrent Record() the estimate is approximate; quiescent
   /// histograms give exact, reproducible values (the bench/test regime).

@@ -159,5 +159,120 @@ TEST(IndexLargeTest, DeterministicTieBreak) {
   }
 }
 
+TEST(IndexOptionsTest, PhraseContractHoldsWithoutStoredText) {
+  // store_text=false drops raw text and offsets only; token streams and
+  // the position pool are always retained, so every phrase and search
+  // result is bit-identical to the store_text=true build. Snippet and
+  // DocText degrade to "" instead of failing — the documented contract.
+  InvertedIndex full;
+  IndexBuildOptions lean_opts;
+  lean_opts.store_text = false;
+  InvertedIndex lean(lean_opts);
+  const char* texts[] = {"the quick brown fox", "quick brown foxes run",
+                         "brown the quick", "nothing in common"};
+  for (DocId d = 0; d < 4; ++d) {
+    full.Add(MakeDoc(d * 2 + 1, texts[d]));
+    lean.Add(MakeDoc(d * 2 + 1, texts[d]));
+  }
+  full.Finalize();
+  lean.Finalize();
+
+  for (const char* phrase :
+       {"quick brown", "brown fox", "the quick brown", "quick the", "",
+        "   ", "zzz", "quick zzz", "quick"}) {
+    EXPECT_EQ(lean.PhraseResultCount(phrase), full.PhraseResultCount(phrase))
+        << phrase;
+    const auto a = lean.PhraseSearch(phrase, 10);
+    const auto b = full.PhraseSearch(phrase, 10);
+    ASSERT_EQ(a.size(), b.size()) << phrase;
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].doc, b[i].doc) << phrase;
+      EXPECT_EQ(a[i].score, b[i].score) << phrase;
+    }
+  }
+  const auto a = lean.Search("quick brown", 10);
+  const auto b = full.Search("quick brown", 10);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].doc, b[i].doc);
+
+  // The degraded accessors return "" (not a crash, not stale bytes).
+  EXPECT_EQ(lean.DocText(1), "");
+  EXPECT_EQ(lean.Snippet(1, "quick", 30), "");
+  EXPECT_NE(full.DocText(1), "");
+}
+
+TEST(IndexOptionsTest, PhraseContractHoldsWithDeferredBlockIndex) {
+  // build_block_index=false defers the pruning structure; phrase paths
+  // never touch it, so counts and hits are identical before the deferred
+  // RebuildBlockIndex() and unchanged after it. Pruned evaluators fall
+  // back to the exhaustive scorer while it is absent.
+  IndexBuildOptions deferred_opts;
+  deferred_opts.build_block_index = false;
+  InvertedIndex deferred(deferred_opts);
+  InvertedIndex eager;
+  const char* texts[] = {"alpha beta gamma", "beta gamma delta",
+                         "gamma alpha beta"};
+  for (DocId d = 0; d < 3; ++d) {
+    deferred.Add(MakeDoc(d, texts[d]));
+    eager.Add(MakeDoc(d, texts[d]));
+  }
+  deferred.Finalize();
+  eager.Finalize();
+  ASSERT_FALSE(deferred.has_block_index());
+  ASSERT_TRUE(eager.has_block_index());
+
+  auto expect_phrases_match = [&](const InvertedIndex& idx) {
+    for (const char* phrase :
+         {"beta gamma", "alpha beta", "gamma delta", "delta alpha", "",
+          "zzz beta"}) {
+      EXPECT_EQ(idx.PhraseResultCount(phrase),
+                eager.PhraseResultCount(phrase))
+          << phrase;
+      const auto a = idx.PhraseSearch(phrase, 5);
+      const auto b = eager.PhraseSearch(phrase, 5);
+      ASSERT_EQ(a.size(), b.size()) << phrase;
+      for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].doc, b[i].doc) << phrase;
+        EXPECT_EQ(a[i].score, b[i].score) << phrase;
+      }
+    }
+  };
+  expect_phrases_match(deferred);
+  // Pruned evaluators route through the exhaustive scorer while the block
+  // index is deferred — same results, no crash.
+  for (QueryEvaluator evaluator :
+       {QueryEvaluator::kMaxScore, QueryEvaluator::kBlockMaxWand}) {
+    const auto a = deferred.Search("beta gamma", 5, Bm25Params{}, evaluator);
+    const auto b = eager.Search("beta gamma", 5, Bm25Params{}, evaluator);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].doc, b[i].doc);
+  }
+
+  deferred.RebuildBlockIndex(deferred_opts.block_codec);
+  ASSERT_TRUE(deferred.has_block_index());
+  expect_phrases_match(deferred);
+}
+
+TEST(IndexOptionsTest, PhraseEarlyExitsOnEmptyAndOovInput) {
+  // The ResolvePhrase early exits (inverted_index.cc): empty input,
+  // whitespace-only input, and any out-of-vocabulary term resolve to "no
+  // results" across both phrase entry points — with or without the
+  // signature prefilter in front of them.
+  for (bool with_signatures : {true, false}) {
+    IndexBuildOptions opts;
+    opts.build_signature_filter = with_signatures;
+    InvertedIndex index(opts);
+    index.Add(MakeDoc(7, "only one document here"));
+    index.Finalize();
+    for (const char* phrase : {"", "   ", "\t\n", "missing", "one missing"}) {
+      EXPECT_EQ(index.PhraseResultCount(phrase), 0u)
+          << "sig=" << with_signatures << " phrase='" << phrase << "'";
+      EXPECT_TRUE(index.PhraseSearch(phrase, 10).empty())
+          << "sig=" << with_signatures << " phrase='" << phrase << "'";
+    }
+    EXPECT_EQ(index.PhraseResultCount("one document"), 1u);
+  }
+}
+
 }  // namespace
 }  // namespace ckr

@@ -104,6 +104,38 @@ TEST(ObsHistogramTest, PercentileInOverflowReportsLastFiniteBound) {
   EXPECT_DOUBLE_EQ(h.Percentile(0.9), 2.0);
 }
 
+TEST(ObsHistogramTest, PercentileOfEmptyHistogramIsZeroForEveryQuantile) {
+  // The pinned zero-sample contract: no NaN, no sentinel, no division by
+  // the zero total — 0.0 across the whole q range, bounds or not.
+  Histogram with_bounds({1.0, 2.0, 4.0});
+  Histogram no_bounds((std::vector<double>()));
+  for (double q : {0.0, 0.5, 0.999, 1.0}) {
+    EXPECT_EQ(with_bounds.Percentile(q), 0.0) << q;
+    EXPECT_EQ(no_bounds.Percentile(q), 0.0) << q;
+  }
+}
+
+TEST(ObsHistogramTest, PercentileWithSingleSampleCoversAllQuantiles) {
+  // One sample in (1, 2]: every q > 0 has target rank in (0, 1], so the
+  // single covering bucket answers all of them by interpolation; q = 0
+  // degenerates to the bucket's lower bound.
+  Histogram h({1.0, 2.0, 4.0});
+  h.Record(1.5);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 1.5);
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 2.0);
+}
+
+TEST(ObsHistogramTest, PercentileWithAllSamplesInOverflowPinsLastBound) {
+  // Every sample above the last finite bound: the histogram cannot
+  // resolve any quantile beyond that bound, so all of them report it.
+  Histogram h({1.0, 2.0});
+  for (int i = 0; i < 5; ++i) h.Record(100.0);
+  for (double q : {0.01, 0.5, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.Percentile(q), 2.0) << q;
+  }
+}
+
 TEST(ObsHistogramTest, PercentileIsDeterministicOnQuiescentData) {
   Histogram a(DefaultLatencyBoundsSeconds());
   Histogram b(DefaultLatencyBoundsSeconds());

@@ -14,6 +14,8 @@
 #include "common/rng.h"
 #include "corpus/document.h"
 #include "detect/aho_corasick.h"
+#include "detect/entity_detector.h"
+#include "detect/pattern_detector.h"
 #include "index/block_codecs.h"
 #include "index/inverted_index.h"
 #include "eval/metrics.h"
@@ -657,6 +659,233 @@ TEST(ShardedEdgeCases, EmptyShardsAreValidAndInvisible) {
     EXPECT_EQ(got[i].score, expected[i].score);
   }
 }
+
+// ---------- Signature prefilter exact-safety (zero false negatives) ------
+//
+// The AND-mask prefilter (index/doc_signature.h) may only ever skip true
+// negatives: a rejected document provably lacks a query term. Collisions
+// can let non-matching documents *through* (they fail the real positional
+// check), but no matching document may be rejected — so every public read
+// must be bit-identical with the prefilter on and off, on any corpus,
+// under both codecs, across all three evaluators. This sweep builds twin
+// indexes over random Zipf-ish corpora and hammers phrase counts, phrase
+// search, ranked search, and disjunctive counts with queries drawn both
+// from inside documents (guaranteed-present phrases) and at random
+// (mostly-absent and partially-out-of-vocabulary phrases).
+
+class SignatureSweep
+    : public ::testing::TestWithParam<std::tuple<uint64_t, BlockCodec>> {};
+
+TEST_P(SignatureSweep, PrefilterOnAndOffAreBitIdentical) {
+  auto [seed, codec] = GetParam();
+  Rng rng(seed);
+  std::vector<Document> corpus;
+  std::vector<std::vector<std::string>> doc_terms;
+  const size_t num_docs = 120 + rng.NextBounded(180);
+  for (size_t d = 0; d < num_docs; ++d) {
+    std::vector<std::string> terms;
+    const size_t len = 3 + rng.NextBounded(50);
+    std::string text;
+    for (size_t i = 0; i < len; ++i) {
+      const uint64_t u = rng.NextBounded(100);
+      const uint64_t term = u < 55   ? rng.NextBounded(6)
+                            : u < 85 ? 6 + rng.NextBounded(30)
+                                     : 36 + rng.NextBounded(300);
+      terms.push_back("w" + std::to_string(term));
+      text += terms.back() + " ";
+    }
+    Document doc;
+    doc.id = static_cast<DocId>(d * 3 + 1);
+    doc.text = std::move(text);
+    corpus.push_back(std::move(doc));
+    doc_terms.push_back(std::move(terms));
+  }
+
+  auto build = [&corpus](IndexBuildOptions opts) {
+    InvertedIndex idx(std::move(opts));
+    for (const Document& d : corpus) idx.Add(d);
+    idx.Finalize();
+    return idx;
+  };
+  IndexBuildOptions on_opts;
+  on_opts.block_codec = codec;
+  IndexBuildOptions off_opts;
+  off_opts.block_codec = codec;
+  off_opts.build_signature_filter = false;
+  const InvertedIndex gated = build(on_opts);
+  const InvertedIndex plain = build(off_opts);
+  ASSERT_TRUE(gated.has_signatures());
+  ASSERT_FALSE(plain.has_signatures());
+
+  // Phrase workload: in-document windows (always present), random windows
+  // with one term swapped (the adversarial terms-present-but-not-adjacent
+  // shape), fully random short phrases, and degenerate inputs.
+  std::vector<std::string> phrases = {"", "   ", "w0 w0", "zzz", "w0 zzz"};
+  for (int q = 0; q < 30; ++q) {
+    const size_t d = rng.NextBounded(num_docs);
+    const std::vector<std::string>& terms = doc_terms[d];
+    const size_t width = 1 + rng.NextBounded(3);
+    if (terms.size() < width) continue;
+    const size_t start = rng.NextBounded(terms.size() - width + 1);
+    std::string phrase;
+    for (size_t i = 0; i < width; ++i) phrase += terms[start + i] + " ";
+    phrases.push_back(phrase);
+    if (width > 1) {
+      // Swap in a random term: both terms usually exist somewhere, the
+      // exact window usually does not.
+      std::string swapped = phrase;
+      swapped += "w" + std::to_string(rng.NextBounded(340));
+      phrases.push_back(swapped);
+    }
+  }
+  for (int q = 0; q < 15; ++q) {
+    std::string phrase;
+    const size_t width = 2 + rng.NextBounded(3);
+    for (size_t i = 0; i < width; ++i) {
+      phrase += "w" + std::to_string(rng.NextBounded(340)) + " ";
+    }
+    phrases.push_back(phrase);
+  }
+
+  for (const std::string& phrase : phrases) {
+    ASSERT_EQ(gated.PhraseResultCount(phrase), plain.PhraseResultCount(phrase))
+        << "phrase='" << phrase << "'";
+    for (size_t k : {1u, 10u, 50u}) {
+      const auto a = gated.PhraseSearch(phrase, k);
+      const auto b = plain.PhraseSearch(phrase, k);
+      ASSERT_EQ(a.size(), b.size()) << "phrase='" << phrase << "' k=" << k;
+      for (size_t i = 0; i < a.size(); ++i) {
+        ASSERT_EQ(a[i].doc, b[i].doc) << "phrase='" << phrase << "' k=" << k;
+        ASSERT_EQ(a[i].score, b[i].score)
+            << "phrase='" << phrase << "' k=" << k;
+      }
+    }
+    // Disjunctive count over the same term bag.
+    ASSERT_EQ(gated.RegularResultCount(phrase),
+              plain.RegularResultCount(phrase))
+        << "phrase='" << phrase << "'";
+  }
+
+  // Ranked search: the signature option must not perturb any evaluator.
+  for (int q = 0; q < 15; ++q) {
+    std::string query;
+    const size_t terms = 1 + rng.NextBounded(6);
+    for (size_t t = 0; t < terms; ++t) {
+      query += "w" + std::to_string(rng.NextBounded(340)) + " ";
+    }
+    for (size_t k : {1u, 10u, 50u}) {
+      for (QueryEvaluator evaluator :
+           {QueryEvaluator::kExhaustive, QueryEvaluator::kMaxScore,
+            QueryEvaluator::kBlockMaxWand}) {
+        const auto a = gated.Search(query, k, Bm25Params{}, evaluator);
+        const auto b = plain.Search(query, k, Bm25Params{}, evaluator);
+        ASSERT_EQ(a.size(), b.size()) << "query='" << query << "' k=" << k;
+        for (size_t i = 0; i < a.size(); ++i) {
+          ASSERT_EQ(a[i].doc, b[i].doc) << "query='" << query << "' k=" << k;
+          ASSERT_EQ(a[i].score, b[i].score)
+              << "query='" << query << "' k=" << k;
+        }
+      }
+    }
+  }
+
+  // Related-documents determinism: same result on repeated calls, never
+  // contains the probe document, respects the ranking contract.
+  for (int q = 0; q < 5; ++q) {
+    const DocId probe = static_cast<DocId>(rng.NextBounded(num_docs) * 3 + 1);
+    const auto a = gated.RelatedDocuments(probe, 10);
+    const auto b = gated.RelatedDocuments(probe, 10);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(a[i].doc, b[i].doc);
+      ASSERT_EQ(a[i].score, b[i].score);
+      ASSERT_NE(a[i].doc, probe);
+      if (i > 0) {
+        ASSERT_TRUE(a[i - 1].score > a[i].score ||
+                    (a[i - 1].score == a[i].score && a[i - 1].doc < a[i].doc));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndCodecs, SignatureSweep,
+    ::testing::Combine(::testing::Values(11u, 23u, 37u, 51u),
+                       ::testing::Values(BlockCodec::kVarintGB,
+                                         BlockCodec::kSimple8b)),
+    [](const auto& pinfo) {
+      return "Seed" + std::to_string(std::get<0>(pinfo.param)) +
+             (std::get<1>(pinfo.param) == BlockCodec::kVarintGB ? "VarintGB"
+                                                                : "Simple8b");
+    });
+
+// The detector-side gates obey the same contract: detections (entities
+// and patterns) are identical with the signature prefilter on and off,
+// over random documents that mix entry phrases, entry fragments, pattern
+// entities, and out-of-vocabulary noise.
+
+class DetectorSignatureSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DetectorSignatureSweep, GatedDetectionsMatchUngated) {
+  Rng rng(GetParam());
+  std::vector<EntityDetector::DictionaryEntry> dict;
+  for (int e = 0; e < 12; ++e) {
+    std::string key = "e" + std::to_string(e);
+    if (e % 3 != 0) key += " f" + std::to_string(e);  // Multi-term entries.
+    if (e % 5 == 0) key += " g" + std::to_string(e);
+    dict.push_back({key, EntityType::kConcept, 0});
+  }
+  DetectorOptions off;
+  off.signature_prefilter = false;
+  const EntityDetector gated(dict, nullptr, DetectorOptions{});
+  const EntityDetector plain(dict, nullptr, off);
+
+  const char* pattern_bits[] = {"bob@mail.example.com", "www.example.com",
+                                "https://x.org/a", "555-123-4567"};
+  for (int doc = 0; doc < 120; ++doc) {
+    std::string text;
+    const size_t len = rng.NextBounded(60);
+    for (size_t i = 0; i < len; ++i) {
+      const uint64_t u = rng.NextBounded(100);
+      if (u < 20) {
+        // An entry phrase or a fragment of one (prefix only: tests the
+        // automaton's partial-match handling under the gate).
+        const auto& key = dict[rng.NextBounded(dict.size())].key;
+        text += rng.NextBernoulli(0.5) ? key
+                                       : key.substr(0, key.find(' '));
+        text += " ";
+      } else if (u < 24) {
+        text += std::string(pattern_bits[rng.NextBounded(4)]) + " ";
+      } else {
+        text += "n" + std::to_string(rng.NextBounded(400)) + " ";
+      }
+    }
+    const auto a = gated.Detect(text);
+    const auto b = plain.Detect(text);
+    ASSERT_EQ(a.size(), b.size()) << "text='" << text << "'";
+    for (size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(a[i].key, b[i].key);
+      ASSERT_EQ(a[i].surface, b[i].surface);
+      ASSERT_EQ(a[i].begin, b[i].begin);
+      ASSERT_EQ(a[i].end, b[i].end);
+      ASSERT_EQ(static_cast<int>(a[i].type), static_cast<int>(b[i].type));
+    }
+    // The raw pattern scan obeys the same on/off identity.
+    std::vector<PatternMatch> pa;
+    std::vector<PatternMatch> pb;
+    DetectPatternsInto(text, &pa, true);
+    DetectPatternsInto(text, &pb, false);
+    ASSERT_EQ(pa.size(), pb.size()) << "text='" << text << "'";
+    for (size_t i = 0; i < pa.size(); ++i) {
+      ASSERT_EQ(pa[i].begin, pb[i].begin);
+      ASSERT_EQ(pa[i].end, pb[i].end);
+      ASSERT_EQ(pa[i].text, pb[i].text);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DetectorSignatureSweep,
+                         ::testing::Values(19u, 43u, 67u));
 
 TEST(ShardedEdgeCases, DuplicateExternalIdsAcrossShardsAreRejected) {
   std::vector<std::unique_ptr<InvertedIndex>> shards;

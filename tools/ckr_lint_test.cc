@@ -151,6 +151,22 @@ TEST(CkrLintTest, R7FlagsImplicitSeqCstOps) {
   EXPECT_TRUE(LintContent("bench/r7_memory_order.cc", content).empty());
 }
 
+TEST(CkrLintTest, SignatureModulePathIsCoveredByR1R6R7) {
+  // The signature prefilter's contract hinges on deterministic bit
+  // positions (R1) and cleanly-disciplined rejection counters (R6/R7);
+  // this fixture plants the canonical violation of each under the
+  // module's own virtual path, proving the rules bind there. The
+  // whole-tree lint test covers the real doc_signature sources.
+  const std::string content = ReadFixture("sig_prefilter_bad.cc");
+  auto vs = LintContent("src/index/doc_signature_bad.cc", content);
+  EXPECT_EQ(RuleLines(vs), (std::multiset<RuleLine>{
+                               {"R1", 16}, {"R7", 18}, {"R6", 23}}));
+  // The same content under tests/ keeps only the determinism rule: R6/R7
+  // bind library code, R1 binds everywhere (reproducibility contract).
+  auto test_vs = LintContent("tests/doc_signature_bad.cc", content);
+  EXPECT_EQ(RuleLines(test_vs), (std::multiset<RuleLine>{{"R1", 16}}));
+}
+
 TEST(CkrLintTest, R8FlagsLockOrderInversions) {
   const std::string content = ReadFixture("r8_lock_order.cc");
   auto vs = LintContent("src/r8_lock_order.cc", content);

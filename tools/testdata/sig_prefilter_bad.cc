@@ -1,0 +1,26 @@
+// Signature-prefilter fixture: the three mistakes the doc_signature
+// module must never make — nondeterministic bit positions (R1),
+// undisciplined shared counters (R6), and an implicit seq_cst on the
+// rejection tally (R7). Linted under the module's own virtual
+// src/index/ path so a rule regression that un-covers the signature
+// code fails this test instead of slipping through review.
+#include <atomic>
+#include <cstdlib>
+#include <vector>
+
+namespace fixture {
+
+class BadSignatureMatrix {
+ public:
+  unsigned BitPosition(unsigned tid) const {
+    return (tid * static_cast<unsigned>(rand())) % bits_;  // R1: rand().
+  }
+  void RecordRejection() { rejected_.fetch_add(1); }  // R7: implicit order.
+
+ private:
+  unsigned bits_ = 256;
+  std::vector<unsigned long long> pool_;
+  std::atomic<unsigned long long> rejected_{0};  // R6: bare atomic member.
+};
+
+}  // namespace fixture
